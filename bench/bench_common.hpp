@@ -1,0 +1,100 @@
+// Shared plumbing for the per-table / per-figure bench harnesses.
+//
+// Every harness:
+//   * accepts --scale=<f> (multiplies each dataset's default replica
+//     scale; crank it up if you have the hardware, down for smoke runs),
+//     --csv (append machine-readable output), --seed=<n>;
+//   * prints which paper artifact it reproduces and the replica sizes;
+//   * reports both measured host time and simulated cluster time.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "eval/experiment.hpp"
+#include "graph/gen/datasets.hpp"
+#include "util/table.hpp"
+
+namespace snaple::bench {
+
+struct BenchOptions {
+  double scale = 1.0;   // multiplier on per-bench dataset scales
+  bool csv = false;
+  std::uint64_t seed = 42;
+};
+
+inline BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--scale=", 0) == 0) {
+      opt.scale = std::atof(arg.c_str() + 8);
+    } else if (arg == "--csv") {
+      opt.csv = true;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      opt.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "options: --scale=<f> --csv --seed=<n>\n";
+      std::exit(0);
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+inline void print_header(const std::string& artifact,
+                         const std::string& what) {
+  std::cout << "==============================================================\n";
+  std::cout << "Reproduces: " << artifact << "\n";
+  std::cout << what << "\n";
+  std::cout << "(synthetic dataset replicas — see DESIGN.md for the\n"
+               " substitution rationale; shapes and orderings are the\n"
+               " reproduction target, not absolute values)\n";
+  std::cout << "==============================================================\n\n";
+}
+
+inline eval::PreparedDataset prepare(const std::string& name,
+                                     double base_scale,
+                                     const BenchOptions& opt,
+                                     std::size_t removed_per_vertex = 1) {
+  auto ds = eval::prepare_dataset(name, base_scale * opt.scale, opt.seed,
+                                  removed_per_vertex);
+  std::cout << "dataset " << ds.name << ": "
+            << ds.train.num_vertices() << " vertices, "
+            << ds.train.num_edges() << " edges, " << ds.hidden.size()
+            << " hidden\n";
+  return ds;
+}
+
+/// Per-machine memory budget for the simulated cluster, scaled from the
+/// paper's machines by the replica/original edge ratio, so "fits in
+/// memory" means the same thing proportionally that it meant on the
+/// paper's testbed. `paper_bytes`: 32 GB for type-I, 128 GB for type-II.
+inline std::size_t scaled_budget(const std::string& dataset_name,
+                                 const CsrGraph& replica,
+                                 double paper_gb) {
+  const auto& spec = gen::dataset_spec(dataset_name);
+  const double ratio = static_cast<double>(replica.num_edges()) /
+                       static_cast<double>(spec.paper_edges);
+  const double bytes = paper_gb * 1e9 * ratio;
+  return static_cast<std::size_t>(std::max(bytes, 4e6));
+}
+
+inline void finish(const Table& table, const BenchOptions& opt) {
+  table.print(std::cout);
+  if (opt.csv) {
+    std::cout << "\n--- csv ---\n";
+    table.print_csv(std::cout);
+  }
+  std::cout << std::endl;
+}
+
+inline std::string fmt_or_oom(const eval::Outcome& out, double value,
+                              int precision = 2) {
+  return out.out_of_memory ? "OOM" : Table::fmt(value, precision);
+}
+
+}  // namespace snaple::bench

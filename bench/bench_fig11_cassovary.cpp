@@ -1,0 +1,53 @@
+// Figure 11: the single-machine random-walk comparator.
+//
+// Paper setup (§5.9): Cassovary-style Monte-Carlo PPR on one type-II
+// machine — w ∈ {10,100,1000} walks per vertex, depth d ∈ {3,4,5,10} —
+// on livejournal and twitter.
+//
+// Expected shape: recall saturates in d (d=3 is already close to the
+// best); larger w buys recall but costs time near-linearly.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "eval/metrics.hpp"
+
+int main(int argc, char** argv) {
+  using namespace snaple;
+  const auto opt = bench::parse_options(argc, argv);
+  bench::print_header(
+      "Figure 11 — recall/time of random-walk PPR (Cassovary stand-in)",
+      "single machine; w walks of depth d per vertex, top-5 visited.");
+
+  struct DatasetPoint {
+    const char* name;
+    double base_scale;
+  };
+  const DatasetPoint datasets[] = {{"livejournal", 0.4}, {"twitter", 0.2}};
+
+  Table table({"dataset", "w", "d", "recall", "time (s)",
+               "walk steps (M)"});
+  for (const auto& [name, base_scale] : datasets) {
+    const auto ds = bench::prepare(name, base_scale, opt);
+    for (const std::size_t w : {10ul, 100ul, 1000ul}) {
+      for (const std::size_t d : {3ul, 4ul, 5ul, 10ul}) {
+        cassovary::WalkConfig cfg;
+        cfg.walks = w;
+        cfg.depth = d;
+        cfg.seed = opt.seed;
+        const cassovary::RandomWalkEngine engine(ds.train);
+        WallTimer timer;
+        const auto result = engine.predict_all(cfg);
+        const double seconds = timer.seconds();
+        const double recall =
+            eval::recall(result.predictions, ds.hidden);
+        table.add_row({ds.name, std::to_string(w), std::to_string(d),
+                       Table::fmt(recall, 3), Table::fmt(seconds, 2),
+                       Table::fmt(
+                           static_cast<double>(result.total_steps) / 1e6,
+                           1)});
+      }
+    }
+  }
+  bench::finish(table, opt);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 5: SNAPLE scales linearly with graph size.
+//
+// Paper setup (§5.4): linearSum on livejournal (68M), orkut (223M) and
+// twitter-rv (1.4B edges), klocal ∈ {40, 80}, on type-I clusters of
+// 64/128/256 cores (8/16/32 machines) and type-II clusters of 80/160
+// cores (4/8 machines). Missing points = configurations not fitting into
+// memory (twitter @ klocal=80 on 8 type-I machines).
+//
+// Expected shape: execution time grows ~linearly in edges; more cores
+// shift the whole curve down; klocal=80 costs ~70% more than 40; the
+// tightest type-I configuration OOMs on the twitter replica.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace snaple;
+  const auto opt = bench::parse_options(argc, argv);
+  bench::print_header(
+      "Figure 5 — execution time vs graph size across cluster sizes",
+      "simulated seconds per dataset/cluster; OOM marks configurations "
+      "whose (scaled) memory budget is exhausted, as in the paper's "
+      "missing points.");
+
+  struct ClusterPoint {
+    const char* label;
+    bool type_i;
+    std::size_t machines;
+    double paper_gb;
+  };
+  const ClusterPoint clusters[] = {
+      {"type-I  64 cores", true, 8, 32.0},
+      {"type-I  128 cores", true, 16, 32.0},
+      {"type-I  256 cores", true, 32, 32.0},
+      {"type-II 80 cores", false, 4, 128.0},
+      {"type-II 160 cores", false, 8, 128.0},
+  };
+
+  Table table({"dataset", "edges (M)", "klocal", "cluster", "sim time (s)",
+               "host time (s)", "net MB"});
+
+  struct DatasetPoint {
+    const char* name;
+    double base_scale;
+  };
+  // Base scales keep the paper's relative edge ordering while letting the
+  // full sweep finish in minutes.
+  const DatasetPoint datasets[] = {
+      {"livejournal", 0.5}, {"orkut", 0.5}, {"twitter", 0.5}};
+
+  for (const auto& [name, base_scale] : datasets) {
+    const auto ds = bench::prepare(name, base_scale, opt);
+    const double edges_m =
+        static_cast<double>(ds.train.num_edges()) / 1e6;
+    for (const std::size_t klocal : {40ul, 80ul}) {
+      for (const auto& cp : clusters) {
+        const std::size_t budget =
+            bench::scaled_budget(name, ds.train, cp.paper_gb);
+        const auto cluster =
+            cp.type_i ? gas::ClusterConfig::type_i(cp.machines, budget)
+                      : gas::ClusterConfig::type_ii(cp.machines, budget);
+        SnapleConfig cfg;
+        cfg.k_local = klocal;
+        const auto out = eval::run_snaple_experiment(ds, cfg, cluster);
+        table.add_row({ds.name, Table::fmt(edges_m, 2),
+                       std::to_string(klocal), cp.label,
+                       bench::fmt_or_oom(out, out.simulated_seconds, 3),
+                       bench::fmt_or_oom(out, out.wall_seconds, 2),
+                       bench::fmt_or_oom(
+                           out, static_cast<double>(out.network_bytes) / 1e6,
+                           1)});
+      }
+    }
+  }
+  bench::finish(table, opt);
+  return 0;
+}

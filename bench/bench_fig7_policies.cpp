@@ -1,0 +1,47 @@
+// Figure 7: impact of the vertex selection mechanism.
+//
+// Paper setup (§5.6): on livejournal, compare the three klocal selection
+// policies — Γmax (keep most similar), Γmin (least similar), Γrnd
+// (random) — for counter, linearSum and PPR, with klocal ∈ {5,10,20,40,80}.
+//
+// Expected shape: Γmax dominates at small klocal (the paper reports it
+// doubling Γmin and beating Γrnd by ~50% at klocal=5); the three
+// policies converge as klocal grows and the kept sets coincide.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace snaple;
+  const auto opt = bench::parse_options(argc, argv);
+  bench::print_header(
+      "Figure 7 — recall per neighbor-selection policy",
+      "livejournal replica; policies Γmax / Γmin / Γrnd across klocal.");
+
+  const auto ds = bench::prepare("livejournal", 0.4, opt);
+  const auto cluster = gas::ClusterConfig::type_ii(4);
+
+  Table table({"score", "klocal", "recall Γmax", "recall Γmin",
+               "recall Γrnd"});
+  for (const ScoreKind score :
+       {ScoreKind::kCounter, ScoreKind::kLinearSum, ScoreKind::kPpr}) {
+    for (const std::size_t klocal : {5ul, 10ul, 20ul, 40ul, 80ul}) {
+      std::array<double, 3> recalls{};
+      const SelectionPolicy policies[] = {SelectionPolicy::kMax,
+                                          SelectionPolicy::kMin,
+                                          SelectionPolicy::kRandom};
+      for (std::size_t i = 0; i < 3; ++i) {
+        SnapleConfig cfg;
+        cfg.score = score;
+        cfg.k_local = klocal;
+        cfg.policy = policies[i];
+        recalls[i] = eval::run_snaple_experiment(ds, cfg, cluster).recall;
+      }
+      table.add_row({score_name(score), std::to_string(klocal),
+                     Table::fmt(recalls[0], 3), Table::fmt(recalls[1], 3),
+                     Table::fmt(recalls[2], 3)});
+    }
+  }
+  bench::finish(table, opt);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 8: computing time vs recall across scoring configurations.
+//
+// Paper setup (§5.7): every Table-3 scoring method, grouped by aggregator
+// (Sum / Mean / Geom families), swept over klocal ∈ {5,10,20,40,80} on
+// livejournal and twitter with 256 simulated type-I cores. Each point is
+// one (time, recall) pair.
+//
+// Expected shape: Sum-family recall grows with klocal (it rewards
+// popularity); Mean peaks at small klocal then declines; Geom shows the
+// same pattern more strongly. Time grows with klocal for every family.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace snaple;
+  const auto opt = bench::parse_options(argc, argv);
+  bench::print_header(
+      "Figure 8 — recall vs computing time per scoring configuration",
+      "one row per (score, klocal); 32 simulated type-I machines "
+      "(256 cores). Group rows by aggregator to read the figure.");
+
+  struct DatasetPoint {
+    const char* name;
+    double base_scale;
+  };
+  const DatasetPoint datasets[] = {{"livejournal", 0.4}, {"twitter", 0.2}};
+  const auto cluster = gas::ClusterConfig::type_i(32);
+
+  Table table({"dataset", "aggregator", "score", "klocal", "recall",
+               "sim time (s)", "host time (s)"});
+  for (const auto& [name, base_scale] : datasets) {
+    const auto ds = bench::prepare(name, base_scale, opt);
+    for (const AggregatorKind agg :
+         {AggregatorKind::kSum, AggregatorKind::kMean,
+          AggregatorKind::kGeom}) {
+      for (const ScoreKind score : score_kinds_with_aggregator(agg)) {
+        for (const std::size_t klocal : {5ul, 10ul, 20ul, 40ul, 80ul}) {
+          SnapleConfig cfg;
+          cfg.score = score;
+          cfg.k_local = klocal;
+          const auto out = eval::run_snaple_experiment(ds, cfg, cluster);
+          table.add_row({ds.name, Aggregator(agg).name(),
+                         score_name(score), std::to_string(klocal),
+                         Table::fmt(out.recall, 3),
+                         Table::fmt(out.simulated_seconds, 3),
+                         Table::fmt(out.wall_seconds, 2)});
+        }
+      }
+    }
+  }
+  bench::finish(table, opt);
+  return 0;
+}

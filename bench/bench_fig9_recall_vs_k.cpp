@@ -1,0 +1,46 @@
+// Figure 9: evolution of recall when increasing k (answers returned).
+//
+// Paper setup (§5.8): livejournal and pokec, k ∈ {5,10,15,20},
+// klocal=80, for the five Sum-family scores.
+//
+// Expected shape: recall increases substantially with k on both
+// datasets, for every score.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace snaple;
+  const auto opt = bench::parse_options(argc, argv);
+  bench::print_header(
+      "Figure 9 — recall vs number of returned predictions k",
+      "klocal=80; Sum-family scores on livejournal and pokec replicas.");
+
+  struct DatasetPoint {
+    const char* name;
+    double base_scale;
+  };
+  const DatasetPoint datasets[] = {{"livejournal", 0.4}, {"pokec", 0.4}};
+  const auto cluster = gas::ClusterConfig::type_ii(4);
+
+  Table table({"dataset", "score", "k=5", "k=10", "k=15", "k=20"});
+  for (const auto& [name, base_scale] : datasets) {
+    const auto ds = bench::prepare(name, base_scale, opt);
+    for (const ScoreKind score :
+         {ScoreKind::kCounter, ScoreKind::kEuclSum, ScoreKind::kGeomSum,
+          ScoreKind::kLinearSum, ScoreKind::kPpr}) {
+      std::vector<std::string> row{ds.name, score_name(score)};
+      for (const std::size_t k : {5ul, 10ul, 15ul, 20ul}) {
+        SnapleConfig cfg;
+        cfg.score = score;
+        cfg.k = k;
+        cfg.k_local = 80;
+        const auto out = eval::run_snaple_experiment(ds, cfg, cluster);
+        row.push_back(Table::fmt(out.recall, 3));
+      }
+      table.add_row(std::move(row));
+    }
+  }
+  bench::finish(table, opt);
+  return 0;
+}

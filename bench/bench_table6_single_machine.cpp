@@ -1,0 +1,119 @@
+// Table 6 + the §5.9 distribution-benefit claim.
+//
+// Part 1 (Table 6): best-recall-in-shortest-time Cassovary configuration
+// vs SNAPLE with klocal=20, both on one type-II machine. The paper
+// reports SNAPLE winning both recall and time (speedups 2.03 and 9.02).
+//
+// Part 2 (§5.9): "the recall obtained by Cassovary on twitter-rv is
+// obtained by SNAPLE in 177s when using linearSum with klocal=5 on 256
+// type-I cores ... a speedup of 30.62". We reproduce the comparison:
+// SNAPLE on the simulated 256-core cluster at klocal=5 vs Cassovary's
+// best single-machine recall point.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+struct CassPoint {
+  double recall = 0.0;
+  double seconds = 0.0;
+  std::size_t walks = 0;
+  std::size_t depth = 0;
+};
+
+/// The paper picks Cassovary's "best recall in the shortest time": sweep
+/// the Figure-11 grid and keep the highest-recall point (ties -> faster).
+CassPoint best_cassovary(const snaple::eval::PreparedDataset& ds,
+                         std::uint64_t seed) {
+  CassPoint best;
+  for (const std::size_t w : {10ul, 100ul, 1000ul}) {
+    for (const std::size_t d : {3ul, 4ul, 5ul}) {
+      snaple::cassovary::WalkConfig cfg;
+      cfg.walks = w;
+      cfg.depth = d;
+      cfg.seed = seed;
+      const auto out = snaple::eval::run_cassovary_experiment(ds, cfg);
+      if (out.recall > best.recall ||
+          (out.recall == best.recall && out.wall_seconds < best.seconds)) {
+        best = {out.recall, out.wall_seconds, w, d};
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace snaple;
+  const auto opt = bench::parse_options(argc, argv);
+  bench::print_header(
+      "Table 6 — SNAPLE vs the single-machine comparator",
+      "one type-II machine; Cassovary at its best Figure-11 "
+      "configuration vs SNAPLE klocal=20.");
+
+  struct DatasetPoint {
+    const char* name;
+    double base_scale;
+  };
+  const DatasetPoint datasets[] = {{"livejournal", 0.4}, {"twitter", 0.2}};
+
+  Table table({"dataset", "cassovary recall", "cassovary time (s)",
+               "snaple recall", "snaple time (s)", "speedup"});
+  std::vector<std::pair<std::string, CassPoint>> best_points;
+  std::vector<eval::PreparedDataset> prepared;
+
+  for (const auto& [name, base_scale] : datasets) {
+    prepared.push_back(bench::prepare(name, base_scale, opt));
+    const auto& ds = prepared.back();
+    const CassPoint cass = best_cassovary(ds, opt.seed);
+    best_points.emplace_back(ds.name, cass);
+
+    SnapleConfig cfg;
+    cfg.k_local = 20;
+    const auto snaple_out = eval::run_snaple_experiment(
+        ds, cfg, gas::ClusterConfig::single_machine(20));
+    table.add_row(
+        {ds.name, Table::fmt(cass.recall, 3), Table::fmt(cass.seconds, 2),
+         Table::fmt(snaple_out.recall, 3),
+         Table::fmt(snaple_out.wall_seconds, 2),
+         Table::fmt(cass.seconds / std::max(1e-9, snaple_out.wall_seconds),
+                    2)});
+  }
+  bench::finish(table, opt);
+
+  // ---- Part 2: §5.9 — matching Cassovary's recall on 256 cores. ----
+  // The paper finds the cheapest SNAPLE configuration whose recall
+  // reaches what Cassovary achieved, then compares times ("the recall
+  // obtained by Cassovary ... is obtained by SNAPLE in 2min57s ... a
+  // speedup of 30.62"). Same method here: smallest klocal matching the
+  // comparator's recall.
+  std::cout << "--- §5.9 — cheapest SNAPLE on 32 type-I machines (256 "
+               "cores) matching best Cassovary recall ---\n";
+  Table dist({"dataset", "cassovary recall", "cassovary time (s)", "klocal",
+              "snaple-256c recall", "snaple-256c sim time (s)", "speedup"});
+  for (std::size_t i = 0; i < prepared.size(); ++i) {
+    const auto& ds = prepared[i];
+    const auto& cass = best_points[i].second;
+    eval::Outcome out;
+    std::size_t chosen = 0;
+    for (const std::size_t klocal : {5ul, 10ul, 20ul, 40ul, 80ul}) {
+      SnapleConfig cfg;
+      cfg.k_local = klocal;
+      out = eval::run_snaple_experiment(ds, cfg,
+                                        gas::ClusterConfig::type_i(32));
+      chosen = klocal;
+      if (out.recall >= cass.recall) break;
+    }
+    dist.add_row({best_points[i].first, Table::fmt(cass.recall, 3),
+                  Table::fmt(cass.seconds, 2), std::to_string(chosen),
+                  Table::fmt(out.recall, 3),
+                  Table::fmt(out.simulated_seconds, 3),
+                  Table::fmt(cass.seconds /
+                                 std::max(1e-9, out.simulated_seconds),
+                             1)});
+  }
+  bench::finish(dist, opt);
+  return 0;
+}

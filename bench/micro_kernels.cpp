@@ -1,0 +1,175 @@
+// google-benchmark micro suite: the hot kernels behind the experiment
+// harnesses, plus the DESIGN.md §4 ablations (ScoreMap vs unordered_map,
+// greedy vs hash vertex-cuts).
+#include <benchmark/benchmark.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "cassovary/random_walk.hpp"
+#include "core/similarity.hpp"
+#include "gas/partition.hpp"
+#include "graph/gen/datasets.hpp"
+#include "graph/gen/generators.hpp"
+#include "util/rng.hpp"
+#include "util/score_map.hpp"
+#include "util/top_k.hpp"
+
+namespace snaple {
+namespace {
+
+std::vector<VertexId> sorted_ids(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<VertexId> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<VertexId>(rng.next_below(n * 8)));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+// ---- raw similarity (the step-2 kernel) ----
+
+void BM_Jaccard(benchmark::State& state) {
+  const auto a = sorted_ids(static_cast<std::size_t>(state.range(0)), 1);
+  const auto b = sorted_ids(static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(jaccard(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(a.size() + b.size()));
+}
+BENCHMARK(BM_Jaccard)->Arg(16)->Arg(64)->Arg(200)->Arg(1000);
+
+// ---- top-k selection (the argtopk kernel) ----
+
+void BM_TopK(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<std::pair<VertexId, double>> items;
+  for (int i = 0; i < 4096; ++i) {
+    items.emplace_back(static_cast<VertexId>(i), rng.next_double());
+  }
+  for (auto _ : state) {
+    TopK<VertexId, double> top(static_cast<std::size_t>(state.range(0)));
+    for (const auto& [id, s] : items) top.offer(id, s);
+    benchmark::DoNotOptimize(top.take_items());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_TopK)->Arg(5)->Arg(20)->Arg(80);
+
+// ---- score-map merge (the step-3 kernel) — ablation vs unordered_map ----
+
+void BM_ScoreMapAccumulate(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<std::uint32_t> keys;
+  for (int i = 0; i < 6400; ++i) {
+    keys.push_back(static_cast<std::uint32_t>(rng.next_below(1600)));
+  }
+  ScoreMap map(64);
+  auto plus = [](float a, float b) { return a + b; };
+  for (auto _ : state) {
+    map.clear();
+    for (const auto k : keys) map.accumulate(k, 0.5f, 1, plus);
+    benchmark::DoNotOptimize(map.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(keys.size()));
+}
+BENCHMARK(BM_ScoreMapAccumulate);
+
+void BM_UnorderedMapAccumulate(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<std::uint32_t> keys;
+  for (int i = 0; i < 6400; ++i) {
+    keys.push_back(static_cast<std::uint32_t>(rng.next_below(1600)));
+  }
+  std::unordered_map<std::uint32_t, std::pair<float, std::uint32_t>> map;
+  for (auto _ : state) {
+    map.clear();
+    for (const auto k : keys) {
+      auto [it, inserted] = map.try_emplace(k, 0.5f, 1);
+      if (!inserted) {
+        it->second.first += 0.5f;
+        it->second.second += 1;
+      }
+    }
+    benchmark::DoNotOptimize(map.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(keys.size()));
+}
+BENCHMARK(BM_UnorderedMapAccumulate);
+
+// ---- vertex-cut partitioning — greedy vs hash ablation ----
+
+const CsrGraph& partition_graph() {
+  static const CsrGraph g = gen::barabasi_albert(20000, 6, 7);
+  return g;
+}
+
+void BM_PartitionHash(benchmark::State& state) {
+  const CsrGraph& g = partition_graph();
+  double rf = 0.0;
+  for (auto _ : state) {
+    const auto p =
+        gas::Partitioning::create(g, 16, gas::PartitionStrategy::kHash);
+    rf = p.replication_factor();
+    benchmark::DoNotOptimize(rf);
+  }
+  state.counters["replication_factor"] = rf;
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_PartitionHash);
+
+void BM_PartitionGreedy(benchmark::State& state) {
+  const CsrGraph& g = partition_graph();
+  double rf = 0.0;
+  for (auto _ : state) {
+    const auto p =
+        gas::Partitioning::create(g, 16, gas::PartitionStrategy::kGreedy);
+    rf = p.replication_factor();
+    benchmark::DoNotOptimize(rf);
+  }
+  state.counters["replication_factor"] = rf;
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_PartitionGreedy);
+
+// ---- random-walk stepping (the Cassovary kernel) ----
+
+void BM_RandomWalks(benchmark::State& state) {
+  static const CsrGraph g = gen::make_dataset("gowalla", 0.1, 9);
+  const cassovary::RandomWalkEngine engine(g);
+  cassovary::WalkConfig cfg;
+  cfg.walks = static_cast<std::size_t>(state.range(0));
+  cfg.depth = 3;
+  for (auto _ : state) {
+    const auto counts = engine.visit_counts(100, cfg);
+    benchmark::DoNotOptimize(counts.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 3);
+}
+BENCHMARK(BM_RandomWalks)->Arg(10)->Arg(100)->Arg(1000);
+
+// ---- generator throughput ----
+
+void BM_AffiliationGraph(benchmark::State& state) {
+  gen::AffiliationParams params;
+  params.target_avg_degree = 12.0;
+  for (auto _ : state) {
+    const auto g = gen::affiliation_graph(
+        static_cast<VertexId>(state.range(0)), params, 11);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+BENCHMARK(BM_AffiliationGraph)->Arg(5000)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace snaple
+
+BENCHMARK_MAIN();

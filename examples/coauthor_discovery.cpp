@@ -1,0 +1,67 @@
+// Missing-collaboration discovery on a co-authorship network.
+//
+//   $ ./coauthor_discovery [scale]
+//
+// Link prediction as social mining (§2.1: "uncover missing information"):
+// on a livejournal-s style collaboration graph, an analyst wants likely
+// but unrecorded collaborations. This example contrasts two scoring
+// philosophies from the paper's design space:
+//   * linearSum  — favors well-connected candidates (popularity counts);
+//   * linearMean — averages path quality (popularity ignored).
+// and reports how each fares at rediscovering hidden collaborations,
+// echoing the Figure 3 / Figure 8 discussion.
+#include <cstdlib>
+#include <iostream>
+
+#include "core/predictor.hpp"
+#include "eval/experiment.hpp"
+#include "eval/metrics.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.08;
+
+  const auto dataset =
+      snaple::eval::prepare_dataset("livejournal", scale, 7);
+  std::cout << "co-authorship graph: " << dataset.train.num_vertices()
+            << " authors, " << dataset.train.num_edges()
+            << " collaboration links\n\n";
+
+  snaple::Table table({"score", "aggregator", "recall@5", "recall@10",
+                       "host time (s)"});
+
+  for (const auto kind : {snaple::ScoreKind::kLinearSum,
+                          snaple::ScoreKind::kCounter,
+                          snaple::ScoreKind::kLinearMean,
+                          snaple::ScoreKind::kLinearGeom}) {
+    double recall5 = 0.0;
+    double recall10 = 0.0;
+    double seconds = 0.0;
+    for (const std::size_t k : {5ul, 10ul}) {
+      snaple::SnapleConfig config;
+      config.score = kind;
+      config.k = k;
+      config.k_local = 40;
+      const snaple::LinkPredictor predictor(config);
+      const auto run = predictor.predict(dataset.train);
+      const double r = snaple::eval::recall(run.predictions, dataset.hidden);
+      if (k == 5) {
+        recall5 = r;
+        seconds = run.wall_seconds;
+      } else {
+        recall10 = r;
+      }
+    }
+    const auto cfg = snaple::score_config(kind);
+    table.add_row({cfg.name, cfg.aggregator.name(),
+                   snaple::Table::fmt(recall5, 3),
+                   snaple::Table::fmt(recall10, 3),
+                   snaple::Table::fmt(seconds, 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nSum-family scores credit candidates reached over many "
+               "paths (popular hubs);\nMean/Geom normalize path counts "
+               "away — see Figure 3 of the paper.\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Score-space explorer: sweep SNAPLE's full Table-3 design space.
+//
+//   $ ./score_explorer [dataset] [scale]
+//
+// SNAPLE is a scoring *framework*: a raw similarity, a combinator ⊗ and an
+// aggregator ⊕ compose into a scoring method (§3). This tool sweeps all
+// eleven Table-3 combinations on any replica and prints the recall/time
+// frontier, so users can pick a configuration for their own workload the
+// way §5.7 recommends (Sum for best recall, Mean for tight time budgets).
+// A supervised scorer would slot into the same ScoreConfig seam — the
+// extension path the paper's conclusion sketches.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/predictor.hpp"
+#include "eval/experiment.hpp"
+#include "eval/metrics.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  const std::string dataset = argc > 1 ? argv[1] : "livejournal";
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.08;
+
+  const auto prepared = snaple::eval::prepare_dataset(dataset, scale, 99);
+  std::cout << "dataset " << prepared.name << ": "
+            << prepared.train.num_vertices() << " vertices, "
+            << prepared.train.num_edges() << " edges\n\n";
+
+  snaple::Table table(
+      {"score", "sim", "combinator", "aggregator", "recall@5", "time (s)"});
+
+  for (const snaple::ScoreKind kind : snaple::all_score_kinds()) {
+    snaple::SnapleConfig config;
+    config.score = kind;
+    config.k_local = 40;
+    const snaple::LinkPredictor predictor(config);
+    const auto run = predictor.predict(prepared.train);
+    const double recall =
+        snaple::eval::recall(run.predictions, prepared.hidden);
+    const auto sc = snaple::score_config(kind);
+    table.add_row({sc.name, snaple::similarity_name(sc.metric),
+                   sc.combinator.name(), sc.aggregator.name(),
+                   snaple::Table::fmt(recall, 3),
+                   snaple::Table::fmt(run.wall_seconds, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nGuideline from §5.7: Sum-aggregator scores give the best "
+               "recall as klocal grows;\nMean-aggregator scores are "
+               "competitive under tight time budgets at small klocal.\n";
+  return 0;
+}

@@ -1,0 +1,174 @@
+// snaple_cli — run link prediction on any graph from the command line.
+//
+//   $ ./snaple_cli <edge-list-file | replica-name> [options]
+//
+//   --symmetrize        treat the input edge list as undirected
+//   --score=<name>      Table-3 scoring method        [linearSum]
+//   --k=<n>             predictions per vertex        [5]
+//   --klocal=<n|inf>    sampling parameter            [20]
+//   --thr=<n|inf>       truncation threshold          [200]
+//   --khops=<2|3>       path length                   [2]
+//   --machines=<n>      simulated cluster size        [1]
+//   --type2             use type-II machines (else type-I / single)
+//   --eval              hide one edge per vertex first and report recall
+//   --seed=<n>          RNG seed                      [1]
+//   --out=<file>        write "u: z1 z2 ..." lines    [stdout]
+//
+// Examples:
+//   ./snaple_cli livejournal --eval --klocal=40
+//   ./snaple_cli soc-pokec.txt --score=counter --machines=8 --type2
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/predictor.hpp"
+#include "eval/experiment.hpp"
+#include "eval/metrics.hpp"
+#include "graph/gen/datasets.hpp"
+#include "graph/io.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+std::size_t parse_limit(const std::string& value) {
+  if (value == "inf") return snaple::kUnlimited;
+  return std::strtoull(value.c_str(), nullptr, 10);
+}
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " <edge-list-file | gowalla|pokec|orkut|livejournal|twitter>"
+               " [--symmetrize] [--score=NAME] [--k=N] [--klocal=N|inf]"
+               " [--thr=N|inf] [--khops=2|3] [--machines=N] [--type2]"
+               " [--eval] [--seed=N] [--out=FILE]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace snaple;
+  if (argc < 2) return usage(argv[0]);
+
+  const std::string input = argv[1];
+  bool symmetrize = false;
+  bool type2 = false;
+  bool evaluate = false;
+  std::size_t machines = 1;
+  std::string out_path;
+  SnapleConfig config;
+  config.k_local = 20;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* prefix) {
+      return arg.substr(std::string(prefix).size());
+    };
+    try {
+      if (arg == "--symmetrize") {
+        symmetrize = true;
+      } else if (arg == "--type2") {
+        type2 = true;
+      } else if (arg == "--eval") {
+        evaluate = true;
+      } else if (arg.rfind("--score=", 0) == 0) {
+        config.score = parse_score_kind(value_of("--score="));
+      } else if (arg.rfind("--k=", 0) == 0) {
+        config.k = parse_limit(value_of("--k="));
+      } else if (arg.rfind("--klocal=", 0) == 0) {
+        config.k_local = parse_limit(value_of("--klocal="));
+      } else if (arg.rfind("--thr=", 0) == 0) {
+        config.thr_gamma = parse_limit(value_of("--thr="));
+      } else if (arg.rfind("--khops=", 0) == 0) {
+        config.k_hops = parse_limit(value_of("--khops="));
+      } else if (arg.rfind("--machines=", 0) == 0) {
+        machines = parse_limit(value_of("--machines="));
+      } else if (arg.rfind("--seed=", 0) == 0) {
+        config.seed = std::strtoull(value_of("--seed=").c_str(), nullptr, 10);
+      } else if (arg.rfind("--out=", 0) == 0) {
+        out_path = value_of("--out=");
+      } else {
+        std::cerr << "unknown option: " << arg << "\n";
+        return usage(argv[0]);
+      }
+    } catch (const CheckError& e) {
+      std::cerr << "bad option " << arg << ": " << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  CsrGraph graph;
+  try {
+    if (file_exists(input)) {
+      std::cerr << "loading edge list " << input << "...\n";
+      graph = load_edge_list_text_file(input, symmetrize);
+    } else {
+      std::cerr << "generating replica " << input << "...\n";
+      graph = gen::load_or_generate(input, 0.25, config.seed);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "cannot load '" << input << "': " << e.what() << "\n";
+    return 1;
+  }
+  std::cerr << "graph: " << graph.num_vertices() << " vertices, "
+            << graph.num_edges() << " edges\n";
+
+  std::vector<Edge> hidden;
+  if (evaluate) {
+    auto holdout = eval::remove_random_edges(graph, 1, config.seed);
+    graph = std::move(holdout.train);
+    hidden = std::move(holdout.hidden);
+    std::cerr << "hidden " << hidden.size() << " edges for evaluation\n";
+  }
+
+  const auto cluster =
+      machines <= 1
+          ? gas::ClusterConfig::single_machine(
+                std::thread::hardware_concurrency())
+          : (type2 ? gas::ClusterConfig::type_ii(machines)
+                   : gas::ClusterConfig::type_i(machines));
+  const LinkPredictor predictor(config, cluster);
+
+  PredictionRun run;
+  try {
+    run = predictor.predict(graph);
+  } catch (const ResourceExhausted& e) {
+    std::cerr << "simulated cluster out of memory: " << e.what() << "\n";
+    return 1;
+  }
+
+  std::cerr << "config: " << config.describe() << "\n";
+  std::cerr << "cluster: " << cluster.describe() << "\n";
+  std::cerr << "host time: " << format_duration(run.wall_seconds)
+            << ", simulated time: "
+            << format_duration(run.simulated_seconds) << ", traffic: "
+            << static_cast<double>(run.network_bytes) / 1e6 << " MB\n";
+  if (evaluate) {
+    std::cerr << "recall@" << config.k << ": "
+              << eval::recall(run.predictions, hidden) << ", MRR: "
+              << eval::mean_reciprocal_rank(run.predictions, hidden)
+              << "\n";
+  }
+
+  std::ofstream out_file;
+  std::ostream* out = &std::cout;
+  if (!out_path.empty()) {
+    out_file.open(out_path);
+    if (!out_file) {
+      std::cerr << "cannot write " << out_path << "\n";
+      return 1;
+    }
+    out = &out_file;
+  }
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    if (run.predictions[u].empty()) continue;
+    (*out) << u << ':';
+    for (VertexId z : run.predictions[u]) (*out) << ' ' << z;
+    (*out) << '\n';
+  }
+  return 0;
+}

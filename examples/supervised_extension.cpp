@@ -1,0 +1,70 @@
+// Supervised link prediction — the paper's future-work extension (§7).
+//
+//   $ ./supervised_extension [scale]
+//
+// Blends three unsupervised SNAPLE scores (linearSum: path quality,
+// counter: path count, PPR: popularity-normalized mass) with logistic
+// regression trained on a self-supervised split, and compares the blend
+// against each component on held-out edges. See core/ensemble.hpp.
+#include <cstdlib>
+#include <iostream>
+
+#include "core/ensemble.hpp"
+#include "eval/experiment.hpp"
+#include "eval/metrics.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace snaple;
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.08;
+  const auto dataset = eval::prepare_dataset("livejournal", scale, 31);
+  std::cout << "dataset " << dataset.name << ": "
+            << dataset.train.num_vertices() << " vertices, "
+            << dataset.train.num_edges() << " edges\n\n";
+
+  const auto cluster = gas::ClusterConfig::type_ii(2);
+  EnsembleConfig cfg;
+  cfg.seed = 31;
+
+  Table table({"predictor", "recall@5", "MRR", "time (s)"});
+
+  for (const ScoreKind kind : cfg.components) {
+    SnapleConfig scfg;
+    scfg.score = kind;
+    scfg.k = cfg.k;
+    scfg.k_local = cfg.k_local;
+    scfg.thr_gamma = cfg.thr_gamma;
+    WallTimer timer;
+    LinkPredictor predictor(scfg, cluster);
+    const auto run = predictor.predict(dataset.train);
+    table.add_row(
+        {score_name(kind),
+         Table::fmt(eval::recall(run.predictions, dataset.hidden), 3),
+         Table::fmt(
+             eval::mean_reciprocal_rank(run.predictions, dataset.hidden), 3),
+         Table::fmt(timer.seconds(), 2)});
+  }
+
+  WallTimer timer;
+  const auto ensemble = run_ensemble(dataset.train, cfg, cluster);
+  table.add_row(
+      {"supervised blend",
+       Table::fmt(eval::recall(ensemble.predictions, dataset.hidden), 3),
+       Table::fmt(
+           eval::mean_reciprocal_rank(ensemble.predictions, dataset.hidden),
+           3),
+       Table::fmt(timer.seconds(), 2)});
+  table.print(std::cout);
+
+  std::cout << "\nlearned weights:";
+  for (std::size_t c = 0; c < cfg.components.size(); ++c) {
+    std::cout << "  " << score_name(cfg.components[c]) << "="
+              << Table::fmt(ensemble.model.weights[c], 3);
+  }
+  std::cout << "  bias=" << Table::fmt(ensemble.model.bias, 3) << "\n";
+  std::cout << "\nThe blend learns how much path count vs path quality vs "
+               "popularity matters\nfor THIS graph — the per-dataset tuning "
+               "§5.7 does by hand.\n";
+  return 0;
+}

@@ -1,0 +1,131 @@
+#include "baseline/gas_baseline.hpp"
+
+#include <algorithm>
+
+#include "core/similarity.hpp"
+#include "util/top_k.hpp"
+
+namespace snaple::baseline {
+
+namespace {
+
+/// Vertex state: own neighborhood, then neighbors' neighborhoods.
+struct BaselineVertexData {
+  std::vector<VertexId> gamma;  // Γ(u), sorted
+  std::vector<std::pair<VertexId, std::vector<VertexId>>> nbrhood;  // {(v, Γv)}
+  std::vector<VertexId> predicted;
+};
+
+std::size_t vertex_bytes(const BaselineVertexData& d) {
+  std::size_t total = sizeof(std::uint32_t) * 3 +
+                      d.gamma.size() * sizeof(VertexId) +
+                      d.predicted.size() * sizeof(VertexId);
+  for (const auto& [v, gv] : d.nbrhood) {
+    total += sizeof(VertexId) + sizeof(std::uint32_t) +
+             gv.size() * sizeof(VertexId);
+  }
+  return total;
+}
+
+using NbrhoodAcc = std::vector<std::pair<VertexId, std::vector<VertexId>>>;
+
+}  // namespace
+
+BaselineResult run_baseline(const CsrGraph& graph,
+                            const BaselineConfig& config,
+                            const gas::Partitioning& partitioning,
+                            const gas::ClusterConfig& cluster,
+                            ThreadPool* pool) {
+  gas::Engine<BaselineVertexData> engine(graph, partitioning, cluster,
+                                         &vertex_bytes, pool);
+
+  // ---- Step 0: collect own neighbor ids. ----
+  {
+    gas::StepOptions opt{.name = "0:own-neighborhood",
+                         .dir = gas::EdgeDir::kOut,
+                         .mode = gas::ApplyMode::kFused};
+    engine.step<std::vector<VertexId>>(
+        opt,
+        [](VertexId, VertexId v, const BaselineVertexData&,
+           const BaselineVertexData&, std::vector<VertexId>& acc)
+            -> std::size_t {
+          acc.push_back(v);
+          return sizeof(VertexId);
+        },
+        [](VertexId, BaselineVertexData& du, std::vector<VertexId>& acc,
+           std::size_t) {
+          du.gamma.assign(acc.begin(), acc.end());
+          std::sort(du.gamma.begin(), du.gamma.end());
+        });
+  }
+
+  // ---- Step 1: replicate every neighbor's full neighborhood (eq. 7). ----
+  {
+    gas::StepOptions opt{.name = "1:propagate-neighborhoods",
+                         .dir = gas::EdgeDir::kOut,
+                         .mode = gas::ApplyMode::kFused};
+    engine.step<NbrhoodAcc>(
+        opt,
+        [](VertexId, VertexId v, const BaselineVertexData&,
+           const BaselineVertexData& dv, NbrhoodAcc& acc) -> std::size_t {
+          acc.emplace_back(v, dv.gamma);
+          return sizeof(VertexId) + sizeof(std::uint32_t) +
+                 dv.gamma.size() * sizeof(VertexId);
+        },
+        [](VertexId, BaselineVertexData& du, NbrhoodAcc& acc, std::size_t) {
+          du.nbrhood.assign(std::make_move_iterator(acc.begin()),
+                            std::make_move_iterator(acc.end()));
+        });
+  }
+
+  // ---- Step 2: gather (z, Γz) over 2-hop paths, score, rank. ----
+  {
+    gas::StepOptions opt{.name = "2:score-candidates",
+                         .dir = gas::EdgeDir::kOut,
+                         .mode = gas::ApplyMode::kFused};
+    engine.step<NbrhoodAcc>(
+        opt,
+        [](VertexId u, VertexId /*v*/, const BaselineVertexData&,
+           const BaselineVertexData& dv, NbrhoodAcc& acc) -> std::size_t {
+          std::size_t bytes = 0;
+          for (const auto& [z, gz] : dv.nbrhood) {
+            if (z == u) continue;
+            acc.emplace_back(z, gz);
+            bytes += sizeof(VertexId) + sizeof(std::uint32_t) +
+                     gz.size() * sizeof(VertexId);
+          }
+          // v's own entry never reaches u through this hop (v ∈ Γ(u) is
+          // not a candidate), but its table just crossed the wire whole —
+          // the redundancy the paper's Figure 1 illustrates.
+          return bytes;
+        },
+        [&](VertexId /*u*/, BaselineVertexData& du, NbrhoodAcc& acc,
+            std::size_t) {
+          // Deduplicate candidates (the same z arrives once per path).
+          std::sort(acc.begin(), acc.end(),
+                    [](const auto& a, const auto& b) {
+                      return a.first < b.first;
+                    });
+          TopK<VertexId, double> top(config.k);
+          const auto& gamma = du.gamma;
+          for (std::size_t i = 0; i < acc.size(); ++i) {
+            if (i > 0 && acc[i].first == acc[i - 1].first) continue;
+            const VertexId z = acc[i].first;
+            if (std::binary_search(gamma.begin(), gamma.end(), z)) continue;
+            top.offer(z, jaccard(gamma, acc[i].second));
+          }
+          du.predicted = top.take_items();
+        });
+  }
+
+  BaselineResult result;
+  result.predictions.resize(graph.num_vertices());
+  auto& data = engine.data();
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    result.predictions[u] = std::move(data[u].predicted);
+  }
+  result.report = engine.report();
+  return result;
+}
+
+}  // namespace snaple::baseline

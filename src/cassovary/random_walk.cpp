@@ -1,0 +1,95 @@
+#include "cassovary/random_walk.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/score_map.hpp"
+#include "util/top_k.hpp"
+
+namespace snaple::cassovary {
+
+namespace {
+
+/// Runs the walks for one source, accumulating visit counts into `counts`
+/// (cleared by the caller). Returns steps taken.
+std::size_t walk_from(const CsrGraph& g, VertexId source,
+                      const WalkConfig& cfg, Rng& rng, ScoreMap& counts) {
+  std::size_t steps = 0;
+  for (std::size_t w = 0; w < cfg.walks; ++w) {
+    VertexId cur = source;
+    for (std::size_t d = 0; d < cfg.depth; ++d) {
+      const auto nbrs = g.out_neighbors(cur);
+      if (nbrs.empty()) {
+        if (!cfg.restart_at_sink) break;
+        cur = source;
+        const auto src_nbrs = g.out_neighbors(cur);
+        if (src_nbrs.empty()) break;  // isolated source: nowhere to go
+        continue;
+      }
+      cur = nbrs[rng.next_below(nbrs.size())];
+      ++steps;
+      if (cur != source) {
+        counts.accumulate(cur, 0.0f, 1,
+                          [](float, float) { return 0.0f; });
+      }
+    }
+  }
+  return steps;
+}
+
+}  // namespace
+
+RandomWalkEngine::RandomWalkEngine(const CsrGraph& graph, ThreadPool* pool)
+    : graph_(graph), pool_(pool != nullptr ? pool : &default_pool()) {}
+
+WalkResult RandomWalkEngine::predict_all(const WalkConfig& config) const {
+  const VertexId n = graph_.num_vertices();
+  WalkResult result;
+  result.predictions.resize(n);
+
+  const std::size_t slots = pool_->slot_count();
+  struct WorkerScratch {
+    ScoreMap counts{64};
+    std::size_t steps = 0;
+  };
+  std::vector<WorkerScratch> scratch(slots);
+
+  pool_->parallel_for(0, n, [&](std::size_t i, std::size_t slot) {
+    const auto u = static_cast<VertexId>(i);
+    auto& ws = scratch[slot];
+    ws.counts.clear();
+    // Per-vertex RNG stream: results do not depend on scheduling.
+    Rng rng(config.seed ^ (0x9e3779b97f4a7c15ULL * (u + 1)));
+    ws.steps += walk_from(graph_, u, config, rng, ws.counts);
+
+    const auto nbrs = graph_.out_neighbors(u);
+    TopK<VertexId, std::uint64_t> top(config.k);
+    ws.counts.for_each([&](VertexId z, float, std::uint32_t count) {
+      if (std::binary_search(nbrs.begin(), nbrs.end(), z)) return;
+      top.offer(z, count);
+    });
+    result.predictions[u] = top.take_items();
+  });
+
+  for (const auto& ws : scratch) result.total_steps += ws.steps;
+  return result;
+}
+
+std::vector<std::pair<VertexId, std::uint32_t>>
+RandomWalkEngine::visit_counts(VertexId source,
+                               const WalkConfig& config) const {
+  SNAPLE_CHECK(source < graph_.num_vertices());
+  ScoreMap counts(64);
+  Rng rng(config.seed ^ (0x9e3779b97f4a7c15ULL * (source + 1)));
+  walk_from(graph_, source, config, rng, counts);
+  std::vector<std::pair<VertexId, std::uint32_t>> out;
+  counts.for_each([&](VertexId z, float, std::uint32_t c) {
+    out.emplace_back(z, c);
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace snaple::cassovary

@@ -1,0 +1,55 @@
+// Single-machine, in-memory, multithreaded random-walk engine — our
+// from-scratch stand-in for Twitter's Cassovary library (§5.9 of the
+// paper; see DESIGN.md §1 for the substitution rationale).
+//
+// The paper's comparison point is personalized-PageRank approximated by
+// Monte-Carlo random walks: for each source vertex run `w` walks of depth
+// `d`, count visits, and return the k most-visited vertices outside
+// Γ(u) ∪ {u} as predictions. Increasing w / d explores more candidates,
+// trading time for recall — the knobs of Figure 11.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "util/thread_pool.hpp"
+
+namespace snaple::cassovary {
+
+struct WalkConfig {
+  std::size_t walks = 100;   // w: walks per source vertex
+  std::size_t depth = 3;     // d: steps per walk
+  std::size_t k = 5;         // predictions per vertex
+  std::uint64_t seed = 1;
+  /// Restart the walk at the source when it hits a sink (out-degree 0) —
+  /// the usual PPR convention for dangling vertices.
+  bool restart_at_sink = true;
+};
+
+struct WalkResult {
+  std::vector<std::vector<VertexId>> predictions;
+  std::size_t total_steps = 0;  // walk steps actually taken
+};
+
+class RandomWalkEngine {
+ public:
+  explicit RandomWalkEngine(const CsrGraph& graph, ThreadPool* pool = nullptr);
+
+  /// Monte-Carlo PPR prediction for every vertex. Deterministic for a
+  /// given seed, independent of the thread count (each vertex has its own
+  /// RNG stream).
+  [[nodiscard]] WalkResult predict_all(const WalkConfig& config) const;
+
+  /// Visit counts of w walks of depth d from a single source (exposed for
+  /// tests and for callers wanting raw PPR mass instead of top-k).
+  [[nodiscard]] std::vector<std::pair<VertexId, std::uint32_t>> visit_counts(
+      VertexId source, const WalkConfig& config) const;
+
+ private:
+  const CsrGraph& graph_;
+  ThreadPool* pool_;
+};
+
+}  // namespace snaple::cassovary

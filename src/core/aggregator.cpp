@@ -1,0 +1,34 @@
+#include "core/aggregator.hpp"
+
+#include <cmath>
+
+namespace snaple {
+
+double Aggregator::post(double sigma, std::uint32_t n) const noexcept {
+  if (n == 0) return 0.0;
+  switch (kind_) {
+    case AggregatorKind::kSum:
+      return sigma;
+    case AggregatorKind::kMean:
+      return sigma / static_cast<double>(n);
+    case AggregatorKind::kGeom:
+      // σ is a product of values in [0,1]; guard the n-th root of 0.
+      return sigma <= 0.0 ? 0.0
+                          : std::pow(sigma, 1.0 / static_cast<double>(n));
+  }
+  return 0.0;
+}
+
+std::string Aggregator::name() const {
+  switch (kind_) {
+    case AggregatorKind::kSum:
+      return "Sum";
+    case AggregatorKind::kMean:
+      return "Mean";
+    case AggregatorKind::kGeom:
+      return "Geom";
+  }
+  return "?";
+}
+
+}  // namespace snaple

@@ -1,0 +1,57 @@
+// Path-aggregation operators ⊕ — Table 2 of the paper.
+//
+// Multiple 2-hop paths can reach the same candidate z; the aggregator
+// summarizes their path-similarities into one score (eq. 9). Following
+// eq. (10), ⊕ decomposes into an incremental generalized sum ⊕pre (a
+// commutative, associative binary op — exactly what a GAS sum() can fold)
+// and a final normalization ⊕post applied with the number of aggregated
+// paths:
+//
+//   name | a ⊕pre b | ⊕post(σ, n)
+//   Sum  | a + b    | σ            — favors well-connected candidates
+//   Mean | a + b    | σ / n        — averages out path count
+//   Geom | a × b    | σ^(1/n)      — punishes any low-similarity path
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace snaple {
+
+enum class AggregatorKind { kSum, kMean, kGeom };
+
+class Aggregator {
+ public:
+  constexpr Aggregator() = default;
+  explicit constexpr Aggregator(AggregatorKind kind) : kind_(kind) {}
+
+  [[nodiscard]] AggregatorKind kind() const noexcept { return kind_; }
+
+  /// ⊕pre: folds one more path-similarity into the running value.
+  [[nodiscard]] double pre(double acc, double value) const noexcept {
+    return kind_ == AggregatorKind::kGeom ? acc * value : acc + value;
+  }
+
+  /// ⊕post: turns the generalized sum σ over n paths into the final score.
+  [[nodiscard]] double post(double sigma, std::uint32_t n) const noexcept;
+
+  /// Full ⊕ over a small set, for tests/reference (eq. 10 composition).
+  template <typename Iter>
+  [[nodiscard]] double aggregate(Iter begin, Iter end) const {
+    std::uint32_t n = 0;
+    double sigma = 0.0;
+    for (Iter it = begin; it != end; ++it) {
+      sigma = (n == 0) ? static_cast<double>(*it)
+                       : pre(sigma, static_cast<double>(*it));
+      ++n;
+    }
+    return n == 0 ? 0.0 : post(sigma, n);
+  }
+
+  [[nodiscard]] std::string name() const;
+
+ private:
+  AggregatorKind kind_ = AggregatorKind::kSum;
+};
+
+}  // namespace snaple

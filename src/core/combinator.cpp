@@ -1,0 +1,56 @@
+#include "core/combinator.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace snaple {
+
+Combinator Combinator::linear(double alpha) {
+  SNAPLE_CHECK_MSG(alpha >= 0.0 && alpha <= 1.0, "alpha must be in [0,1]");
+  return Combinator(CombinatorKind::kLinear, alpha);
+}
+Combinator Combinator::euclidean() {
+  return Combinator(CombinatorKind::kEuclidean, 0.0);
+}
+Combinator Combinator::geometric() {
+  return Combinator(CombinatorKind::kGeometric, 0.0);
+}
+Combinator Combinator::sum() { return Combinator(CombinatorKind::kSum, 0.0); }
+Combinator Combinator::count() {
+  return Combinator(CombinatorKind::kCount, 0.0);
+}
+
+double Combinator::operator()(double a, double b) const noexcept {
+  switch (kind_) {
+    case CombinatorKind::kLinear:
+      return alpha_ * a + (1.0 - alpha_) * b;
+    case CombinatorKind::kEuclidean:
+      return std::sqrt(a * a + b * b);
+    case CombinatorKind::kGeometric:
+      return std::sqrt(a * b);
+    case CombinatorKind::kSum:
+      return a + b;
+    case CombinatorKind::kCount:
+      return 1.0;
+  }
+  return 0.0;
+}
+
+std::string Combinator::name() const {
+  switch (kind_) {
+    case CombinatorKind::kLinear:
+      return "linear";
+    case CombinatorKind::kEuclidean:
+      return "eucl";
+    case CombinatorKind::kGeometric:
+      return "geom";
+    case CombinatorKind::kSum:
+      return "sum";
+    case CombinatorKind::kCount:
+      return "count";
+  }
+  return "?";
+}
+
+}  // namespace snaple

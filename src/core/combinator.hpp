@@ -1,0 +1,50 @@
+// Path-combination operators ⊗ — Table 1 of the paper.
+//
+// A combinator turns the raw similarities of the two hops of a path
+// u → v → z into one path-similarity (eq. 8):
+//   sim*_v(u,z) = sim(u,v) ⊗ sim(v,z)
+// It must be monotonically increasing in both arguments (a property the
+// test suite sweeps): if either hop gets more similar, the path may not
+// get less similar.
+//
+//   name   | a ⊗ b
+//   linear | α·a + (1-α)·b        (paper uses α = 0.9)
+//   eucl   | sqrt(a² + b²)
+//   geom   | sqrt(a·b)
+//   sum    | a + b                (linear special case)
+//   count  | 1                    (degenerate; every path counts 1)
+#pragma once
+
+#include <string>
+
+namespace snaple {
+
+enum class CombinatorKind { kLinear, kEuclidean, kGeometric, kSum, kCount };
+
+class Combinator {
+ public:
+  /// Default: the paper's best-performing linear combinator with α = 0.9.
+  constexpr Combinator() = default;
+
+  [[nodiscard]] static Combinator linear(double alpha);
+  [[nodiscard]] static Combinator euclidean();
+  [[nodiscard]] static Combinator geometric();
+  [[nodiscard]] static Combinator sum();
+  [[nodiscard]] static Combinator count();
+
+  /// a = sim(u,v), b = sim(v,z); returns sim*_v(u,z).
+  [[nodiscard]] double operator()(double a, double b) const noexcept;
+
+  [[nodiscard]] CombinatorKind kind() const noexcept { return kind_; }
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+  [[nodiscard]] std::string name() const;
+
+ private:
+  constexpr Combinator(CombinatorKind kind, double alpha)
+      : kind_(kind), alpha_(alpha) {}
+
+  CombinatorKind kind_ = CombinatorKind::kLinear;
+  double alpha_ = 0.9;
+};
+
+}  // namespace snaple

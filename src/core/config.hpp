@@ -1,0 +1,61 @@
+// SNAPLE run configuration (the knobs of Algorithm 2 and §5).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "core/scoring.hpp"
+
+namespace snaple {
+
+/// How step 2 picks the klocal neighbors to keep (Figure 7):
+/// Γmax keeps the most similar, Γmin the least similar (a control),
+/// Γrnd a uniform sample.
+enum class SelectionPolicy { kMax, kMin, kRandom };
+
+[[nodiscard]] std::string policy_name(SelectionPolicy policy);
+
+/// "No limit" value for thr_gamma / k_local (the paper's ∞ rows).
+inline constexpr std::size_t kUnlimited =
+    std::numeric_limits<std::size_t>::max();
+
+struct SnapleConfig {
+  /// Number of predictions returned per vertex (the paper fixes k = 5).
+  std::size_t k = 5;
+
+  /// Sampling parameter klocal: only the klocal most similar neighbors
+  /// anchor 2-hop paths (eq. 11). The paper's main cost/quality knob.
+  std::size_t k_local = 20;
+
+  /// Truncation threshold thrΓ: neighborhood samples are capped at this
+  /// size in step 1 (default 200, as in §5.2).
+  std::size_t thr_gamma = 200;
+
+  /// Scoring method (Table 3) and the linear combinator's α.
+  ScoreKind score = ScoreKind::kLinearSum;
+  double alpha = 0.9;
+
+  /// Neighbor-selection policy for step 2 (Γmax in the paper; min/rnd are
+  /// the Figure-7 controls).
+  SelectionPolicy policy = SelectionPolicy::kMax;
+
+  /// Path length K of eq. (2). The paper evaluates K=2; K=3 implements
+  /// its §3.1 footnote ("extended to longer paths by recursively applying
+  /// ⊗"): an extra GAS step folds each retained neighbor's 2-hop scores
+  /// one hop further, and the final aggregation covers paths of length 2
+  /// AND 3. Costs roughly 3× the K=2 run.
+  std::size_t k_hops = 2;
+
+  /// Seed for the Bernoulli truncation of step 1 and the Γrnd policy.
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] ScoreConfig resolve_score() const {
+    return score_config(score, alpha);
+  }
+
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace snaple

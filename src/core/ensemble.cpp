@@ -1,0 +1,223 @@
+#include "core/ensemble.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "graph/builder.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/top_k.hpp"
+
+namespace snaple {
+
+namespace {
+
+/// Self-supervised split: same protocol as eval::remove_random_edges
+/// (one random out-edge per vertex with degree > 3). Re-implemented here
+/// because snaple_core must not depend on snaple_eval (which links back
+/// against this library).
+struct InnerHoldout {
+  CsrGraph train;
+  std::vector<Edge> hidden;
+};
+
+InnerHoldout inner_holdout(const CsrGraph& g, std::size_t per_vertex,
+                           std::uint64_t seed) {
+  InnerHoldout out;
+  GraphBuilder builder(g.num_vertices());
+  builder.reserve_edges(g.num_edges());
+  Rng rng(seed);
+  std::vector<VertexId> nbrs;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto row = g.out_neighbors(u);
+    if (row.size() <= 3) {
+      for (VertexId v : row) builder.add_edge(u, v);
+      continue;
+    }
+    nbrs.assign(row.begin(), row.end());
+    shuffle(nbrs, rng);
+    const std::size_t removed = std::min(per_vertex, nbrs.size() - 1);
+    for (std::size_t i = 0; i < removed; ++i) {
+      out.hidden.push_back({u, nbrs[i]});
+    }
+    for (std::size_t i = removed; i < nbrs.size(); ++i) {
+      builder.add_edge(u, nbrs[i]);
+    }
+  }
+  out.train = builder.build();
+  return out;
+}
+
+SnapleConfig component_config(const EnsembleConfig& cfg, ScoreKind kind) {
+  SnapleConfig c;
+  c.score = kind;
+  c.k = cfg.candidate_pool;
+  c.k_local = cfg.k_local;
+  c.thr_gamma = cfg.thr_gamma;
+  c.seed = cfg.seed;
+  return c;
+}
+
+std::vector<SnapleResult> run_components(const CsrGraph& g,
+                                         const EnsembleConfig& cfg,
+                                         const gas::ClusterConfig& cluster,
+                                         ThreadPool* pool) {
+  const auto partitioning = gas::Partitioning::create(
+      g, cluster.num_machines, gas::PartitionStrategy::kGreedy, cfg.seed);
+  std::vector<SnapleResult> results;
+  results.reserve(cfg.components.size());
+  for (const ScoreKind kind : cfg.components) {
+    results.push_back(run_snaple(g, component_config(cfg, kind),
+                                 partitioning, cluster, pool));
+  }
+  return results;
+}
+
+/// Max ⊕post score per component, used to bring heterogeneous score
+/// ranges (counter counts paths, PPR sums tiny masses) onto one scale.
+std::vector<double> component_scales(
+    const std::vector<SnapleResult>& components) {
+  std::vector<double> scales(components.size(), 1.0);
+  for (std::size_t c = 0; c < components.size(); ++c) {
+    double max_score = 0.0;
+    for (const auto& list : components[c].scored) {
+      for (const auto& [z, s] : list) {
+        max_score = std::max(max_score, static_cast<double>(s));
+      }
+    }
+    if (max_score > 0.0) scales[c] = max_score;
+  }
+  return scales;
+}
+
+/// Per-vertex candidate -> normalized feature vector (one per component).
+using FeatureMap =
+    std::unordered_map<VertexId, std::vector<double>>;
+
+FeatureMap features_for_vertex(const std::vector<SnapleResult>& components,
+                               const std::vector<double>& scales,
+                               VertexId u) {
+  FeatureMap features;
+  for (std::size_t c = 0; c < components.size(); ++c) {
+    for (const auto& [z, s] : components[c].scored[u]) {
+      auto [it, inserted] =
+          features.try_emplace(z, components.size(), 0.0);
+      it->second[c] = static_cast<double>(s) / scales[c];
+    }
+  }
+  return features;
+}
+
+double dot(const std::vector<double>& w, const std::vector<double>& x) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) total += w[i] * x[i];
+  return total;
+}
+
+}  // namespace
+
+EnsembleModel train_ensemble(const CsrGraph& graph,
+                             const EnsembleConfig& config,
+                             const gas::ClusterConfig& cluster,
+                             ThreadPool* pool) {
+  SNAPLE_CHECK(!config.components.empty());
+  SNAPLE_CHECK(config.epochs >= 1);
+
+  const InnerHoldout holdout = inner_holdout(
+      graph, config.holdout_per_vertex, config.seed ^ 0x5e1f'5e1fULL);
+  const auto components =
+      run_components(holdout.train, config, cluster, pool);
+
+  EnsembleModel model;
+  model.scales = component_scales(components);
+  model.weights.assign(config.components.size(), 0.0);
+
+  // Assemble the training set: every candidate either is a hidden edge
+  // (positive) or is not (negative).
+  std::unordered_map<VertexId, std::vector<VertexId>> hidden_by_src;
+  for (const Edge& e : holdout.hidden) {
+    hidden_by_src[e.src].push_back(e.dst);
+  }
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (const auto& [u, targets] : hidden_by_src) {
+    FeatureMap features = features_for_vertex(components, model.scales, u);
+    for (auto& [z, f] : features) {
+      const bool positive =
+          std::find(targets.begin(), targets.end(), z) != targets.end();
+      xs.push_back(std::move(f));
+      ys.push_back(positive ? 1.0 : 0.0);
+    }
+  }
+  if (xs.empty()) return model;  // degenerate graph: keep zero weights
+
+  // Full-batch gradient descent on regularized logistic loss. Hidden
+  // edges are rare among candidates (~1 in candidate_pool·|components|),
+  // so the loss is class-balanced: without it the majority-negative
+  // gradient drags every weight negative (features with non-negative
+  // values double as bias surrogates) and the blend ranks candidates
+  // *backwards*. The feature count is tiny, so a few dozen deterministic
+  // epochs converge.
+  double n_pos = 0.0;
+  for (const double y : ys) n_pos += y;
+  const double n = static_cast<double>(xs.size());
+  const double n_neg = n - n_pos;
+  if (n_pos == 0.0 || n_neg == 0.0) return model;  // nothing to separate
+  const double pos_weight = n / (2.0 * n_pos);
+  const double neg_weight = n / (2.0 * n_neg);
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    std::vector<double> grad(model.weights.size(), 0.0);
+    double grad_bias = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double margin = dot(model.weights, xs[i]) + model.bias;
+      const double p = 1.0 / (1.0 + std::exp(-margin));
+      const double err =
+          (p - ys[i]) * (ys[i] > 0.5 ? pos_weight : neg_weight);
+      for (std::size_t c = 0; c < grad.size(); ++c) {
+        grad[c] += err * xs[i][c];
+      }
+      grad_bias += err;
+    }
+    for (std::size_t c = 0; c < grad.size(); ++c) {
+      model.weights[c] -= config.learning_rate *
+                          (grad[c] / n + config.l2 * model.weights[c]);
+    }
+    model.bias -= config.learning_rate * grad_bias / n;
+  }
+  return model;
+}
+
+EnsembleResult predict_ensemble(const CsrGraph& graph,
+                                const EnsembleConfig& config,
+                                const EnsembleModel& model,
+                                const gas::ClusterConfig& cluster,
+                                ThreadPool* pool) {
+  SNAPLE_CHECK(model.weights.size() == config.components.size());
+  const auto components = run_components(graph, config, cluster, pool);
+
+  EnsembleResult result;
+  result.model = model;
+  result.predictions.resize(graph.num_vertices());
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    FeatureMap features = features_for_vertex(components, model.scales, u);
+    TopK<VertexId, double> top(config.k);
+    for (const auto& [z, f] : features) {
+      top.offer(z, dot(model.weights, f));  // bias is rank-invariant
+    }
+    result.predictions[u] = top.take_items();
+  }
+  return result;
+}
+
+EnsembleResult run_ensemble(const CsrGraph& graph,
+                            const EnsembleConfig& config,
+                            const gas::ClusterConfig& cluster,
+                            ThreadPool* pool) {
+  const EnsembleModel model =
+      train_ensemble(graph, config, cluster, pool);
+  return predict_ensemble(graph, config, model, cluster, pool);
+}
+
+}  // namespace snaple

@@ -1,0 +1,83 @@
+// Supervised ensemble scoring — the paper's principal future-work item
+// (§7: "the extension of SNAPLE to supervised link-prediction strategies,
+// which may improve recall while taking advantage of distributed
+// computing").
+//
+// The design follows the supervised literature the paper cites ([37],
+// [22]): unsupervised scores become *features* and a learned model blends
+// them. Here the features are the ⊕post scores of several SNAPLE
+// configurations (e.g. linearSum + counter + PPR — each captures a
+// different signal: path quality, path count, inverse-popularity), and
+// the model is L2-regularized logistic regression trained by gradient
+// descent on a self-supervised split: hide a second set of edges *inside
+// the training graph*, label candidates by whether they are hidden, fit,
+// then re-rank the union of the components' candidates on the real graph.
+//
+// Everything heavy (the component runs) stays inside the GAS engine, so
+// the distributed story is unchanged — the learned part only touches the
+// per-vertex top-M candidate lists, exactly the extension seam the paper
+// describes.
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/snaple_program.hpp"
+#include "gas/cluster.hpp"
+#include "gas/partition.hpp"
+#include "graph/csr_graph.hpp"
+#include "util/thread_pool.hpp"
+
+namespace snaple {
+
+struct EnsembleConfig {
+  /// Component scoring methods; one feature per component.
+  std::vector<ScoreKind> components = {ScoreKind::kLinearSum,
+                                       ScoreKind::kCounter,
+                                       ScoreKind::kPpr};
+  /// Final predictions per vertex.
+  std::size_t k = 5;
+  /// Candidates gathered per component per vertex (the rerank pool).
+  std::size_t candidate_pool = 20;
+  /// klocal / thrΓ forwarded to every component run.
+  std::size_t k_local = 40;
+  std::size_t thr_gamma = 200;
+  /// Self-supervised split: edges hidden per vertex for label generation.
+  std::size_t holdout_per_vertex = 1;
+  /// Logistic-regression training.
+  std::size_t epochs = 40;
+  double learning_rate = 0.5;
+  double l2 = 1e-4;
+  std::uint64_t seed = 1;
+};
+
+struct EnsembleModel {
+  std::vector<double> weights;  // one per component
+  double bias = 0.0;
+  /// Per-component score normalizers (max score seen in training).
+  std::vector<double> scales;
+};
+
+struct EnsembleResult {
+  std::vector<std::vector<VertexId>> predictions;
+  EnsembleModel model;
+};
+
+/// Trains the blend weights on a self-supervised holdout inside `graph`.
+[[nodiscard]] EnsembleModel train_ensemble(
+    const CsrGraph& graph, const EnsembleConfig& config,
+    const gas::ClusterConfig& cluster, ThreadPool* pool = nullptr);
+
+/// Runs every component on `graph`, blends candidate scores with the
+/// model, returns the re-ranked top-k per vertex.
+[[nodiscard]] EnsembleResult predict_ensemble(
+    const CsrGraph& graph, const EnsembleConfig& config,
+    const EnsembleModel& model, const gas::ClusterConfig& cluster,
+    ThreadPool* pool = nullptr);
+
+/// Convenience: train + predict in one call.
+[[nodiscard]] EnsembleResult run_ensemble(
+    const CsrGraph& graph, const EnsembleConfig& config,
+    const gas::ClusterConfig& cluster, ThreadPool* pool = nullptr);
+
+}  // namespace snaple

@@ -1,0 +1,36 @@
+#include "core/predictor.hpp"
+
+#include "util/timer.hpp"
+
+namespace snaple {
+
+LinkPredictor::LinkPredictor(SnapleConfig config, gas::ClusterConfig cluster,
+                             gas::PartitionStrategy strategy)
+    : config_(std::move(config)),
+      cluster_(std::move(cluster)),
+      strategy_(strategy) {}
+
+PredictionRun LinkPredictor::predict(const CsrGraph& graph,
+                                     ThreadPool* pool) const {
+  const auto partitioning = gas::Partitioning::create(
+      graph, cluster_.num_machines, strategy_, config_.seed);
+  return predict_with_partitioning(graph, partitioning, pool);
+}
+
+PredictionRun LinkPredictor::predict_with_partitioning(
+    const CsrGraph& graph, const gas::Partitioning& partitioning,
+    ThreadPool* pool) const {
+  WallTimer timer;
+  SnapleResult snaple =
+      run_snaple(graph, config_, partitioning, cluster_, pool);
+  PredictionRun run;
+  run.wall_seconds = timer.seconds();
+  run.predictions = std::move(snaple.predictions);
+  run.report = std::move(snaple.report);
+  run.simulated_seconds = run.report.total_sim_s();
+  run.network_bytes = run.report.total_net_bytes();
+  run.replication_factor = partitioning.replication_factor();
+  return run;
+}
+
+}  // namespace snaple

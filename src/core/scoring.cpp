@@ -1,0 +1,113 @@
+#include "core/scoring.hpp"
+
+#include "util/check.hpp"
+
+namespace snaple {
+
+ScoreConfig score_config(ScoreKind kind, double alpha) {
+  ScoreConfig cfg;
+  cfg.name = score_name(kind);
+  switch (kind) {
+    case ScoreKind::kLinearSum:
+      cfg.combinator = Combinator::linear(alpha);
+      cfg.aggregator = Aggregator(AggregatorKind::kSum);
+      break;
+    case ScoreKind::kEuclSum:
+      cfg.combinator = Combinator::euclidean();
+      cfg.aggregator = Aggregator(AggregatorKind::kSum);
+      break;
+    case ScoreKind::kGeomSum:
+      cfg.combinator = Combinator::geometric();
+      cfg.aggregator = Aggregator(AggregatorKind::kSum);
+      break;
+    case ScoreKind::kPpr:
+      cfg.metric = SimilarityMetric::kInverseDegree;
+      cfg.combinator = Combinator::sum();
+      cfg.aggregator = Aggregator(AggregatorKind::kSum);
+      break;
+    case ScoreKind::kCounter:
+      cfg.metric = SimilarityMetric::kConstant;
+      cfg.combinator = Combinator::count();
+      cfg.aggregator = Aggregator(AggregatorKind::kSum);
+      break;
+    case ScoreKind::kLinearMean:
+      cfg.combinator = Combinator::linear(alpha);
+      cfg.aggregator = Aggregator(AggregatorKind::kMean);
+      break;
+    case ScoreKind::kEuclMean:
+      cfg.combinator = Combinator::euclidean();
+      cfg.aggregator = Aggregator(AggregatorKind::kMean);
+      break;
+    case ScoreKind::kGeomMean:
+      cfg.combinator = Combinator::geometric();
+      cfg.aggregator = Aggregator(AggregatorKind::kMean);
+      break;
+    case ScoreKind::kLinearGeom:
+      cfg.combinator = Combinator::linear(alpha);
+      cfg.aggregator = Aggregator(AggregatorKind::kGeom);
+      break;
+    case ScoreKind::kEuclGeom:
+      cfg.combinator = Combinator::euclidean();
+      cfg.aggregator = Aggregator(AggregatorKind::kGeom);
+      break;
+    case ScoreKind::kGeomGeom:
+      cfg.combinator = Combinator::geometric();
+      cfg.aggregator = Aggregator(AggregatorKind::kGeom);
+      break;
+  }
+  return cfg;
+}
+
+std::vector<ScoreKind> all_score_kinds() {
+  return {ScoreKind::kLinearSum,  ScoreKind::kEuclSum,
+          ScoreKind::kGeomSum,    ScoreKind::kPpr,
+          ScoreKind::kCounter,    ScoreKind::kLinearMean,
+          ScoreKind::kEuclMean,   ScoreKind::kGeomMean,
+          ScoreKind::kLinearGeom, ScoreKind::kEuclGeom,
+          ScoreKind::kGeomGeom};
+}
+
+std::vector<ScoreKind> score_kinds_with_aggregator(AggregatorKind agg) {
+  std::vector<ScoreKind> out;
+  for (ScoreKind kind : all_score_kinds()) {
+    if (score_config(kind).aggregator.kind() == agg) out.push_back(kind);
+  }
+  return out;
+}
+
+std::string score_name(ScoreKind kind) {
+  switch (kind) {
+    case ScoreKind::kLinearSum:
+      return "linearSum";
+    case ScoreKind::kEuclSum:
+      return "euclSum";
+    case ScoreKind::kGeomSum:
+      return "geomSum";
+    case ScoreKind::kPpr:
+      return "PPR";
+    case ScoreKind::kCounter:
+      return "counter";
+    case ScoreKind::kLinearMean:
+      return "linearMean";
+    case ScoreKind::kEuclMean:
+      return "euclMean";
+    case ScoreKind::kGeomMean:
+      return "geomMean";
+    case ScoreKind::kLinearGeom:
+      return "linearGeom";
+    case ScoreKind::kEuclGeom:
+      return "euclGeom";
+    case ScoreKind::kGeomGeom:
+      return "geomGeom";
+  }
+  return "?";
+}
+
+ScoreKind parse_score_kind(const std::string& name) {
+  for (ScoreKind kind : all_score_kinds()) {
+    if (score_name(kind) == name) return kind;
+  }
+  throw CheckError("unknown score configuration '" + name + "'");
+}
+
+}  // namespace snaple

@@ -1,0 +1,66 @@
+// The score design space of Table 3: a raw similarity, a combinator ⊗ and
+// an aggregator ⊕ compose into a scoring method.
+//
+//   sim      | ⊗      | ⊕    | name
+//   Jaccard  | linear | Sum  | linearSum    (the paper's best recall)
+//   Jaccard  | eucl   | Sum  | euclSum
+//   Jaccard  | geom   | Sum  | geomSum
+//   1/|Γv|   | sum    | Sum  | PPR          (personalized-PageRank-like)
+//   —        | count  | Sum  | counter      (# of 2-hop paths)
+//   Jaccard  | linear | Mean | linearMean
+//   Jaccard  | eucl   | Mean | euclMean
+//   Jaccard  | geom   | Mean | geomMean
+//   Jaccard  | linear | Geom | linearGeom
+//   Jaccard  | eucl   | Geom | euclGeom
+//   Jaccard  | geom   | Geom | geomGeom
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/aggregator.hpp"
+#include "core/combinator.hpp"
+#include "core/similarity.hpp"
+
+namespace snaple {
+
+enum class ScoreKind {
+  kLinearSum,
+  kEuclSum,
+  kGeomSum,
+  kPpr,
+  kCounter,
+  kLinearMean,
+  kEuclMean,
+  kGeomMean,
+  kLinearGeom,
+  kEuclGeom,
+  kGeomGeom,
+};
+
+/// A fully-resolved scoring method. Users can bypass ScoreKind and build
+/// custom configurations directly — the framework is the point (§3).
+struct ScoreConfig {
+  std::string name = "linearSum";
+  SimilarityMetric metric = SimilarityMetric::kJaccard;
+  Combinator combinator = Combinator::linear(0.9);
+  Aggregator aggregator = Aggregator(AggregatorKind::kSum);
+};
+
+/// Resolves a Table-3 row. `alpha` parameterizes the linear combinator
+/// (the paper settled on 0.9, "found to return the best predictions").
+[[nodiscard]] ScoreConfig score_config(ScoreKind kind, double alpha = 0.9);
+
+/// All eleven Table-3 rows, in table order.
+[[nodiscard]] std::vector<ScoreKind> all_score_kinds();
+
+/// The rows whose aggregator matches `agg` (Figure 8 groups by aggregator).
+[[nodiscard]] std::vector<ScoreKind> score_kinds_with_aggregator(
+    AggregatorKind agg);
+
+[[nodiscard]] std::string score_name(ScoreKind kind);
+
+/// Inverse of score_name; throws CheckError on unknown names.
+[[nodiscard]] ScoreKind parse_score_kind(const std::string& name);
+
+}  // namespace snaple

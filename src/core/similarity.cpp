@@ -1,0 +1,99 @@
+#include "core/similarity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace snaple {
+
+std::string similarity_name(SimilarityMetric metric) {
+  switch (metric) {
+    case SimilarityMetric::kJaccard:
+      return "jaccard";
+    case SimilarityMetric::kCommonNeighbors:
+      return "common";
+    case SimilarityMetric::kCosine:
+      return "cosine";
+    case SimilarityMetric::kOverlap:
+      return "overlap";
+    case SimilarityMetric::kInverseDegree:
+      return "1/deg";
+    case SimilarityMetric::kConstant:
+      return "const";
+  }
+  return "?";
+}
+
+std::size_t sorted_intersection_size(std::span<const VertexId> a,
+                                     std::span<const VertexId> b) noexcept {
+  std::size_t count = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  // Galloping would win on very lopsided lists, but truncation (thrΓ)
+  // bounds both sides, so the linear merge is the right default.
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++count;
+      ++ia;
+      ++ib;
+    }
+  }
+  return count;
+}
+
+double jaccard(std::span<const VertexId> a,
+               std::span<const VertexId> b) noexcept {
+  if (a.empty() && b.empty()) return 0.0;
+  const auto inter = static_cast<double>(sorted_intersection_size(a, b));
+  const double uni =
+      static_cast<double>(a.size()) + static_cast<double>(b.size()) - inter;
+  return uni == 0.0 ? 0.0 : inter / uni;
+}
+
+double common_neighbors(std::span<const VertexId> a,
+                        std::span<const VertexId> b) noexcept {
+  return static_cast<double>(sorted_intersection_size(a, b));
+}
+
+double cosine(std::span<const VertexId> a,
+              std::span<const VertexId> b) noexcept {
+  if (a.empty() || b.empty()) return 0.0;
+  const auto inter = static_cast<double>(sorted_intersection_size(a, b));
+  return inter / std::sqrt(static_cast<double>(a.size()) *
+                           static_cast<double>(b.size()));
+}
+
+double overlap(std::span<const VertexId> a,
+               std::span<const VertexId> b) noexcept {
+  if (a.empty() || b.empty()) return 0.0;
+  const auto inter = static_cast<double>(sorted_intersection_size(a, b));
+  return inter / static_cast<double>(std::min(a.size(), b.size()));
+}
+
+double similarity(SimilarityMetric metric, std::span<const VertexId> a,
+                  std::span<const VertexId> b,
+                  std::size_t target_out_degree) noexcept {
+  switch (metric) {
+    case SimilarityMetric::kJaccard:
+      return jaccard(a, b);
+    case SimilarityMetric::kCommonNeighbors:
+      return common_neighbors(a, b);
+    case SimilarityMetric::kCosine:
+      return cosine(a, b);
+    case SimilarityMetric::kOverlap:
+      return overlap(a, b);
+    case SimilarityMetric::kInverseDegree:
+      return 1.0 / static_cast<double>(std::max<std::size_t>(
+                 1, target_out_degree));
+    case SimilarityMetric::kConstant:
+      return 1.0;
+  }
+  return 0.0;
+}
+
+}  // namespace snaple

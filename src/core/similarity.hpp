@@ -1,0 +1,49 @@
+// Raw vertex-pair similarities — the building block sim(u,v) of eq. (6):
+//   sim(u,z) = f(Γ(u), Γ(z))
+// computed on (possibly truncated) sorted neighborhood lists. The paper
+// uses Jaccard's coefficient throughout its evaluation, plus an
+// inverse-degree weight (1/|Γv|) for the PPR score and a constant 1 for
+// the `counter` score (Table 3); the additional set metrics make the
+// framework's extensibility concrete.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "graph/types.hpp"
+
+namespace snaple {
+
+enum class SimilarityMetric {
+  kJaccard,          // |A∩B| / |A∪B|
+  kCommonNeighbors,  // |A∩B|
+  kCosine,           // |A∩B| / sqrt(|A||B|)
+  kOverlap,          // |A∩B| / min(|A|,|B|)
+  kInverseDegree,    // 1/|Γ(v)|  (PPR edge weight; degree-based, not set-based)
+  kConstant,         // 1         (counter score)
+};
+
+[[nodiscard]] std::string similarity_name(SimilarityMetric metric);
+
+/// Number of common elements of two ascending-sorted id lists.
+[[nodiscard]] std::size_t sorted_intersection_size(
+    std::span<const VertexId> a, std::span<const VertexId> b) noexcept;
+
+[[nodiscard]] double jaccard(std::span<const VertexId> a,
+                             std::span<const VertexId> b) noexcept;
+[[nodiscard]] double common_neighbors(std::span<const VertexId> a,
+                                      std::span<const VertexId> b) noexcept;
+[[nodiscard]] double cosine(std::span<const VertexId> a,
+                            std::span<const VertexId> b) noexcept;
+[[nodiscard]] double overlap(std::span<const VertexId> a,
+                             std::span<const VertexId> b) noexcept;
+
+/// Dispatches the set-based metrics; `target_out_degree` feeds
+/// kInverseDegree (the *full* out-degree of the edge target, untruncated).
+[[nodiscard]] double similarity(SimilarityMetric metric,
+                                std::span<const VertexId> a,
+                                std::span<const VertexId> b,
+                                std::size_t target_out_degree) noexcept;
+
+}  // namespace snaple

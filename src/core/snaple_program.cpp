@@ -1,0 +1,264 @@
+#include "core/snaple_program.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/rng.hpp"
+#include "util/score_map.hpp"
+#include "util/top_k.hpp"
+
+namespace snaple {
+
+std::string policy_name(SelectionPolicy policy) {
+  switch (policy) {
+    case SelectionPolicy::kMax:
+      return "max";
+    case SelectionPolicy::kMin:
+      return "min";
+    case SelectionPolicy::kRandom:
+      return "rnd";
+  }
+  return "?";
+}
+
+std::string SnapleConfig::describe() const {
+  std::string out = score_name(score);
+  out += " k=" + std::to_string(k);
+  out += " klocal=";
+  out += (k_local == kUnlimited ? "inf" : std::to_string(k_local));
+  out += " thr=";
+  out += (thr_gamma == kUnlimited ? "inf" : std::to_string(thr_gamma));
+  if (policy != SelectionPolicy::kMax) out += " policy=" + policy_name(policy);
+  return out;
+}
+
+std::size_t snaple_vertex_data_bytes(const SnapleVertexData& d) {
+  return sizeof(std::uint32_t) * 4 +               // length prefixes
+         d.gamma_hat.size() * sizeof(VertexId) +   // Γ̂ ids
+         d.sims.size() * (sizeof(VertexId) + sizeof(float)) +
+         d.hop2.size() * (sizeof(VertexId) + sizeof(float)) +
+         d.predicted.size() * (sizeof(VertexId) + sizeof(float));
+}
+
+namespace {
+
+/// Deterministic per-edge uniform in [0,1) for the step-1 Bernoulli
+/// truncation — a gather may not share RNG state across edges, so the
+/// "random" draw is a hash of (seed, u, v).
+double edge_uniform(std::uint64_t seed, VertexId u, VertexId v) {
+  SplitMix64 sm(seed ^ ((static_cast<std::uint64_t>(u) << 32) | v));
+  return static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+}
+
+/// Step-2 selection: keeps `k_local` entries of `collected` according to
+/// the policy, then orders them by vertex id for binary-search lookup.
+void select_k_local(std::vector<std::pair<VertexId, float>>& collected,
+                    const SnapleConfig& cfg, VertexId u) {
+  if (cfg.k_local != kUnlimited && collected.size() > cfg.k_local) {
+    switch (cfg.policy) {
+      case SelectionPolicy::kMax:
+        std::sort(collected.begin(), collected.end(),
+                  [](const auto& a, const auto& b) {
+                    if (a.second != b.second) return a.second > b.second;
+                    return a.first < b.first;
+                  });
+        break;
+      case SelectionPolicy::kMin:
+        std::sort(collected.begin(), collected.end(),
+                  [](const auto& a, const auto& b) {
+                    if (a.second != b.second) return a.second < b.second;
+                    return a.first < b.first;
+                  });
+        break;
+      case SelectionPolicy::kRandom: {
+        Rng rng(cfg.seed ^ (0xabcd'ef01'2345'6789ULL + u));
+        shuffle(collected, rng);
+        break;
+      }
+    }
+    collected.resize(cfg.k_local);
+  }
+  std::sort(collected.begin(), collected.end());
+}
+
+/// Binary search in an id-sorted sims list.
+const float* find_sim(const std::vector<std::pair<VertexId, float>>& sims,
+                      VertexId v) {
+  const auto it = std::lower_bound(
+      sims.begin(), sims.end(), v,
+      [](const auto& entry, VertexId key) { return entry.first < key; });
+  if (it == sims.end() || it->first != v) return nullptr;
+  return &it->second;
+}
+
+}  // namespace
+
+SnapleResult run_snaple(const CsrGraph& graph, const SnapleConfig& config,
+                        const gas::Partitioning& partitioning,
+                        const gas::ClusterConfig& cluster, ThreadPool* pool,
+                        gas::ApplyMode mode) {
+  SNAPLE_CHECK_MSG(config.k_hops == 2 || config.k_hops == 3,
+                   "SNAPLE supports K=2 (the paper) and K=3 (footnote 2)");
+  const ScoreConfig score = config.resolve_score();
+  const Combinator comb = score.combinator;
+  const Aggregator agg = score.aggregator;
+  gas::Engine<SnapleVertexData> engine(graph, partitioning, cluster,
+                                       &snaple_vertex_data_bytes, pool);
+
+  // ---- Step 1: sample Γ̂(u) under the truncation threshold thrΓ. ----
+  {
+    gas::StepOptions opt{.name = "1:sample-neighborhood",
+                         .dir = gas::EdgeDir::kOut,
+                         .mode = mode};
+    engine.step<std::vector<VertexId>>(
+        opt,
+        [&](VertexId u, VertexId v, const SnapleVertexData&,
+            const SnapleVertexData&, std::vector<VertexId>& acc)
+            -> std::size_t {
+          if (config.thr_gamma != kUnlimited) {
+            const std::size_t deg = graph.out_degree(u);
+            if (deg > config.thr_gamma) {
+              const double keep = static_cast<double>(config.thr_gamma) /
+                                  static_cast<double>(deg);
+              if (edge_uniform(config.seed, u, v) > keep) return 0;
+            }
+          }
+          acc.push_back(v);
+          return sizeof(VertexId);
+        },
+        [](VertexId, SnapleVertexData& du, std::vector<VertexId>& acc,
+           std::size_t) {
+          du.gamma_hat.assign(acc.begin(), acc.end());
+          std::sort(du.gamma_hat.begin(), du.gamma_hat.end());
+        });
+  }
+
+  // ---- Step 2: raw similarities, keep the klocal best (Γmax). ----
+  {
+    gas::StepOptions opt{.name = "2:similarities",
+                         .dir = gas::EdgeDir::kOut,
+                         .mode = mode};
+    using SimAcc = std::vector<std::pair<VertexId, float>>;
+    engine.step<SimAcc>(
+        opt,
+        [&](VertexId, VertexId v, const SnapleVertexData& du,
+            const SnapleVertexData& dv, SimAcc& acc) -> std::size_t {
+          const double s =
+              similarity(score.metric, du.gamma_hat, dv.gamma_hat,
+                         graph.out_degree(v));
+          acc.emplace_back(v, static_cast<float>(s));
+          return sizeof(VertexId) + sizeof(float);
+        },
+        [&](VertexId u, SnapleVertexData& du, SimAcc& acc, std::size_t) {
+          select_k_local(acc, config, u);
+          du.sims.assign(acc.begin(), acc.end());
+        });
+  }
+
+  // ---- Step 2b (K=3 only): fold 2-hop scores one hop further. ----
+  // Each vertex computes its aggregated 2-hop candidate scores (the same
+  // path-combination/aggregation the final step performs) and keeps the
+  // klocal best; the final step can then extend them by one more edge —
+  // the recursive ⊗ fold of the paper's footnote 2.
+  if (config.k_hops == 3) {
+    gas::StepOptions opt{.name = "2b:hop2-scores",
+                         .dir = gas::EdgeDir::kOut,
+                         .mode = mode};
+    engine.step<ScoreMap>(
+        opt,
+        [&](VertexId u, VertexId v, const SnapleVertexData& du,
+            const SnapleVertexData& dv, ScoreMap& acc) -> std::size_t {
+          const float* suv = find_sim(du.sims, v);
+          if (suv == nullptr) return 0;
+          std::size_t bytes = 0;
+          for (const auto& [z, svz] : dv.sims) {
+            if (z == u) continue;
+            if (std::binary_search(du.gamma_hat.begin(), du.gamma_hat.end(),
+                                   z)) {
+              continue;
+            }
+            acc.accumulate(z, static_cast<float>(comb(*suv, svz)), 1,
+                           [&](float a, float b) {
+                             return static_cast<float>(agg.pre(a, b));
+                           });
+            bytes += sizeof(VertexId) + sizeof(float) + sizeof(std::uint32_t);
+          }
+          return bytes;
+        },
+        [&](VertexId u, SnapleVertexData& du, ScoreMap& acc, std::size_t) {
+          std::vector<std::pair<VertexId, float>> collected;
+          acc.for_each([&](VertexId z, float sigma, std::uint32_t n) {
+            collected.emplace_back(z,
+                                   static_cast<float>(agg.post(sigma, n)));
+          });
+          select_k_local(collected, config, u);
+          du.hop2.assign(collected.begin(), collected.end());
+        });
+  }
+
+  // ---- Step 3: combine (⊗) along paths, aggregate (⊕), rank top-k. ----
+  {
+    gas::StepOptions opt{.name = "3:recommend",
+                         .dir = gas::EdgeDir::kOut,
+                         .mode = mode};
+    engine.step<ScoreMap>(
+        opt,
+        [&](VertexId u, VertexId v, const SnapleVertexData& du,
+            const SnapleVertexData& dv, ScoreMap& acc) -> std::size_t {
+          const float* suv = find_sim(du.sims, v);
+          if (suv == nullptr) return 0;  // v ∉ Γmax(u): path not retained
+          std::size_t bytes = 0;
+          auto fold_candidate = [&](VertexId z, float downstream) {
+            if (z == u) return;
+            if (std::binary_search(du.gamma_hat.begin(), du.gamma_hat.end(),
+                                   z)) {
+              return;  // already a neighbor: not a missing-edge candidate
+            }
+            const double path_sim = comb(*suv, downstream);
+            acc.accumulate(z, static_cast<float>(path_sim), 1,
+                           [&](float a, float b) {
+                             return static_cast<float>(agg.pre(a, b));
+                           });
+            bytes += sizeof(VertexId) + sizeof(float) + sizeof(std::uint32_t);
+          };
+          for (const auto& [z, svz] : dv.sims) fold_candidate(z, svz);
+          if (config.k_hops == 3) {
+            // 3-hop paths u → v → (v's 2-hop candidate z): extend v's
+            // folded 2-hop score by the first-hop similarity.
+            for (const auto& [z, s2] : dv.hop2) fold_candidate(z, s2);
+          }
+          return bytes;
+        },
+        [&](VertexId, SnapleVertexData& du, ScoreMap& acc, std::size_t) {
+          TopK<VertexId, double> top(config.k);
+          acc.for_each([&](VertexId z, float sigma, std::uint32_t n) {
+            top.offer(z, agg.post(sigma, n));
+          });
+          du.predicted.clear();
+          du.prediction_scores.clear();
+          for (const auto& entry : top.take_sorted()) {
+            du.predicted.push_back(entry.item);
+            du.prediction_scores.push_back(
+                static_cast<float>(entry.score));
+          }
+        });
+  }
+
+  SnapleResult result;
+  result.predictions.resize(graph.num_vertices());
+  result.scored.resize(graph.num_vertices());
+  auto& data = engine.data();
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    auto& scored = result.scored[u];
+    scored.reserve(data[u].predicted.size());
+    for (std::size_t i = 0; i < data[u].predicted.size(); ++i) {
+      scored.emplace_back(data[u].predicted[i],
+                          data[u].prediction_scores[i]);
+    }
+    result.predictions[u] = std::move(data[u].predicted);
+  }
+  result.report = engine.report();
+  return result;
+}
+
+}  // namespace snaple

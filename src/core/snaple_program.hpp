@@ -1,0 +1,74 @@
+// SNAPLE's link prediction as a three-step GAS program — Algorithm 2.
+//
+//   Step 1  sample each vertex's neighborhood Γ̂(u), truncated to thrΓ by
+//           the paper's Bernoulli trick (line 3): keep v with probability
+//           thrΓ/|Γ(u)| — a uniform sample computable edge-locally, which
+//           is all a gather may do.
+//   Step 2  compute the raw similarity sim(u,v) for every edge from the
+//           truncated neighborhoods, then keep the klocal most similar
+//           neighbors (Γmax, eq. 11) — or least-similar / random under the
+//           Figure-7 control policies.
+//   Step 3  for every retained path u → v → z with z ∉ Γ̂(u): combine raw
+//           similarities with ⊗ (path-combination, eq. 8), fold the
+//           triplets (z, s, n) with ⊕pre, finish with ⊕post
+//           (path-aggregation, eq. 9/10), and emit the top-k candidates.
+//
+// All three steps gather over OUT edges and use no scatter, exactly as the
+// paper describes. Every apply only writes fields that no gather of the
+// same step reads, so the steps run in the engine's fused mode; the strict
+// two-phase mode produces identical predictions (a test asserts this).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/config.hpp"
+#include "gas/cluster.hpp"
+#include "gas/engine.hpp"
+#include "gas/partition.hpp"
+#include "graph/csr_graph.hpp"
+#include "util/thread_pool.hpp"
+
+namespace snaple {
+
+/// Per-vertex program state Du of Algorithm 2.
+struct SnapleVertexData {
+  /// Γ̂(u): truncated neighborhood sample, sorted ascending (step 1).
+  std::vector<VertexId> gamma_hat;
+  /// Du.sims: the klocal retained neighbors with their raw similarity,
+  /// sorted by vertex id for binary-search lookup (step 2).
+  std::vector<std::pair<VertexId, float>> sims;
+  /// K=3 only: top-klocal 2-hop candidates with their aggregated scores
+  /// (the recursively-folded intermediate of the paper's footnote 2).
+  std::vector<std::pair<VertexId, float>> hop2;
+  /// Du.predicted: top-k predictions, best first (step 3), with their
+  /// final ⊕post scores alongside.
+  std::vector<VertexId> predicted;
+  std::vector<float> prediction_scores;
+};
+
+/// Wire/storage size of a vertex datum (prices mirror sync + memory audit).
+[[nodiscard]] std::size_t snaple_vertex_data_bytes(const SnapleVertexData& d);
+
+struct SnapleResult {
+  /// predictions[u] = up to k predicted targets for u, best first.
+  std::vector<std::vector<VertexId>> predictions;
+  /// scored[u] = the same entries with their ⊕post scores — raw material
+  /// for rerankers / ensembles (see core/ensemble.hpp).
+  std::vector<std::vector<std::pair<VertexId, float>>> scored;
+  /// Per-step engine accounting (wall time, simulated time, bytes, memory).
+  gas::EngineReport report;
+};
+
+/// Runs Algorithm 2 on `graph` over the simulated `cluster` with the given
+/// partitioning. Throws gas::ResourceExhausted if a machine's memory
+/// budget is exceeded (cluster.machine.memory_bytes > 0).
+[[nodiscard]] SnapleResult run_snaple(const CsrGraph& graph,
+                                      const SnapleConfig& config,
+                                      const gas::Partitioning& partitioning,
+                                      const gas::ClusterConfig& cluster,
+                                      ThreadPool* pool = nullptr,
+                                      gas::ApplyMode mode =
+                                          gas::ApplyMode::kFused);
+
+}  // namespace snaple

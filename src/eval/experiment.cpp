@@ -1,0 +1,85 @@
+#include "eval/experiment.hpp"
+
+#include "eval/metrics.hpp"
+#include "graph/gen/datasets.hpp"
+#include "util/timer.hpp"
+
+namespace snaple::eval {
+
+PreparedDataset prepare_dataset(const std::string& name, double scale,
+                                std::uint64_t seed,
+                                std::size_t removed_per_vertex) {
+  CsrGraph full = gen::load_or_generate(name, scale, seed);
+  return prepare_graph(gen::dataset_spec(name).name, std::move(full), seed,
+                       removed_per_vertex);
+}
+
+PreparedDataset prepare_graph(std::string name, CsrGraph g,
+                              std::uint64_t seed,
+                              std::size_t removed_per_vertex) {
+  PreparedDataset out;
+  out.name = std::move(name);
+  out.original_edges = g.num_edges();
+  Holdout holdout = remove_random_edges(g, removed_per_vertex, seed);
+  out.train = std::move(holdout.train);
+  out.hidden = std::move(holdout.hidden);
+  return out;
+}
+
+Outcome run_snaple_experiment(const PreparedDataset& dataset,
+                              const SnapleConfig& config,
+                              const gas::ClusterConfig& cluster,
+                              gas::PartitionStrategy strategy,
+                              ThreadPool* pool) {
+  Outcome out;
+  try {
+    LinkPredictor predictor(config, cluster, strategy);
+    PredictionRun run = predictor.predict(dataset.train, pool);
+    out.recall = recall(run.predictions, dataset.hidden);
+    out.wall_seconds = run.wall_seconds;
+    out.simulated_seconds = run.simulated_seconds;
+    out.network_bytes = run.network_bytes;
+  } catch (const ResourceExhausted& e) {
+    out.out_of_memory = true;
+    out.error = e.what();
+  }
+  return out;
+}
+
+Outcome run_baseline_experiment(const PreparedDataset& dataset,
+                                const baseline::BaselineConfig& config,
+                                const gas::ClusterConfig& cluster,
+                                gas::PartitionStrategy strategy,
+                                ThreadPool* pool) {
+  Outcome out;
+  try {
+    const auto partitioning = gas::Partitioning::create(
+        dataset.train, cluster.num_machines, strategy);
+    WallTimer timer;
+    baseline::BaselineResult result = baseline::run_baseline(
+        dataset.train, config, partitioning, cluster, pool);
+    out.wall_seconds = timer.seconds();
+    out.recall = recall(result.predictions, dataset.hidden);
+    out.simulated_seconds = result.report.total_sim_s();
+    out.network_bytes = result.report.total_net_bytes();
+  } catch (const ResourceExhausted& e) {
+    out.out_of_memory = true;
+    out.error = e.what();
+  }
+  return out;
+}
+
+Outcome run_cassovary_experiment(const PreparedDataset& dataset,
+                                 const cassovary::WalkConfig& config,
+                                 ThreadPool* pool) {
+  Outcome out;
+  cassovary::RandomWalkEngine engine(dataset.train, pool);
+  WallTimer timer;
+  cassovary::WalkResult result = engine.predict_all(config);
+  out.wall_seconds = timer.seconds();
+  out.simulated_seconds = timer.seconds();  // genuinely single-machine
+  out.recall = recall(result.predictions, dataset.hidden);
+  return out;
+}
+
+}  // namespace snaple::eval

@@ -1,0 +1,76 @@
+// Experiment runner shared by the bench harnesses.
+//
+// Wraps the full paper pipeline for one measurement:
+//   dataset replica -> edge-removal holdout -> predictor -> recall + time
+// with OOM (ResourceExhausted) reported as an outcome instead of a crash,
+// since "BASELINE fails by exhausting the available memory" is itself a
+// result the paper reports (§5.3).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "baseline/gas_baseline.hpp"
+#include "cassovary/random_walk.hpp"
+#include "core/config.hpp"
+#include "core/predictor.hpp"
+#include "eval/protocol.hpp"
+#include "gas/cluster.hpp"
+#include "gas/partition.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace snaple::eval {
+
+/// A dataset replica with its holdout, ready for any predictor.
+struct PreparedDataset {
+  std::string name;
+  CsrGraph train;
+  std::vector<Edge> hidden;
+  EdgeIndex original_edges = 0;
+};
+
+/// Generates the named replica at `scale`, removes `removed_per_vertex`
+/// edges per qualifying vertex.
+[[nodiscard]] PreparedDataset prepare_dataset(
+    const std::string& name, double scale, std::uint64_t seed,
+    std::size_t removed_per_vertex = 1);
+
+/// As above but over a caller-supplied graph (e.g. a real SNAP dataset).
+[[nodiscard]] PreparedDataset prepare_graph(std::string name, CsrGraph g,
+                                            std::uint64_t seed,
+                                            std::size_t removed_per_vertex = 1);
+
+/// One measurement: recall + times, or the OOM marker.
+struct Outcome {
+  double recall = 0.0;
+  double wall_seconds = 0.0;       // measured on the host
+  double simulated_seconds = 0.0;  // on the simulated cluster
+  std::size_t network_bytes = 0;
+  bool out_of_memory = false;
+  std::string error;
+
+  /// The time an experiment table should report: simulated cluster time
+  /// for multi-machine runs (the quantity the paper measures on its
+  /// testbed), host wall time for single-machine runs.
+  [[nodiscard]] double reported_seconds(bool distributed) const {
+    return distributed ? simulated_seconds : wall_seconds;
+  }
+};
+
+[[nodiscard]] Outcome run_snaple_experiment(
+    const PreparedDataset& dataset, const SnapleConfig& config,
+    const gas::ClusterConfig& cluster,
+    gas::PartitionStrategy strategy = gas::PartitionStrategy::kGreedy,
+    ThreadPool* pool = nullptr);
+
+[[nodiscard]] Outcome run_baseline_experiment(
+    const PreparedDataset& dataset, const baseline::BaselineConfig& config,
+    const gas::ClusterConfig& cluster,
+    gas::PartitionStrategy strategy = gas::PartitionStrategy::kGreedy,
+    ThreadPool* pool = nullptr);
+
+[[nodiscard]] Outcome run_cassovary_experiment(
+    const PreparedDataset& dataset, const cassovary::WalkConfig& config,
+    ThreadPool* pool = nullptr);
+
+}  // namespace snaple::eval

@@ -1,0 +1,78 @@
+#include "eval/metrics.hpp"
+
+#include <algorithm>
+
+namespace snaple::eval {
+
+std::size_t hits(const std::vector<std::vector<VertexId>>& predictions,
+                 const std::vector<Edge>& hidden) {
+  std::size_t found = 0;
+  for (const Edge& e : hidden) {
+    if (e.src >= predictions.size()) continue;
+    const auto& preds = predictions[e.src];
+    if (std::find(preds.begin(), preds.end(), e.dst) != preds.end()) {
+      ++found;
+    }
+  }
+  return found;
+}
+
+double recall(const std::vector<std::vector<VertexId>>& predictions,
+              const std::vector<Edge>& hidden) {
+  if (hidden.empty()) return 0.0;
+  return static_cast<double>(hits(predictions, hidden)) /
+         static_cast<double>(hidden.size());
+}
+
+std::size_t prediction_count(
+    const std::vector<std::vector<VertexId>>& predictions) {
+  std::size_t total = 0;
+  for (const auto& p : predictions) total += p.size();
+  return total;
+}
+
+double precision(const std::vector<std::vector<VertexId>>& predictions,
+                 const std::vector<Edge>& hidden) {
+  const std::size_t total = prediction_count(predictions);
+  if (total == 0) return 0.0;
+  return static_cast<double>(hits(predictions, hidden)) /
+         static_cast<double>(total);
+}
+
+double recall_at(const std::vector<std::vector<VertexId>>& predictions,
+                 const std::vector<Edge>& hidden, std::size_t k) {
+  if (hidden.empty()) return 0.0;
+  std::size_t found = 0;
+  for (const Edge& e : hidden) {
+    if (e.src >= predictions.size()) continue;
+    const auto& preds = predictions[e.src];
+    const std::size_t limit = std::min(k, preds.size());
+    for (std::size_t i = 0; i < limit; ++i) {
+      if (preds[i] == e.dst) {
+        ++found;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(found) / static_cast<double>(hidden.size());
+}
+
+double mean_reciprocal_rank(
+    const std::vector<std::vector<VertexId>>& predictions,
+    const std::vector<Edge>& hidden) {
+  if (hidden.empty()) return 0.0;
+  double total = 0.0;
+  for (const Edge& e : hidden) {
+    if (e.src >= predictions.size()) continue;
+    const auto& preds = predictions[e.src];
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+      if (preds[i] == e.dst) {
+        total += 1.0 / static_cast<double>(i + 1);
+        break;
+      }
+    }
+  }
+  return total / static_cast<double>(hidden.size());
+}
+
+}  // namespace snaple::eval

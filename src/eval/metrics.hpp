@@ -1,0 +1,48 @@
+// Prediction quality metrics.
+//
+// Recall is the paper's primary metric: "the proportion of removed edges
+// that are successfully returned by the algorithm." Precision is provided
+// for completeness; with a fixed number of removed edges and fixed k it is
+// proportional to recall (§5.2), which the metrics test verifies.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace snaple::eval {
+
+/// Fraction of hidden edges (u,z) with z among predictions[u].
+[[nodiscard]] double recall(
+    const std::vector<std::vector<VertexId>>& predictions,
+    const std::vector<Edge>& hidden);
+
+/// Fraction of returned predictions that are hidden edges.
+[[nodiscard]] double precision(
+    const std::vector<std::vector<VertexId>>& predictions,
+    const std::vector<Edge>& hidden);
+
+/// Number of hidden edges recovered (the recall numerator).
+[[nodiscard]] std::size_t hits(
+    const std::vector<std::vector<VertexId>>& predictions,
+    const std::vector<Edge>& hidden);
+
+/// Total predictions returned across all vertices.
+[[nodiscard]] std::size_t prediction_count(
+    const std::vector<std::vector<VertexId>>& predictions);
+
+/// Recall counting only the first `k` entries of each prediction list —
+/// lets one run with a large k report the whole Figure-9 sweep.
+[[nodiscard]] double recall_at(
+    const std::vector<std::vector<VertexId>>& predictions,
+    const std::vector<Edge>& hidden, std::size_t k);
+
+/// Mean reciprocal rank of the hidden edges: average of 1/(rank of the
+/// hidden target in u's list), 0 when absent. Rank-sensitive complement
+/// to recall (two predictors with equal recall@5 can differ sharply here).
+[[nodiscard]] double mean_reciprocal_rank(
+    const std::vector<std::vector<VertexId>>& predictions,
+    const std::vector<Edge>& hidden);
+
+}  // namespace snaple::eval

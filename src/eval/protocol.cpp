@@ -1,0 +1,42 @@
+#include "eval/protocol.hpp"
+
+#include <algorithm>
+
+#include "graph/builder.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace snaple::eval {
+
+Holdout remove_random_edges(const CsrGraph& g, std::size_t per_vertex,
+                            std::uint64_t seed, std::size_t min_degree) {
+  SNAPLE_CHECK(per_vertex >= 1);
+  Holdout out;
+  GraphBuilder builder(g.num_vertices());
+  builder.reserve_edges(g.num_edges());
+  Rng rng(seed);
+
+  std::vector<VertexId> nbrs;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto row = g.out_neighbors(u);
+    if (row.size() <= min_degree) {
+      for (VertexId v : row) builder.add_edge(u, v);
+      continue;
+    }
+    // Shuffle a copy and hide the first `removed` entries; never remove
+    // the last remaining edge (paper rule for Figure 10).
+    nbrs.assign(row.begin(), row.end());
+    shuffle(nbrs, rng);
+    const std::size_t removed = std::min(per_vertex, nbrs.size() - 1);
+    for (std::size_t i = 0; i < removed; ++i) {
+      out.hidden.push_back({u, nbrs[i]});
+    }
+    for (std::size_t i = removed; i < nbrs.size(); ++i) {
+      builder.add_edge(u, nbrs[i]);
+    }
+  }
+  out.train = builder.build();
+  return out;
+}
+
+}  // namespace snaple::eval

@@ -1,0 +1,38 @@
+// The paper's evaluation protocol (§5.2, after Sarkar & Moore [35]):
+//
+//   "We randomly remove one outgoing edge from each vertex with
+//    |Γ(u)| > 3. After the execution, we obtain k (with k = 5 fixed)
+//    predictions for each vertex."
+//
+// and for Figure 10, several edges per vertex:
+//
+//   "If a vertex has less edges than the number to be removed, we
+//    removed all the edges except one."
+//
+// remove_random_edges() produces the training graph plus the hidden
+// ground-truth edges; recall over those hidden edges is the quality
+// metric everywhere in the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace snaple::eval {
+
+struct Holdout {
+  CsrGraph train;            // G: the graph handed to predictors
+  std::vector<Edge> hidden;  // E' \ E: the edges to rediscover
+};
+
+/// Removes up to `per_vertex` random outgoing edges from every vertex with
+/// out-degree > `min_degree` (paper: min_degree = 3), never leaving a
+/// qualifying vertex with fewer than one outgoing edge. Deterministic in
+/// `seed`.
+[[nodiscard]] Holdout remove_random_edges(const CsrGraph& g,
+                                          std::size_t per_vertex,
+                                          std::uint64_t seed,
+                                          std::size_t min_degree = 3);
+
+}  // namespace snaple::eval

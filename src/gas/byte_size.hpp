@@ -1,0 +1,40 @@
+// Wire-size estimation for gather results and vertex data.
+//
+// The engine charges network traffic for every gather partial shipped from
+// a mirror to a master and for every vertex-data sync from master to
+// mirrors. Sizes model a compact binary encoding (what GraphLab's
+// serializers produce), not C++ object layout: a vector<uint32_t> costs
+// 4 bytes per element plus a length word.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace snaple::gas {
+
+template <typename T>
+  requires std::is_arithmetic_v<T> || std::is_enum_v<T>
+[[nodiscard]] constexpr std::size_t byte_size(const T&) noexcept {
+  return sizeof(T);
+}
+
+template <typename A, typename B>
+[[nodiscard]] constexpr std::size_t byte_size(const std::pair<A, B>& p) noexcept {
+  return byte_size(p.first) + byte_size(p.second);
+}
+
+template <typename T>
+[[nodiscard]] std::size_t byte_size(const std::vector<T>& v) noexcept {
+  std::size_t total = sizeof(std::uint32_t);  // length prefix
+  if constexpr (std::is_arithmetic_v<T> || std::is_enum_v<T>) {
+    total += v.size() * sizeof(T);
+  } else {
+    for (const auto& x : v) total += byte_size(x);
+  }
+  return total;
+}
+
+}  // namespace snaple::gas

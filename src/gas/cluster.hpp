@@ -1,0 +1,59 @@
+// Simulated cluster description.
+//
+// The paper's testbed (§5.1) has two machine types:
+//   type-I : 2× Xeon L5420, 8 cores, 32 GB RAM, 1-Gigabit Ethernet
+//   type-II: 2× Xeon E5-2660v2, 20 cores, 128 GB RAM, 10-Gigabit Ethernet
+// deployed as up to 32 type-I nodes (256 cores) or 8 type-II nodes
+// (160 cores). We reproduce the experiments on simulated clusters: the
+// engine runs on host threads but attributes work, bytes and memory to
+// the machines described here, and converts them into simulated
+// distributed time (see network_model.hpp and DESIGN.md §1/§4.5).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace snaple::gas {
+
+struct MachineSpec {
+  std::string name;
+  std::size_t cores = 1;
+  /// Sustained per-link network bandwidth in bytes/second.
+  double bandwidth_bytes_per_s = 125e6;  // 1 GbE
+  /// Per-machine memory budget in bytes; 0 disables memory enforcement.
+  /// Experiments set this relative to their (scaled) dataset, since our
+  /// replicas are smaller than the paper's graphs (DESIGN.md §1).
+  std::size_t memory_bytes = 0;
+  /// Relative per-core throughput (1.0 = type-I core). Lets type-II cores
+  /// differ without pretending to cycle-accuracy.
+  double core_speed = 1.0;
+};
+
+struct ClusterConfig {
+  MachineSpec machine;
+  std::size_t num_machines = 1;
+  /// Fixed synchronization cost charged per GAS superstep (barrier +
+  /// message round-trips).
+  double superstep_latency_s = 2e-3;
+
+  [[nodiscard]] std::size_t total_cores() const noexcept {
+    return machine.cores * num_machines;
+  }
+
+  /// The paper's type-I nodes: 8 cores, 32 GB, 1 GbE.
+  [[nodiscard]] static ClusterConfig type_i(std::size_t machines,
+                                            std::size_t memory_bytes = 0);
+
+  /// The paper's type-II nodes: 20 cores, 128 GB, 10 GbE, faster cores.
+  [[nodiscard]] static ClusterConfig type_ii(std::size_t machines,
+                                             std::size_t memory_bytes = 0);
+
+  /// A degenerate single-machine "cluster" (no network), used for the
+  /// single-machine comparison of Table 6.
+  [[nodiscard]] static ClusterConfig single_machine(std::size_t cores);
+
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace snaple::gas

@@ -1,0 +1,376 @@
+// Synchronous Gather-Apply-Scatter engine over a simulated cluster.
+//
+// Programming model (following the paper's §2.3 / PowerGraph):
+//   * every vertex u has mutable data Du (template parameter VD);
+//   * a superstep gathers over u's adjacent edges, folding contributions
+//     into an accumulator with a commutative-associative sum, then applies
+//     the accumulated value to Du.
+// We fuse the user's gather() and sum() into one callback that folds
+// directly into the accumulator — semantically identical (the fold of the
+// mapped values) and it avoids a temporary per edge:
+//
+//   GatherSumFn: (VertexId u, VertexId v, const VD& du, const VD& dv,
+//                 Acc& acc) -> std::size_t
+//     Folds the contribution of edge (u,v) into acc; returns the *wire
+//     size in bytes* of that contribution (0 = no contribution). The fold
+//     must be commutative and associative across a vertex's edges.
+//   ApplyFn: (VertexId u, VD& du, Acc& acc, std::size_t contributions)
+//
+// The scatter phase is omitted: the paper's Algorithm 2 "do[es] not use
+// any scatter phase" (§4), and neither does the BASELINE; per-edge state
+// is unused by every program in this repository.
+//
+// Distribution is simulated, with real accounting: edges live on machines
+// according to a vertex-cut Partitioning; a contribution computed on a
+// machine other than u's master is network traffic (mirror -> master
+// partial sums), and each apply re-synchronizes Du to all mirrors
+// (master -> mirror). Per-machine work, bytes, accumulator memory and
+// replicated vertex-data memory are tallied; a configured memory budget
+// turns the tally into a ResourceExhausted throw — the mechanism behind
+// the paper's "BASELINE fails by exhausting the available memory" (§5.3).
+//
+// Synchronous semantics: within a superstep every gather observes the
+// vertex data from *before* the step. The default two_phase mode enforces
+// this by materializing all accumulators before any apply runs (this is
+// also what makes the sync engine memory-hungry, faithfully). Programs
+// whose apply only writes fields no gather of the same step reads can opt
+// into fused mode (gather+apply per vertex in one pass) — all programs in
+// this repository qualify and say so explicitly.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gas/byte_size.hpp"
+#include "gas/cluster.hpp"
+#include "gas/network_model.hpp"
+#include "gas/partition.hpp"
+#include "graph/csr_graph.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace snaple::gas {
+
+enum class EdgeDir { kOut, kIn, kAll };
+
+enum class ApplyMode {
+  /// Materialize every accumulator, then apply — strict sync semantics.
+  kTwoPhase,
+  /// Apply immediately after each vertex's gather. Only valid when apply
+  /// does not mutate state that other vertices' gathers read this step.
+  kFused,
+};
+
+struct StepOptions {
+  std::string name = "step";
+  EdgeDir dir = EdgeDir::kOut;
+  ApplyMode mode = ApplyMode::kTwoPhase;
+};
+
+struct StepStats {
+  std::string name;
+  double wall_s = 0.0;             // measured on the host
+  SimTimeBreakdown sim;            // simulated cluster time
+  std::size_t net_bytes = 0;       // total bytes crossing machines
+  std::size_t messages = 0;        // partial-sum + sync messages
+  std::size_t gather_calls = 0;    // edges visited
+  std::size_t contributions = 0;   // edges that contributed
+  std::size_t accumulator_bytes_peak = 0;  // max machine accumulator memory
+  std::size_t vertex_data_bytes_peak = 0;  // max machine replicated VD
+};
+
+struct EngineReport {
+  std::vector<StepStats> steps;
+
+  [[nodiscard]] double total_wall_s() const {
+    double t = 0.0;
+    for (const auto& s : steps) t += s.wall_s;
+    return t;
+  }
+  [[nodiscard]] double total_sim_s() const {
+    double t = 0.0;
+    for (const auto& s : steps) t += s.sim.total();
+    return t;
+  }
+  [[nodiscard]] std::size_t total_net_bytes() const {
+    std::size_t b = 0;
+    for (const auto& s : steps) b += s.net_bytes;
+    return b;
+  }
+};
+
+template <typename VD>
+class Engine {
+ public:
+  /// `vd_size` reports the wire/storage size of a vertex datum; it prices
+  /// both mirror synchronization and the per-machine memory audit.
+  Engine(const CsrGraph& graph, const Partitioning& partitioning,
+         ClusterConfig cluster,
+         std::function<std::size_t(const VD&)> vd_size,
+         ThreadPool* pool = nullptr)
+      : graph_(graph),
+        part_(partitioning),
+        cluster_(std::move(cluster)),
+        vd_size_(std::move(vd_size)),
+        pool_(pool != nullptr ? pool : &default_pool()),
+        data_(graph.num_vertices()) {
+    SNAPLE_CHECK(part_.num_machines() == cluster_.num_machines);
+    SNAPLE_CHECK(vd_size_ != nullptr);
+  }
+
+  [[nodiscard]] const CsrGraph& graph() const noexcept { return graph_; }
+  [[nodiscard]] const Partitioning& partitioning() const noexcept {
+    return part_;
+  }
+  [[nodiscard]] const ClusterConfig& cluster() const noexcept {
+    return cluster_;
+  }
+  [[nodiscard]] std::vector<VD>& data() noexcept { return data_; }
+  [[nodiscard]] const std::vector<VD>& data() const noexcept { return data_; }
+  [[nodiscard]] const EngineReport& report() const noexcept { return report_; }
+
+  /// Runs one synchronous GAS superstep. Acc must be default-constructible
+  /// and have clear(); one instance per worker is reused across vertices.
+  /// Returns the step's stats (also appended to report()).
+  template <typename Acc, typename GatherSumFn, typename ApplyFn>
+  StepStats step(const StepOptions& opt, GatherSumFn&& gather_sum,
+                 ApplyFn&& apply) {
+    const VertexId n = graph_.num_vertices();
+    const std::size_t machines = part_.num_machines();
+    const std::size_t slots = pool_->slot_count();
+
+    struct WorkerState {
+      Acc acc{};
+      std::array<std::size_t, 64> partial_bytes{};
+      std::vector<MachineId> touched;
+      std::vector<MachineLoad> loads;
+      std::vector<std::size_t> acc_bytes;  // accumulator memory per machine
+      std::size_t net_bytes = 0;
+      std::size_t messages = 0;
+      std::size_t gather_calls = 0;
+      std::size_t contributions = 0;
+    };
+    std::vector<WorkerState> workers(slots);
+    for (auto& w : workers) {
+      w.loads.resize(machines);
+      w.acc_bytes.assign(machines, 0);
+      w.touched.reserve(machines);
+    }
+
+    // The sync engine keeps every master's accumulator alive through the
+    // gather/exchange phase, so accumulator memory is charged for the
+    // whole step. This cluster-wide running total triggers an early abort
+    // as soon as the budget is certainly exceeded somewhere (by
+    // pigeonhole: total > machines × budget ⇒ some machine is over); the
+    // precise per-machine audit below still runs for steps that finish.
+    std::atomic<std::size_t> live_acc_bytes{0};
+    const std::size_t cluster_budget =
+        cluster_.machine.memory_bytes > 0
+            ? cluster_.machine.memory_bytes * machines
+            : 0;
+
+    // Gathers the edges of u into ws.acc; returns contribution count.
+    auto gather_vertex = [&](VertexId u, WorkerState& ws) -> std::size_t {
+      const VD& du = data_[u];
+      const MachineId master = part_.master(u);
+      std::size_t contribs = 0;
+      std::size_t total_bytes = 0;
+
+      auto fold_edge = [&](VertexId v, EdgeIndex e) {
+        ++ws.gather_calls;
+        const std::size_t bytes =
+            gather_sum(u, v, du, data_[v], ws.acc);
+        if (bytes == 0) return;
+        ++contribs;
+        total_bytes += bytes;
+        const MachineId m = part_.edge_machine(e);
+        ws.loads[m].work_units += 1.0 + static_cast<double>(bytes) / 16.0;
+        if (ws.partial_bytes[m] == 0) ws.touched.push_back(m);
+        ws.partial_bytes[m] += bytes;
+      };
+
+      if (opt.dir == EdgeDir::kOut || opt.dir == EdgeDir::kAll) {
+        const EdgeIndex base = graph_.out_offset(u);
+        const auto nbrs = graph_.out_neighbors(u);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          fold_edge(nbrs[i], base + i);
+        }
+      }
+      if (opt.dir == EdgeDir::kIn || opt.dir == EdgeDir::kAll) {
+        for (VertexId v : graph_.in_neighbors(u)) {
+          fold_edge(v, graph_.edge_index(v, u));
+        }
+      }
+
+      // Ship partial sums from mirror machines to the master.
+      for (const MachineId m : ws.touched) {
+        if (m != master) {
+          const std::size_t b = ws.partial_bytes[m] + kMessageHeaderBytes;
+          ws.net_bytes += b;
+          ws.messages += 1;
+          ws.loads[m].bytes_out += b;
+          ws.loads[master].bytes_in += b;
+        }
+        ws.partial_bytes[m] = 0;
+      }
+      ws.touched.clear();
+
+      // Audit accumulator memory on the master machine (empty
+      // accumulators are free — no contribution, no state to keep).
+      if (total_bytes > 0) {
+        ws.acc_bytes[master] += total_bytes + kAccumulatorHeaderBytes;
+      }
+      ws.contributions += contribs;
+      if (cluster_budget > 0 && total_bytes > 0) {
+        const std::size_t now = live_acc_bytes.fetch_add(
+                                    total_bytes, std::memory_order_relaxed) +
+                                total_bytes;
+        if (now > cluster_budget) {
+          throw ResourceExhausted(
+              "gather accumulators reached " + std::to_string(now) +
+              " bytes in step '" + opt.name + "', exceeding the cluster's " +
+              std::to_string(cluster_budget) + "-byte budget");
+        }
+      }
+      return contribs;
+    };
+
+    // Applies du and accounts the master->mirror synchronization.
+    auto apply_vertex = [&](VertexId u, WorkerState& ws, Acc& acc,
+                            std::size_t contribs) {
+      VD& du = data_[u];
+      apply(u, du, acc, contribs);
+      const MachineId master = part_.master(u);
+      const int mirrors = part_.replicas(u).count() - 1;
+      ws.loads[master].work_units +=
+          1.0 + static_cast<double>(contribs) * 0.25;
+      if (mirrors > 0) {
+        const std::size_t sz = vd_size_(du) + kMessageHeaderBytes;
+        const std::size_t total = sz * static_cast<std::size_t>(mirrors);
+        ws.net_bytes += total;
+        ws.messages += static_cast<std::size_t>(mirrors);
+        ws.loads[master].bytes_out += total;
+        part_.replicas(u).for_each([&](MachineId m) {
+          if (m != master) ws.loads[m].bytes_in += sz;
+        });
+      }
+    };
+
+    WallTimer timer;
+    if (opt.mode == ApplyMode::kFused) {
+      pool_->parallel_for(0, n, [&](std::size_t i, std::size_t slot) {
+        auto& ws = workers[slot];
+        ws.acc.clear();
+        const auto u = static_cast<VertexId>(i);
+        const std::size_t contribs = gather_vertex(u, ws);
+        apply_vertex(u, ws, ws.acc, contribs);
+      });
+    } else {
+      // Strict sync semantics: all accumulators exist before any apply.
+      std::vector<Acc> accs(n);
+      std::vector<std::uint32_t> contrib_counts(n);
+      pool_->parallel_for(0, n, [&](std::size_t i, std::size_t slot) {
+        auto& ws = workers[slot];
+        const auto u = static_cast<VertexId>(i);
+        std::swap(ws.acc, accs[u]);  // gather into the stored slot
+        ws.acc.clear();
+        contrib_counts[u] =
+            static_cast<std::uint32_t>(gather_vertex(u, ws));
+        std::swap(ws.acc, accs[u]);
+      });
+      pool_->parallel_for(0, n, [&](std::size_t i, std::size_t slot) {
+        auto& ws = workers[slot];
+        const auto u = static_cast<VertexId>(i);
+        apply_vertex(u, ws, accs[u], contrib_counts[u]);
+      });
+    }
+    const double wall = timer.seconds();
+
+    // Merge worker tallies.
+    StepStats stats;
+    stats.name = opt.name;
+    stats.wall_s = wall;
+    std::vector<MachineLoad> loads(machines);
+    std::vector<std::size_t> acc_bytes(machines, 0);
+    for (const auto& w : workers) {
+      stats.net_bytes += w.net_bytes;
+      stats.messages += w.messages;
+      stats.gather_calls += w.gather_calls;
+      stats.contributions += w.contributions;
+      for (std::size_t m = 0; m < machines; ++m) {
+        loads[m].work_units += w.loads[m].work_units;
+        loads[m].bytes_in += w.loads[m].bytes_in;
+        loads[m].bytes_out += w.loads[m].bytes_out;
+        acc_bytes[m] += w.acc_bytes[m];
+      }
+    }
+
+    const double cpu_seconds = wall * static_cast<double>(slots);
+    stats.sim = simulate_step_time(cluster_, loads, cpu_seconds);
+
+    // Memory audit: replicated vertex data + live accumulators + the
+    // machine's share of the graph structure.
+    std::vector<std::size_t> vd_bytes(machines, 0);
+    audit_vertex_data(vd_bytes);
+    for (std::size_t m = 0; m < machines; ++m) {
+      stats.accumulator_bytes_peak =
+          std::max(stats.accumulator_bytes_peak, acc_bytes[m]);
+      stats.vertex_data_bytes_peak =
+          std::max(stats.vertex_data_bytes_peak, vd_bytes[m]);
+      if (cluster_.machine.memory_bytes > 0) {
+        const std::size_t structure =
+            part_.edges_per_machine()[m] * 2 * sizeof(VertexId);
+        const std::size_t total = acc_bytes[m] + vd_bytes[m] + structure;
+        if (total > cluster_.machine.memory_bytes) {
+          report_.steps.push_back(stats);
+          throw ResourceExhausted(
+              "machine " + std::to_string(m) + " needs " +
+              std::to_string(total) + " bytes in step '" + opt.name +
+              "' (budget " +
+              std::to_string(cluster_.machine.memory_bytes) + ")");
+        }
+      }
+    }
+
+    report_.steps.push_back(stats);
+    return stats;
+  }
+
+ private:
+  static constexpr std::size_t kMessageHeaderBytes = 16;
+  static constexpr std::size_t kAccumulatorHeaderBytes = 16;
+
+  void audit_vertex_data(std::vector<std::size_t>& vd_bytes) const {
+    // Per-worker tallies merged at the end; replicas(u).count() copies of
+    // Du exist cluster-wide (master + mirrors).
+    const std::size_t machines = part_.num_machines();
+    const std::size_t slots = pool_->slot_count();
+    std::vector<std::vector<std::size_t>> per_worker(
+        slots, std::vector<std::size_t>(machines, 0));
+    pool_->parallel_for(
+        0, graph_.num_vertices(), [&](std::size_t i, std::size_t slot) {
+          const auto u = static_cast<VertexId>(i);
+          const std::size_t sz = vd_size_(data_[u]);
+          part_.replicas(u).for_each(
+              [&](MachineId m) { per_worker[slot][m] += sz; });
+        });
+    for (const auto& w : per_worker) {
+      for (std::size_t m = 0; m < machines; ++m) vd_bytes[m] += w[m];
+    }
+  }
+
+  const CsrGraph& graph_;
+  const Partitioning& part_;
+  ClusterConfig cluster_;
+  std::function<std::size_t(const VD&)> vd_size_;
+  ThreadPool* pool_;
+  std::vector<VD> data_;
+  EngineReport report_;
+};
+
+}  // namespace snaple::gas

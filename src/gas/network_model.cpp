@@ -1,0 +1,38 @@
+#include "gas/network_model.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace snaple::gas {
+
+SimTimeBreakdown simulate_step_time(const ClusterConfig& cluster,
+                                    const std::vector<MachineLoad>& loads,
+                                    double cpu_seconds) {
+  SNAPLE_CHECK(loads.size() == cluster.num_machines);
+  SimTimeBreakdown out;
+  out.latency_s = cluster.superstep_latency_s;
+
+  double work_total = 0.0;
+  for (const auto& l : loads) work_total += l.work_units;
+
+  const double core_capacity = static_cast<double>(cluster.machine.cores) *
+                               cluster.machine.core_speed;
+  for (const auto& l : loads) {
+    double compute = 0.0;
+    if (work_total > 0.0) {
+      compute = cpu_seconds * (l.work_units / work_total) / core_capacity;
+    }
+    double net = 0.0;
+    if (cluster.num_machines > 1 &&
+        cluster.machine.bandwidth_bytes_per_s > 0.0) {
+      net = static_cast<double>(l.bytes_in + l.bytes_out) /
+            cluster.machine.bandwidth_bytes_per_s;
+    }
+    out.compute_s = std::max(out.compute_s, compute);
+    out.network_s = std::max(out.network_s, net);
+  }
+  return out;
+}
+
+}  // namespace snaple::gas

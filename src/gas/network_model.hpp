@@ -1,0 +1,46 @@
+// Converts accounted work and traffic into simulated distributed time.
+//
+// The engine runs supersteps on host threads, measuring real CPU effort,
+// while attributing per-machine work units and network bytes. This model
+// turns those into the BSP superstep bound:
+//
+//   T_step = max_m [ compute_m + net_m ] + superstep_latency
+//   compute_m = cpu_seconds * (work_m / work_total) / (cores * core_speed)
+//   net_m     = (bytes_in_m + bytes_out_m) / bandwidth
+//
+// where cpu_seconds is the measured host CPU time of the step (wall time ×
+// active workers). This is deliberately first-order: it captures exactly
+// the effects the paper measures — linear scaling in graph size, speedup
+// with machines/cores, and the communication penalty of chatty programs —
+// without pretending to cycle accuracy (DESIGN.md §4.5).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "gas/cluster.hpp"
+
+namespace snaple::gas {
+
+struct MachineLoad {
+  double work_units = 0.0;     // weighted gather/apply effort
+  std::size_t bytes_in = 0;    // partial sums arriving at masters
+  std::size_t bytes_out = 0;   // vertex-data sync leaving masters
+};
+
+struct SimTimeBreakdown {
+  double compute_s = 0.0;  // max over machines
+  double network_s = 0.0;  // max over machines
+  double latency_s = 0.0;
+  [[nodiscard]] double total() const noexcept {
+    return compute_s + network_s + latency_s;
+  }
+};
+
+/// Computes the simulated superstep time. `cpu_seconds` is measured host
+/// CPU effort for this step; `loads` has one entry per machine.
+[[nodiscard]] SimTimeBreakdown simulate_step_time(
+    const ClusterConfig& cluster, const std::vector<MachineLoad>& loads,
+    double cpu_seconds);
+
+}  // namespace snaple::gas

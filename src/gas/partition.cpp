@@ -1,0 +1,169 @@
+#include "gas/partition.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/rng.hpp"
+
+namespace snaple::gas {
+
+namespace {
+
+MachineId least_loaded(const std::vector<EdgeIndex>& load,
+                       std::uint64_t candidates) {
+  MachineId best = 0;
+  EdgeIndex best_load = std::numeric_limits<EdgeIndex>::max();
+  std::uint64_t rest = candidates;
+  while (rest != 0) {
+    const int m = __builtin_ctzll(rest);
+    rest &= rest - 1;
+    if (load[m] < best_load) {
+      best_load = load[m];
+      best = static_cast<MachineId>(m);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+namespace {
+
+/// Shared epilogue: derive replica sets, loads and masters from a
+/// complete per-edge assignment.
+void finalize_from_edges(const CsrGraph& g, std::uint64_t seed,
+                         std::vector<MachineId>& edge_machine,
+                         std::vector<ReplicaSet>& replicas,
+                         std::vector<EdgeIndex>& edge_load,
+                         std::vector<MachineId>& master,
+                         std::size_t machines) {
+  EdgeIndex e = 0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.out_neighbors(u)) {
+      const MachineId m = edge_machine[e];
+      SNAPLE_CHECK_MSG(m < machines, "edge assigned to unknown machine");
+      ++edge_load[m];
+      replicas[u].add(m);
+      replicas[v].add(m);
+      ++e;
+    }
+  }
+
+  // Masters: the replica machine holding the most of u's edges,
+  // tie-broken by lowest machine id. Isolated vertices get hash placement.
+  std::vector<EdgeIndex> tally(machines);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    if (replicas[u].empty()) {
+      const auto m =
+          static_cast<MachineId>(SplitMix64(seed ^ u).next() % machines);
+      replicas[u].add(m);
+      master[u] = m;
+      continue;
+    }
+    std::fill(tally.begin(), tally.end(), 0);
+    const EdgeIndex begin = g.out_offset(u);
+    const EdgeIndex end = begin + g.out_degree(u);
+    for (EdgeIndex i = begin; i < end; ++i) ++tally[edge_machine[i]];
+    for (VertexId v : g.in_neighbors(u)) {
+      ++tally[edge_machine[g.edge_index(v, u)]];
+    }
+    MachineId best = 255;
+    EdgeIndex best_count = 0;
+    replicas[u].for_each([&](MachineId m) {
+      if (best == 255 || tally[m] > best_count) {
+        best_count = tally[m];
+        best = m;
+      }
+    });
+    master[u] = best;
+  }
+}
+
+}  // namespace
+
+Partitioning Partitioning::from_edge_assignment(
+    const CsrGraph& g, std::size_t machines,
+    std::vector<MachineId> edge_machine) {
+  SNAPLE_CHECK_MSG(machines >= 1 && machines <= 64,
+                   "vertex-cut replica sets are 64-bit masks");
+  SNAPLE_CHECK_MSG(edge_machine.size() == g.num_edges(),
+                   "need one machine per CSR edge");
+  Partitioning p;
+  p.machines_ = machines;
+  p.edge_machine_ = std::move(edge_machine);
+  p.master_.assign(g.num_vertices(), 0);
+  p.replicas_.assign(g.num_vertices(), ReplicaSet{});
+  p.edge_load_.assign(machines, 0);
+  finalize_from_edges(g, /*seed=*/7, p.edge_machine_, p.replicas_,
+                      p.edge_load_, p.master_, machines);
+  return p;
+}
+
+Partitioning Partitioning::create(const CsrGraph& g, std::size_t machines,
+                                  PartitionStrategy strategy,
+                                  std::uint64_t seed) {
+  SNAPLE_CHECK_MSG(machines >= 1 && machines <= 64,
+                   "vertex-cut replica sets are 64-bit masks");
+  Partitioning p;
+  p.machines_ = machines;
+  p.edge_machine_.resize(g.num_edges());
+  p.master_.assign(g.num_vertices(), 0);
+  p.replicas_.assign(g.num_vertices(), ReplicaSet{});
+  p.edge_load_.assign(machines, 0);
+
+  Rng rng(seed);
+  const std::uint64_t all_mask =
+      machines == 64 ? ~std::uint64_t{0}
+                     : ((std::uint64_t{1} << machines) - 1);
+
+  EdgeIndex e = 0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.out_neighbors(u)) {
+      MachineId m;
+      if (strategy == PartitionStrategy::kHash || machines == 1) {
+        m = static_cast<MachineId>(rng.next_below(machines));
+      } else {
+        // Oblivious greedy (PowerGraph): intersection of the endpoints'
+        // replica sets first, then their union, then global least-loaded.
+        const std::uint64_t au = p.replicas_[u].bits();
+        const std::uint64_t av = p.replicas_[v].bits();
+        std::uint64_t candidates = au & av;
+        if (candidates == 0) candidates = au | av;
+        if (candidates == 0) candidates = all_mask;
+        m = least_loaded(p.edge_load_, candidates);
+        // Balance guard: pure locality preference can snowball the whole
+        // graph onto one machine (each new vertex inherits its anchor's
+        // placement). If the locality pick is clearly overloaded, spill
+        // to the global least-loaded machine, as PowerGraph's balanced
+        // greedy does.
+        const EdgeIndex average = e / machines + 1;
+        if (p.edge_load_[m] > 2 * average + 8) {
+          m = least_loaded(p.edge_load_, all_mask);
+        }
+      }
+      p.edge_machine_[e] = m;
+      ++p.edge_load_[m];
+      p.replicas_[u].add(m);
+      p.replicas_[v].add(m);
+      ++e;
+    }
+  }
+
+  // The incremental replica/load bookkeeping above only served the
+  // greedy placement decisions; rebuild them with the shared epilogue,
+  // which also derives the masters.
+  p.replicas_.assign(g.num_vertices(), ReplicaSet{});
+  p.edge_load_.assign(machines, 0);
+  finalize_from_edges(g, seed, p.edge_machine_, p.replicas_, p.edge_load_,
+                      p.master_, machines);
+  return p;
+}
+
+double Partitioning::replication_factor() const {
+  if (replicas_.empty()) return 0.0;
+  std::size_t total = 0;
+  for (const auto& r : replicas_) total += r.count();
+  return static_cast<double>(total) / static_cast<double>(replicas_.size());
+}
+
+}  // namespace snaple::gas

@@ -1,0 +1,30 @@
+// Weakly-connected components by label propagation on the GAS engine.
+//
+// Every vertex starts labeled with its own id; each superstep gathers the
+// minimum label over ALL adjacent edges and adopts it if smaller.
+// Converges in O(diameter) supersteps; the result matches the union-find
+// reference in graph/analysis (a test asserts it).
+#pragma once
+
+#include <vector>
+
+#include "gas/cluster.hpp"
+#include "gas/engine.hpp"
+#include "gas/partition.hpp"
+#include "graph/csr_graph.hpp"
+#include "util/thread_pool.hpp"
+
+namespace snaple::gas {
+
+struct ComponentsResult {
+  /// labels[u] = smallest vertex id in u's weakly-connected component.
+  std::vector<VertexId> labels;
+  std::size_t iterations = 0;
+  EngineReport report;
+};
+
+[[nodiscard]] ComponentsResult connected_components(
+    const CsrGraph& graph, const Partitioning& partitioning,
+    const ClusterConfig& cluster, ThreadPool* pool = nullptr);
+
+}  // namespace snaple::gas

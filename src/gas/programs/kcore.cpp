@@ -1,0 +1,60 @@
+#include "gas/programs/kcore.hpp"
+
+#include <atomic>
+
+namespace snaple::gas {
+
+namespace {
+
+struct CoreData {
+  bool active = true;
+};
+
+struct ActiveAcc {
+  std::size_t active_neighbors = 0;
+  void clear() noexcept { active_neighbors = 0; }
+};
+
+}  // namespace
+
+KCoreResult k_core(const CsrGraph& graph, std::size_t k,
+                   const Partitioning& partitioning,
+                   const ClusterConfig& cluster, ThreadPool* pool) {
+  Engine<CoreData> engine(
+      graph, partitioning, cluster,
+      [](const CoreData&) { return sizeof(std::uint8_t); }, pool);
+
+  KCoreResult result;
+  for (;;) {
+    std::atomic<std::size_t> peeled{0};
+    StepOptions opt{.name = "kcore-" + std::to_string(result.iterations),
+                    .dir = EdgeDir::kOut,
+                    .mode = ApplyMode::kTwoPhase};
+    engine.step<ActiveAcc>(
+        opt,
+        [](VertexId, VertexId, const CoreData&, const CoreData& dv,
+           ActiveAcc& acc) -> std::size_t {
+          if (!dv.active) return 0;
+          ++acc.active_neighbors;
+          return sizeof(std::uint8_t);
+        },
+        [&](VertexId, CoreData& du, ActiveAcc& acc, std::size_t) {
+          if (du.active && acc.active_neighbors < k) {
+            du.active = false;
+            peeled.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+    ++result.iterations;
+    if (peeled.load(std::memory_order_relaxed) == 0) break;
+  }
+
+  result.in_core.reserve(graph.num_vertices());
+  for (const auto& d : engine.data()) {
+    result.in_core.push_back(d.active);
+    result.core_size += d.active;
+  }
+  result.report = engine.report();
+  return result;
+}
+
+}  // namespace snaple::gas

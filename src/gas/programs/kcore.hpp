@@ -1,0 +1,33 @@
+// k-core decomposition by iterative peeling on the GAS engine.
+//
+// A vertex is in the k-core if it has >= k neighbors that are themselves
+// in the k-core. Each superstep every active vertex counts its active
+// neighbors and deactivates if below k; repeats until a fixpoint.
+// On symmetric graphs this matches the textbook definition (tests check
+// cliques, chains and an independent reference).
+#pragma once
+
+#include <vector>
+
+#include "gas/cluster.hpp"
+#include "gas/engine.hpp"
+#include "gas/partition.hpp"
+#include "graph/csr_graph.hpp"
+#include "util/thread_pool.hpp"
+
+namespace snaple::gas {
+
+struct KCoreResult {
+  /// in_core[u] = true iff u survives peeling at the requested k.
+  std::vector<bool> in_core;
+  std::size_t core_size = 0;
+  std::size_t iterations = 0;
+  EngineReport report;
+};
+
+[[nodiscard]] KCoreResult k_core(const CsrGraph& graph, std::size_t k,
+                                 const Partitioning& partitioning,
+                                 const ClusterConfig& cluster,
+                                 ThreadPool* pool = nullptr);
+
+}  // namespace snaple::gas

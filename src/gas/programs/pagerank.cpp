@@ -1,0 +1,70 @@
+#include "gas/programs/pagerank.hpp"
+
+#include <atomic>
+#include <cmath>
+
+namespace snaple::gas {
+
+namespace {
+
+struct RankData {
+  double rank = 0.0;
+};
+
+struct RankAcc {
+  double total = 0.0;
+  void clear() noexcept { total = 0.0; }
+};
+
+}  // namespace
+
+PageRankResult pagerank(const CsrGraph& graph,
+                        const Partitioning& partitioning,
+                        const ClusterConfig& cluster,
+                        const PageRankOptions& options, ThreadPool* pool) {
+  SNAPLE_CHECK(options.damping > 0.0 && options.damping < 1.0);
+  const auto n = static_cast<double>(graph.num_vertices());
+  Engine<RankData> engine(
+      graph, partitioning, cluster,
+      [](const RankData&) { return sizeof(double); }, pool);
+  for (auto& d : engine.data()) d.rank = 1.0 / n;
+
+  PageRankResult result;
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    // Per-worker L1 deltas folded into one atomic after each apply; the
+    // relaxed add is safe — doubles are only read after the superstep.
+    std::atomic<double> l1_delta{0.0};
+    StepOptions opt{.name = "pagerank-" + std::to_string(it),
+                    .dir = EdgeDir::kIn,
+                    .mode = ApplyMode::kTwoPhase};
+    engine.step<RankAcc>(
+        opt,
+        [&](VertexId, VertexId v, const RankData&, const RankData& dv,
+            RankAcc& acc) {
+          acc.total += dv.rank /
+                       static_cast<double>(graph.out_degree(v));
+          return sizeof(double);
+        },
+        [&](VertexId, RankData& du, RankAcc& acc, std::size_t) {
+          const double next =
+              (1.0 - options.damping) / n + options.damping * acc.total;
+          const double delta = std::abs(next - du.rank);
+          du.rank = next;
+          // fetch_add for doubles needs C++20 atomic<double>::fetch_add;
+          // emulate with a CAS loop to stay portable.
+          double cur = l1_delta.load(std::memory_order_relaxed);
+          while (!l1_delta.compare_exchange_weak(
+              cur, cur + delta, std::memory_order_relaxed)) {
+          }
+        });
+    result.iterations = it + 1;
+    if (l1_delta.load(std::memory_order_relaxed) < options.tolerance) break;
+  }
+
+  result.ranks.reserve(graph.num_vertices());
+  for (const auto& d : engine.data()) result.ranks.push_back(d.rank);
+  result.report = engine.report();
+  return result;
+}
+
+}  // namespace snaple::gas

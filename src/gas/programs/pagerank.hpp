@@ -1,0 +1,41 @@
+// PageRank as a GAS vertex program.
+//
+// The canonical GAS example (PowerGraph §3): each vertex gathers
+// rank/out-degree over its in-edges and applies the damped update. Runs
+// in strict two-phase mode — apply writes the rank that the next
+// superstep's gathers read. Included both as engine validation (tests
+// compare against a dense reference) and because a GAS substrate without
+// PageRank would not be credible.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "gas/cluster.hpp"
+#include "gas/engine.hpp"
+#include "gas/partition.hpp"
+#include "graph/csr_graph.hpp"
+#include "util/thread_pool.hpp"
+
+namespace snaple::gas {
+
+struct PageRankOptions {
+  double damping = 0.85;
+  std::size_t max_iterations = 100;
+  /// Stop when the L1 change of the rank vector falls below this.
+  double tolerance = 1e-9;
+};
+
+struct PageRankResult {
+  std::vector<double> ranks;       // sums to ~1
+  std::size_t iterations = 0;      // supersteps actually run
+  EngineReport report;
+};
+
+[[nodiscard]] PageRankResult pagerank(const CsrGraph& graph,
+                                      const Partitioning& partitioning,
+                                      const ClusterConfig& cluster,
+                                      const PageRankOptions& options = {},
+                                      ThreadPool* pool = nullptr);
+
+}  // namespace snaple::gas

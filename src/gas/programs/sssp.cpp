@@ -1,0 +1,59 @@
+#include "gas/programs/sssp.hpp"
+
+#include <atomic>
+
+namespace snaple::gas {
+
+namespace {
+
+struct DistData {
+  std::uint32_t dist = kInfiniteDistance;
+};
+
+struct MinDistAcc {
+  std::uint32_t best = kInfiniteDistance;
+  void clear() noexcept { best = kInfiniteDistance; }
+};
+
+}  // namespace
+
+SsspResult shortest_paths(const CsrGraph& graph, VertexId source,
+                          const Partitioning& partitioning,
+                          const ClusterConfig& cluster, ThreadPool* pool) {
+  SNAPLE_CHECK(source < graph.num_vertices());
+  Engine<DistData> engine(
+      graph, partitioning, cluster,
+      [](const DistData&) { return sizeof(std::uint32_t); }, pool);
+  engine.data()[source].dist = 0;
+
+  SsspResult result;
+  for (;;) {
+    std::atomic<std::size_t> relaxed{0};
+    StepOptions opt{.name = "sssp-" + std::to_string(result.iterations),
+                    .dir = EdgeDir::kIn,
+                    .mode = ApplyMode::kTwoPhase};
+    engine.step<MinDistAcc>(
+        opt,
+        [](VertexId, VertexId, const DistData&, const DistData& dv,
+           MinDistAcc& acc) -> std::size_t {
+          if (dv.dist == kInfiniteDistance) return 0;  // nothing to offer
+          acc.best = std::min(acc.best, dv.dist + 1);
+          return sizeof(std::uint32_t);
+        },
+        [&](VertexId, DistData& du, MinDistAcc& acc, std::size_t) {
+          if (acc.best < du.dist) {
+            du.dist = acc.best;
+            relaxed.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+    ++result.iterations;
+    if (relaxed.load(std::memory_order_relaxed) == 0) break;
+  }
+
+  result.distances.reserve(graph.num_vertices());
+  for (const auto& d : engine.data()) result.distances.push_back(d.dist);
+  result.report = engine.report();
+  return result;
+}
+
+}  // namespace snaple::gas

@@ -1,0 +1,34 @@
+// Single-source shortest paths (unweighted hops) on the GAS engine.
+//
+// Bellman-Ford-shaped: every superstep each vertex gathers
+// min(dist(predecessor) + 1) over in-edges and relaxes. Unreachable
+// vertices keep kInfiniteDistance. Matches the BFS reference in
+// graph/analysis (a test asserts it).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gas/cluster.hpp"
+#include "gas/engine.hpp"
+#include "gas/partition.hpp"
+#include "graph/csr_graph.hpp"
+#include "util/thread_pool.hpp"
+
+namespace snaple::gas {
+
+inline constexpr std::uint32_t kInfiniteDistance = 0xffffffffu;
+
+struct SsspResult {
+  std::vector<std::uint32_t> distances;  // hops from source
+  std::size_t iterations = 0;
+  EngineReport report;
+};
+
+[[nodiscard]] SsspResult shortest_paths(const CsrGraph& graph,
+                                        VertexId source,
+                                        const Partitioning& partitioning,
+                                        const ClusterConfig& cluster,
+                                        ThreadPool* pool = nullptr);
+
+}  // namespace snaple::gas

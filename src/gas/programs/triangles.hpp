@@ -1,0 +1,36 @@
+// Triangle counting on the GAS engine (for symmetric graphs).
+//
+// Two supersteps: collect sorted neighbor lists, then per edge (u,v)
+// count |Γ(u) ∩ Γ(v)| — every common neighbor closes a triangle. For a
+// symmetric (undirected-style) graph each triangle {a,b,c} contributes 2
+// to each member's count, so per-vertex triangles are count/2 and the
+// global total is Σcount/6. This is also the engine-level demonstration
+// of the neighborhood-shipping cost the paper's BASELINE suffers: the
+// step-1 gather type is a whole adjacency list.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gas/cluster.hpp"
+#include "gas/engine.hpp"
+#include "gas/partition.hpp"
+#include "graph/csr_graph.hpp"
+#include "util/thread_pool.hpp"
+
+namespace snaple::gas {
+
+struct TriangleResult {
+  /// triangles_per_vertex[u] = number of triangles containing u.
+  std::vector<std::uint64_t> triangles_per_vertex;
+  std::uint64_t total_triangles = 0;
+  EngineReport report;
+};
+
+/// Requires a symmetric graph (every edge present in both directions);
+/// throws CheckError otherwise (verified on a sample).
+[[nodiscard]] TriangleResult count_triangles(
+    const CsrGraph& graph, const Partitioning& partitioning,
+    const ClusterConfig& cluster, ThreadPool* pool = nullptr);
+
+}  // namespace snaple::gas

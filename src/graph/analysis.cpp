@@ -1,0 +1,157 @@
+#include "graph/analysis.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <numeric>
+#include <unordered_set>
+
+namespace snaple {
+
+double clustering_coefficient(const CsrGraph& g, std::size_t samples,
+                              std::uint64_t seed) {
+  const VertexId n = g.num_vertices();
+  if (n == 0) return 0.0;
+
+  std::vector<VertexId> candidates;
+  candidates.reserve(n);
+  for (VertexId u = 0; u < n; ++u) {
+    if (g.out_degree(u) >= 2) candidates.push_back(u);
+  }
+  if (candidates.empty()) return 0.0;
+
+  Rng rng(seed);
+  if (samples < candidates.size()) {
+    shuffle(candidates, rng);
+    candidates.resize(samples);
+  }
+
+  double total = 0.0;
+  for (VertexId u : candidates) {
+    const auto nbrs = g.out_neighbors(u);
+    std::size_t closed = 0;
+    for (VertexId v : nbrs) {
+      // Count edges v -> w with w also a neighbor of u, by merging the
+      // two sorted lists.
+      const auto vn = g.out_neighbors(v);
+      auto a = nbrs.begin();
+      auto b = vn.begin();
+      while (a != nbrs.end() && b != vn.end()) {
+        if (*a < *b) {
+          ++a;
+        } else if (*b < *a) {
+          ++b;
+        } else {
+          if (*a != u && *a != v) ++closed;
+          ++a;
+          ++b;
+        }
+      }
+    }
+    const double d = static_cast<double>(nbrs.size());
+    total += static_cast<double>(closed) / (d * (d - 1.0));
+  }
+  return total / static_cast<double>(candidates.size());
+}
+
+std::vector<VertexId> weakly_connected_components(const CsrGraph& g) {
+  const VertexId n = g.num_vertices();
+  // Union-find with path halving; union by smaller root id so labels are
+  // the minimum vertex id of each component (deterministic).
+  std::vector<VertexId> parent(n);
+  std::iota(parent.begin(), parent.end(), VertexId{0});
+
+  auto find = [&](VertexId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](VertexId a, VertexId b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (a < b) {
+      parent[b] = a;
+    } else {
+      parent[a] = b;
+    }
+  };
+
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : g.out_neighbors(u)) unite(u, v);
+  }
+  std::vector<VertexId> labels(n);
+  for (VertexId u = 0; u < n; ++u) labels[u] = find(u);
+  return labels;
+}
+
+std::size_t count_components(const std::vector<VertexId>& labels) {
+  std::size_t count = 0;
+  for (std::size_t u = 0; u < labels.size(); ++u) {
+    if (labels[u] == u) ++count;
+  }
+  return count;
+}
+
+std::vector<std::size_t> bfs_distances(const CsrGraph& g, VertexId source) {
+  constexpr auto kInf = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> dist(g.num_vertices(), kInf);
+  SNAPLE_CHECK(source < g.num_vertices());
+  std::deque<VertexId> queue{source};
+  dist[source] = 0;
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    for (VertexId v : g.out_neighbors(u)) {
+      if (dist[v] == kInf) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::uint64_t count_triangles_reference(const CsrGraph& g) {
+  // For each edge (u,v) with u < v, count common neighbors w > v; each
+  // triangle is visited exactly once at its ordered (u < v < w) corner.
+  std::uint64_t total = 0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto nu = g.out_neighbors(u);
+    for (VertexId v : nu) {
+      if (v <= u) continue;
+      const auto nv = g.out_neighbors(v);
+      auto a = nu.begin();
+      auto b = nv.begin();
+      while (a != nu.end() && b != nv.end()) {
+        if (*a < *b) {
+          ++a;
+        } else if (*b < *a) {
+          ++b;
+        } else {
+          if (*a > v) ++total;
+          ++a;
+          ++b;
+        }
+      }
+    }
+  }
+  return total;
+}
+
+std::size_t two_hop_candidate_count(const CsrGraph& g, VertexId u) {
+  std::unordered_set<VertexId> seen;
+  const auto nbrs = g.out_neighbors(u);
+  for (VertexId v : nbrs) {
+    for (VertexId z : g.out_neighbors(v)) {
+      if (z == u) continue;
+      if (std::binary_search(nbrs.begin(), nbrs.end(), z)) continue;
+      seen.insert(z);
+    }
+  }
+  return seen.size();
+}
+
+}  // namespace snaple

@@ -1,0 +1,47 @@
+// Structural graph analysis: clustering, components, traversal.
+//
+// The paper's key premise for the 2-hop candidate restriction is that
+// "social graphs, and field graphs in general, tend to present high
+// clustering coefficients" (§2.2) — clustering_coefficient() lets tests
+// and benches verify our synthetic replicas actually have that property.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "util/rng.hpp"
+
+namespace snaple {
+
+/// Average local clustering coefficient, estimated on `samples` random
+/// vertices with out-degree >= 2 (exact when samples >= |V|). Treats the
+/// graph as directed: C(u) = |edges among Γ(u)| / (|Γ(u)|·(|Γ(u)|-1)).
+[[nodiscard]] double clustering_coefficient(const CsrGraph& g,
+                                            std::size_t samples,
+                                            std::uint64_t seed);
+
+/// Weakly-connected component label per vertex (labels are the smallest
+/// vertex id in the component).
+[[nodiscard]] std::vector<VertexId> weakly_connected_components(
+    const CsrGraph& g);
+
+[[nodiscard]] std::size_t count_components(
+    const std::vector<VertexId>& labels);
+
+/// BFS distance from `source` following out-edges; unreachable vertices
+/// get SIZE_MAX.
+[[nodiscard]] std::vector<std::size_t> bfs_distances(const CsrGraph& g,
+                                                     VertexId source);
+
+/// Number of distinct vertices reachable in exactly <= 2 hops, excluding u
+/// and Γ(u) — the size of the candidate set Γ²(u)\Γ(u) that BASELINE must
+/// score (used to explain its cost in tests/benches).
+[[nodiscard]] std::size_t two_hop_candidate_count(const CsrGraph& g,
+                                                  VertexId u);
+
+/// Exact triangle count for a symmetric graph (reference for the GAS
+/// triangle program): triples {a,b,c} with all six directed edges.
+[[nodiscard]] std::uint64_t count_triangles_reference(const CsrGraph& g);
+
+}  // namespace snaple

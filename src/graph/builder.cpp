@@ -1,0 +1,62 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace snaple {
+
+void GraphBuilder::add_edge(VertexId src, VertexId dst) {
+  if (src == dst) return;
+  num_vertices_ = std::max({num_vertices_, static_cast<VertexId>(src + 1),
+                            static_cast<VertexId>(dst + 1)});
+  edges_.push_back({src, dst});
+}
+
+void GraphBuilder::symmetrize() {
+  const std::size_t n = edges_.size();
+  edges_.reserve(n * 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    edges_.push_back({edges_[i].dst, edges_[i].src});
+  }
+}
+
+CsrGraph GraphBuilder::build() {
+  std::vector<Edge> edges = std::move(edges_);
+  edges_.clear();
+
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  CsrGraph g;
+  const VertexId v_count = num_vertices_;
+  const EdgeIndex e_count = edges.size();
+
+  g.out_offsets_.assign(v_count + 1, 0);
+  g.out_targets_.resize(e_count);
+  for (const auto& e : edges) ++g.out_offsets_[e.src + 1];
+  for (VertexId u = 0; u < v_count; ++u) {
+    g.out_offsets_[u + 1] += g.out_offsets_[u];
+  }
+  for (EdgeIndex i = 0; i < e_count; ++i) {
+    g.out_targets_[i] = edges[i].dst;  // edges are sorted by (src, dst)
+  }
+
+  // In-adjacency by counting sort over targets; rows come out sorted by
+  // source because we scan edges in (src, dst) order.
+  g.in_offsets_.assign(v_count + 1, 0);
+  g.in_sources_.resize(e_count);
+  for (const auto& e : edges) ++g.in_offsets_[e.dst + 1];
+  for (VertexId u = 0; u < v_count; ++u) {
+    g.in_offsets_[u + 1] += g.in_offsets_[u];
+  }
+  std::vector<EdgeIndex> cursor(g.in_offsets_.begin(),
+                                g.in_offsets_.end() - 1);
+  for (const auto& e : edges) {
+    g.in_sources_[cursor[e.dst]++] = e.src;
+  }
+
+  num_vertices_ = 0;
+  return g;
+}
+
+}  // namespace snaple

@@ -1,0 +1,65 @@
+// Mutable edge collector that produces immutable CsrGraphs.
+//
+// Deduplicates parallel edges, drops self-loops (standard for link
+// prediction — a vertex is never its own candidate), and can symmetrize,
+// which is how the paper converts the undirected gowalla / orkut datasets:
+// "We transform them into directed by duplicating edges on both directions."
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+
+namespace snaple {
+
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Pre-declares the vertex count; vertices are 0..n-1 even if isolated.
+  /// add_edge grows the count automatically if ids exceed it.
+  explicit GraphBuilder(VertexId num_vertices)
+      : num_vertices_(num_vertices) {}
+
+  void reserve_edges(std::size_t n) { edges_.reserve(n); }
+
+  /// Raises the vertex count (never lowers it); ids beyond any edge
+  /// endpoint become isolated vertices.
+  void declare_vertices(VertexId n) {
+    num_vertices_ = std::max(num_vertices_, n);
+  }
+
+  /// Adds the directed edge (src, dst). Self-loops are silently dropped.
+  void add_edge(VertexId src, VertexId dst);
+
+  /// Adds both (a, b) and (b, a).
+  void add_undirected_edge(VertexId a, VertexId b) {
+    add_edge(a, b);
+    add_edge(b, a);
+  }
+
+  void add_edges(const std::vector<Edge>& edges) {
+    for (const auto& e : edges) add_edge(e.src, e.dst);
+  }
+
+  /// Ensures every collected edge also exists in the reverse direction.
+  void symmetrize();
+
+  [[nodiscard]] VertexId num_vertices() const noexcept {
+    return num_vertices_;
+  }
+  [[nodiscard]] std::size_t pending_edges() const noexcept {
+    return edges_.size();
+  }
+
+  /// Builds the CSR graph (sorting + deduplicating edges). The builder is
+  /// left empty and reusable.
+  [[nodiscard]] CsrGraph build();
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace snaple

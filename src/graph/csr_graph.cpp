@@ -1,0 +1,36 @@
+#include "graph/csr_graph.hpp"
+
+#include <algorithm>
+
+namespace snaple {
+
+bool CsrGraph::has_edge(VertexId u, VertexId v) const {
+  const auto nbrs = out_neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+EdgeIndex CsrGraph::edge_index(VertexId u, VertexId v) const {
+  const auto nbrs = out_neighbors(u);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) return num_edges();
+  return out_offsets_[u] + static_cast<EdgeIndex>(it - nbrs.begin());
+}
+
+VertexId CsrGraph::edge_source(EdgeIndex e) const {
+  SNAPLE_DCHECK(e < num_edges());
+  // First offset strictly greater than e, minus one row.
+  const auto it =
+      std::upper_bound(out_offsets_.begin(), out_offsets_.end(), e);
+  return static_cast<VertexId>(it - out_offsets_.begin() - 1);
+}
+
+std::vector<Edge> CsrGraph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(num_edges());
+  for (VertexId u = 0; u < num_vertices(); ++u) {
+    for (VertexId v : out_neighbors(u)) out.push_back({u, v});
+  }
+  return out;
+}
+
+}  // namespace snaple

@@ -1,0 +1,101 @@
+// Immutable compressed-sparse-row graph.
+//
+// The whole library computes on this one representation: a directed graph
+// with both out- and in-adjacency materialized, each neighbor list sorted
+// by vertex id. Sorted lists give O(deg_u + deg_v) Jaccard intersections
+// (the raw-similarity kernel of SNAPLE, eq. 6) and O(log deg) has_edge.
+//
+// Undirected datasets (gowalla, orkut in the paper, Table 4) are handled
+// the way the paper does: "we transform them into directed by duplicating
+// edges on both directions" — see GraphBuilder::symmetrize().
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "util/check.hpp"
+
+namespace snaple {
+
+class GraphBuilder;
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  [[nodiscard]] VertexId num_vertices() const noexcept {
+    return static_cast<VertexId>(out_offsets_.empty()
+                                     ? 0
+                                     : out_offsets_.size() - 1);
+  }
+  [[nodiscard]] EdgeIndex num_edges() const noexcept {
+    return out_targets_.size();
+  }
+
+  /// Out-neighbors of u (Γ(u) in the paper), sorted ascending.
+  [[nodiscard]] std::span<const VertexId> out_neighbors(VertexId u) const {
+    SNAPLE_DCHECK(u < num_vertices());
+    return {out_targets_.data() + out_offsets_[u],
+            out_targets_.data() + out_offsets_[u + 1]};
+  }
+
+  /// In-neighbors of u (Γ⁻¹(u) in the paper), sorted ascending.
+  [[nodiscard]] std::span<const VertexId> in_neighbors(VertexId u) const {
+    SNAPLE_DCHECK(u < num_vertices());
+    return {in_sources_.data() + in_offsets_[u],
+            in_sources_.data() + in_offsets_[u + 1]};
+  }
+
+  [[nodiscard]] std::size_t out_degree(VertexId u) const {
+    SNAPLE_DCHECK(u < num_vertices());
+    return static_cast<std::size_t>(out_offsets_[u + 1] - out_offsets_[u]);
+  }
+  [[nodiscard]] std::size_t in_degree(VertexId u) const {
+    SNAPLE_DCHECK(u < num_vertices());
+    return static_cast<std::size_t>(in_offsets_[u + 1] - in_offsets_[u]);
+  }
+
+  /// True if the directed edge (u, v) exists. O(log out_degree(u)).
+  [[nodiscard]] bool has_edge(VertexId u, VertexId v) const;
+
+  /// Position of edge (u,v) in CSR order, or num_edges() if absent. Gives
+  /// every edge a stable dense index for per-edge state in the GAS engine.
+  [[nodiscard]] EdgeIndex edge_index(VertexId u, VertexId v) const;
+
+  /// The CSR offset of u's first out-edge (edge indices for u are
+  /// [out_offset(u), out_offset(u) + out_degree(u))).
+  [[nodiscard]] EdgeIndex out_offset(VertexId u) const {
+    SNAPLE_DCHECK(u < num_vertices());
+    return out_offsets_[u];
+  }
+
+  /// Source vertex of the edge with CSR index e. O(log V).
+  [[nodiscard]] VertexId edge_source(EdgeIndex e) const;
+  [[nodiscard]] VertexId edge_target(EdgeIndex e) const {
+    SNAPLE_DCHECK(e < num_edges());
+    return out_targets_[e];
+  }
+
+  /// Materializes the edge list in CSR order (mostly for tests and IO).
+  [[nodiscard]] std::vector<Edge> edges() const;
+
+  /// Resident bytes of the adjacency arrays (memory accounting).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return out_offsets_.size() * sizeof(EdgeIndex) +
+           in_offsets_.size() * sizeof(EdgeIndex) +
+           out_targets_.size() * sizeof(VertexId) +
+           in_sources_.size() * sizeof(VertexId);
+  }
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<EdgeIndex> out_offsets_;  // size V+1
+  std::vector<VertexId> out_targets_;   // size E, sorted per row
+  std::vector<EdgeIndex> in_offsets_;   // size V+1
+  std::vector<VertexId> in_sources_;    // size E, sorted per row
+};
+
+}  // namespace snaple

@@ -1,0 +1,55 @@
+#include "graph/degree.hpp"
+
+#include <algorithm>
+
+namespace snaple {
+
+std::vector<std::size_t> out_degrees(const CsrGraph& g) {
+  std::vector<std::size_t> d(g.num_vertices());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) d[u] = g.out_degree(u);
+  return d;
+}
+
+std::vector<std::size_t> in_degrees(const CsrGraph& g) {
+  std::vector<std::size_t> d(g.num_vertices());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) d[u] = g.in_degree(u);
+  return d;
+}
+
+DegreeSummary summarize_out_degrees(const CsrGraph& g) {
+  DegreeSummary s;
+  if (g.num_vertices() == 0) return s;
+  std::vector<double> ds;
+  ds.reserve(g.num_vertices());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto d = g.out_degree(u);
+    s.max = std::max(s.max, d);
+    ds.push_back(static_cast<double>(d));
+  }
+  s.mean = static_cast<double>(g.num_edges()) /
+           static_cast<double>(g.num_vertices());
+  s.median = percentile(ds, 0.5);
+  s.p90 = percentile(ds, 0.9);
+  s.p99 = percentile(ds, 0.99);
+  return s;
+}
+
+EmpiricalCdf out_degree_cdf(const CsrGraph& g) {
+  std::vector<double> ds;
+  ds.reserve(g.num_vertices());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    ds.push_back(static_cast<double>(g.out_degree(u)));
+  }
+  return EmpiricalCdf(std::move(ds));
+}
+
+double fraction_untruncated(const CsrGraph& g, std::size_t thr) {
+  if (g.num_vertices() == 0) return 1.0;
+  std::size_t ok = 0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    if (g.out_degree(u) <= thr) ++ok;
+  }
+  return static_cast<double>(ok) / static_cast<double>(g.num_vertices());
+}
+
+}  // namespace snaple

@@ -1,0 +1,38 @@
+// Degree statistics and CDFs.
+//
+// Figure 6a–c of the paper plots the CDF of out-degrees for orkut,
+// livejournal and twitter-rv and overlays candidate truncation thresholds
+// thrΓ; the fraction of vertices whose neighborhood a given thrΓ leaves
+// intact is exactly what this module computes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "util/stats.hpp"
+
+namespace snaple {
+
+[[nodiscard]] std::vector<std::size_t> out_degrees(const CsrGraph& g);
+[[nodiscard]] std::vector<std::size_t> in_degrees(const CsrGraph& g);
+
+struct DegreeSummary {
+  std::size_t max = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+[[nodiscard]] DegreeSummary summarize_out_degrees(const CsrGraph& g);
+
+/// Empirical CDF over out-degrees; `cdf.at(thr)` is the fraction of
+/// vertices with out-degree <= thr, i.e. untouched by truncation at thrΓ.
+[[nodiscard]] EmpiricalCdf out_degree_cdf(const CsrGraph& g);
+
+/// Fraction of vertices with out_degree(u) <= thr. The paper observes
+/// recall stabilizes once this fraction reaches ~0.8 (Fig 6d).
+[[nodiscard]] double fraction_untruncated(const CsrGraph& g, std::size_t thr);
+
+}  // namespace snaple

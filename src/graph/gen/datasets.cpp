@@ -1,0 +1,108 @@
+#include "graph/gen/datasets.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "graph/gen/generators.hpp"
+#include "graph/io.hpp"
+#include "util/check.hpp"
+
+namespace snaple::gen {
+
+const std::vector<DatasetSpec>& dataset_specs() {
+  // target_avg_degree tracks the paper's |E|/|V| (halved where the paper
+  // symmetrized an undirected dataset, re-inflated by orient() for the
+  // directed ones). avg_memberships shapes the community overlap (orkut
+  // is famously community-dense). Reciprocity reflects each network's
+  // published value (twitter ~0.2, pokec/livejournal ~0.6+). Relative
+  // |E| ordering matches Table 4: gowalla ≪ pokec < livejournal < orkut
+  // < twitter.
+  static const std::vector<DatasetSpec> specs = {
+      {"gowalla-s", "social network (undirected)",
+       /*base_vertices=*/20'000, /*target_avg_degree=*/9.7,
+       /*avg_memberships=*/1.7, /*reciprocity=*/1.0,
+       196'591ULL, 950'327ULL},
+      {"pokec-s", "social network (directed)",
+       /*base_vertices=*/40'000, /*target_avg_degree=*/23.0,
+       /*avg_memberships=*/2.2, /*reciprocity=*/0.65,
+       1'632'803ULL, 30'622'564ULL},
+      {"orkut-s", "social network (undirected)",
+       /*base_vertices=*/36'000, /*target_avg_degree=*/72.0,
+       /*avg_memberships=*/6.0, /*reciprocity=*/1.0,
+       3'072'441ULL, 223'534'301ULL},
+      {"livejournal-s", "co-authorship (directed)",
+       /*base_vertices=*/60'000, /*target_avg_degree=*/17.0,
+       /*avg_memberships=*/2.0, /*reciprocity=*/0.7,
+       4'847'571ULL, 68'993'773ULL},
+      {"twitter-s", "microblogging (directed)",
+       /*base_vertices=*/220'000, /*target_avg_degree=*/35.0,
+       /*avg_memberships=*/2.5, /*reciprocity=*/0.2,
+       41'652'230ULL, 1'468'365'182ULL},
+  };
+  return specs;
+}
+
+const DatasetSpec& dataset_spec(const std::string& name) {
+  for (const auto& spec : dataset_specs()) {
+    if (spec.name == name || spec.name == name + "-s") return spec;
+  }
+  throw CheckError("unknown dataset '" + name +
+                   "' (try gowalla, pokec, orkut, livejournal, twitter)");
+}
+
+CsrGraph make_dataset(const DatasetSpec& spec, double scale,
+                      std::uint64_t seed) {
+  SNAPLE_CHECK(scale > 0.0);
+  const auto n = static_cast<VertexId>(std::max<double>(
+      128.0, static_cast<double>(spec.base_vertices) * scale));
+  AffiliationParams params;
+  params.target_avg_degree =
+      std::min(spec.target_avg_degree, static_cast<double>(n) / 4.0);
+  params.avg_memberships = spec.avg_memberships;
+  CsrGraph substrate = affiliation_graph(n, params, seed);
+  if (spec.reciprocity >= 1.0) return substrate;
+  return orient(substrate, spec.reciprocity, seed ^ 0xd1ff'05ed'5eedULL);
+}
+
+CsrGraph make_dataset(const std::string& name, double scale,
+                      std::uint64_t seed) {
+  return make_dataset(dataset_spec(name), scale, seed);
+}
+
+CsrGraph load_or_generate(const std::string& name, double scale,
+                          std::uint64_t seed, const std::string& cache_dir) {
+  const DatasetSpec& spec = dataset_spec(name);
+  std::string dir = cache_dir;
+  if (dir.empty()) {
+    const char* env = std::getenv("SNAPLE_DATA_DIR");
+    dir = env != nullptr ? env : "snaple-data";
+  }
+  char file[256];
+  std::snprintf(file, sizeof(file), "%s_s%.4f_seed%llu.bin",
+                spec.name.c_str(), scale,
+                static_cast<unsigned long long>(seed));
+  const std::filesystem::path path = std::filesystem::path(dir) / file;
+
+  std::error_code ec;
+  if (std::filesystem::exists(path, ec)) {
+    try {
+      return load_binary_file(path.string());
+    } catch (const IoError&) {
+      // Corrupt cache entry: fall through and regenerate.
+    }
+  }
+  CsrGraph g = make_dataset(spec, scale, seed);
+  std::filesystem::create_directories(dir, ec);
+  if (!ec) {
+    try {
+      save_binary_file(g, path.string());
+    } catch (const IoError&) {
+      // Cache write failure is non-fatal; the graph is still usable.
+    }
+  }
+  return g;
+}
+
+}  // namespace snaple::gen

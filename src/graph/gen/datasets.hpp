@@ -1,0 +1,68 @@
+// Scaled synthetic replicas of the paper's evaluation datasets (Table 4).
+//
+//   dataset      |V|      |E|     domain            directedness
+//   gowalla      196,591  0.95M   social network    undirected
+//   pokec        1.6M     30.6M   social network    directed
+//   orkut        3M       223M    social network    undirected
+//   livejournal  4.8M     68.9M   co-authorship     directed
+//   twitter-rv   41M      1.4B    microblogging     directed
+//
+// Replicas keep (a) the relative |E| ordering, (b) the average degree,
+// (c) power-law degrees with high clustering (Holme–Kim substrate), and
+// (d) the directed/undirected treatment of the original. The default
+// scale fits a full experiment sweep on a laptop; `scale` rescales |V|
+// (tests use small scales, ambitious users large ones).
+//
+// If you have the real SNAP datasets on disk, load them instead with
+// load_edge_list_text_file() — every harness accepts any CsrGraph.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace snaple::gen {
+
+struct DatasetSpec {
+  std::string name;
+  std::string domain;
+  // Replica parameters at scale = 1 (community-affiliation model; see
+  // generators.hpp).
+  VertexId base_vertices = 0;
+  double target_avg_degree = 10.0;  // undirected substrate degree
+  double avg_memberships = 3.0;     // communities per vertex
+  double reciprocity = 1.0;         // 1.0 = undirected (keep both arcs)
+  // Original (paper) sizes, for reporting alongside replica sizes.
+  std::uint64_t paper_vertices = 0;
+  std::uint64_t paper_edges = 0;
+};
+
+/// The five replicas in paper order: gowalla, pokec, orkut, livejournal,
+/// twitter. Names carry an "-s" suffix (e.g. "livejournal-s") to make it
+/// unmistakable that these are synthetic stand-ins.
+[[nodiscard]] const std::vector<DatasetSpec>& dataset_specs();
+
+/// Spec by name, accepting either "livejournal" or "livejournal-s".
+[[nodiscard]] const DatasetSpec& dataset_spec(const std::string& name);
+
+/// Deterministically generates the replica at the given scale (vertex
+/// count = base_vertices * scale, minimum 64).
+[[nodiscard]] CsrGraph make_dataset(const DatasetSpec& spec,
+                                    double scale = 1.0,
+                                    std::uint64_t seed = 42);
+
+[[nodiscard]] CsrGraph make_dataset(const std::string& name,
+                                    double scale = 1.0,
+                                    std::uint64_t seed = 42);
+
+/// Generates the replica, caching the result as a binary graph under
+/// `cache_dir` (default: $SNAPLE_DATA_DIR or ./snaple-data). Regenerates
+/// on any parameter change (parameters are part of the file name).
+[[nodiscard]] CsrGraph load_or_generate(const std::string& name,
+                                        double scale = 1.0,
+                                        std::uint64_t seed = 42,
+                                        const std::string& cache_dir = "");
+
+}  // namespace snaple::gen

@@ -1,0 +1,84 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on five public datasets (Table 4) that we cannot
+// ship; DESIGN.md §1 documents the substitution. The generators here
+// control the two properties that drive removed-edge link-prediction
+// recall and GAS data-flow volume:
+//   * heavy-tailed (power-law) degree distributions — RMAT and
+//     Barabási–Albert preferential attachment;
+//   * high clustering (recoverable triangles) — Holme–Kim triad
+//     formation and Watts–Strogatz rewiring.
+// All generators are deterministic given the seed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+
+namespace snaple::gen {
+
+/// G(n, m): m distinct uniform random directed edges over n vertices.
+[[nodiscard]] CsrGraph erdos_renyi(VertexId n, EdgeIndex m,
+                                   std::uint64_t seed);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `m` existing vertices with probability proportional to degree.
+/// Returns a symmetrized (directed both ways) graph.
+[[nodiscard]] CsrGraph barabasi_albert(VertexId n, std::size_t m,
+                                       std::uint64_t seed);
+
+/// Holme–Kim "power-law cluster" model: preferential attachment plus triad
+/// formation with probability `p_triad` per extra link, yielding power-law
+/// degrees AND tunable clustering — our main social-graph stand-in.
+/// Returns a symmetrized graph.
+[[nodiscard]] CsrGraph holme_kim(VertexId n, std::size_t m, double p_triad,
+                                 std::uint64_t seed);
+
+/// Watts–Strogatz small world: ring lattice with k neighbors per side,
+/// each edge rewired with probability `beta`. Symmetrized.
+[[nodiscard]] CsrGraph watts_strogatz(VertexId n, std::size_t k, double beta,
+                                      std::uint64_t seed);
+
+/// RMAT (Chakrabarti et al.): 2^scale vertices, `m` edges thrown into
+/// recursively weighted quadrants (a,b,c,d must sum to ~1). Directed;
+/// duplicates and self-loops are dropped, so the result can have slightly
+/// fewer than `m` edges.
+struct RmatParams {
+  int scale = 16;       // |V| = 2^scale
+  EdgeIndex edges = 1 << 20;
+  double a = 0.57, b = 0.19, c = 0.19, d = 0.05;  // Graph500 defaults
+  bool noise = true;    // perturb quadrant weights per level (less collision)
+};
+[[nodiscard]] CsrGraph rmat(const RmatParams& params, std::uint64_t seed);
+
+/// Community-affiliation model (AGM-style, after Yang & Leskovec): the
+/// primary social-graph stand-in. Vertices join communities (heavy-tailed
+/// membership weights make hubs), community sizes follow a truncated
+/// power law, and each community is an Erdős–Rényi patch whose density is
+/// set so one membership contributes ~constant degree. Small communities
+/// come out dense, which is what gives real social graphs their high
+/// clustering AND what makes removed edges recoverable from common
+/// neighbors — the property link-prediction recall depends on.
+struct AffiliationParams {
+  double avg_memberships = 2.0;    // mean communities per vertex
+  double weight_exponent = 2.5;    // Pareto tail of membership propensity
+  std::size_t min_community = 0;   // 0 = derived from the degree target
+  std::size_t max_community = 0;   // 0 = derived from the degree target
+  double community_exponent = 2.6; // community-size power law
+  double target_avg_degree = 10.0; // undirected degree target
+  double background_fraction = 0.08;  // uniform-random edge share
+};
+[[nodiscard]] CsrGraph affiliation_graph(VertexId n,
+                                         const AffiliationParams& params,
+                                         std::uint64_t seed);
+
+/// Turns an undirected-style symmetric graph into a directed one: every
+/// symmetric pair {a,b} keeps both directions with probability
+/// `reciprocity`, otherwise a uniformly-chosen single direction. This is
+/// how directed replicas (pokec / livejournal / twitter) are derived from
+/// the clustered substrates.
+[[nodiscard]] CsrGraph orient(const CsrGraph& symmetric, double reciprocity,
+                              std::uint64_t seed);
+
+}  // namespace snaple::gen

@@ -1,0 +1,125 @@
+#include "graph/io.hpp"
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "graph/builder.hpp"
+
+namespace snaple {
+
+namespace {
+constexpr std::array<char, 8> kMagic = {'S', 'N', 'A', 'P',
+                                        'L', 'E', 'G', '1'};
+}  // namespace
+
+CsrGraph load_edge_list_text(std::istream& in, bool symmetrize) {
+  GraphBuilder builder;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') {
+      // Honor our own saver's header so graphs with trailing isolated
+      // vertices round-trip exactly (plain SNAP files lack this and
+      // simply infer the vertex count from the largest id seen).
+      unsigned long long v = 0;
+      if (std::sscanf(line.c_str(), "# snaple edge list: %llu vertices",
+                      &v) == 1 &&
+          v > 0 && v <= 0xffffffffULL) {
+        builder.declare_vertices(static_cast<VertexId>(v));
+      }
+      continue;
+    }
+    std::istringstream ls(line);
+    std::uint64_t src = 0;
+    std::uint64_t dst = 0;
+    if (!(ls >> src >> dst)) {
+      throw IoError("malformed edge at line " + std::to_string(line_no) +
+                    ": '" + line + "'");
+    }
+    if (src > 0xffffffffULL || dst > 0xffffffffULL) {
+      throw IoError("vertex id exceeds 32 bits at line " +
+                    std::to_string(line_no));
+    }
+    builder.add_edge(static_cast<VertexId>(src), static_cast<VertexId>(dst));
+  }
+  if (symmetrize) builder.symmetrize();
+  return builder.build();
+}
+
+CsrGraph load_edge_list_text_file(const std::string& path, bool symmetrize) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open '" + path + "' for reading");
+  return load_edge_list_text(in, symmetrize);
+}
+
+void save_edge_list_text(const CsrGraph& g, std::ostream& out) {
+  out << "# snaple edge list: " << g.num_vertices() << " vertices, "
+      << g.num_edges() << " edges\n";
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.out_neighbors(u)) {
+      out << u << ' ' << v << '\n';
+    }
+  }
+}
+
+void save_edge_list_text_file(const CsrGraph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open '" + path + "' for writing");
+  save_edge_list_text(g, out);
+}
+
+void save_binary(const CsrGraph& g, std::ostream& out) {
+  out.write(kMagic.data(), kMagic.size());
+  const std::uint64_t v = g.num_vertices();
+  const std::uint64_t e = g.num_edges();
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  out.write(reinterpret_cast<const char*>(&e), sizeof(e));
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId t : g.out_neighbors(u)) {
+      const Edge edge{u, t};
+      out.write(reinterpret_cast<const char*>(&edge.src), sizeof(VertexId));
+      out.write(reinterpret_cast<const char*>(&edge.dst), sizeof(VertexId));
+    }
+  }
+  if (!out) throw IoError("write failure while saving binary graph");
+}
+
+void save_binary_file(const CsrGraph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot open '" + path + "' for writing");
+  save_binary(g, out);
+}
+
+CsrGraph load_binary(std::istream& in) {
+  std::array<char, 8> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) throw IoError("bad magic in binary graph");
+  std::uint64_t v = 0;
+  std::uint64_t e = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  in.read(reinterpret_cast<char*>(&e), sizeof(e));
+  if (!in || v > 0xffffffffULL) throw IoError("bad binary graph header");
+  GraphBuilder builder(static_cast<VertexId>(v));
+  builder.reserve_edges(e);
+  for (std::uint64_t i = 0; i < e; ++i) {
+    VertexId src = 0;
+    VertexId dst = 0;
+    in.read(reinterpret_cast<char*>(&src), sizeof(src));
+    in.read(reinterpret_cast<char*>(&dst), sizeof(dst));
+    if (!in) throw IoError("truncated binary graph");
+    builder.add_edge(src, dst);
+  }
+  return builder.build();
+}
+
+CsrGraph load_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open '" + path + "' for reading");
+  return load_binary(in);
+}
+
+}  // namespace snaple

@@ -1,0 +1,40 @@
+// Edge-list IO.
+//
+// Two formats:
+//  * text: one "src dst" pair per line, '#' comments — the format the
+//    paper's SNAP datasets ship in, so users can feed the real gowalla /
+//    pokec / livejournal / orkut / twitter-rv files if they have them;
+//  * binary: a tiny header + raw little-endian edge array, for fast
+//    round-trips of generated replicas.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr_graph.hpp"
+
+namespace snaple {
+
+/// Thrown on malformed input or unreadable files.
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Parses a text edge list. If `symmetrize` is set, every edge is also
+/// added in reverse (the paper's treatment of undirected datasets).
+[[nodiscard]] CsrGraph load_edge_list_text(std::istream& in,
+                                           bool symmetrize = false);
+[[nodiscard]] CsrGraph load_edge_list_text_file(const std::string& path,
+                                                bool symmetrize = false);
+
+void save_edge_list_text(const CsrGraph& g, std::ostream& out);
+void save_edge_list_text_file(const CsrGraph& g, const std::string& path);
+
+[[nodiscard]] CsrGraph load_binary(std::istream& in);
+[[nodiscard]] CsrGraph load_binary_file(const std::string& path);
+
+void save_binary(const CsrGraph& g, std::ostream& out);
+void save_binary_file(const CsrGraph& g, const std::string& path);
+
+}  // namespace snaple

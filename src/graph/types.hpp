@@ -1,0 +1,39 @@
+// Fundamental graph value types shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+namespace snaple {
+
+/// Vertex identifier. 32 bits holds 4.29e9 vertices — ample for the scaled
+/// replicas and matching the memory discipline of engines like GraphLab
+/// which pack ids tightly (twitter-rv has 41M vertices).
+using VertexId = std::uint32_t;
+
+/// Edge index into CSR storage; 64 bits because |E| exceeds 2^32 at the
+/// paper's top end (1.4B edges).
+using EdgeIndex = std::uint64_t;
+
+/// A directed edge (source, target).
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+struct EdgeHash {
+  std::size_t operator()(const Edge& e) const noexcept {
+    const std::uint64_t k =
+        (static_cast<std::uint64_t>(e.src) << 32) | e.dst;
+    std::uint64_t z = k + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};
+
+}  // namespace snaple

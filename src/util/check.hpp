@@ -1,0 +1,56 @@
+// Lightweight precondition / invariant checking.
+//
+// SNAPLE_CHECK is always on (cheap checks on API boundaries, per the
+// "catch run-time errors early" rule); SNAPLE_DCHECK compiles away in
+// release builds and is meant for hot inner loops.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace snaple {
+
+/// Thrown when a checked precondition or invariant fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when a simulated machine exceeds its memory budget, mirroring
+/// GraphLab's behaviour when a naive program replicates too much state.
+class ResourceExhausted : public std::runtime_error {
+ public:
+  explicit ResourceExhausted(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace snaple
+
+#define SNAPLE_CHECK(expr)                                              \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::snaple::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (false)
+
+#define SNAPLE_CHECK_MSG(expr, msg)                                     \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::snaple::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#ifdef NDEBUG
+#define SNAPLE_DCHECK(expr) ((void)0)
+#else
+#define SNAPLE_DCHECK(expr) SNAPLE_CHECK(expr)
+#endif

@@ -1,0 +1,8 @@
+// rng.hpp is header-only; this translation unit exists so the library has
+// an archive member for it and to host a compile-time smoke check.
+#include "util/rng.hpp"
+
+namespace snaple {
+static_assert(Rng::min() == 0);
+static_assert(Rng::max() == ~0ULL);
+}  // namespace snaple

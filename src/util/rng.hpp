@@ -1,0 +1,126 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// Every randomized component in the library (generators, truncation,
+// sampling policies, the evaluation protocol) takes an explicit seed so
+// experiments are reproducible. We use SplitMix64 for seeding and
+// Xoshiro256++ as the workhorse generator: both are tiny, fast, and good
+// enough statistically for simulation workloads (this is not a crypto RNG).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace snaple {
+
+/// SplitMix64: used to expand a single 64-bit seed into a stream of
+/// well-mixed values (and to seed Xoshiro). Reference: Steele et al.,
+/// "Fast Splittable Pseudorandom Number Generators" (OOPSLA'14).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256++ by Blackman & Vigna. Satisfies UniformRandomBitGenerator
+/// so it can be plugged into <random> distributions if needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed'5eed'5eed'5eedULL) noexcept {
+    reseed(seed);
+  }
+
+  void reseed(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next_u64(); }
+
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). bound == 0 returns 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < bound) {
+      const std::uint64_t t = (0 - bound) % bound;
+      while (l < t) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t next_in_range(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_below(span));
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool next_bool(double p) noexcept { return next_double() < p; }
+
+  /// A decorrelated child generator; use to give each thread / vertex its
+  /// own stream derived from a parent seed.
+  Rng split(std::uint64_t stream) noexcept {
+    SplitMix64 sm(state_[0] ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
+    Rng child(sm.next());
+    return child;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Fisher–Yates shuffle of a random-access container.
+template <typename Container>
+void shuffle(Container& c, Rng& rng) {
+  if (c.size() < 2) return;
+  for (std::size_t i = c.size() - 1; i > 0; --i) {
+    const std::size_t j = rng.next_below(i + 1);
+    using std::swap;
+    swap(c[i], c[j]);
+  }
+}
+
+}  // namespace snaple

@@ -1,0 +1,135 @@
+// Open-addressing accumulator map: vertex id -> (accumulated score, count).
+//
+// This is the data structure behind `merge(⊕pre, γ1, γ2)` in Algorithm 2
+// (line 16): during step 3 every source vertex folds up to klocal² candidate
+// triplets (z, s, n) into one associative container. A std::unordered_map
+// would allocate a node per candidate; this map is a flat power-of-two
+// table with linear probing that callers reset and reuse across vertices,
+// so the hot loop performs zero allocations in steady state.
+// DESIGN.md §4.3 documents the rationale; micro_kernels benchmarks it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace snaple {
+
+/// Accumulates (score, path-count) per key with a user-supplied ⊕pre.
+/// Keys are 32-bit vertex ids; kEmpty is reserved as the empty marker.
+class ScoreMap {
+ public:
+  using Key = std::uint32_t;
+  static constexpr Key kEmpty = 0xffffffffu;
+
+  struct Slot {
+    Key key = kEmpty;
+    float score = 0.0f;
+    std::uint32_t count = 0;
+  };
+
+  explicit ScoreMap(std::size_t expected = 16) { rehash_for(expected); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Removes all entries but keeps the table memory for reuse.
+  void clear() noexcept {
+    if (size_ == 0) return;
+    for (auto& s : slots_) s.key = kEmpty;
+    size_ = 0;
+  }
+
+  /// Folds (key, score, count) into the map. On first sight the entry is
+  /// (score, count); afterwards score' = pre(score', score) and
+  /// count' += count. `pre` is the paper's ⊕pre: any commutative,
+  /// associative binary op on scores (e.g. + for Sum/Mean, × for Geom).
+  template <typename PreOp>
+  void accumulate(Key key, float score, std::uint32_t count, PreOp&& pre) {
+    SNAPLE_DCHECK(key != kEmpty);
+    if ((size_ + 1) * 4 >= slots_.size() * 3) rehash_for(slots_.size());
+    std::size_t i = probe_start(key);
+    for (;;) {
+      Slot& s = slots_[i];
+      if (s.key == key) {
+        s.score = pre(s.score, score);
+        s.count += count;
+        return;
+      }
+      if (s.key == kEmpty) {
+        s.key = key;
+        s.score = score;
+        s.count = count;
+        ++size_;
+        return;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Returns the entry for `key`, or nullptr if absent.
+  [[nodiscard]] const Slot* find(Key key) const noexcept {
+    std::size_t i = probe_start(key);
+    for (;;) {
+      const Slot& s = slots_[i];
+      if (s.key == key) return &s;
+      if (s.key == kEmpty) return nullptr;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Visits every occupied slot (unspecified order).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& s : slots_) {
+      if (s.key != kEmpty) fn(s.key, s.score, s.count);
+    }
+  }
+
+  /// Approximate heap footprint, used by the GAS memory accounting.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return slots_.size() * sizeof(Slot);
+  }
+
+ private:
+  [[nodiscard]] std::size_t probe_start(Key key) const noexcept {
+    // Fibonacci hashing spreads sequential vertex ids well.
+    const std::uint64_t h = static_cast<std::uint64_t>(key) * 0x9e3779b97f4a7c15ULL;
+    return static_cast<std::size_t>(h >> shift_) & mask_;
+  }
+
+  void rehash_for(std::size_t expected) {
+    std::size_t cap = 16;
+    while (cap * 3 < expected * 4 + 4) cap <<= 1;
+    if (cap <= slots_.size()) cap = slots_.size() * 2;
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(cap, Slot{});
+    mask_ = cap - 1;
+    shift_ = 64 - count_bits(cap);
+    size_ = 0;
+    for (const auto& s : old) {
+      if (s.key != kEmpty) {
+        // Re-insert without growth checks; capacity is sufficient.
+        std::size_t i = probe_start(s.key);
+        while (slots_[i].key != kEmpty) i = (i + 1) & mask_;
+        slots_[i] = s;
+        ++size_;
+      }
+    }
+  }
+
+  static constexpr int count_bits(std::size_t pow2) noexcept {
+    int b = 0;
+    while ((std::size_t{1} << b) < pow2) ++b;
+    return b;
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  int shift_ = 64;
+  std::size_t size_ = 0;
+};
+
+}  // namespace snaple

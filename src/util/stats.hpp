@@ -1,0 +1,61 @@
+// Summary statistics and empirical CDFs.
+//
+// Used by the degree-distribution analysis (Figure 6a–c reproduces the
+// out-degree CDFs of orkut/livejournal/twitter with thrΓ markers) and by
+// bench reporting (mean ± stddev over repetitions).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace snaple {
+
+/// Streaming mean / variance / extrema (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// An empirical CDF over a sample of values.
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  /// P(X <= x) under the empirical distribution.
+  [[nodiscard]] double at(double x) const noexcept;
+
+  /// Smallest sample value v with P(X <= v) >= q, for q in [0, 1].
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  [[nodiscard]] std::size_t sample_count() const noexcept {
+    return sorted_.size();
+  }
+  [[nodiscard]] const std::vector<double>& sorted_samples() const noexcept {
+    return sorted_;
+  }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Percentile (q in [0,1]) of a sample by linear interpolation; the input
+/// does not need to be sorted. Returns 0 for an empty sample.
+[[nodiscard]] double percentile(std::vector<double> values, double q);
+
+}  // namespace snaple

@@ -1,0 +1,38 @@
+// ASCII table / CSV rendering for bench harnesses.
+//
+// Every bench binary prints the rows of the paper table or figure series it
+// reproduces; this helper keeps the formatting uniform and also emits CSV
+// (for replotting) when asked.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace snaple {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds one row; missing cells render empty, extra cells are rejected.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number formatting helpers for cells.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_int(long long v);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders with aligned columns and a header rule.
+  void print(std::ostream& os) const;
+
+  /// Renders as RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace snaple

@@ -1,0 +1,128 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace snaple {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) {
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    // Worker ids start at 1; the submitting thread acts as worker 0.
+    threads_.emplace_back([this, i] { worker_loop(i + 1); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::drain(const std::shared_ptr<Job>& job,
+                       std::size_t worker_id) {
+  for (;;) {
+    const std::size_t start =
+        job->cursor.fetch_add(job->grain, std::memory_order_relaxed);
+    if (start >= job->end) break;
+    const std::size_t stop = std::min(job->end, start + job->grain);
+    if (!job->failed.load(std::memory_order_acquire)) {
+      try {
+        for (std::size_t i = start; i < stop; ++i) (*job->body)(i, worker_id);
+      } catch (...) {
+        std::scoped_lock lock(job->error_mutex);
+        if (!job->error) job->error = std::current_exception();
+        job->failed.store(true, std::memory_order_release);
+      }
+    }
+    if (job->remaining.fetch_sub(stop - start, std::memory_order_acq_rel) ==
+        stop - start) {
+      // We finished the last chunk. Take the mutex (empty scope) before
+      // notifying so the waiter cannot lose the wakeup between its
+      // predicate check and its block.
+      { std::scoped_lock lock(mutex_); }
+      work_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t worker_id) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock lock(mutex_);
+      work_ready_.wait(lock, [&] {
+        return stopping_ || (current_ != nullptr && job_epoch_ != seen_epoch);
+      });
+      if (stopping_) return;
+      job = current_;
+      seen_epoch = job_epoch_;
+    }
+    drain(job, worker_id);
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t grain) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  if (grain == 0) {
+    // Aim for ~8 chunks per worker so skewed items still balance without
+    // paying an atomic per element.
+    grain = std::max<std::size_t>(1, n / (8 * slot_count()));
+  }
+
+  // Small ranges are cheaper inline than waking the pool; exceptions
+  // propagate naturally on this path.
+  if (n <= grain || worker_count() == 0) {
+    for (std::size_t i = begin; i < end; ++i) body(i, 0);
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->end = end;
+  job->grain = grain;
+  job->cursor.store(begin, std::memory_order_relaxed);
+  job->remaining.store(n, std::memory_order_relaxed);
+  job->body = &body;
+
+  {
+    std::scoped_lock lock(mutex_);
+    SNAPLE_CHECK_MSG(current_ == nullptr,
+                     "nested parallel_for on the same pool is not supported");
+    current_ = job;
+    ++job_epoch_;
+  }
+  work_ready_.notify_all();
+
+  drain(job, 0);  // the caller participates
+
+  {
+    std::unique_lock lock(mutex_);
+    work_done_.wait(lock, [&] {
+      return job->remaining.load(std::memory_order_acquire) == 0;
+    });
+    current_.reset();
+  }
+  if (job->failed.load(std::memory_order_acquire)) {
+    std::scoped_lock lock(job->error_mutex);
+    std::rethrow_exception(job->error);
+  }
+}
+
+ThreadPool& default_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace snaple

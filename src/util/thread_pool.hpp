@@ -1,0 +1,98 @@
+// A small persistent thread pool with a blocking parallel_for.
+//
+// The GAS engine and the random-walk engine both need "run this index range
+// across N workers and wait" — nothing fancier. Workers are created once
+// (CP.41: minimize thread creation) and parked on a condition variable
+// between jobs (CP.42: don't wait without a condition). Work is handed out
+// in dynamically-sized chunks through an atomic cursor so skewed per-item
+// costs (power-law degree distributions!) still balance.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace snaple {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `workers` threads. 0 means hardware_concurrency().
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return threads_.size();
+  }
+
+  /// Runs body over [begin, end) across the pool and blocks until every
+  /// index has been processed. `body` receives (index, worker_id);
+  /// worker_id is in [0, worker_count()] and is stable within a call, so
+  /// callers can keep per-worker scratch state without locking.
+  ///
+  /// The calling thread participates (as worker id 0), so a pool of W
+  /// threads applies (W+1)-way parallelism. Nested calls on the same pool
+  /// are rejected.
+  ///
+  /// If a body invocation throws, remaining chunks are skipped and the
+  /// first exception is rethrown here, on the calling thread.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& body,
+                    std::size_t grain = 0);
+
+  /// Convenience overload for bodies that do not need the worker id.
+  void parallel_for_each(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t)>& body,
+                         std::size_t grain = 0) {
+    parallel_for(
+        begin, end, [&](std::size_t i, std::size_t) { body(i); }, grain);
+  }
+
+  /// Number of worker slots (worker_count() + 1 for the caller); useful for
+  /// sizing per-worker scratch vectors before calling parallel_for.
+  [[nodiscard]] std::size_t slot_count() const noexcept {
+    return threads_.size() + 1;
+  }
+
+ private:
+  // One batch of work. Shared with workers via shared_ptr so a straggler
+  // finishing its last chunk can never observe a destroyed job.
+  struct Job {
+    std::size_t end = 0;
+    std::size_t grain = 1;
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<std::size_t> remaining{0};
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    // First exception thrown by any body invocation; rethrown to the
+    // submitter after the job drains. Later chunks are skipped once set.
+    std::mutex error_mutex;
+    std::exception_ptr error;
+    std::atomic<bool> failed{false};
+  };
+
+  void worker_loop(std::size_t worker_id);
+  void drain(const std::shared_ptr<Job>& job, std::size_t worker_id);
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  std::shared_ptr<Job> current_;  // guarded by mutex_
+  std::uint64_t job_epoch_ = 0;   // guarded by mutex_
+  bool stopping_ = false;         // guarded by mutex_
+};
+
+/// The process-wide default pool (sized to hardware_concurrency). Library
+/// entry points accept an optional pool pointer; when null they fall back
+/// to this one, so casual callers never manage threads themselves.
+ThreadPool& default_pool();
+
+}  // namespace snaple

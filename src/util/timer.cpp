@@ -1,0 +1,21 @@
+#include "util/timer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace snaple {
+
+std::string format_duration(double seconds) {
+  char buf[64];
+  if (seconds < 0) seconds = 0;
+  if (seconds < 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+  } else {
+    const auto mins = static_cast<long>(seconds / 60.0);
+    const double rem = seconds - static_cast<double>(mins) * 60.0;
+    std::snprintf(buf, sizeof(buf), "%ldmin%02.0fs", mins, std::floor(rem));
+  }
+  return buf;
+}
+
+}  // namespace snaple

@@ -1,0 +1,34 @@
+// Wall-clock timing for experiments. The paper measures "from when the
+// graph has been successfully loaded until after all predictions have been
+// computed" — experiment code wraps exactly that region with a WallTimer.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+namespace snaple {
+
+class WallTimer {
+ public:
+  WallTimer() noexcept { restart(); }
+
+  void restart() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last restart().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const noexcept {
+    return seconds() * 1e3;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Formats a duration the way the paper reports them ("2min57s", "45.8s").
+[[nodiscard]] std::string format_duration(double seconds);
+
+}  // namespace snaple

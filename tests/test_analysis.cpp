@@ -1,0 +1,108 @@
+// Unit tests for structural analysis: clustering, components, BFS.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "graph/analysis.hpp"
+#include "graph/builder.hpp"
+
+namespace snaple {
+namespace {
+
+CsrGraph triangle_plus_tail() {
+  // Triangle {0,1,2} (symmetric) plus tail 2 -> 3.
+  GraphBuilder b;
+  b.add_undirected_edge(0, 1);
+  b.add_undirected_edge(1, 2);
+  b.add_undirected_edge(0, 2);
+  b.add_edge(2, 3);
+  return b.build();
+}
+
+TEST(Clustering, CompleteGraphIsOne) {
+  GraphBuilder b;
+  for (VertexId i = 0; i < 5; ++i) {
+    for (VertexId j = 0; j < 5; ++j) {
+      if (i != j) b.add_edge(i, j);
+    }
+  }
+  const CsrGraph g = b.build();
+  EXPECT_NEAR(clustering_coefficient(g, 100, 1), 1.0, 1e-12);
+}
+
+TEST(Clustering, StarIsZero) {
+  GraphBuilder b;
+  for (VertexId leaf = 1; leaf <= 6; ++leaf) b.add_undirected_edge(0, leaf);
+  const CsrGraph g = b.build();
+  EXPECT_DOUBLE_EQ(clustering_coefficient(g, 100, 1), 0.0);
+}
+
+TEST(Clustering, TriangleVertexCounts) {
+  const CsrGraph g = triangle_plus_tail();
+  // Vertices 0,1 have C=1; vertex 2 has neighbors {0,1,3}: one closed of
+  // six ordered pairs = 1/6... closed pairs: (0,1) and (1,0) => 2/6 = 1/3.
+  const double c = clustering_coefficient(g, 100, 1);
+  EXPECT_NEAR(c, (1.0 + 1.0 + 1.0 / 3.0) / 3.0, 1e-9);
+}
+
+TEST(Components, DisjointPieces) {
+  GraphBuilder b(7);
+  b.add_undirected_edge(0, 1);
+  b.add_undirected_edge(1, 2);
+  b.add_undirected_edge(3, 4);
+  // 5 and 6 isolated.
+  const CsrGraph g = b.build();
+  const auto labels = weakly_connected_components(g);
+  EXPECT_EQ(count_components(labels), 4u);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_NE(labels[0], labels[3]);
+  EXPECT_EQ(labels[5], 5u);
+  EXPECT_EQ(labels[6], 6u);
+}
+
+TEST(Components, DirectedEdgesStillWeaklyConnect) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(2, 1);  // 0 -> 1 <- 2: weakly one component
+  const CsrGraph g = b.build();
+  EXPECT_EQ(count_components(weakly_connected_components(g)), 1u);
+}
+
+TEST(Bfs, DistancesOnChain) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  const CsrGraph g = b.build();
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(Bfs, UnreachableIsMax) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const CsrGraph g = b.build();
+  const auto d = bfs_distances(g, 1);
+  EXPECT_EQ(d[1], 0u);
+  EXPECT_EQ(d[0], std::numeric_limits<std::size_t>::max());
+  EXPECT_EQ(d[2], std::numeric_limits<std::size_t>::max());
+}
+
+TEST(TwoHop, CandidateCountExcludesSelfAndNeighbors) {
+  const CsrGraph g = triangle_plus_tail();
+  // Γ(0) = {1,2}; 2-hop targets: via 1 -> {0,2}, via 2 -> {0,1,3}.
+  // Excluding 0 itself and neighbors {1,2}: candidates = {3}.
+  EXPECT_EQ(two_hop_candidate_count(g, 0), 1u);
+}
+
+TEST(TwoHop, EmptyForIsolated) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  const CsrGraph g = b.build();
+  EXPECT_EQ(two_hop_candidate_count(g, 1), 0u);
+}
+
+}  // namespace
+}  // namespace snaple

@@ -1,0 +1,100 @@
+// Tests for the BASELINE comparator (direct Algorithm 1 on GAS).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "baseline/gas_baseline.hpp"
+#include "core/similarity.hpp"
+#include "eval/metrics.hpp"
+#include "eval/protocol.hpp"
+#include "graph/builder.hpp"
+#include "graph/gen/datasets.hpp"
+#include "util/top_k.hpp"
+
+namespace snaple::baseline {
+namespace {
+
+BaselineResult run_on(const CsrGraph& g, std::size_t machines = 1,
+                      std::size_t budget = 0, std::size_t k = 5) {
+  const auto part = gas::Partitioning::create(
+      g, machines, gas::PartitionStrategy::kGreedy);
+  const auto cluster = machines == 1
+                           ? gas::ClusterConfig::single_machine(2)
+                           : gas::ClusterConfig::type_i(machines, budget);
+  return run_baseline(g, BaselineConfig{.k = k}, part, cluster);
+}
+
+/// Brute-force Algorithm 1 with the 2-hop restriction: exact Jaccard over
+/// full neighborhoods, top-k.
+std::vector<std::vector<VertexId>> brute_force(const CsrGraph& g,
+                                               std::size_t k) {
+  std::vector<std::vector<VertexId>> preds(g.num_vertices());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto nu = g.out_neighbors(u);
+    std::unordered_set<VertexId> candidates;
+    for (VertexId v : nu) {
+      for (VertexId z : g.out_neighbors(v)) {
+        if (z == u) continue;
+        if (std::binary_search(nu.begin(), nu.end(), z)) continue;
+        candidates.insert(z);
+      }
+    }
+    TopK<VertexId, double> top(k);
+    for (VertexId z : candidates) {
+      top.offer(z, jaccard(nu, g.out_neighbors(z)));
+    }
+    preds[u] = top.take_items();
+  }
+  return preds;
+}
+
+TEST(Baseline, MatchesBruteForceAlgorithm1) {
+  const CsrGraph g = gen::make_dataset("gowalla", 0.04, 21);
+  const auto got = run_on(g).predictions;
+  const auto want = brute_force(g, 5);
+  std::size_t agree = 0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    agree += (got[u] == want[u]);
+  }
+  EXPECT_GE(static_cast<double>(agree) / g.num_vertices(), 0.999);
+}
+
+TEST(Baseline, ExcludesSelfAndNeighbors) {
+  const CsrGraph g = gen::make_dataset("gowalla", 0.03, 23);
+  const auto result = run_on(g);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId z : result.predictions[u]) {
+      EXPECT_NE(z, u);
+      EXPECT_FALSE(g.has_edge(u, z));
+    }
+  }
+}
+
+TEST(Baseline, DeterministicAcrossRuns) {
+  const CsrGraph g = gen::make_dataset("gowalla", 0.03, 23);
+  EXPECT_EQ(run_on(g, 4).predictions, run_on(g, 4).predictions);
+}
+
+TEST(Baseline, ThreeGasSteps) {
+  const CsrGraph g = gen::make_dataset("gowalla", 0.02, 23);
+  const auto result = run_on(g, 2);
+  EXPECT_EQ(result.report.steps.size(), 3u);
+}
+
+TEST(Baseline, ExhaustsTightMemoryBudget) {
+  // The §5.3 phenomenon in miniature: a budget that fits the graph but
+  // not the propagated neighborhoods must abort with ResourceExhausted.
+  const CsrGraph g = gen::make_dataset("orkut", 0.03, 25);
+  const std::size_t tight =
+      g.num_edges() * 2 * sizeof(VertexId);  // ~graph-sized budget
+  EXPECT_THROW(run_on(g, 4, tight), ResourceExhausted);
+}
+
+TEST(Baseline, RunsUnderGenerousBudget) {
+  const CsrGraph g = gen::make_dataset("gowalla", 0.02, 25);
+  EXPECT_NO_THROW(run_on(g, 4, 1ull << 33));
+}
+
+}  // namespace
+}  // namespace snaple::baseline

@@ -1,0 +1,144 @@
+// Tests for the Cassovary-style random-walk engine (§5.9 comparator).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cassovary/random_walk.hpp"
+#include "eval/metrics.hpp"
+#include "eval/protocol.hpp"
+#include "graph/builder.hpp"
+#include "graph/gen/datasets.hpp"
+
+namespace snaple::cassovary {
+namespace {
+
+TEST(RandomWalk, DeterministicForSeed) {
+  const CsrGraph g = gen::make_dataset("gowalla", 0.02, 3);
+  const RandomWalkEngine engine(g);
+  WalkConfig cfg;
+  cfg.walks = 50;
+  const auto a = engine.predict_all(cfg);
+  const auto b = engine.predict_all(cfg);
+  EXPECT_EQ(a.predictions, b.predictions);
+  EXPECT_EQ(a.total_steps, b.total_steps);
+}
+
+TEST(RandomWalk, DeterministicAcrossThreadCounts) {
+  const CsrGraph g = gen::make_dataset("gowalla", 0.02, 3);
+  ThreadPool one(1);
+  ThreadPool many(8);
+  WalkConfig cfg;
+  cfg.walks = 30;
+  const auto a = RandomWalkEngine(g, &one).predict_all(cfg);
+  const auto b = RandomWalkEngine(g, &many).predict_all(cfg);
+  EXPECT_EQ(a.predictions, b.predictions);
+}
+
+TEST(RandomWalk, VisitsStayWithinDepth) {
+  // Chain 0 -> 1 -> 2 -> 3 -> 4: depth-2 walks from 0 never reach 3.
+  GraphBuilder b(5);
+  for (VertexId i = 0; i + 1 < 5; ++i) b.add_edge(i, i + 1);
+  const CsrGraph g = b.build();
+  const RandomWalkEngine engine(g);
+  WalkConfig cfg;
+  cfg.walks = 100;
+  cfg.depth = 2;
+  cfg.restart_at_sink = false;
+  const auto counts = engine.visit_counts(0, cfg);
+  for (const auto& [z, n] : counts) {
+    EXPECT_LE(z, 2u);
+    EXPECT_GT(n, 0u);
+  }
+}
+
+TEST(RandomWalk, CountsAccumulateOverWalks) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);
+  const CsrGraph g = b.build();
+  const RandomWalkEngine engine(g);
+  WalkConfig cfg;
+  cfg.walks = 10;
+  cfg.depth = 4;
+  const auto counts = engine.visit_counts(0, cfg);
+  // Deterministic two-cycle: every walk visits 1 twice (depth 4).
+  ASSERT_EQ(counts.size(), 1u);
+  EXPECT_EQ(counts[0].first, 1u);
+  EXPECT_EQ(counts[0].second, 20u);
+}
+
+TEST(RandomWalk, PredictionsExcludeSelfAndNeighbors) {
+  const CsrGraph g = gen::make_dataset("gowalla", 0.02, 5);
+  const RandomWalkEngine engine(g);
+  WalkConfig cfg;
+  cfg.walks = 50;
+  cfg.depth = 3;
+  const auto result = engine.predict_all(cfg);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId z : result.predictions[u]) {
+      EXPECT_NE(z, u);
+      EXPECT_FALSE(g.has_edge(u, z));
+    }
+  }
+}
+
+TEST(RandomWalk, SinkRestartKeepsWalking) {
+  // 0 -> 1 (sink). With restart, walks bounce back through 0 repeatedly.
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  const CsrGraph g = b.build();
+  const RandomWalkEngine engine(g);
+  WalkConfig with_restart;
+  with_restart.walks = 10;
+  with_restart.depth = 6;
+  with_restart.restart_at_sink = true;
+  WalkConfig no_restart = with_restart;
+  no_restart.restart_at_sink = false;
+  const auto a = engine.visit_counts(0, with_restart);
+  const auto b2 = engine.visit_counts(0, no_restart);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b2.size(), 1u);
+  EXPECT_GT(a[0].second, b2[0].second);
+}
+
+TEST(RandomWalk, IsolatedVertexGetsNoPredictions) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const CsrGraph g = b.build();  // vertex 2 isolated
+  const RandomWalkEngine engine(g);
+  WalkConfig cfg;
+  const auto result = engine.predict_all(cfg);
+  EXPECT_TRUE(result.predictions[2].empty());
+}
+
+TEST(RandomWalk, MoreWalksImproveRecall) {
+  // Figure 11's main trend: recall grows with w (at fixed small depth).
+  const CsrGraph g = gen::make_dataset("gowalla", 0.05, 7);
+  const auto holdout = eval::remove_random_edges(g, 1, 9);
+  const RandomWalkEngine engine(holdout.train);
+  auto recall_for = [&](std::size_t walks) {
+    WalkConfig cfg;
+    cfg.walks = walks;
+    cfg.depth = 3;
+    return eval::recall(engine.predict_all(cfg).predictions,
+                        holdout.hidden);
+  };
+  const double r10 = recall_for(10);
+  const double r200 = recall_for(200);
+  EXPECT_GT(r200, r10);
+}
+
+TEST(RandomWalk, TotalStepsScaleWithWalks) {
+  const CsrGraph g = gen::make_dataset("gowalla", 0.02, 7);
+  const RandomWalkEngine engine(g);
+  WalkConfig cfg;
+  cfg.walks = 10;
+  cfg.depth = 3;
+  const auto small = engine.predict_all(cfg).total_steps;
+  cfg.walks = 100;
+  const auto large = engine.predict_all(cfg).total_steps;
+  EXPECT_GT(large, 5 * small);
+}
+
+}  // namespace
+}  // namespace snaple::cassovary

@@ -1,0 +1,416 @@
+// Tests for the GAS engine: superstep semantics, byte/memory accounting,
+// fused vs two-phase equivalence, and a PageRank program as an
+// independent correctness probe.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "gas/engine.hpp"
+#include "graph/builder.hpp"
+#include "graph/gen/generators.hpp"
+#include "util/check.hpp"
+
+namespace snaple::gas {
+namespace {
+
+struct Scalar {
+  double value = 0.0;
+};
+std::size_t scalar_bytes(const Scalar&) { return sizeof(double); }
+
+/// Sum accumulator fulfilling the engine's Acc concept.
+struct SumAcc {
+  double total = 0.0;
+  std::size_t n = 0;
+  void clear() {
+    total = 0.0;
+    n = 0;
+  }
+};
+
+CsrGraph small_graph() {
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  b.add_edge(3, 2);
+  return b.build();
+}
+
+Engine<Scalar> make_engine(const CsrGraph& g, const Partitioning& p,
+                           ClusterConfig cfg) {
+  return Engine<Scalar>(g, p, std::move(cfg), &scalar_bytes);
+}
+
+TEST(Engine, OutDegreeViaGather) {
+  const CsrGraph g = small_graph();
+  const auto p = Partitioning::create(g, 1, PartitionStrategy::kHash);
+  auto engine = make_engine(g, p, ClusterConfig::single_machine(2));
+  StepOptions opt{.name = "count", .dir = EdgeDir::kOut};
+  engine.step<SumAcc>(
+      opt,
+      [](VertexId, VertexId, const Scalar&, const Scalar&, SumAcc& acc) {
+        acc.total += 1.0;
+        return sizeof(double);
+      },
+      [](VertexId, Scalar& du, SumAcc& acc, std::size_t) {
+        du.value = acc.total;
+      });
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    EXPECT_DOUBLE_EQ(engine.data()[u].value,
+                     static_cast<double>(g.out_degree(u)));
+  }
+}
+
+TEST(Engine, InDegreeViaGatherIn) {
+  const CsrGraph g = small_graph();
+  const auto p = Partitioning::create(g, 2, PartitionStrategy::kHash);
+  auto engine = make_engine(g, p, ClusterConfig::type_i(2));
+  StepOptions opt{.name = "count-in", .dir = EdgeDir::kIn};
+  engine.step<SumAcc>(
+      opt,
+      [](VertexId, VertexId, const Scalar&, const Scalar&, SumAcc& acc) {
+        acc.total += 1.0;
+        return sizeof(double);
+      },
+      [](VertexId, Scalar& du, SumAcc& acc, std::size_t) {
+        du.value = acc.total;
+      });
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    EXPECT_DOUBLE_EQ(engine.data()[u].value,
+                     static_cast<double>(g.in_degree(u)));
+  }
+}
+
+TEST(Engine, AllDirectionCountsBoth) {
+  const CsrGraph g = small_graph();
+  const auto p = Partitioning::create(g, 1, PartitionStrategy::kHash);
+  auto engine = make_engine(g, p, ClusterConfig::single_machine(1));
+  StepOptions opt{.name = "count-all", .dir = EdgeDir::kAll};
+  engine.step<SumAcc>(
+      opt,
+      [](VertexId, VertexId, const Scalar&, const Scalar&, SumAcc& acc) {
+        acc.total += 1.0;
+        return sizeof(double);
+      },
+      [](VertexId, Scalar& du, SumAcc& acc, std::size_t) {
+        du.value = acc.total;
+      });
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    EXPECT_DOUBLE_EQ(engine.data()[u].value,
+                     static_cast<double>(g.out_degree(u) + g.in_degree(u)));
+  }
+}
+
+/// PageRank on the engine (two-phase: apply writes the rank that gathers
+/// read) vs a dense reference implementation.
+TEST(Engine, PageRankMatchesReference) {
+  const CsrGraph g = gen::erdos_renyi(60, 500, 3);
+  const double damping = 0.85;
+  const int iters = 30;
+
+  // Dense reference.
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  std::vector<double> ref(n, 1.0 / static_cast<double>(n));
+  for (int it = 0; it < iters; ++it) {
+    std::vector<double> next(n, (1.0 - damping) / static_cast<double>(n));
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+      const auto deg = g.out_degree(u);
+      if (deg == 0) continue;
+      for (VertexId v : g.out_neighbors(u)) {
+        next[v] += damping * ref[u] / static_cast<double>(deg);
+      }
+    }
+    ref = std::move(next);
+  }
+
+  const auto p = Partitioning::create(g, 4, PartitionStrategy::kGreedy);
+  auto engine = make_engine(g, p, ClusterConfig::type_i(4));
+  for (auto& d : engine.data()) d.value = 1.0 / static_cast<double>(n);
+
+  for (int it = 0; it < iters; ++it) {
+    StepOptions opt{.name = "pagerank",
+                    .dir = EdgeDir::kIn,
+                    .mode = ApplyMode::kTwoPhase};
+    engine.step<SumAcc>(
+        opt,
+        [&](VertexId, VertexId v, const Scalar&, const Scalar& dv,
+            SumAcc& acc) {
+          acc.total += dv.value / static_cast<double>(g.out_degree(v));
+          return sizeof(double);
+        },
+        [&](VertexId, Scalar& du, SumAcc& acc, std::size_t) {
+          du.value = (1.0 - damping) / static_cast<double>(n) +
+                     damping * acc.total;
+        });
+  }
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    EXPECT_NEAR(engine.data()[u].value, ref[u], 1e-9) << "vertex " << u;
+  }
+}
+
+TEST(Engine, FusedEqualsTwoPhaseWhenSafe) {
+  // Degree counting never reads what apply writes -> both modes agree.
+  const CsrGraph g = gen::erdos_renyi(200, 2000, 9);
+  const auto p = Partitioning::create(g, 4, PartitionStrategy::kHash);
+  std::vector<double> fused;
+  std::vector<double> two_phase;
+  for (const ApplyMode mode : {ApplyMode::kFused, ApplyMode::kTwoPhase}) {
+    auto engine = make_engine(g, p, ClusterConfig::type_i(4));
+    StepOptions opt{.name = "deg", .dir = EdgeDir::kOut, .mode = mode};
+    engine.step<SumAcc>(
+        opt,
+        [](VertexId, VertexId, const Scalar&, const Scalar&, SumAcc& acc) {
+          acc.total += 1.0;
+          return sizeof(double);
+        },
+        [](VertexId, Scalar& du, SumAcc& acc, std::size_t) {
+          du.value = acc.total;
+        });
+    auto& out = (mode == ApplyMode::kFused) ? fused : two_phase;
+    for (const auto& d : engine.data()) out.push_back(d.value);
+  }
+  EXPECT_EQ(fused, two_phase);
+}
+
+TEST(Engine, SingleMachineHasNoNetworkTraffic) {
+  const CsrGraph g = small_graph();
+  const auto p = Partitioning::create(g, 1, PartitionStrategy::kHash);
+  auto engine = make_engine(g, p, ClusterConfig::single_machine(4));
+  StepOptions opt{.name = "s", .dir = EdgeDir::kOut};
+  const auto& stats = engine.step<SumAcc>(
+      opt,
+      [](VertexId, VertexId, const Scalar&, const Scalar&, SumAcc& acc) {
+        acc.total += 1.0;
+        return sizeof(double);
+      },
+      [](VertexId, Scalar& du, SumAcc& acc, std::size_t) {
+        du.value = acc.total;
+      });
+  EXPECT_EQ(stats.net_bytes, 0u);
+  EXPECT_EQ(stats.messages, 0u);
+}
+
+TEST(Engine, MultiMachineProducesTraffic) {
+  const CsrGraph g = gen::erdos_renyi(300, 4000, 21);
+  const auto p = Partitioning::create(g, 8, PartitionStrategy::kHash);
+  auto engine = make_engine(g, p, ClusterConfig::type_i(8));
+  StepOptions opt{.name = "s", .dir = EdgeDir::kOut};
+  const auto& stats = engine.step<SumAcc>(
+      opt,
+      [](VertexId, VertexId, const Scalar&, const Scalar&, SumAcc& acc) {
+        acc.total += 1.0;
+        return sizeof(double);
+      },
+      [](VertexId, Scalar& du, SumAcc& acc, std::size_t) {
+        du.value = acc.total;
+      });
+  EXPECT_GT(stats.net_bytes, 0u);
+  EXPECT_GT(stats.messages, 0u);
+  EXPECT_EQ(stats.gather_calls, g.num_edges());
+  EXPECT_GT(stats.sim.total(), 0.0);
+}
+
+TEST(Engine, GatherCallCountsEdges) {
+  const CsrGraph g = small_graph();
+  const auto p = Partitioning::create(g, 2, PartitionStrategy::kHash);
+  auto engine = make_engine(g, p, ClusterConfig::type_i(2));
+  StepOptions opt{.name = "s", .dir = EdgeDir::kOut};
+  const auto& stats = engine.step<SumAcc>(
+      opt,
+      [](VertexId u, VertexId, const Scalar&, const Scalar&, SumAcc& acc) {
+        if (u == 0) return std::size_t{0};  // no contribution from 0
+        acc.total += 1.0;
+        return sizeof(double);
+      },
+      [](VertexId, Scalar&, SumAcc&, std::size_t) {});
+  EXPECT_EQ(stats.gather_calls, g.num_edges());
+  EXPECT_EQ(stats.contributions, g.num_edges() - g.out_degree(0));
+}
+
+// Hand-verified cost model: a two-edge graph with a pinned edge
+// assignment, every byte accounted for on paper.
+//
+// Graph 0→1, 0→2; edge (0,1) on machine 0, edge (0,2) on machine 1.
+// Replicas: 0:{m0,m1}, 1:{m0}, 2:{m1}. Masters: 0→m0 (tie broken low),
+// 1→m0, 2→m1.
+// Superstep over out-edges, 8-byte contributions, 4-byte vertex data:
+//   gather: vertex 0's partial on m1 (≠ master m0) ships 8+16 = 24 bytes;
+//   apply sync: vertex 0 has 1 mirror → (4+16) = 20 bytes;
+//   vertices 1 and 2 have no out-edges and no mirrors → nothing.
+// Total: 44 bytes, 2 messages.
+TEST(Engine, ByteAccountingMatchesHandComputation) {
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  const CsrGraph g = b.build();
+  const auto p = Partitioning::from_edge_assignment(g, 2, {0, 1});
+  EXPECT_EQ(p.master(0), 0);
+  EXPECT_EQ(p.master(1), 0);
+  EXPECT_EQ(p.master(2), 1);
+  EXPECT_EQ(p.replicas(0).count(), 2);
+
+  Engine<Scalar> engine(g, p, ClusterConfig::type_i(2),
+                        [](const Scalar&) { return std::size_t{4}; });
+  StepOptions opt{.name = "hand", .dir = EdgeDir::kOut};
+  const auto stats = engine.step<SumAcc>(
+      opt,
+      [](VertexId, VertexId, const Scalar&, const Scalar&, SumAcc& acc) {
+        acc.total += 1.0;
+        return std::size_t{8};
+      },
+      [](VertexId, Scalar& du, SumAcc& acc, std::size_t) {
+        du.value = acc.total;
+      });
+  EXPECT_EQ(stats.net_bytes, 44u);
+  EXPECT_EQ(stats.messages, 2u);
+  EXPECT_EQ(stats.gather_calls, 2u);
+  EXPECT_EQ(stats.contributions, 2u);
+}
+
+TEST(Partitioning2, FromEdgeAssignmentValidates) {
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  const CsrGraph g = b.build();
+  EXPECT_THROW(Partitioning::from_edge_assignment(g, 2, {0, 1}),
+               CheckError);  // wrong arity
+  EXPECT_THROW(Partitioning::from_edge_assignment(g, 2, {5}),
+               CheckError);  // unknown machine
+  const auto p = Partitioning::from_edge_assignment(g, 2, {1});
+  EXPECT_EQ(p.edge_machine(0), 1);
+  EXPECT_EQ(p.edges_per_machine()[1], 1u);
+}
+
+TEST(Engine, MemoryBudgetTriggersResourceExhausted) {
+  const CsrGraph g = gen::erdos_renyi(500, 8000, 33);
+  const auto p = Partitioning::create(g, 4, PartitionStrategy::kHash);
+  // Absurdly small budget: 100 bytes per machine.
+  auto engine = make_engine(g, p, ClusterConfig::type_i(4, 100));
+  StepOptions opt{.name = "boom", .dir = EdgeDir::kOut};
+  EXPECT_THROW(
+      engine.step<SumAcc>(
+          opt,
+          [](VertexId, VertexId, const Scalar&, const Scalar&, SumAcc& acc) {
+            acc.total += 1.0;
+            return sizeof(double);
+          },
+          [](VertexId, Scalar& du, SumAcc& acc, std::size_t) {
+            du.value = acc.total;
+          }),
+      ResourceExhausted);
+}
+
+TEST(Engine, GenerousBudgetPasses) {
+  const CsrGraph g = gen::erdos_renyi(500, 8000, 33);
+  const auto p = Partitioning::create(g, 4, PartitionStrategy::kHash);
+  auto engine = make_engine(g, p, ClusterConfig::type_i(4, 1ull << 30));
+  StepOptions opt{.name = "fine", .dir = EdgeDir::kOut};
+  EXPECT_NO_THROW(engine.step<SumAcc>(
+      opt,
+      [](VertexId, VertexId, const Scalar&, const Scalar&, SumAcc& acc) {
+        acc.total += 1.0;
+        return sizeof(double);
+      },
+      [](VertexId, Scalar& du, SumAcc& acc, std::size_t) {
+        du.value = acc.total;
+      }));
+}
+
+TEST(Engine, ReportAccumulatesSteps) {
+  const CsrGraph g = small_graph();
+  const auto p = Partitioning::create(g, 2, PartitionStrategy::kHash);
+  auto engine = make_engine(g, p, ClusterConfig::type_i(2));
+  for (int i = 0; i < 3; ++i) {
+    StepOptions opt{.name = "step" + std::to_string(i),
+                    .dir = EdgeDir::kOut};
+    engine.step<SumAcc>(
+        opt,
+        [](VertexId, VertexId, const Scalar&, const Scalar&, SumAcc& acc) {
+          acc.total += 1.0;
+          return sizeof(double);
+        },
+        [](VertexId, Scalar&, SumAcc&, std::size_t) {});
+  }
+  EXPECT_EQ(engine.report().steps.size(), 3u);
+  EXPECT_EQ(engine.report().steps[1].name, "step1");
+  EXPECT_GE(engine.report().total_wall_s(), 0.0);
+  EXPECT_GT(engine.report().total_net_bytes(), 0u);
+}
+
+TEST(Engine, RejectsMismatchedClusterAndPartitioning) {
+  const CsrGraph g = small_graph();
+  const auto p = Partitioning::create(g, 2, PartitionStrategy::kHash);
+  EXPECT_THROW(make_engine(g, p, ClusterConfig::type_i(4)), CheckError);
+}
+
+// ---------- network model ----------
+
+TEST(NetworkModel, MaxOverMachinesPlusLatency) {
+  ClusterConfig cfg = ClusterConfig::type_i(2);
+  cfg.superstep_latency_s = 0.5;
+  std::vector<MachineLoad> loads(2);
+  loads[0].work_units = 100.0;
+  loads[1].work_units = 300.0;
+  loads[0].bytes_in = 125'000'000;  // 1s at 1GbE
+  const auto t = simulate_step_time(cfg, loads, /*cpu_seconds=*/8.0);
+  // Machine 1 has 3/4 of the work: 6 cpu-seconds over 8 type-I cores.
+  EXPECT_NEAR(t.compute_s, 6.0 / 8.0, 1e-9);
+  EXPECT_NEAR(t.network_s, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(t.latency_s, 0.5);
+  EXPECT_NEAR(t.total(), 6.0 / 8.0 + 1.0 + 0.5, 1e-9);
+}
+
+TEST(NetworkModel, MoreMachinesReduceComputeTime) {
+  for (const std::size_t machines : {2ul, 4ul, 8ul}) {
+    ClusterConfig cfg = ClusterConfig::type_i(machines);
+    std::vector<MachineLoad> loads(machines);
+    for (auto& l : loads) l.work_units = 1.0;  // balanced
+    const auto t = simulate_step_time(cfg, loads, 10.0);
+    EXPECT_NEAR(t.compute_s,
+                10.0 / static_cast<double>(machines) / 8.0, 1e-9);
+  }
+}
+
+TEST(NetworkModel, TypeIiFasterNetworkAndCores) {
+  std::vector<MachineLoad> loads(4);
+  for (auto& l : loads) {
+    l.work_units = 1.0;
+    l.bytes_in = 1'000'000'000;
+  }
+  const auto t1 = simulate_step_time(ClusterConfig::type_i(4), loads, 4.0);
+  const auto t2 = simulate_step_time(ClusterConfig::type_ii(4), loads, 4.0);
+  EXPECT_LT(t2.network_s, t1.network_s);
+  EXPECT_LT(t2.compute_s, t1.compute_s);
+}
+
+TEST(NetworkModel, SingleMachineSkipsNetwork) {
+  std::vector<MachineLoad> loads(1);
+  loads[0].work_units = 1.0;
+  loads[0].bytes_in = 1'000'000'000;
+  const auto t =
+      simulate_step_time(ClusterConfig::single_machine(8), loads, 1.0);
+  EXPECT_DOUBLE_EQ(t.network_s, 0.0);
+}
+
+TEST(NetworkModel, RejectsMismatchedLoads) {
+  std::vector<MachineLoad> loads(3);
+  EXPECT_THROW(simulate_step_time(ClusterConfig::type_i(4), loads, 1.0),
+               CheckError);
+}
+
+TEST(Cluster, PresetsMatchPaperTestbed) {
+  const auto t1 = ClusterConfig::type_i(32);
+  EXPECT_EQ(t1.total_cores(), 256u);  // the paper's 256-core deployment
+  EXPECT_EQ(t1.machine.cores, 8u);
+  const auto t2 = ClusterConfig::type_ii(8);
+  EXPECT_EQ(t2.total_cores(), 160u);  // the paper's 160-core deployment
+  EXPECT_EQ(t2.machine.cores, 20u);
+  EXPECT_GT(t2.machine.bandwidth_bytes_per_s,
+            t1.machine.bandwidth_bytes_per_s);
+  EXPECT_NE(t1.describe().find("type-I"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace snaple::gas

@@ -1,0 +1,155 @@
+// Tests for the supervised ensemble extension (core/ensemble.hpp) and the
+// extended rank metrics that evaluate it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ensemble.hpp"
+#include "eval/experiment.hpp"
+#include "eval/metrics.hpp"
+
+namespace snaple {
+namespace {
+
+const eval::PreparedDataset& dataset() {
+  static const eval::PreparedDataset ds =
+      eval::prepare_dataset("livejournal", 0.04, 77);
+  return ds;
+}
+
+const gas::ClusterConfig& cluster() {
+  static const gas::ClusterConfig c = gas::ClusterConfig::type_ii(2);
+  return c;
+}
+
+TEST(Ensemble, TrainsFiniteNonTrivialWeights) {
+  EnsembleConfig cfg;
+  cfg.seed = 5;
+  const auto model = train_ensemble(dataset().train, cfg, cluster());
+  ASSERT_EQ(model.weights.size(), cfg.components.size());
+  double magnitude = 0.0;
+  for (const double w : model.weights) {
+    ASSERT_TRUE(std::isfinite(w));
+    magnitude += std::abs(w);
+  }
+  EXPECT_GT(magnitude, 1e-3);  // learned something
+  EXPECT_TRUE(std::isfinite(model.bias));
+  for (const double s : model.scales) EXPECT_GT(s, 0.0);
+}
+
+TEST(Ensemble, Deterministic) {
+  EnsembleConfig cfg;
+  cfg.seed = 5;
+  const auto a = run_ensemble(dataset().train, cfg, cluster());
+  const auto b = run_ensemble(dataset().train, cfg, cluster());
+  EXPECT_EQ(a.predictions, b.predictions);
+  EXPECT_EQ(a.model.weights, b.model.weights);
+}
+
+TEST(Ensemble, PredictionsRespectK) {
+  EnsembleConfig cfg;
+  cfg.k = 3;
+  const auto result = run_ensemble(dataset().train, cfg, cluster());
+  for (const auto& p : result.predictions) EXPECT_LE(p.size(), 3u);
+}
+
+TEST(Ensemble, ExcludesExistingNeighbors) {
+  EnsembleConfig cfg;
+  // Without truncation the candidate filter sees full neighborhoods, so
+  // exclusion is exact. (With thrΓ < deg(u), Algorithm 2 line 15 only
+  // excludes the *sampled* Γ̂(u) — re-predicting a hub's existing edge is
+  // paper-faithful behaviour, not a bug.)
+  cfg.thr_gamma = kUnlimited;
+  const auto result = run_ensemble(dataset().train, cfg, cluster());
+  const auto& g = dataset().train;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId z : result.predictions[u]) {
+      EXPECT_NE(z, u);
+      EXPECT_FALSE(g.has_edge(u, z));
+    }
+  }
+}
+
+// The headline property the paper hopes for from supervised extensions:
+// the blend should not be worse than its weakest component and should
+// approach (or beat) the best one.
+TEST(Ensemble, CompetitiveWithBestComponent) {
+  EnsembleConfig cfg;
+  cfg.seed = 9;
+  const auto ensemble = run_ensemble(dataset().train, cfg, cluster());
+  const double ensemble_recall =
+      eval::recall(ensemble.predictions, dataset().hidden);
+
+  double best_component = 0.0;
+  double worst_component = 1.0;
+  for (const ScoreKind kind : cfg.components) {
+    SnapleConfig scfg;
+    scfg.score = kind;
+    scfg.k = cfg.k;
+    scfg.k_local = cfg.k_local;
+    scfg.thr_gamma = cfg.thr_gamma;
+    const auto out = eval::run_snaple_experiment(dataset(), scfg, cluster());
+    best_component = std::max(best_component, out.recall);
+    worst_component = std::min(worst_component, out.recall);
+  }
+  EXPECT_GT(ensemble_recall, worst_component);
+  EXPECT_GE(ensemble_recall, best_component * 0.9);
+}
+
+TEST(Ensemble, RejectsMismatchedModel) {
+  EnsembleConfig cfg;
+  EnsembleModel model;
+  model.weights = {1.0};  // wrong arity for 3 components
+  model.scales = {1.0};
+  EXPECT_THROW(predict_ensemble(dataset().train, cfg, model, cluster()),
+               CheckError);
+}
+
+// ---------- extended metrics ----------
+
+TEST(RankMetrics, RecallAtPrefix) {
+  std::vector<std::vector<VertexId>> preds = {{7, 8, 9}};
+  std::vector<Edge> hidden = {{0, 9}};
+  EXPECT_DOUBLE_EQ(eval::recall_at(preds, hidden, 1), 0.0);
+  EXPECT_DOUBLE_EQ(eval::recall_at(preds, hidden, 2), 0.0);
+  EXPECT_DOUBLE_EQ(eval::recall_at(preds, hidden, 3), 1.0);
+  EXPECT_DOUBLE_EQ(eval::recall_at(preds, hidden, 99), 1.0);
+}
+
+TEST(RankMetrics, RecallAtMatchesFullRecall) {
+  const auto& ds = dataset();
+  SnapleConfig cfg;
+  cfg.k = 20;
+  LinkPredictor predictor(cfg, cluster());
+  const auto run = predictor.predict(ds.train);
+  EXPECT_DOUBLE_EQ(eval::recall_at(run.predictions, ds.hidden, 20),
+                   eval::recall(run.predictions, ds.hidden));
+  // Prefix recall is monotone in k.
+  double last = 0.0;
+  for (const std::size_t k : {1ul, 5ul, 10ul, 20ul}) {
+    const double r = eval::recall_at(run.predictions, ds.hidden, k);
+    EXPECT_GE(r, last);
+    last = r;
+  }
+}
+
+TEST(RankMetrics, MrrHandCase) {
+  std::vector<std::vector<VertexId>> preds = {{5, 7}, {9}, {}};
+  std::vector<Edge> hidden = {{0, 7}, {1, 9}, {2, 1}};
+  // ranks: 2, 1, absent -> (1/2 + 1 + 0) / 3
+  EXPECT_DOUBLE_EQ(eval::mean_reciprocal_rank(preds, hidden), 0.5);
+}
+
+TEST(RankMetrics, MrrBoundedByRecall) {
+  const auto& ds = dataset();
+  SnapleConfig cfg;
+  LinkPredictor predictor(cfg, cluster());
+  const auto run = predictor.predict(ds.train);
+  const double mrr = eval::mean_reciprocal_rank(run.predictions, ds.hidden);
+  const double r = eval::recall(run.predictions, ds.hidden);
+  EXPECT_GT(mrr, 0.0);
+  EXPECT_LE(mrr, r + 1e-12);  // each found edge contributes <= 1
+}
+
+}  // namespace
+}  // namespace snaple

@@ -1,0 +1,168 @@
+// Tests for the evaluation harness: protocol, metrics, experiment runner.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "eval/experiment.hpp"
+#include "eval/metrics.hpp"
+#include "eval/protocol.hpp"
+#include "graph/builder.hpp"
+#include "graph/gen/datasets.hpp"
+
+namespace snaple::eval {
+namespace {
+
+TEST(Protocol, RemovesOneEdgePerQualifyingVertex) {
+  const CsrGraph g = gen::make_dataset("gowalla", 0.03, 3);
+  const Holdout h = remove_random_edges(g, 1, 7);
+  std::size_t qualifying = 0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    qualifying += (g.out_degree(u) > 3);
+  }
+  EXPECT_EQ(h.hidden.size(), qualifying);
+  EXPECT_EQ(h.train.num_edges() + h.hidden.size(), g.num_edges());
+}
+
+TEST(Protocol, HiddenEdgesExistInOriginalNotTrain) {
+  const CsrGraph g = gen::make_dataset("gowalla", 0.02, 3);
+  const Holdout h = remove_random_edges(g, 1, 7);
+  for (const Edge& e : h.hidden) {
+    EXPECT_TRUE(g.has_edge(e.src, e.dst));
+    EXPECT_FALSE(h.train.has_edge(e.src, e.dst));
+  }
+}
+
+TEST(Protocol, LowDegreeVerticesUntouched) {
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(0, 3);  // degree exactly 3: |Γ|>3 is false -> keep all
+  for (VertexId v = 1; v <= 8; ++v) b.add_edge(10, v);  // degree 8
+  const CsrGraph g = b.build();
+  const Holdout h = remove_random_edges(g, 1, 5);
+  EXPECT_EQ(h.train.out_degree(0), 3u);
+  EXPECT_EQ(h.train.out_degree(10), 7u);
+  ASSERT_EQ(h.hidden.size(), 1u);
+  EXPECT_EQ(h.hidden[0].src, 10u);
+}
+
+TEST(Protocol, MultiRemovalNeverEmptiesVertex) {
+  // Figure 10 rule: "If a vertex has less edges than the number to be
+  // removed, we removed all the edges except one."
+  GraphBuilder b;
+  for (VertexId v = 1; v <= 5; ++v) b.add_edge(0, v);  // degree 5
+  const CsrGraph g = b.build();
+  const Holdout h = remove_random_edges(g, 10, 11);
+  EXPECT_EQ(h.train.out_degree(0), 1u);
+  EXPECT_EQ(h.hidden.size(), 4u);
+}
+
+TEST(Protocol, RemovedCountScalesWithParameter) {
+  const CsrGraph g = gen::make_dataset("gowalla", 0.03, 3);
+  const auto h1 = remove_random_edges(g, 1, 7);
+  const auto h3 = remove_random_edges(g, 3, 7);
+  EXPECT_GT(h3.hidden.size(), 2 * h1.hidden.size());
+}
+
+TEST(Protocol, DeterministicForSeed) {
+  const CsrGraph g = gen::make_dataset("gowalla", 0.02, 3);
+  const auto a = remove_random_edges(g, 1, 7);
+  const auto b = remove_random_edges(g, 1, 7);
+  EXPECT_EQ(a.hidden, b.hidden);
+  const auto c = remove_random_edges(g, 1, 8);
+  EXPECT_NE(a.hidden, c.hidden);
+}
+
+// ---------- metrics ----------
+
+TEST(Metrics, RecallHandCase) {
+  std::vector<std::vector<VertexId>> preds = {{1, 2}, {3}, {}};
+  std::vector<Edge> hidden = {{0, 2}, {1, 9}, {2, 5}};
+  // Hits: (0,2) yes; (1,9) no; (2,5) no.
+  EXPECT_EQ(hits(preds, hidden), 1u);
+  EXPECT_DOUBLE_EQ(recall(preds, hidden), 1.0 / 3.0);
+}
+
+TEST(Metrics, PrecisionHandCase) {
+  std::vector<std::vector<VertexId>> preds = {{1, 2}, {3}, {}};
+  std::vector<Edge> hidden = {{0, 2}, {1, 3}};
+  EXPECT_DOUBLE_EQ(precision(preds, hidden), 2.0 / 3.0);
+  EXPECT_EQ(prediction_count(preds), 3u);
+}
+
+TEST(Metrics, EmptyEdgeCases) {
+  EXPECT_DOUBLE_EQ(recall({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(precision({{}}, {{0, 1}}), 0.0);
+  std::vector<Edge> hidden = {{5, 1}};  // src out of prediction range
+  EXPECT_DOUBLE_EQ(recall({{1}}, hidden), 0.0);
+}
+
+TEST(Metrics, PrecisionProportionalToRecall) {
+  // §5.2: with fixed removals and fixed k, precision ∝ recall. Verify the
+  // exact relation precision = recall * |hidden| / |predictions|.
+  auto ds = prepare_dataset("gowalla", 0.03, 5);
+  SnapleConfig cfg;
+  LinkPredictor predictor(cfg);
+  const auto run = predictor.predict(ds.train);
+  const double r = recall(run.predictions, ds.hidden);
+  const double p = precision(run.predictions, ds.hidden);
+  const double expected_p = r * static_cast<double>(ds.hidden.size()) /
+                            static_cast<double>(
+                                prediction_count(run.predictions));
+  EXPECT_NEAR(p, expected_p, 1e-12);
+}
+
+// ---------- experiment runner ----------
+
+TEST(Experiment, PrepareDatasetWiring) {
+  const auto ds = prepare_dataset("gowalla", 0.02, 5, 2);
+  EXPECT_EQ(ds.name, "gowalla-s");
+  EXPECT_GT(ds.original_edges, ds.train.num_edges());
+  EXPECT_FALSE(ds.hidden.empty());
+}
+
+TEST(Experiment, SnapleOutcomePopulated) {
+  const auto ds = prepare_dataset("gowalla", 0.02, 5);
+  SnapleConfig cfg;
+  const auto out =
+      run_snaple_experiment(ds, cfg, gas::ClusterConfig::type_i(2));
+  EXPECT_FALSE(out.out_of_memory);
+  EXPECT_GT(out.recall, 0.0);
+  EXPECT_GT(out.wall_seconds, 0.0);
+  EXPECT_GT(out.simulated_seconds, 0.0);
+  EXPECT_GT(out.network_bytes, 0u);
+  EXPECT_DOUBLE_EQ(out.reported_seconds(true), out.simulated_seconds);
+  EXPECT_DOUBLE_EQ(out.reported_seconds(false), out.wall_seconds);
+}
+
+TEST(Experiment, BaselineOomOutcomeInsteadOfThrow) {
+  const auto ds = prepare_dataset("orkut", 0.03, 5);
+  baseline::BaselineConfig cfg;
+  const std::size_t tight = ds.train.num_edges() * 2 * sizeof(VertexId);
+  const auto out = run_baseline_experiment(
+      ds, cfg, gas::ClusterConfig::type_i(4, tight));
+  EXPECT_TRUE(out.out_of_memory);
+  EXPECT_FALSE(out.error.empty());
+}
+
+TEST(Experiment, CassovaryOutcome) {
+  const auto ds = prepare_dataset("gowalla", 0.02, 5);
+  cassovary::WalkConfig cfg;
+  cfg.walks = 50;
+  const auto out = run_cassovary_experiment(ds, cfg);
+  EXPECT_GT(out.recall, 0.0);
+  EXPECT_GT(out.wall_seconds, 0.0);
+  EXPECT_FALSE(out.out_of_memory);
+}
+
+TEST(Experiment, PrepareGraphAcceptsCustomGraph) {
+  GraphBuilder b;
+  for (VertexId v = 1; v <= 8; ++v) b.add_edge(0, v);
+  auto ds = prepare_graph("custom", b.build(), 3);
+  EXPECT_EQ(ds.name, "custom");
+  EXPECT_EQ(ds.hidden.size(), 1u);
+}
+
+}  // namespace
+}  // namespace snaple::eval

@@ -1,0 +1,282 @@
+// Tests for the classic vertex programs on the GAS engine, each checked
+// against an independent reference implementation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "gas/programs/components.hpp"
+#include "gas/programs/kcore.hpp"
+#include "gas/programs/pagerank.hpp"
+#include "gas/programs/sssp.hpp"
+#include "gas/programs/triangles.hpp"
+#include "graph/analysis.hpp"
+#include "graph/builder.hpp"
+#include "graph/gen/datasets.hpp"
+#include "graph/gen/generators.hpp"
+
+namespace snaple::gas {
+namespace {
+
+struct Ctx {
+  CsrGraph graph;
+  Partitioning part;
+  ClusterConfig cluster;
+};
+
+Ctx make_ctx(CsrGraph g, std::size_t machines = 4) {
+  auto part = Partitioning::create(g, machines, PartitionStrategy::kGreedy);
+  return {std::move(g), std::move(part), ClusterConfig::type_i(machines)};
+}
+
+// ---------- PageRank ----------
+
+TEST(PageRankProgram, MatchesDenseReference) {
+  const Ctx ctx = make_ctx(gen::erdos_renyi(80, 800, 5));
+  PageRankOptions opts;
+  opts.max_iterations = 60;
+  opts.tolerance = 0.0;  // run all iterations
+  const auto got = pagerank(ctx.graph, ctx.part, ctx.cluster, opts);
+
+  const auto n = static_cast<std::size_t>(ctx.graph.num_vertices());
+  std::vector<double> ref(n, 1.0 / static_cast<double>(n));
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    std::vector<double> next(n, 0.15 / static_cast<double>(n));
+    for (VertexId u = 0; u < ctx.graph.num_vertices(); ++u) {
+      const auto deg = ctx.graph.out_degree(u);
+      if (deg == 0) continue;
+      for (VertexId v : ctx.graph.out_neighbors(u)) {
+        next[v] += 0.85 * ref[u] / static_cast<double>(deg);
+      }
+    }
+    ref = std::move(next);
+  }
+  for (std::size_t u = 0; u < n; ++u) {
+    EXPECT_NEAR(got.ranks[u], ref[u], 1e-9);
+  }
+}
+
+TEST(PageRankProgram, ConvergesEarlyWithTolerance) {
+  const Ctx ctx = make_ctx(gen::erdos_renyi(100, 1000, 7));
+  PageRankOptions opts;
+  opts.max_iterations = 500;
+  opts.tolerance = 1e-8;
+  const auto result = pagerank(ctx.graph, ctx.part, ctx.cluster, opts);
+  EXPECT_LT(result.iterations, 500u);
+  EXPECT_GT(result.iterations, 3u);
+}
+
+TEST(PageRankProgram, RanksArePositiveishAndBounded) {
+  const Ctx ctx = make_ctx(gen::barabasi_albert(500, 3, 9));
+  const auto result = pagerank(ctx.graph, ctx.part, ctx.cluster);
+  double total = 0.0;
+  for (const double r : result.ranks) {
+    EXPECT_GT(r, 0.0);
+    EXPECT_LT(r, 1.0);
+    total += r;
+  }
+  // Dangling mass leaks in this formulation (as in the reference), so the
+  // sum is <= 1 but bounded away from 0.
+  EXPECT_GT(total, 0.5);
+  EXPECT_LE(total, 1.0 + 1e-9);
+}
+
+TEST(PageRankProgram, HubOutranksLeaves) {
+  // Star pointing INTO vertex 0: 0 must dominate.
+  GraphBuilder b;
+  for (VertexId leaf = 1; leaf <= 20; ++leaf) b.add_edge(leaf, 0);
+  const Ctx ctx = make_ctx(b.build(), 2);
+  const auto result = pagerank(ctx.graph, ctx.part, ctx.cluster);
+  for (VertexId leaf = 1; leaf <= 20; ++leaf) {
+    EXPECT_GT(result.ranks[0], result.ranks[leaf]);
+  }
+}
+
+TEST(PageRankProgram, RejectsBadDamping) {
+  const Ctx ctx = make_ctx(gen::erdos_renyi(20, 50, 3), 1);
+  PageRankOptions opts;
+  opts.damping = 1.5;
+  EXPECT_THROW(pagerank(ctx.graph, ctx.part, ctx.cluster, opts),
+               CheckError);
+}
+
+// ---------- connected components ----------
+
+TEST(ComponentsProgram, MatchesUnionFindReference) {
+  const Ctx ctx = make_ctx(gen::erdos_renyi(300, 350, 11));  // sparse: many components
+  const auto got = connected_components(ctx.graph, ctx.part, ctx.cluster);
+  const auto ref = weakly_connected_components(ctx.graph);
+  EXPECT_EQ(got.labels, ref);
+}
+
+TEST(ComponentsProgram, SingleComponentClique) {
+  GraphBuilder b;
+  for (VertexId i = 0; i < 10; ++i) {
+    for (VertexId j = i + 1; j < 10; ++j) b.add_undirected_edge(i, j);
+  }
+  const Ctx ctx = make_ctx(b.build(), 2);
+  const auto got = connected_components(ctx.graph, ctx.part, ctx.cluster);
+  for (const VertexId label : got.labels) EXPECT_EQ(label, 0u);
+}
+
+TEST(ComponentsProgram, DirectedEdgesConnectWeakly) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 1);
+  b.add_edge(3, 2);
+  const Ctx ctx = make_ctx(b.build(), 2);
+  const auto got = connected_components(ctx.graph, ctx.part, ctx.cluster);
+  for (const VertexId label : got.labels) EXPECT_EQ(label, 0u);
+}
+
+TEST(ComponentsProgram, IterationsBoundedByDiameterish) {
+  // A chain of 40 needs ~40 supersteps; a clique needs ~2.
+  GraphBuilder chain(40);
+  for (VertexId i = 0; i + 1 < 40; ++i) chain.add_undirected_edge(i, i + 1);
+  const Ctx c1 = make_ctx(chain.build(), 2);
+  const auto slow = connected_components(c1.graph, c1.part, c1.cluster);
+  EXPECT_GT(slow.iterations, 10u);
+
+  GraphBuilder clique;
+  for (VertexId i = 0; i < 8; ++i) {
+    for (VertexId j = i + 1; j < 8; ++j) clique.add_undirected_edge(i, j);
+  }
+  const Ctx c2 = make_ctx(clique.build(), 2);
+  const auto fast = connected_components(c2.graph, c2.part, c2.cluster);
+  EXPECT_LE(fast.iterations, 3u);
+}
+
+// ---------- SSSP ----------
+
+TEST(SsspProgram, MatchesBfsReference) {
+  const Ctx ctx = make_ctx(gen::erdos_renyi(200, 800, 13));
+  const auto got = shortest_paths(ctx.graph, 0, ctx.part, ctx.cluster);
+  const auto ref = bfs_distances(ctx.graph, 0);
+  for (VertexId u = 0; u < ctx.graph.num_vertices(); ++u) {
+    if (ref[u] == std::numeric_limits<std::size_t>::max()) {
+      EXPECT_EQ(got.distances[u], kInfiniteDistance);
+    } else {
+      EXPECT_EQ(got.distances[u], ref[u]);
+    }
+  }
+}
+
+TEST(SsspProgram, ChainDistances) {
+  GraphBuilder b(5);
+  for (VertexId i = 0; i + 1 < 5; ++i) b.add_edge(i, i + 1);
+  const Ctx ctx = make_ctx(b.build(), 2);
+  const auto got = shortest_paths(ctx.graph, 0, ctx.part, ctx.cluster);
+  EXPECT_EQ(got.distances,
+            (std::vector<std::uint32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(SsspProgram, RespectsEdgeDirection) {
+  GraphBuilder b(3);
+  b.add_edge(1, 0);  // only points AT the source
+  b.add_edge(0, 2);
+  const Ctx ctx = make_ctx(b.build(), 1);
+  const auto got = shortest_paths(ctx.graph, 0, ctx.part, ctx.cluster);
+  EXPECT_EQ(got.distances[1], kInfiniteDistance);
+  EXPECT_EQ(got.distances[2], 1u);
+}
+
+TEST(SsspProgram, RejectsBadSource) {
+  const Ctx ctx = make_ctx(gen::erdos_renyi(10, 20, 3), 1);
+  EXPECT_THROW(shortest_paths(ctx.graph, 99, ctx.part, ctx.cluster),
+               CheckError);
+}
+
+// ---------- triangles ----------
+
+TEST(TriangleProgram, MatchesBruteForceReference) {
+  const Ctx ctx = make_ctx(gen::holme_kim(400, 4, 0.7, 17));
+  const auto got = count_triangles(ctx.graph, ctx.part, ctx.cluster);
+  EXPECT_EQ(got.total_triangles, count_triangles_reference(ctx.graph));
+}
+
+TEST(TriangleProgram, SingleTriangle) {
+  GraphBuilder b;
+  b.add_undirected_edge(0, 1);
+  b.add_undirected_edge(1, 2);
+  b.add_undirected_edge(0, 2);
+  const Ctx ctx = make_ctx(b.build(), 1);
+  const auto got = count_triangles(ctx.graph, ctx.part, ctx.cluster);
+  EXPECT_EQ(got.total_triangles, 1u);
+  EXPECT_EQ(got.triangles_per_vertex,
+            (std::vector<std::uint64_t>{1, 1, 1}));
+}
+
+TEST(TriangleProgram, CliqueCount) {
+  GraphBuilder b;
+  for (VertexId i = 0; i < 6; ++i) {
+    for (VertexId j = i + 1; j < 6; ++j) b.add_undirected_edge(i, j);
+  }
+  const Ctx ctx = make_ctx(b.build(), 2);
+  const auto got = count_triangles(ctx.graph, ctx.part, ctx.cluster);
+  EXPECT_EQ(got.total_triangles, 20u);  // C(6,3)
+  for (const auto c : got.triangles_per_vertex) EXPECT_EQ(c, 10u);  // C(5,2)
+}
+
+TEST(TriangleProgram, RejectsAsymmetricGraph) {
+  GraphBuilder b(8);
+  for (VertexId i = 0; i < 8; ++i) b.add_edge(i, (i + 1) % 8);
+  const CsrGraph g = b.build();
+  const auto part = Partitioning::create(g, 1, PartitionStrategy::kHash);
+  EXPECT_THROW(
+      count_triangles(g, part, ClusterConfig::single_machine(1)),
+      CheckError);
+}
+
+// ---------- k-core ----------
+
+TEST(KCoreProgram, CliqueSurvivesChainDoesNot) {
+  // K5 plus a pendant chain: 3-core = the clique only.
+  GraphBuilder b;
+  for (VertexId i = 0; i < 5; ++i) {
+    for (VertexId j = i + 1; j < 5; ++j) b.add_undirected_edge(i, j);
+  }
+  b.add_undirected_edge(4, 5);
+  b.add_undirected_edge(5, 6);
+  const Ctx ctx = make_ctx(b.build(), 2);
+  const auto got = k_core(ctx.graph, 3, ctx.part, ctx.cluster);
+  EXPECT_EQ(got.core_size, 5u);
+  for (VertexId u = 0; u < 5; ++u) EXPECT_TRUE(got.in_core[u]);
+  EXPECT_FALSE(got.in_core[5]);
+  EXPECT_FALSE(got.in_core[6]);
+}
+
+TEST(KCoreProgram, ZeroCoreKeepsEverything) {
+  const Ctx ctx = make_ctx(gen::erdos_renyi(50, 100, 3), 2);
+  const auto got = k_core(ctx.graph, 0, ctx.part, ctx.cluster);
+  EXPECT_EQ(got.core_size, 50u);
+}
+
+TEST(KCoreProgram, HugeKEmptiesGraph) {
+  const Ctx ctx = make_ctx(gen::erdos_renyi(50, 100, 3), 2);
+  const auto got = k_core(ctx.graph, 1000, ctx.part, ctx.cluster);
+  EXPECT_EQ(got.core_size, 0u);
+}
+
+TEST(KCoreProgram, PeelingCascades) {
+  // A chain peels from the ends inward under k=2: everything dies, but
+  // it takes several supersteps.
+  GraphBuilder b(30);
+  for (VertexId i = 0; i + 1 < 30; ++i) b.add_undirected_edge(i, i + 1);
+  const Ctx ctx = make_ctx(b.build(), 2);
+  const auto got = k_core(ctx.graph, 2, ctx.part, ctx.cluster);
+  EXPECT_EQ(got.core_size, 0u);
+  EXPECT_GT(got.iterations, 5u);
+}
+
+TEST(KCoreProgram, MonotoneInK) {
+  const Ctx ctx = make_ctx(gen::make_dataset("gowalla", 0.02, 5), 2);
+  std::size_t last = ctx.graph.num_vertices() + 1;
+  for (const std::size_t k : {1ul, 2ul, 4ul, 8ul, 16ul}) {
+    const auto got = k_core(ctx.graph, k, ctx.part, ctx.cluster);
+    EXPECT_LE(got.core_size, last);
+    last = got.core_size;
+  }
+}
+
+}  // namespace
+}  // namespace snaple::gas

@@ -1,0 +1,236 @@
+// Tests for the synthetic generators and the dataset registry — these
+// verify the structural properties the reproduction depends on (power-law
+// tails, clustering, dataset ordering), not exact topologies.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+
+#include "graph/analysis.hpp"
+#include "graph/degree.hpp"
+#include "graph/gen/datasets.hpp"
+#include "graph/gen/generators.hpp"
+
+namespace snaple::gen {
+namespace {
+
+TEST(ErdosRenyi, ExactEdgeCountAndDeterminism) {
+  const CsrGraph a = erdos_renyi(100, 500, 7);
+  const CsrGraph b = erdos_renyi(100, 500, 7);
+  EXPECT_EQ(a.num_edges(), 500u);
+  EXPECT_EQ(a.edges(), b.edges());
+  const CsrGraph c = erdos_renyi(100, 500, 8);
+  EXPECT_NE(a.edges(), c.edges());
+}
+
+TEST(ErdosRenyi, RejectsImpossibleRequest) {
+  EXPECT_THROW(erdos_renyi(3, 100, 1), CheckError);
+}
+
+TEST(BarabasiAlbert, SymmetricWithExpectedSize) {
+  const CsrGraph g = barabasi_albert(1000, 4, 11);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.out_neighbors(u)) {
+      EXPECT_TRUE(g.has_edge(v, u));
+    }
+  }
+  // ~ m edges per added vertex (each symmetric = 2 directed).
+  EXPECT_GT(g.num_edges(), 2 * 4 * 900u);
+}
+
+TEST(BarabasiAlbert, ProducesHeavyTail) {
+  const CsrGraph g = barabasi_albert(5000, 3, 13);
+  const auto s = summarize_out_degrees(g);
+  EXPECT_GT(static_cast<double>(s.max), 8.0 * s.mean);
+}
+
+TEST(HolmeKim, HigherClusteringThanBa) {
+  const CsrGraph ba = barabasi_albert(3000, 4, 17);
+  const CsrGraph hk = holme_kim(3000, 4, 0.8, 17);
+  const double c_ba = clustering_coefficient(ba, 3000, 1);
+  const double c_hk = clustering_coefficient(hk, 3000, 1);
+  EXPECT_GT(c_hk, 2.0 * c_ba);
+}
+
+TEST(HolmeKim, RejectsBadParams) {
+  EXPECT_THROW(holme_kim(100, 4, 1.5, 1), CheckError);
+  EXPECT_THROW(holme_kim(3, 4, 0.5, 1), CheckError);
+}
+
+TEST(WattsStrogatz, RingLatticeAtBetaZero) {
+  const CsrGraph g = watts_strogatz(50, 2, 0.0, 3);
+  // Every vertex connects to 2 neighbors on each side: out-degree 4.
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    EXPECT_EQ(g.out_degree(u), 4u);
+  }
+  const double c = clustering_coefficient(g, 50, 1);
+  EXPECT_GT(c, 0.3);  // ring lattice k=2 has C = 0.5 per vertex
+}
+
+TEST(WattsStrogatz, RewiringReducesClustering) {
+  const CsrGraph lattice = watts_strogatz(2000, 4, 0.0, 5);
+  const CsrGraph random = watts_strogatz(2000, 4, 1.0, 5);
+  EXPECT_GT(clustering_coefficient(lattice, 2000, 1),
+            4.0 * clustering_coefficient(random, 2000, 1));
+}
+
+TEST(Rmat, SkewAndDeterminism) {
+  RmatParams params;
+  params.scale = 12;
+  params.edges = 40000;
+  const CsrGraph a = rmat(params, 23);
+  const CsrGraph b = rmat(params, 23);
+  EXPECT_EQ(a.edges(), b.edges());
+  const auto s = summarize_out_degrees(a);
+  EXPECT_GT(static_cast<double>(s.max), 10.0 * s.mean);  // hub exists
+}
+
+TEST(Rmat, RejectsBadWeights) {
+  RmatParams params;
+  params.a = 0.9;  // sums to > 1 with defaults
+  EXPECT_THROW(rmat(params, 1), CheckError);
+}
+
+TEST(Affiliation, HitsDegreeTargetApproximately) {
+  AffiliationParams params;
+  params.target_avg_degree = 12.0;
+  const CsrGraph g = affiliation_graph(8000, params, 31);
+  const double avg = static_cast<double>(g.num_edges()) /
+                     static_cast<double>(g.num_vertices());
+  EXPECT_NEAR(avg, 12.0, 4.0);
+}
+
+TEST(Affiliation, HighClustering) {
+  AffiliationParams params;
+  params.target_avg_degree = 12.0;
+  const CsrGraph g = affiliation_graph(5000, params, 37);
+  EXPECT_GT(clustering_coefficient(g, 4000, 1), 0.15);
+}
+
+TEST(Affiliation, HeavyTailFromMembershipWeights) {
+  AffiliationParams params;
+  params.target_avg_degree = 10.0;
+  const CsrGraph g = affiliation_graph(10000, params, 41);
+  const auto s = summarize_out_degrees(g);
+  EXPECT_GT(static_cast<double>(s.max), 5.0 * s.mean);
+  EXPECT_GT(s.p99, 2.0 * s.mean);
+}
+
+TEST(Affiliation, SymmetricSubstrate) {
+  AffiliationParams params;
+  const CsrGraph g = affiliation_graph(1000, params, 43);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.out_neighbors(u)) {
+      EXPECT_TRUE(g.has_edge(v, u));
+    }
+  }
+}
+
+TEST(Affiliation, Deterministic) {
+  AffiliationParams params;
+  const CsrGraph a = affiliation_graph(2000, params, 47);
+  const CsrGraph b = affiliation_graph(2000, params, 47);
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
+TEST(Orient, FullReciprocityKeepsSymmetry) {
+  const CsrGraph sym = affiliation_graph(1000, AffiliationParams{}, 51);
+  const CsrGraph g = orient(sym, 1.0, 53);
+  EXPECT_EQ(g.num_edges(), sym.num_edges());
+}
+
+TEST(Orient, ZeroReciprocityHalvesEdges) {
+  const CsrGraph sym = affiliation_graph(1000, AffiliationParams{}, 51);
+  const CsrGraph g = orient(sym, 0.0, 53);
+  EXPECT_EQ(g.num_edges(), sym.num_edges() / 2);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.out_neighbors(u)) {
+      EXPECT_FALSE(g.has_edge(v, u));
+    }
+  }
+}
+
+TEST(Orient, PartialReciprocityInBetween) {
+  const CsrGraph sym = affiliation_graph(2000, AffiliationParams{}, 51);
+  const CsrGraph g = orient(sym, 0.5, 53);
+  // Expected directed edges = pairs * (0.5*2 + 0.5*1) = 0.75 * sym edges.
+  const double expected = 0.75 * static_cast<double>(sym.num_edges());
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, expected * 0.1);
+}
+
+// ---------- dataset registry ----------
+
+TEST(Datasets, FiveSpecsInPaperOrder) {
+  const auto& specs = dataset_specs();
+  ASSERT_EQ(specs.size(), 5u);
+  EXPECT_EQ(specs[0].name, "gowalla-s");
+  EXPECT_EQ(specs[1].name, "pokec-s");
+  EXPECT_EQ(specs[2].name, "orkut-s");
+  EXPECT_EQ(specs[3].name, "livejournal-s");
+  EXPECT_EQ(specs[4].name, "twitter-s");
+}
+
+TEST(Datasets, LookupAcceptsBothNames) {
+  EXPECT_EQ(dataset_spec("livejournal").name, "livejournal-s");
+  EXPECT_EQ(dataset_spec("livejournal-s").name, "livejournal-s");
+  EXPECT_THROW(dataset_spec("facebook"), CheckError);
+}
+
+TEST(Datasets, ReplicaEdgeOrderingMatchesPaper) {
+  // Table 4 ordering: gowalla < pokec < livejournal < orkut < twitter.
+  const double scale = 0.05;
+  const auto gowalla = make_dataset("gowalla", scale, 1).num_edges();
+  const auto pokec = make_dataset("pokec", scale, 1).num_edges();
+  const auto orkut = make_dataset("orkut", scale, 1).num_edges();
+  const auto lj = make_dataset("livejournal", scale, 1).num_edges();
+  const auto twitter = make_dataset("twitter", scale, 1).num_edges();
+  EXPECT_LT(gowalla, pokec);
+  EXPECT_LT(pokec, lj);
+  EXPECT_LT(lj, orkut);
+  EXPECT_LT(orkut, twitter);
+}
+
+TEST(Datasets, UndirectedReplicasAreSymmetric) {
+  const CsrGraph g = make_dataset("gowalla", 0.02, 3);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.out_neighbors(u)) {
+      EXPECT_TRUE(g.has_edge(v, u));
+    }
+  }
+}
+
+TEST(Datasets, DirectedReplicasAreAsymmetric) {
+  const CsrGraph g = make_dataset("twitter", 0.01, 3);
+  std::size_t reciprocal = 0;
+  std::size_t total = 0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.out_neighbors(u)) {
+      ++total;
+      reciprocal += g.has_edge(v, u);
+    }
+  }
+  ASSERT_GT(total, 0u);
+  // Twitter replica reciprocity ~0.2 -> ~1/3 of directed arcs reciprocated.
+  EXPECT_LT(static_cast<double>(reciprocal) / static_cast<double>(total),
+            0.6);
+}
+
+TEST(Datasets, CachingRoundTrips) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "snaple-test-cache";
+  std::filesystem::remove_all(dir);
+  const CsrGraph a = load_or_generate("gowalla", 0.02, 5, dir.string());
+  EXPECT_TRUE(std::filesystem::exists(dir));
+  const CsrGraph b = load_or_generate("gowalla", 0.02, 5, dir.string());
+  EXPECT_EQ(a.edges(), b.edges());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Datasets, ScaleControlsSize) {
+  const auto small = make_dataset("gowalla", 0.02, 1).num_vertices();
+  const auto larger = make_dataset("gowalla", 0.05, 1).num_vertices();
+  EXPECT_LT(small, larger);
+}
+
+}  // namespace
+}  // namespace snaple::gen

@@ -1,0 +1,261 @@
+// Unit tests for the graph substrate: builder, CSR invariants, IO, degrees.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/builder.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/degree.hpp"
+#include "graph/io.hpp"
+#include "util/rng.hpp"
+
+namespace snaple {
+namespace {
+
+CsrGraph diamond() {
+  // 0 -> {1,2}, 1 -> 3, 2 -> 3
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(1, 3);
+  b.add_edge(2, 3);
+  return b.build();
+}
+
+// ---------- builder ----------
+
+TEST(GraphBuilder, BuildsSortedAdjacency) {
+  GraphBuilder b;
+  b.add_edge(0, 3);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  const CsrGraph g = b.build();
+  const auto nbrs = g.out_neighbors(0);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(GraphBuilder, DeduplicatesParallelEdges) {
+  GraphBuilder b;
+  b.add_edge(1, 2);
+  b.add_edge(1, 2);
+  b.add_edge(1, 2);
+  const CsrGraph g = b.build();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphBuilder, DropsSelfLoops) {
+  GraphBuilder b;
+  b.add_edge(5, 5);
+  b.add_edge(5, 6);
+  const CsrGraph g = b.build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FALSE(g.has_edge(5, 5));
+}
+
+TEST(GraphBuilder, GrowsVertexCountFromIds) {
+  GraphBuilder b;
+  b.add_edge(0, 41);
+  const CsrGraph g = b.build();
+  EXPECT_EQ(g.num_vertices(), 42u);
+  EXPECT_EQ(g.out_degree(41), 0u);  // isolated but addressable
+}
+
+TEST(GraphBuilder, PredeclaredVertexCountKeepsIsolated) {
+  GraphBuilder b(10);
+  b.add_edge(0, 1);
+  const CsrGraph g = b.build();
+  EXPECT_EQ(g.num_vertices(), 10u);
+}
+
+TEST(GraphBuilder, SymmetrizeAddsReverseEdges) {
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  b.add_edge(2, 1);
+  b.symmetrize();
+  const CsrGraph g = b.build();
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_EQ(g.num_edges(), 4u);
+}
+
+TEST(GraphBuilder, UndirectedEdgeHelper) {
+  GraphBuilder b;
+  b.add_undirected_edge(3, 4);
+  const CsrGraph g = b.build();
+  EXPECT_TRUE(g.has_edge(3, 4));
+  EXPECT_TRUE(g.has_edge(4, 3));
+}
+
+TEST(GraphBuilder, ReusableAfterBuild) {
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  (void)b.build();
+  b.add_edge(0, 2);
+  const CsrGraph g2 = b.build();
+  EXPECT_EQ(g2.num_edges(), 1u);
+  EXPECT_TRUE(g2.has_edge(0, 2));
+  EXPECT_FALSE(g2.has_edge(0, 1));
+}
+
+// ---------- CSR invariants ----------
+
+TEST(CsrGraph, InOutConsistency) {
+  Rng rng(3);
+  GraphBuilder b(200);
+  for (int i = 0; i < 2000; ++i) {
+    b.add_edge(static_cast<VertexId>(rng.next_below(200)),
+               static_cast<VertexId>(rng.next_below(200)));
+  }
+  const CsrGraph g = b.build();
+  std::size_t out_total = 0;
+  std::size_t in_total = 0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    out_total += g.out_degree(u);
+    in_total += g.in_degree(u);
+    EXPECT_TRUE(std::is_sorted(g.out_neighbors(u).begin(),
+                               g.out_neighbors(u).end()));
+    EXPECT_TRUE(std::is_sorted(g.in_neighbors(u).begin(),
+                               g.in_neighbors(u).end()));
+    for (VertexId v : g.out_neighbors(u)) {
+      const auto in_of_v = g.in_neighbors(v);
+      EXPECT_TRUE(std::binary_search(in_of_v.begin(), in_of_v.end(), u));
+    }
+  }
+  EXPECT_EQ(out_total, g.num_edges());
+  EXPECT_EQ(in_total, g.num_edges());
+}
+
+TEST(CsrGraph, HasEdge) {
+  const CsrGraph g = diamond();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 3));
+}
+
+TEST(CsrGraph, EdgeIndexRoundTrip) {
+  const CsrGraph g = diamond();
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.out_neighbors(u)) {
+      const EdgeIndex e = g.edge_index(u, v);
+      ASSERT_LT(e, g.num_edges());
+      EXPECT_EQ(g.edge_source(e), u);
+      EXPECT_EQ(g.edge_target(e), v);
+    }
+  }
+  EXPECT_EQ(g.edge_index(0, 3), g.num_edges());  // absent edge
+}
+
+TEST(CsrGraph, EdgesListsCsrOrder) {
+  const CsrGraph g = diamond();
+  const auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(edges.begin(), edges.end()));
+  EXPECT_EQ(edges[0], (Edge{0, 1}));
+}
+
+TEST(CsrGraph, EmptyGraph) {
+  const CsrGraph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(CsrGraph, MemoryBytesNonZero) {
+  EXPECT_GT(diamond().memory_bytes(), 0u);
+}
+
+// ---------- IO ----------
+
+TEST(GraphIo, TextRoundTrip) {
+  const CsrGraph g = diamond();
+  std::stringstream ss;
+  save_edge_list_text(g, ss);
+  const CsrGraph back = load_edge_list_text(ss);
+  EXPECT_EQ(back.num_vertices(), g.num_vertices());
+  EXPECT_EQ(back.edges(), g.edges());
+}
+
+TEST(GraphIo, TextSkipsCommentsAndBlanks) {
+  std::stringstream ss("# comment\n\n0 1\n% other comment\n1 2\n");
+  const CsrGraph g = load_edge_list_text(ss);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(GraphIo, TextSymmetrizeOption) {
+  std::stringstream ss("0 1\n");
+  const CsrGraph g = load_edge_list_text(ss, /*symmetrize=*/true);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+}
+
+TEST(GraphIo, TextRejectsMalformedLine) {
+  std::stringstream ss("0 1\nnot numbers\n");
+  EXPECT_THROW(load_edge_list_text(ss), IoError);
+}
+
+TEST(GraphIo, BinaryRoundTrip) {
+  Rng rng(11);
+  GraphBuilder b(50);
+  for (int i = 0; i < 300; ++i) {
+    b.add_edge(static_cast<VertexId>(rng.next_below(50)),
+               static_cast<VertexId>(rng.next_below(50)));
+  }
+  const CsrGraph g = b.build();
+  std::stringstream ss;
+  save_binary(g, ss);
+  const CsrGraph back = load_binary(ss);
+  EXPECT_EQ(back.num_vertices(), g.num_vertices());
+  EXPECT_EQ(back.edges(), g.edges());
+}
+
+TEST(GraphIo, BinaryRejectsBadMagic) {
+  std::stringstream ss("garbage data here");
+  EXPECT_THROW(load_binary(ss), IoError);
+}
+
+TEST(GraphIo, BinaryRejectsTruncated) {
+  const CsrGraph g = diamond();
+  std::stringstream ss;
+  save_binary(g, ss);
+  std::string data = ss.str();
+  data.resize(data.size() - 4);
+  std::stringstream truncated(data);
+  EXPECT_THROW(load_binary(truncated), IoError);
+}
+
+TEST(GraphIo, MissingFileThrows) {
+  EXPECT_THROW(load_edge_list_text_file("/nonexistent/graph.txt"), IoError);
+  EXPECT_THROW(load_binary_file("/nonexistent/graph.bin"), IoError);
+}
+
+// ---------- degrees ----------
+
+TEST(Degree, VectorsAndSummary) {
+  const CsrGraph g = diamond();
+  EXPECT_EQ(out_degrees(g), (std::vector<std::size_t>{2, 1, 1, 0}));
+  EXPECT_EQ(in_degrees(g), (std::vector<std::size_t>{0, 1, 1, 2}));
+  const auto s = summarize_out_degrees(g);
+  EXPECT_EQ(s.max, 2u);
+  EXPECT_DOUBLE_EQ(s.mean, 1.0);
+}
+
+TEST(Degree, CdfMatchesFractionUntruncated) {
+  Rng rng(5);
+  GraphBuilder b(100);
+  for (int i = 0; i < 900; ++i) {
+    b.add_edge(static_cast<VertexId>(rng.next_below(100)),
+               static_cast<VertexId>(rng.next_below(100)));
+  }
+  const CsrGraph g = b.build();
+  const auto cdf = out_degree_cdf(g);
+  for (std::size_t thr : {0ul, 1ul, 5ul, 10ul, 100ul}) {
+    EXPECT_DOUBLE_EQ(cdf.at(static_cast<double>(thr)),
+                     fraction_untruncated(g, thr));
+  }
+  EXPECT_DOUBLE_EQ(fraction_untruncated(g, 10000), 1.0);
+}
+
+}  // namespace
+}  // namespace snaple

@@ -1,0 +1,149 @@
+// Tests for the vertex-cut partitioner.
+#include <gtest/gtest.h>
+
+#include "gas/partition.hpp"
+#include "graph/builder.hpp"
+#include "graph/gen/generators.hpp"
+
+namespace snaple::gas {
+namespace {
+
+CsrGraph test_graph() { return gen::erdos_renyi(300, 3000, 5); }
+
+class PartitionStrategies
+    : public ::testing::TestWithParam<PartitionStrategy> {};
+
+INSTANTIATE_TEST_SUITE_P(Both, PartitionStrategies,
+                         ::testing::Values(PartitionStrategy::kHash,
+                                           PartitionStrategy::kGreedy),
+                         [](const auto& info) {
+                           return info.param == PartitionStrategy::kHash
+                                      ? "hash"
+                                      : "greedy";
+                         });
+
+TEST_P(PartitionStrategies, EveryEdgeAssignedWithinRange) {
+  const CsrGraph g = test_graph();
+  const auto p = Partitioning::create(g, 8, GetParam());
+  EdgeIndex total = 0;
+  for (EdgeIndex e = 0; e < g.num_edges(); ++e) {
+    EXPECT_LT(p.edge_machine(e), 8);
+  }
+  for (const auto load : p.edges_per_machine()) total += load;
+  EXPECT_EQ(total, g.num_edges());
+}
+
+TEST_P(PartitionStrategies, ReplicasCoverEdgeEndpoints) {
+  const CsrGraph g = test_graph();
+  const auto p = Partitioning::create(g, 8, GetParam());
+  EdgeIndex e = 0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for ([[maybe_unused]] VertexId v : g.out_neighbors(u)) {
+      const MachineId m = p.edge_machine(e);
+      EXPECT_TRUE(p.replicas(u).contains(m));
+      EXPECT_TRUE(p.replicas(g.edge_target(e)).contains(m));
+      ++e;
+    }
+  }
+}
+
+TEST_P(PartitionStrategies, MasterIsAReplica) {
+  const CsrGraph g = test_graph();
+  const auto p = Partitioning::create(g, 8, GetParam());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    EXPECT_TRUE(p.replicas(u).contains(p.master(u)));
+    EXPECT_GE(p.replicas(u).count(), 1);
+  }
+}
+
+TEST_P(PartitionStrategies, ReplicationFactorBounds) {
+  const CsrGraph g = test_graph();
+  const auto p = Partitioning::create(g, 8, GetParam());
+  EXPECT_GE(p.replication_factor(), 1.0);
+  EXPECT_LE(p.replication_factor(), 8.0);
+}
+
+TEST_P(PartitionStrategies, Deterministic) {
+  const CsrGraph g = test_graph();
+  const auto a = Partitioning::create(g, 4, GetParam(), 9);
+  const auto b = Partitioning::create(g, 4, GetParam(), 9);
+  for (EdgeIndex e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(a.edge_machine(e), b.edge_machine(e));
+  }
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    EXPECT_EQ(a.master(u), b.master(u));
+  }
+}
+
+TEST(Partitioning, SingleMachineTrivial) {
+  const CsrGraph g = test_graph();
+  const auto p = Partitioning::create(g, 1, PartitionStrategy::kGreedy);
+  EXPECT_DOUBLE_EQ(p.replication_factor(), 1.0);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    EXPECT_EQ(p.master(u), 0);
+  }
+}
+
+TEST(Partitioning, GreedyBeatsHashOnReplication) {
+  // The greedy heuristic's whole point (PowerGraph §4): fewer replicas on
+  // power-law graphs. Compare on a BA graph.
+  const CsrGraph g = gen::barabasi_albert(2000, 5, 7);
+  const auto hash = Partitioning::create(g, 16, PartitionStrategy::kHash);
+  const auto greedy =
+      Partitioning::create(g, 16, PartitionStrategy::kGreedy);
+  EXPECT_LT(greedy.replication_factor(), hash.replication_factor());
+}
+
+TEST(Partitioning, GreedyBalancesLoad) {
+  const CsrGraph g = test_graph();
+  const auto p = Partitioning::create(g, 8, PartitionStrategy::kGreedy);
+  const auto& loads = p.edges_per_machine();
+  const EdgeIndex expected = g.num_edges() / 8;
+  for (const auto load : loads) {
+    EXPECT_GT(load, expected / 3);
+    EXPECT_LT(load, expected * 3);
+  }
+}
+
+TEST(Partitioning, IsolatedVerticesGetPlacement) {
+  GraphBuilder b(10);
+  b.add_edge(0, 1);  // vertices 2..9 isolated
+  const CsrGraph g = b.build();
+  const auto p = Partitioning::create(g, 4, PartitionStrategy::kGreedy);
+  for (VertexId u = 2; u < 10; ++u) {
+    EXPECT_EQ(p.replicas(u).count(), 1);
+    EXPECT_TRUE(p.replicas(u).contains(p.master(u)));
+  }
+}
+
+TEST(Partitioning, RejectsTooManyMachines) {
+  const CsrGraph g = test_graph();
+  EXPECT_THROW(Partitioning::create(g, 65, PartitionStrategy::kHash),
+               CheckError);
+  EXPECT_THROW(Partitioning::create(g, 0, PartitionStrategy::kHash),
+               CheckError);
+}
+
+TEST(Partitioning, SixtyFourMachinesSupported) {
+  const CsrGraph g = test_graph();
+  const auto p = Partitioning::create(g, 64, PartitionStrategy::kHash);
+  EXPECT_EQ(p.num_machines(), 64u);
+}
+
+TEST(ReplicaSet, BitOperations) {
+  ReplicaSet r;
+  EXPECT_TRUE(r.empty());
+  r.add(0);
+  r.add(63);
+  r.add(0);  // idempotent
+  EXPECT_EQ(r.count(), 2);
+  EXPECT_TRUE(r.contains(0));
+  EXPECT_TRUE(r.contains(63));
+  EXPECT_FALSE(r.contains(5));
+  std::vector<int> seen;
+  r.for_each([&](MachineId m) { seen.push_back(m); });
+  EXPECT_EQ(seen, (std::vector<int>{0, 63}));
+}
+
+}  // namespace
+}  // namespace snaple::gas

@@ -1,0 +1,253 @@
+// Tests for combinators (Table 1), aggregators (Table 2), and the score
+// registry (Table 3) — including the paper's worked Figure-3 example.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/aggregator.hpp"
+#include "core/combinator.hpp"
+#include "core/scoring.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace snaple {
+namespace {
+
+// ---------- combinators (Table 1) ----------
+
+TEST(Combinator, Table1Definitions) {
+  EXPECT_DOUBLE_EQ(Combinator::linear(0.9)(0.5, 0.1), 0.9 * 0.5 + 0.1 * 0.1);
+  EXPECT_DOUBLE_EQ(Combinator::euclidean()(0.3, 0.4), 0.5);
+  EXPECT_DOUBLE_EQ(Combinator::geometric()(0.25, 0.25), 0.25);
+  EXPECT_DOUBLE_EQ(Combinator::sum()(0.3, 0.4), 0.7);
+  EXPECT_DOUBLE_EQ(Combinator::count()(0.3, 0.4), 1.0);
+}
+
+TEST(Combinator, LinearIsConvexCombination) {
+  const auto c = Combinator::linear(0.5);
+  EXPECT_DOUBLE_EQ(c(1.0, 0.0), 0.5);
+  EXPECT_DOUBLE_EQ(c(0.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(Combinator::linear(1.0)(0.7, 0.2), 0.7);
+  EXPECT_DOUBLE_EQ(Combinator::linear(0.0)(0.7, 0.2), 0.2);
+}
+
+TEST(Combinator, RejectsAlphaOutOfRange) {
+  EXPECT_THROW(Combinator::linear(-0.1), CheckError);
+  EXPECT_THROW(Combinator::linear(1.1), CheckError);
+}
+
+TEST(Combinator, Names) {
+  EXPECT_EQ(Combinator::linear(0.9).name(), "linear");
+  EXPECT_EQ(Combinator::euclidean().name(), "eucl");
+  EXPECT_EQ(Combinator::geometric().name(), "geom");
+  EXPECT_EQ(Combinator::sum().name(), "sum");
+  EXPECT_EQ(Combinator::count().name(), "count");
+}
+
+/// §3.1 requires every combinator to be monotonically increasing in both
+/// arguments — sweep all of them over random similarity pairs.
+class CombinatorMonotonicity : public ::testing::TestWithParam<Combinator> {
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinators, CombinatorMonotonicity,
+    ::testing::Values(Combinator::linear(0.9), Combinator::linear(0.5),
+                      Combinator::linear(0.1), Combinator::euclidean(),
+                      Combinator::geometric(), Combinator::sum(),
+                      Combinator::count()),
+    [](const auto& info) {
+      return info.param.name() +
+             std::to_string(static_cast<int>(info.param.alpha() * 10));
+    });
+
+TEST_P(CombinatorMonotonicity, NonDecreasingInBothArguments) {
+  const Combinator& c = GetParam();
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const double a = rng.next_double();
+    const double b = rng.next_double();
+    const double eps = 0.01 + rng.next_double() * 0.5;
+    EXPECT_LE(c(a, b), c(a + eps, b) + 1e-12);
+    EXPECT_LE(c(a, b), c(a, b + eps) + 1e-12);
+  }
+}
+
+TEST_P(CombinatorMonotonicity, NonNegativeOnSimilarities) {
+  const Combinator& c = GetParam();
+  Rng rng(13);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_GE(c(rng.next_double(), rng.next_double()), 0.0);
+  }
+}
+
+// ---------- aggregators (Table 2) ----------
+
+TEST(Aggregator, Table2Definitions) {
+  const std::vector<double> xs{0.2, 0.4, 0.9};
+  const Aggregator sum(AggregatorKind::kSum);
+  const Aggregator mean(AggregatorKind::kMean);
+  const Aggregator geom(AggregatorKind::kGeom);
+  EXPECT_NEAR(sum.aggregate(xs.begin(), xs.end()), 1.5, 1e-12);
+  EXPECT_NEAR(mean.aggregate(xs.begin(), xs.end()), 0.5, 1e-12);
+  EXPECT_NEAR(geom.aggregate(xs.begin(), xs.end()),
+              std::pow(0.2 * 0.4 * 0.9, 1.0 / 3.0), 1e-12);
+}
+
+TEST(Aggregator, EmptyInputIsZero) {
+  const std::vector<double> none;
+  for (const auto kind : {AggregatorKind::kSum, AggregatorKind::kMean,
+                          AggregatorKind::kGeom}) {
+    EXPECT_DOUBLE_EQ(Aggregator(kind).aggregate(none.begin(), none.end()),
+                     0.0);
+  }
+}
+
+TEST(Aggregator, GeomZeroPathAnnihilates) {
+  // "the Geom aggregator penalizes vertices ... connected through paths
+  // with very low path-similarity" — a zero path forces a zero score.
+  const std::vector<double> xs{0.9, 0.8, 0.0};
+  EXPECT_DOUBLE_EQ(Aggregator(AggregatorKind::kGeom)
+                       .aggregate(xs.begin(), xs.end()),
+                   0.0);
+}
+
+/// eq. (10): the ⊕pre/⊕post decomposition must equal the direct formula
+/// for any multiset of path similarities and any fold order.
+class AggregatorDecomposition
+    : public ::testing::TestWithParam<AggregatorKind> {};
+
+INSTANTIATE_TEST_SUITE_P(All, AggregatorDecomposition,
+                         ::testing::Values(AggregatorKind::kSum,
+                                           AggregatorKind::kMean,
+                                           AggregatorKind::kGeom),
+                         [](const auto& info) {
+                           return Aggregator(info.param).name();
+                         });
+
+TEST_P(AggregatorDecomposition, PrePostMatchesDirect) {
+  const Aggregator agg(GetParam());
+  Rng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + rng.next_below(12);
+    std::vector<double> xs;
+    for (std::size_t i = 0; i < n; ++i) xs.push_back(rng.next_double());
+
+    double sigma = xs[0];
+    for (std::size_t i = 1; i < xs.size(); ++i) {
+      sigma = agg.pre(sigma, xs[i]);
+    }
+    const double via_decomposition =
+        agg.post(sigma, static_cast<std::uint32_t>(n));
+
+    double direct = 0.0;
+    if (GetParam() == AggregatorKind::kSum) {
+      for (double x : xs) direct += x;
+    } else if (GetParam() == AggregatorKind::kMean) {
+      for (double x : xs) direct += x;
+      direct /= static_cast<double>(n);
+    } else {
+      direct = 1.0;
+      for (double x : xs) direct *= x;
+      direct = std::pow(direct, 1.0 / static_cast<double>(n));
+    }
+    EXPECT_NEAR(via_decomposition, direct, 1e-9);
+  }
+}
+
+TEST_P(AggregatorDecomposition, PreIsCommutative) {
+  const Aggregator agg(GetParam());
+  Rng rng(19);
+  for (int i = 0; i < 500; ++i) {
+    const double a = rng.next_double();
+    const double b = rng.next_double();
+    EXPECT_DOUBLE_EQ(agg.pre(a, b), agg.pre(b, a));
+  }
+}
+
+// ---------- Figure 3: the paper's worked example ----------
+// Path-similarities with the linear combinator (α = 0.5):
+//   e: {0.3, 0};  f: {0.35, 0.25};  g: {0.25, 0.3, 0.2}
+// Expected (table in Figure 3, 2 decimals):
+//   linearSum : e=0.3,  f=0.6,  g=0.75  (g wins)
+//   linearMean: e=0.15, f=0.3,  g=0.25  (f wins)
+//   linearGeom: e=0,    f≈0.28, g≈0.24  (f wins)
+TEST(Figure3, WorkedExampleReproduces) {
+  const std::vector<double> e_paths{0.3, 0.0};
+  const std::vector<double> f_paths{0.35, 0.25};
+  const std::vector<double> g_paths{0.25, 0.3, 0.2};
+
+  const Aggregator sum(AggregatorKind::kSum);
+  EXPECT_NEAR(sum.aggregate(e_paths.begin(), e_paths.end()), 0.3, 1e-9);
+  EXPECT_NEAR(sum.aggregate(f_paths.begin(), f_paths.end()), 0.6, 1e-9);
+  EXPECT_NEAR(sum.aggregate(g_paths.begin(), g_paths.end()), 0.75, 1e-9);
+
+  const Aggregator mean(AggregatorKind::kMean);
+  EXPECT_NEAR(mean.aggregate(e_paths.begin(), e_paths.end()), 0.15, 1e-9);
+  EXPECT_NEAR(mean.aggregate(f_paths.begin(), f_paths.end()), 0.3, 1e-9);
+  EXPECT_NEAR(mean.aggregate(g_paths.begin(), g_paths.end()), 0.25, 1e-9);
+
+  const Aggregator geom(AggregatorKind::kGeom);
+  EXPECT_NEAR(geom.aggregate(e_paths.begin(), e_paths.end()), 0.0, 1e-9);
+  EXPECT_NEAR(geom.aggregate(f_paths.begin(), f_paths.end()), 0.2958,
+              1e-3);  // paper rounds to 0.28/0.29 territory
+  EXPECT_NEAR(geom.aggregate(g_paths.begin(), g_paths.end()), 0.2466, 1e-3);
+
+  // The qualitative claim: Sum ranks g first, Mean and Geom rank f first.
+  EXPECT_GT(sum.aggregate(g_paths.begin(), g_paths.end()),
+            sum.aggregate(f_paths.begin(), f_paths.end()));
+  EXPECT_GT(mean.aggregate(f_paths.begin(), f_paths.end()),
+            mean.aggregate(g_paths.begin(), g_paths.end()));
+  EXPECT_GT(geom.aggregate(f_paths.begin(), f_paths.end()),
+            geom.aggregate(g_paths.begin(), g_paths.end()));
+}
+
+// ---------- score registry (Table 3) ----------
+
+TEST(ScoreRegistry, ElevenRows) {
+  EXPECT_EQ(all_score_kinds().size(), 11u);
+}
+
+TEST(ScoreRegistry, NamesRoundTrip) {
+  for (const ScoreKind kind : all_score_kinds()) {
+    EXPECT_EQ(parse_score_kind(score_name(kind)), kind);
+  }
+  EXPECT_THROW(parse_score_kind("definitelyNotAScore"), CheckError);
+}
+
+TEST(ScoreRegistry, Table3Composition) {
+  const auto linear_sum = score_config(ScoreKind::kLinearSum, 0.9);
+  EXPECT_EQ(linear_sum.metric, SimilarityMetric::kJaccard);
+  EXPECT_EQ(linear_sum.combinator.kind(), CombinatorKind::kLinear);
+  EXPECT_DOUBLE_EQ(linear_sum.combinator.alpha(), 0.9);
+  EXPECT_EQ(linear_sum.aggregator.kind(), AggregatorKind::kSum);
+
+  const auto ppr = score_config(ScoreKind::kPpr);
+  EXPECT_EQ(ppr.metric, SimilarityMetric::kInverseDegree);
+  EXPECT_EQ(ppr.combinator.kind(), CombinatorKind::kSum);
+  EXPECT_EQ(ppr.aggregator.kind(), AggregatorKind::kSum);
+
+  const auto counter = score_config(ScoreKind::kCounter);
+  EXPECT_EQ(counter.metric, SimilarityMetric::kConstant);
+  EXPECT_EQ(counter.combinator.kind(), CombinatorKind::kCount);
+
+  const auto geom_geom = score_config(ScoreKind::kGeomGeom);
+  EXPECT_EQ(geom_geom.combinator.kind(), CombinatorKind::kGeometric);
+  EXPECT_EQ(geom_geom.aggregator.kind(), AggregatorKind::kGeom);
+}
+
+TEST(ScoreRegistry, AggregatorGrouping) {
+  // Figure 8 groups scores by aggregator: 5 Sum rows (incl. PPR+counter),
+  // 3 Mean rows, 3 Geom rows.
+  EXPECT_EQ(score_kinds_with_aggregator(AggregatorKind::kSum).size(), 5u);
+  EXPECT_EQ(score_kinds_with_aggregator(AggregatorKind::kMean).size(), 3u);
+  EXPECT_EQ(score_kinds_with_aggregator(AggregatorKind::kGeom).size(), 3u);
+}
+
+TEST(ScoreRegistry, AlphaPropagates) {
+  const auto cfg = score_config(ScoreKind::kLinearMean, 0.42);
+  EXPECT_DOUBLE_EQ(cfg.combinator.alpha(), 0.42);
+}
+
+}  // namespace
+}  // namespace snaple

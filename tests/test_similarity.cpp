@@ -1,0 +1,116 @@
+// Tests for the raw similarity metrics (eq. 6 building blocks).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/similarity.hpp"
+#include "util/rng.hpp"
+
+namespace snaple {
+namespace {
+
+using V = std::vector<VertexId>;
+
+TEST(Intersection, HandCases) {
+  EXPECT_EQ(sorted_intersection_size(V{1, 2, 3}, V{2, 3, 4}), 2u);
+  EXPECT_EQ(sorted_intersection_size(V{1, 2}, V{3, 4}), 0u);
+  EXPECT_EQ(sorted_intersection_size(V{}, V{1}), 0u);
+  EXPECT_EQ(sorted_intersection_size(V{5}, V{5}), 1u);
+}
+
+TEST(Intersection, MatchesStdSetIntersection) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::set<VertexId> sa;
+    std::set<VertexId> sb;
+    for (int i = 0; i < 60; ++i) {
+      sa.insert(static_cast<VertexId>(rng.next_below(100)));
+      sb.insert(static_cast<VertexId>(rng.next_below(100)));
+    }
+    const V a(sa.begin(), sa.end());
+    const V b(sb.begin(), sb.end());
+    V expected;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(expected));
+    EXPECT_EQ(sorted_intersection_size(a, b), expected.size());
+  }
+}
+
+TEST(Jaccard, HandCases) {
+  EXPECT_DOUBLE_EQ(jaccard(V{1, 2, 3}, V{2, 3, 4}), 0.5);
+  EXPECT_DOUBLE_EQ(jaccard(V{1, 2}, V{1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(jaccard(V{1}, V{2}), 0.0);
+  EXPECT_DOUBLE_EQ(jaccard(V{}, V{}), 0.0);
+  EXPECT_DOUBLE_EQ(jaccard(V{}, V{1, 2}), 0.0);
+}
+
+TEST(Jaccard, SymmetricAndBounded) {
+  Rng rng(9);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::set<VertexId> sa;
+    std::set<VertexId> sb;
+    for (int i = 0; i < 30; ++i) {
+      sa.insert(static_cast<VertexId>(rng.next_below(50)));
+      sb.insert(static_cast<VertexId>(rng.next_below(50)));
+    }
+    const V a(sa.begin(), sa.end());
+    const V b(sb.begin(), sb.end());
+    const double jab = jaccard(a, b);
+    EXPECT_DOUBLE_EQ(jab, jaccard(b, a));
+    EXPECT_GE(jab, 0.0);
+    EXPECT_LE(jab, 1.0);
+  }
+}
+
+TEST(Cosine, HandCases) {
+  EXPECT_DOUBLE_EQ(cosine(V{1, 2}, V{1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(cosine(V{1, 2, 3, 4}, V{1}), 0.5);  // 1/sqrt(4*1)
+  EXPECT_DOUBLE_EQ(cosine(V{}, V{1}), 0.0);
+}
+
+TEST(Overlap, HandCases) {
+  EXPECT_DOUBLE_EQ(overlap(V{1, 2, 3, 4}, V{1, 2}), 1.0);  // subset
+  EXPECT_DOUBLE_EQ(overlap(V{1, 2}, V{2, 3}), 0.5);
+  EXPECT_DOUBLE_EQ(overlap(V{}, V{}), 0.0);
+}
+
+TEST(CommonNeighbors, CountsIntersection) {
+  EXPECT_DOUBLE_EQ(common_neighbors(V{1, 2, 3}, V{2, 3, 4}), 2.0);
+}
+
+TEST(Similarity, DispatchMatchesDirectCalls) {
+  const V a{1, 2, 3};
+  const V b{2, 3, 4};
+  EXPECT_DOUBLE_EQ(similarity(SimilarityMetric::kJaccard, a, b, 9),
+                   jaccard(a, b));
+  EXPECT_DOUBLE_EQ(similarity(SimilarityMetric::kCosine, a, b, 9),
+                   cosine(a, b));
+  EXPECT_DOUBLE_EQ(similarity(SimilarityMetric::kCommonNeighbors, a, b, 9),
+                   common_neighbors(a, b));
+  EXPECT_DOUBLE_EQ(similarity(SimilarityMetric::kOverlap, a, b, 9),
+                   overlap(a, b));
+}
+
+TEST(Similarity, InverseDegreeUsesTargetDegree) {
+  EXPECT_DOUBLE_EQ(similarity(SimilarityMetric::kInverseDegree, {}, {}, 4),
+                   0.25);
+  // Degree 0 guards to 1 (no division by zero).
+  EXPECT_DOUBLE_EQ(similarity(SimilarityMetric::kInverseDegree, {}, {}, 0),
+                   1.0);
+}
+
+TEST(Similarity, ConstantIsOne) {
+  EXPECT_DOUBLE_EQ(similarity(SimilarityMetric::kConstant, {}, {}, 123),
+                   1.0);
+}
+
+TEST(Similarity, NamesAreStable) {
+  EXPECT_EQ(similarity_name(SimilarityMetric::kJaccard), "jaccard");
+  EXPECT_EQ(similarity_name(SimilarityMetric::kInverseDegree), "1/deg");
+  EXPECT_EQ(similarity_name(SimilarityMetric::kConstant), "const");
+}
+
+}  // namespace
+}  // namespace snaple

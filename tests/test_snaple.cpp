@@ -1,0 +1,350 @@
+// End-to-end tests for the SNAPLE program (Algorithm 2) and predictor API.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/predictor.hpp"
+#include "core/snaple_program.hpp"
+#include "eval/metrics.hpp"
+#include "eval/protocol.hpp"
+#include "graph/builder.hpp"
+#include "graph/gen/datasets.hpp"
+#include "graph/gen/generators.hpp"
+#include "reference_snaple.hpp"
+
+namespace snaple {
+namespace {
+
+/// Hand graph: 0 -> {1,2}; 1 -> {2,3}; 2 -> {1,3}; 3 -> {1}.
+/// Candidates for 0 (2-hop, non-neighbors): only 3 (via 1 and via 2).
+CsrGraph hand_graph() {
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(1, 2);
+  b.add_edge(1, 3);
+  b.add_edge(2, 1);
+  b.add_edge(2, 3);
+  b.add_edge(3, 1);
+  return b.build();
+}
+
+SnapleConfig unrestricted(ScoreKind kind = ScoreKind::kLinearSum) {
+  SnapleConfig cfg;
+  cfg.score = kind;
+  cfg.k_local = kUnlimited;
+  cfg.thr_gamma = kUnlimited;
+  return cfg;
+}
+
+SnapleResult run_on(const CsrGraph& g, const SnapleConfig& cfg,
+                    std::size_t machines = 1,
+                    gas::ApplyMode mode = gas::ApplyMode::kFused) {
+  const auto part = gas::Partitioning::create(
+      g, machines, gas::PartitionStrategy::kGreedy);
+  const auto cluster = machines == 1 ? gas::ClusterConfig::single_machine(2)
+                                     : gas::ClusterConfig::type_i(machines);
+  return run_snaple(g, cfg, part, cluster, nullptr, mode);
+}
+
+TEST(SnapleProgram, HandComputedScores) {
+  const CsrGraph g = hand_graph();
+  // Γ(0)={1,2}, Γ(1)={2,3}, Γ(2)={1,3}, Γ(3)={1}.
+  // sim = Jaccard: sim(0,1)=|{2}|/|{1,2,3}|=1/3; sim(0,2)=|{1}|/3=1/3.
+  // Paths 0→1→3: sim(1,3)=|∅|/|{1,2,3}|=0 → path=0.9·(1/3)+0.1·0=0.3
+  //       0→2→3: sim(2,3)=0 → path=0.3
+  // Candidate z=3 only (2∈Γ(0) excluded, 1∈Γ(0) excluded).
+  // linearSum score(0,3)=0.6.
+  const auto result = run_on(g, unrestricted());
+  ASSERT_EQ(result.predictions[0], (std::vector<VertexId>{3}));
+
+  // counter: two paths → score 2, same single candidate.
+  const auto counted = run_on(g, unrestricted(ScoreKind::kCounter));
+  ASSERT_EQ(counted.predictions[0], (std::vector<VertexId>{3}));
+}
+
+TEST(SnapleProgram, PredictionsExcludeSelfAndNeighbors) {
+  const CsrGraph g = gen::make_dataset("gowalla", 0.03, 5);
+  const auto result = run_on(g, unrestricted());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId z : result.predictions[u]) {
+      EXPECT_NE(z, u);
+      EXPECT_FALSE(g.has_edge(u, z)) << u << "->" << z;
+    }
+  }
+}
+
+TEST(SnapleProgram, AtMostKPredictions) {
+  const CsrGraph g = gen::make_dataset("gowalla", 0.03, 5);
+  SnapleConfig cfg = unrestricted();
+  cfg.k = 3;
+  const auto result = run_on(g, cfg);
+  for (const auto& p : result.predictions) EXPECT_LE(p.size(), 3u);
+}
+
+TEST(SnapleProgram, MatchesReferenceImplementationUnrestricted) {
+  // With thrΓ = klocal = ∞ the pipeline must reproduce eq. (8)-(10)
+  // exactly (modulo float accumulation on ties).
+  const CsrGraph g = gen::make_dataset("gowalla", 0.05, 11);
+  for (const ScoreKind kind :
+       {ScoreKind::kLinearSum, ScoreKind::kCounter, ScoreKind::kPpr,
+        ScoreKind::kLinearMean, ScoreKind::kGeomGeom}) {
+    const SnapleConfig cfg = unrestricted(kind);
+    const auto got = run_on(g, cfg).predictions;
+    const auto want = testing::reference_snaple_predictions(
+        g, cfg.resolve_score(), cfg.k);
+    std::size_t agree = 0;
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+      agree += (got[u] == want[u]);
+    }
+    // Allow a whisker of float-vs-double tie divergence.
+    EXPECT_GE(static_cast<double>(agree) / g.num_vertices(), 0.98)
+        << score_name(kind);
+  }
+}
+
+TEST(SnapleProgram, FusedEqualsTwoPhase) {
+  const CsrGraph g = gen::make_dataset("gowalla", 0.03, 7);
+  SnapleConfig cfg;  // defaults: klocal=20, thr=200
+  const auto fused = run_on(g, cfg, 4, gas::ApplyMode::kFused);
+  const auto strict = run_on(g, cfg, 4, gas::ApplyMode::kTwoPhase);
+  EXPECT_EQ(fused.predictions, strict.predictions);
+}
+
+TEST(SnapleProgram, DeterministicAcrossThreadCounts) {
+  const CsrGraph g = gen::make_dataset("gowalla", 0.03, 7);
+  const auto part =
+      gas::Partitioning::create(g, 4, gas::PartitionStrategy::kGreedy);
+  const auto cluster = gas::ClusterConfig::type_i(4);
+  SnapleConfig cfg;
+  ThreadPool one(1);
+  ThreadPool many(8);
+  const auto a = run_snaple(g, cfg, part, cluster, &one);
+  const auto b = run_snaple(g, cfg, part, cluster, &many);
+  EXPECT_EQ(a.predictions, b.predictions);
+}
+
+TEST(SnapleProgram, DeterministicAcrossRuns) {
+  const CsrGraph g = gen::make_dataset("livejournal", 0.02, 7);
+  SnapleConfig cfg;
+  const auto a = run_on(g, cfg, 4);
+  const auto b = run_on(g, cfg, 4);
+  EXPECT_EQ(a.predictions, b.predictions);
+}
+
+TEST(SnapleProgram, KlocalLimitsSimsSize) {
+  const CsrGraph g = gen::make_dataset("gowalla", 0.03, 9);
+  SnapleConfig cfg;
+  cfg.k_local = 7;
+  // Peek at vertex data through a manual engine run mirror: re-run the
+  // program and verify via its observable effect — predictions only use
+  // klocal neighbors, so compare against the unrestricted run.
+  const auto limited = run_on(g, cfg);
+  cfg.k_local = kUnlimited;
+  const auto full = run_on(g, cfg);
+  // Structural check: limited run returns no more predictions than full.
+  std::size_t limited_total = 0;
+  std::size_t full_total = 0;
+  for (const auto& p : limited.predictions) limited_total += p.size();
+  for (const auto& p : full.predictions) full_total += p.size();
+  EXPECT_LE(limited_total, full_total);
+}
+
+TEST(SnapleProgram, TruncationReducesNetworkBytes) {
+  // Table 5 pairs thrΓ with klocal when claiming savings: with klocal
+  // bounded, truncation slims the step-1 neighborhood shipping without
+  // inflating step 3. (With klocal=∞, truncating Γ̂ would *weaken* the
+  // step-3 neighbor-exclusion filter and can add triplets — a subtlety
+  // the direct comparison below avoids, as the paper does.)
+  const CsrGraph g = gen::make_dataset("orkut", 0.02, 9);
+  SnapleConfig cfg;
+  cfg.k_local = 20;
+  cfg.thr_gamma = kUnlimited;
+  const auto part =
+      gas::Partitioning::create(g, 4, gas::PartitionStrategy::kGreedy);
+  const auto cluster = gas::ClusterConfig::type_i(4);
+  const auto full = run_snaple(g, cfg, part, cluster);
+  cfg.thr_gamma = 20;
+  const auto truncated = run_snaple(g, cfg, part, cluster);
+  EXPECT_LT(truncated.report.total_net_bytes(),
+            full.report.total_net_bytes());
+}
+
+TEST(SnapleProgram, TruncationApproximatesThreshold) {
+  // Vertices far above thrΓ keep ≈ thrΓ sampled neighbors (Bernoulli
+  // truncation, Algorithm 2 line 3) — verify via step-1 network volume:
+  // a star hub with degree 400 and thr=40 should ship ~40 ids.
+  GraphBuilder b;
+  for (VertexId leaf = 1; leaf <= 400; ++leaf) b.add_edge(0, leaf);
+  const CsrGraph g = b.build();
+  SnapleConfig cfg;
+  cfg.thr_gamma = 40;
+  cfg.k_local = kUnlimited;
+  const auto result = run_on(g, cfg);
+  // Hub kept Γ̂ of size ~Binomial(400, 0.1): wide margin [15, 80].
+  // The ids survive into step 2 sims (k_local unlimited), observable as
+  // bytes: step-2 gather ships one (id,sim) pair per edge regardless;
+  // instead verify through step-1 accumulator memory accounting.
+  const auto& step1 = result.report.steps.at(0);
+  const std::size_t hub_gamma_bytes = step1.accumulator_bytes_peak;
+  EXPECT_GT(hub_gamma_bytes, 15 * sizeof(VertexId));
+  EXPECT_LT(hub_gamma_bytes,
+            400 * sizeof(VertexId));  // decisively below full degree
+}
+
+TEST(SnapleProgram, SelectionPoliciesChangeOutcome) {
+  const CsrGraph g = gen::make_dataset("livejournal", 0.02, 13);
+  const auto holdout = eval::remove_random_edges(g, 1, 17);
+  auto run_policy = [&](SelectionPolicy policy) {
+    SnapleConfig cfg;
+    cfg.k_local = 5;
+    cfg.policy = policy;
+    const auto result = run_on(holdout.train, cfg);
+    return eval::recall(result.predictions, holdout.hidden);
+  };
+  const double r_max = run_policy(SelectionPolicy::kMax);
+  const double r_min = run_policy(SelectionPolicy::kMin);
+  const double r_rnd = run_policy(SelectionPolicy::kRandom);
+  // Figure 7: Γmax dominates at small klocal; Γmin is the worst control.
+  EXPECT_GT(r_max, r_rnd);
+  EXPECT_GT(r_rnd, r_min);
+}
+
+TEST(SnapleProgram, VertexDataBytesCountsAllFields) {
+  SnapleVertexData d;
+  const auto empty = snaple_vertex_data_bytes(d);
+  d.gamma_hat = {1, 2, 3};
+  d.sims = {{1, 0.5f}};
+  d.predicted = {9};
+  EXPECT_EQ(snaple_vertex_data_bytes(d),
+            empty + 3 * sizeof(VertexId) + (sizeof(VertexId) + sizeof(float)) +
+                (sizeof(VertexId) + sizeof(float)));
+}
+
+TEST(SnapleProgram, ScoredPredictionsAlignWithPlain) {
+  const CsrGraph g = gen::make_dataset("gowalla", 0.02, 5);
+  const auto result = run_on(g, unrestricted());
+  ASSERT_EQ(result.scored.size(), result.predictions.size());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    ASSERT_EQ(result.scored[u].size(), result.predictions[u].size());
+    for (std::size_t i = 0; i < result.scored[u].size(); ++i) {
+      EXPECT_EQ(result.scored[u][i].first, result.predictions[u][i]);
+      if (i > 0) {
+        EXPECT_GE(result.scored[u][i - 1].second,
+                  result.scored[u][i].second);  // best first
+      }
+    }
+  }
+}
+
+// ---------- K=3 extension (paper §3.1 footnote 2) ----------
+
+TEST(SnapleThreeHop, ReachesThreeHopCandidates) {
+  // Chain 0→1→2→3→4 (+ some sideways edges so similarities are nonzero).
+  GraphBuilder b;
+  for (VertexId i = 0; i + 1 < 5; ++i) b.add_edge(i, i + 1);
+  b.add_edge(0, 5);
+  b.add_edge(1, 5);  // gives sim(0,1) > 0 via common neighbor 5
+  b.add_edge(2, 6);
+  b.add_edge(1, 6);  // sim(1,2) > 0
+  b.add_edge(3, 7);
+  b.add_edge(2, 7);  // sim(2,3) > 0
+  const CsrGraph g = b.build();
+
+  SnapleConfig two = unrestricted(ScoreKind::kCounter);
+  const auto r2 = run_on(g, two);
+  // K=2 from vertex 0 can reach {2, 6} (via 1) but never 3.
+  EXPECT_EQ(std::count(r2.predictions[0].begin(), r2.predictions[0].end(),
+                       VertexId{3}),
+            0);
+
+  SnapleConfig three = two;
+  three.k_hops = 3;
+  const auto r3 = run_on(g, three);
+  EXPECT_EQ(std::count(r3.predictions[0].begin(), r3.predictions[0].end(),
+                       VertexId{3}),
+            1);
+  // K=3 keeps the 2-hop candidates too (paths of length 2 and 3).
+  EXPECT_EQ(std::count(r3.predictions[0].begin(), r3.predictions[0].end(),
+                       VertexId{2}),
+            1);
+}
+
+TEST(SnapleThreeHop, DeterministicAndWellFormed) {
+  const CsrGraph g = gen::make_dataset("gowalla", 0.02, 5);
+  SnapleConfig cfg;
+  cfg.k_hops = 3;
+  cfg.k_local = 10;
+  const auto a = run_on(g, cfg);
+  const auto b = run_on(g, cfg);
+  EXPECT_EQ(a.predictions, b.predictions);
+  for (const auto& p : a.predictions) EXPECT_LE(p.size(), cfg.k);
+}
+
+TEST(SnapleThreeHop, RunsFourGasSteps) {
+  const CsrGraph g = gen::make_dataset("gowalla", 0.02, 5);
+  SnapleConfig cfg;
+  cfg.k_hops = 3;
+  const auto result = run_on(g, cfg);
+  EXPECT_EQ(result.report.steps.size(), 4u);
+  EXPECT_EQ(result.report.steps[2].name, "2b:hop2-scores");
+}
+
+TEST(SnapleThreeHop, RecallStaysInBandOnReplica) {
+  // The extra hop adds weaker candidates; recall should stay in the same
+  // ballpark as K=2 (the extension trades precision for reach).
+  const CsrGraph g = gen::make_dataset("livejournal", 0.02, 13);
+  const auto holdout = eval::remove_random_edges(g, 1, 17);
+  SnapleConfig cfg;
+  cfg.k_local = 20;
+  const auto r2 = run_on(holdout.train, cfg);
+  cfg.k_hops = 3;
+  const auto r3 = run_on(holdout.train, cfg);
+  const double recall2 = eval::recall(r2.predictions, holdout.hidden);
+  const double recall3 = eval::recall(r3.predictions, holdout.hidden);
+  EXPECT_GT(recall3, recall2 * 0.5);
+}
+
+TEST(SnapleThreeHop, RejectsUnsupportedK) {
+  const CsrGraph g = hand_graph();
+  SnapleConfig cfg;
+  cfg.k_hops = 4;
+  EXPECT_THROW(run_on(g, cfg), CheckError);
+}
+
+TEST(SnapleConfigTest, DescribeMentionsKnobs) {
+  SnapleConfig cfg;
+  cfg.k_local = kUnlimited;
+  cfg.policy = SelectionPolicy::kRandom;
+  const auto desc = cfg.describe();
+  EXPECT_NE(desc.find("linearSum"), std::string::npos);
+  EXPECT_NE(desc.find("klocal=inf"), std::string::npos);
+  EXPECT_NE(desc.find("policy=rnd"), std::string::npos);
+}
+
+TEST(LinkPredictorApi, PredictReturnsTimingAndTraffic) {
+  const CsrGraph g = gen::make_dataset("gowalla", 0.02, 5);
+  SnapleConfig cfg;
+  const LinkPredictor predictor(cfg, gas::ClusterConfig::type_i(4));
+  const auto run = predictor.predict(g);
+  EXPECT_EQ(run.predictions.size(), g.num_vertices());
+  EXPECT_GT(run.wall_seconds, 0.0);
+  EXPECT_GT(run.simulated_seconds, 0.0);
+  EXPECT_GT(run.network_bytes, 0u);
+  EXPECT_GE(run.replication_factor, 1.0);
+  EXPECT_EQ(run.report.steps.size(), 3u);  // the three Algorithm-2 steps
+}
+
+TEST(LinkPredictorApi, ReusablePartitioning) {
+  const CsrGraph g = gen::make_dataset("gowalla", 0.02, 5);
+  const auto part =
+      gas::Partitioning::create(g, 4, gas::PartitionStrategy::kGreedy);
+  SnapleConfig cfg;
+  const LinkPredictor predictor(cfg, gas::ClusterConfig::type_i(4));
+  const auto a = predictor.predict_with_partitioning(g, part);
+  const auto b = predictor.predict_with_partitioning(g, part);
+  EXPECT_EQ(a.predictions, b.predictions);
+}
+
+}  // namespace
+}  // namespace snaple
