@@ -50,7 +50,7 @@ inline void print_header(const std::string& artifact,
   std::cout << "==============================================================\n";
   std::cout << "Reproduces: " << artifact << "\n";
   std::cout << what << "\n";
-  std::cout << "(synthetic dataset replicas — see DESIGN.md for the\n"
+  std::cout << "(synthetic dataset replicas — see docs/DATASETS.md for the\n"
                " substitution rationale; shapes and orderings are the\n"
                " reproduction target, not absolute values)\n";
   std::cout << "==============================================================\n\n";
@@ -95,6 +95,15 @@ inline void finish(const Table& table, const BenchOptions& opt) {
 inline std::string fmt_or_oom(const eval::Outcome& out, double value,
                               int precision = 2) {
   return out.out_of_memory ? "OOM" : Table::fmt(value, precision);
+}
+
+/// Wraps a cell value in parentheses. (Building the string in place also
+/// sidesteps GCC 12's -Wrestrict false positive on `"(" + s + ")"`,
+/// gcc bug 105651.)
+inline std::string parens(std::string s) {
+  s.insert(s.begin(), '(');
+  s.push_back(')');
+  return s;
 }
 
 }  // namespace snaple::bench

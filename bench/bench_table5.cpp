@@ -62,12 +62,12 @@ int main(int argc, char** argv) {
         table.add_row(
             {ds.name, regime.label, score_name(score),
              Table::fmt(out.recall, 3),
-             "(" + Table::fmt(out.recall / base.recall, 1) + ")",
+             bench::parens(Table::fmt(out.recall / base.recall, 1)),
              Table::fmt(out.simulated_seconds, 3),
-             "(" + Table::fmt(base.simulated_seconds /
-                                  std::max(1e-9, out.simulated_seconds),
-                              1) +
-                 ")",
+             bench::parens(
+                 Table::fmt(base.simulated_seconds /
+                                std::max(1e-9, out.simulated_seconds),
+                            1)),
              Table::fmt(out.wall_seconds, 2)});
       }
     }

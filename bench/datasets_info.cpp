@@ -1,7 +1,7 @@
 // Table 4: the datasets used in the evaluation.
 //
 // Prints the paper's dataset inventory next to the synthetic replicas this
-// repository substitutes for them (DESIGN.md §1), with the structural
+// repository substitutes for them (docs/DATASETS.md), with the structural
 // properties that matter for the reproduction: average degree and
 // clustering coefficient.
 #include <iostream>

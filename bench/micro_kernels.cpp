@@ -1,5 +1,6 @@
 // google-benchmark micro suite: the hot kernels behind the experiment
-// harnesses, plus the DESIGN.md §4 ablations (ScoreMap vs unordered_map,
+// harnesses, plus the docs/ARCHITECTURE.md ablations (ScoreMap vs
+// unordered_map,
 // greedy vs hash vertex-cuts).
 #include <benchmark/benchmark.h>
 

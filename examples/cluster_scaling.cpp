@@ -7,7 +7,7 @@
 // identical SNAPLE job, and watch simulated time fall while network
 // traffic and replication rise — the fundamental distribution trade-off
 // the paper quantifies. Also contrasts hash vs greedy vertex-cuts (the
-// PowerGraph partitioning ablation from DESIGN.md §4.1).
+// PowerGraph partitioning ablation from docs/ARCHITECTURE.md).
 #include <cstdlib>
 #include <iostream>
 

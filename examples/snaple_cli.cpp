@@ -26,6 +26,7 @@
 #include "eval/metrics.hpp"
 #include "graph/gen/datasets.hpp"
 #include "graph/io.hpp"
+#include "util/check.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -85,6 +86,8 @@ int main(int argc, char** argv) {
         config.thr_gamma = parse_limit(value_of("--thr="));
       } else if (arg.rfind("--khops=", 0) == 0) {
         config.k_hops = parse_limit(value_of("--khops="));
+        SNAPLE_CHECK_MSG(config.k_hops == 2 || config.k_hops == 3,
+                         "--khops must be 2 or 3");
       } else if (arg.rfind("--machines=", 0) == 0) {
         machines = parse_limit(value_of("--machines="));
       } else if (arg.rfind("--seed=", 0) == 0) {

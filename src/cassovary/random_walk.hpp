@@ -1,6 +1,6 @@
 // Single-machine, in-memory, multithreaded random-walk engine — our
 // from-scratch stand-in for Twitter's Cassovary library (§5.9 of the
-// paper; see DESIGN.md §1 for the substitution rationale).
+// paper; see docs/DATASETS.md for the substitution rationale).
 //
 // The paper's comparison point is personalized-PageRank approximated by
 // Monte-Carlo random walks: for each source vertex run `w` walks of depth

@@ -7,7 +7,7 @@
 // (160 cores). We reproduce the experiments on simulated clusters: the
 // engine runs on host threads but attributes work, bytes and memory to
 // the machines described here, and converts them into simulated
-// distributed time (see network_model.hpp and DESIGN.md §1/§4.5).
+// distributed time (see network_model.hpp and docs/ARCHITECTURE.md).
 #pragma once
 
 #include <cstddef>
@@ -23,7 +23,7 @@ struct MachineSpec {
   double bandwidth_bytes_per_s = 125e6;  // 1 GbE
   /// Per-machine memory budget in bytes; 0 disables memory enforcement.
   /// Experiments set this relative to their (scaled) dataset, since our
-  /// replicas are smaller than the paper's graphs (DESIGN.md §1).
+  /// replicas are smaller than the paper's graphs (docs/DATASETS.md).
   std::size_t memory_bytes = 0;
   /// Relative per-core throughput (1.0 = type-I core). Lets type-II cores
   /// differ without pretending to cycle-accuracy.

@@ -12,7 +12,7 @@
 // active workers). This is deliberately first-order: it captures exactly
 // the effects the paper measures — linear scaling in graph size, speedup
 // with machines/cores, and the communication penalty of chatty programs —
-// without pretending to cycle accuracy (DESIGN.md §4.5).
+// without pretending to cycle accuracy (docs/ARCHITECTURE.md).
 #pragma once
 
 #include <cstddef>

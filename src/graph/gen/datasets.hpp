@@ -48,7 +48,7 @@ struct DatasetSpec {
 [[nodiscard]] const DatasetSpec& dataset_spec(const std::string& name);
 
 /// Deterministically generates the replica at the given scale (vertex
-/// count = base_vertices * scale, minimum 64).
+/// count = base_vertices * scale, minimum 128).
 [[nodiscard]] CsrGraph make_dataset(const DatasetSpec& spec,
                                     double scale = 1.0,
                                     std::uint64_t seed = 42);

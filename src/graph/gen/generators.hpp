@@ -1,7 +1,7 @@
 // Synthetic graph generators.
 //
 // The paper evaluates on five public datasets (Table 4) that we cannot
-// ship; DESIGN.md §1 documents the substitution. The generators here
+// ship; docs/DATASETS.md documents the substitution. The generators here
 // control the two properties that drive removed-edge link-prediction
 // recall and GAS data-flow volume:
 //   * heavy-tailed (power-law) degree distributions — RMAT and

@@ -6,7 +6,7 @@
 // would allocate a node per candidate; this map is a flat power-of-two
 // table with linear probing that callers reset and reuse across vertices,
 // so the hot loop performs zero allocations in steady state.
-// DESIGN.md §4.3 documents the rationale; micro_kernels benchmarks it.
+// docs/ARCHITECTURE.md documents the rationale; micro_kernels benchmarks it.
 #pragma once
 
 #include <cstddef>

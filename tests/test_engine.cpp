@@ -396,8 +396,10 @@ TEST(NetworkModel, SingleMachineSkipsNetwork) {
 
 TEST(NetworkModel, RejectsMismatchedLoads) {
   std::vector<MachineLoad> loads(3);
-  EXPECT_THROW(simulate_step_time(ClusterConfig::type_i(4), loads, 1.0),
-               CheckError);
+  EXPECT_THROW(
+      static_cast<void>(simulate_step_time(ClusterConfig::type_i(4), loads,
+                                           1.0)),
+      CheckError);
 }
 
 TEST(Cluster, PresetsMatchPaperTestbed) {

@@ -173,7 +173,7 @@ TEST(Datasets, FiveSpecsInPaperOrder) {
 TEST(Datasets, LookupAcceptsBothNames) {
   EXPECT_EQ(dataset_spec("livejournal").name, "livejournal-s");
   EXPECT_EQ(dataset_spec("livejournal-s").name, "livejournal-s");
-  EXPECT_THROW(dataset_spec("facebook"), CheckError);
+  EXPECT_THROW(static_cast<void>(dataset_spec("facebook")), CheckError);
 }
 
 TEST(Datasets, ReplicaEdgeOrderingMatchesPaper) {

@@ -33,8 +33,8 @@ TEST(Combinator, LinearIsConvexCombination) {
 }
 
 TEST(Combinator, RejectsAlphaOutOfRange) {
-  EXPECT_THROW(Combinator::linear(-0.1), CheckError);
-  EXPECT_THROW(Combinator::linear(1.1), CheckError);
+  EXPECT_THROW(static_cast<void>(Combinator::linear(-0.1)), CheckError);
+  EXPECT_THROW(static_cast<void>(Combinator::linear(1.1)), CheckError);
 }
 
 TEST(Combinator, Names) {
@@ -212,7 +212,8 @@ TEST(ScoreRegistry, NamesRoundTrip) {
   for (const ScoreKind kind : all_score_kinds()) {
     EXPECT_EQ(parse_score_kind(score_name(kind)), kind);
   }
-  EXPECT_THROW(parse_score_kind("definitelyNotAScore"), CheckError);
+  EXPECT_THROW(static_cast<void>(parse_score_kind("definitelyNotAScore")),
+               CheckError);
 }
 
 TEST(ScoreRegistry, Table3Composition) {

@@ -140,7 +140,7 @@ TEST(ThreadPool, LoadBalancesSkewedWork) {
   pool.parallel_for_each(0, 2000, [&](std::size_t i) {
     volatile std::uint64_t sink = 0;
     const std::size_t reps = (i % 97 == 0) ? 20000 : 10;
-    for (std::size_t r = 0; r < reps; ++r) sink += r;
+    for (std::size_t r = 0; r < reps; ++r) sink = sink + r;
     total.fetch_add(1, std::memory_order_relaxed);
   });
   EXPECT_EQ(total.load(), 2000u);

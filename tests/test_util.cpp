@@ -372,7 +372,7 @@ TEST(FormatDuration, PaperStyle) {
 TEST(WallTimer, MeasuresForwardTime) {
   WallTimer t;
   volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GE(t.seconds(), 0.0);
   t.restart();
   EXPECT_LT(t.seconds(), 1.0);
