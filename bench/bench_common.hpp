@@ -9,8 +9,11 @@
 #pragma once
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "eval/experiment.hpp"
 #include "graph/gen/datasets.hpp"
@@ -22,6 +25,8 @@ struct BenchOptions {
   double scale = 1.0;   // multiplier on per-bench dataset scales
   bool csv = false;
   std::uint64_t seed = 42;
+  std::string json_path;     // --json=<file>: machine-readable artifact
+  std::size_t threads = 0;   // --threads=<n>: pool size, 0 = hardware
 };
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -34,8 +39,13 @@ inline BenchOptions parse_options(int argc, char** argv) {
       opt.csv = true;
     } else if (arg.rfind("--seed=", 0) == 0) {
       opt.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      opt.json_path = arg.substr(7);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      opt.threads = std::strtoull(arg.c_str() + 10, nullptr, 10);
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "options: --scale=<f> --csv --seed=<n>\n";
+      std::cout << "options: --scale=<f> --csv --json=<file> --seed=<n>"
+                   " --threads=<n>\n";
       std::exit(0);
     } else {
       std::cerr << "unknown option: " << arg << "\n";
@@ -83,13 +93,34 @@ inline std::size_t scaled_budget(const std::string& dataset_name,
   return static_cast<std::size_t>(std::max(bytes, 4e6));
 }
 
-inline void finish(const Table& table, const BenchOptions& opt) {
+inline void finish(const Table& table, const BenchOptions& opt,
+                   const std::string& table_name = "results") {
   table.print(std::cout);
   if (opt.csv) {
     std::cout << "\n--- csv ---\n";
     table.print_csv(std::cout);
   }
   std::cout << std::endl;
+  if (opt.json_path.empty()) return;
+  // Harnesses that print several tables call finish() several times; the
+  // artifact accumulates all of them and is rewritten whole each call, so
+  // the file is valid JSON after every finish.
+  static std::vector<std::pair<std::string, Table>> emitted;
+  emitted.emplace_back(table_name, table);
+  std::ofstream jf(opt.json_path);
+  if (!jf) {
+    std::cerr << "cannot write " << opt.json_path << "\n";
+    std::exit(1);
+  }
+  jf << "{\n  \"scale\": " << opt.scale << ",\n  \"seed\": " << opt.seed
+     << ",\n  \"tables\": [";
+  for (std::size_t t = 0; t < emitted.size(); ++t) {
+    jf << (t == 0 ? "\n" : ",\n") << "    {\"name\": \"" << emitted[t].first
+       << "\", \"rows\": ";
+    emitted[t].second.print_json(jf);
+    jf << '}';
+  }
+  jf << "\n  ]\n}\n";
 }
 
 inline std::string fmt_or_oom(const eval::Outcome& out, double value,

@@ -1,0 +1,167 @@
+// Ingestion throughput: the ROADMAP "real-dataset ingestion path at
+// scale" item (the paper loads twitter-rv's 1.4B edges before §5 can even
+// start).
+//
+// Generates an RMAT graph of ~4M edges × --scale, writes it as a SNAP
+// text edge list and as binary v1/v2, then times every load path:
+//
+//   text-serial     getline + istringstream through GraphBuilder (the
+//                   pre-optimization reference, kept as the stream API)
+//   text-parallel   mmap + line-aligned chunks + hand-rolled scanner +
+//                   parallel counting-sort CSR build, at several pool sizes
+//   binary-v1       legacy per-edge record stream through GraphBuilder
+//   binary-v2       bulk reads of the four CSR arrays + parallel validation
+//
+// Every path must produce a CsrGraph byte-identical to the generated one
+// (checked; a mismatch fails the run, which doubles as a CI smoke test).
+// Expected shape: text-parallel ≥4× text-serial by 8 threads (the scanner
+// alone buys most of it on one core), binary-v2 ≥10× binary-v1.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "bench_common.hpp"
+#include "graph/gen/generators.hpp"
+#include "graph/io.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace snaple;
+
+/// Times fn(), repeating fast runs (returns the best time) so smoke-scale
+/// rows are not pure noise. fn must be idempotent.
+template <typename Fn>
+double time_best(Fn&& fn, int max_reps = 3, double slow_enough_s = 0.5) {
+  double best = 1e100;
+  for (int rep = 0; rep < max_reps; ++rep) {
+    WallTimer timer;
+    fn();
+    best = std::min(best, timer.seconds());
+    if (best >= slow_enough_s) break;
+  }
+  return best;
+}
+
+bool same_graph(const CsrGraph& a, const CsrGraph& b) {
+  return a.num_vertices() == b.num_vertices() &&
+         a.num_edges() == b.num_edges() &&
+         std::equal(a.out_offsets().begin(), a.out_offsets().end(),
+                    b.out_offsets().begin()) &&
+         std::equal(a.out_targets().begin(), a.out_targets().end(),
+                    b.out_targets().begin()) &&
+         std::equal(a.in_offsets().begin(), a.in_offsets().end(),
+                    b.in_offsets().begin()) &&
+         std::equal(a.in_sources().begin(), a.in_sources().end(),
+                    b.in_sources().begin());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_options(argc, argv);
+  bench::print_header(
+      "— (ROADMAP: billion-edge ingestion; no paper figure)",
+      "edge-list load throughput: serial vs parallel text parse, binary "
+      "v1 vs v2");
+
+  const auto target_edges =
+      static_cast<EdgeIndex>(4'000'000 * opt.scale);
+  gen::RmatParams params;
+  params.edges = std::max<EdgeIndex>(target_edges, 10'000);
+  params.scale = 2;
+  while ((EdgeIndex{1} << params.scale) * 16 < params.edges) ++params.scale;
+  std::cout << "generating rmat graph (~" << params.edges << " edges)...\n";
+  const CsrGraph graph = gen::rmat(params, opt.seed);
+  std::cout << "graph: " << graph.num_vertices() << " vertices, "
+            << graph.num_edges() << " edges\n\n";
+
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("snaple-ingest-" + std::to_string(static_cast<unsigned long long>(
+                              opt.seed ^ graph.num_edges())));
+  fs::create_directories(dir);
+  const std::string text_path = (dir / "graph.txt").string();
+  const std::string v1_path = (dir / "graph.v1.bin").string();
+  const std::string v2_path = (dir / "graph.v2.bin").string();
+  save_edge_list_text_file(graph, text_path);
+  save_binary_v1_file(graph, v1_path);
+  save_binary_file(graph, v2_path);
+
+  Table table({"path", "threads", "file MB", "load s", "MB/s", "Medges/s",
+               "speedup"});
+  const auto edges_m = static_cast<double>(graph.num_edges()) / 1e6;
+  bool all_identical = true;
+
+  const auto add_row = [&](const std::string& name, std::size_t threads,
+                           const std::string& file, double seconds,
+                           double baseline_s) {
+    const auto mb = static_cast<double>(fs::file_size(file)) / 1e6;
+    table.add_row({name, std::to_string(threads), Table::fmt(mb, 1),
+                   Table::fmt(seconds, 3), Table::fmt(mb / seconds, 1),
+                   Table::fmt(edges_m / seconds, 2),
+                   baseline_s > 0.0 ? Table::fmt(baseline_s / seconds, 2)
+                                    : "1.00"});
+  };
+
+  // --- text-serial: the reference stream loader ---
+  CsrGraph loaded;
+  const double text_serial_s = time_best([&] {
+    std::ifstream in(text_path);
+    loaded = load_edge_list_text(in);
+  });
+  all_identical &= same_graph(graph, loaded);
+  add_row("text-serial", 1, text_path, text_serial_s, 0.0);
+
+  // --- text-parallel at several pool sizes (slot counts) ---
+  for (const std::size_t threads : {2ul, 4ul, 8ul}) {
+    ThreadPool pool(threads - 1);  // + the calling thread
+    const double s = time_best(
+        [&] { loaded = load_edge_list_text_file(text_path, false, &pool); });
+    all_identical &= same_graph(graph, loaded);
+    add_row("text-parallel", pool.slot_count(), text_path, s, text_serial_s);
+  }
+  {
+    // Default pool (hardware concurrency, or --threads=<n>).
+    std::unique_ptr<ThreadPool> own;
+    ThreadPool* pool = nullptr;
+    if (opt.threads > 1) {
+      own = std::make_unique<ThreadPool>(opt.threads - 1);
+      pool = own.get();
+    }
+    const std::size_t slots =
+        pool != nullptr ? pool->slot_count() : default_pool().slot_count();
+    const double s = time_best(
+        [&] { loaded = load_edge_list_text_file(text_path, false, pool); });
+    all_identical &= same_graph(graph, loaded);
+    add_row("text-parallel", slots, text_path, s, text_serial_s);
+  }
+
+  // --- binary v1 (legacy per-edge records) vs v2 (bulk CSR arrays) ---
+  const double v1_s =
+      time_best([&] { loaded = load_binary_file(v1_path); });
+  all_identical &= same_graph(graph, loaded);
+  add_row("binary-v1", 1, v1_path, v1_s, 0.0);
+
+  const double v2_s =
+      time_best([&] { loaded = load_binary_file(v2_path); });
+  all_identical &= same_graph(graph, loaded);
+  add_row("binary-v2", default_pool().slot_count(), v2_path, v2_s, v1_s);
+
+  bench::finish(table, opt, "ingest");
+
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+
+  if (!all_identical) {
+    std::cerr << "FAIL: a load path produced a different graph\n";
+    return 1;
+  }
+  std::cout << "all load paths produced identical graphs\n";
+  return 0;
+}

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Diff a bench --json artifact against a committed baseline.
+
+Supports two artifact shapes:
+  * snaple harness JSON (bench_common.hpp --json=<file>):
+      {"scale": ..., "seed": ..., "tables": [{"name": ..., "rows": [...]}]}
+    Rows are keyed by the concatenation of their non-numeric cells; every
+    shared numeric column is compared.
+  * Google Benchmark JSON (micro_kernels --benchmark_out=<file>
+    --benchmark_out_format=json): benchmarks are keyed by "name" and
+    compared on real_time (lower is better) and items_per_second /
+    bytes_per_second (higher is better).
+
+Direction is inferred from the column name: throughput-ish columns
+("MB/s", "Medges/s", "per_second", "speedup", "recall") must not drop,
+time-ish columns ("s", "seconds", "time", "wall") must not grow; other
+numeric columns are reported but never judged.
+
+Default mode only reports (exit 0 unless artifacts are malformed or rows
+disappeared); --enforce turns threshold violations into exit 1 so a later
+PR can flip CI to enforcing. The default threshold is deliberately
+generous (3x) — bench numbers recorded on one machine are compared on
+another.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+HIGHER_BETTER = ("mb/s", "medges/s", "per_second", "speedup", "recall",
+                 "items", "bytes_per")
+LOWER_BETTER = ("load s", "time", "wall", "seconds", "real_time",
+                "cpu_time", "sim")
+
+
+def direction(column):
+    """+1 higher-is-better, -1 lower-is-better, 0 informational."""
+    c = column.lower()
+    if any(k in c for k in HIGHER_BETTER):
+        return 1
+    if any(k in c for k in LOWER_BETTER):
+        return -1
+    return 0
+
+
+def rows_from_artifact(doc):
+    """Yields (row_key, {column: number})."""
+    if "benchmarks" in doc:  # Google Benchmark format
+        for b in doc.get("benchmarks", []):
+            metrics = {
+                k: v
+                for k, v in b.items()
+                if isinstance(v, (int, float)) and not isinstance(v, bool)
+            }
+            yield b.get("name", "?"), metrics
+        return
+    for table in doc.get("tables", []):
+        for row in table.get("rows", []):
+            label_bits = [table.get("name", "?")]
+            metrics = {}
+            for col, val in row.items():
+                if isinstance(val, bool):
+                    continue
+                if isinstance(val, (int, float)):
+                    metrics[col] = val
+                else:
+                    label_bits.append(str(val))
+            yield " | ".join(label_bits), metrics
+
+
+def load(path):
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"error: cannot read {path}: {exc}")
+    merged = {}
+    for key, metrics in rows_from_artifact(doc):
+        # Duplicate keys (e.g. several text-parallel rows) get suffixes so
+        # both stay comparable.
+        base, n = key, 2
+        while key in merged:
+            key = f"{base} #{n}"
+            n += 1
+        merged[key] = metrics
+    return merged
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("current", help="freshly produced --json artifact")
+    ap.add_argument("baseline", help="committed baseline JSON")
+    ap.add_argument("--threshold", type=float, default=3.0,
+                    help="max allowed worsening ratio (default 3.0)")
+    ap.add_argument("--enforce", action="store_true",
+                    help="exit 1 on threshold violations (default: report)")
+    args = ap.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+
+    missing = sorted(set(baseline) - set(current))
+    violations = []
+    compared = 0
+
+    for key in sorted(set(baseline) & set(current)):
+        for col in sorted(set(baseline[key]) & set(current[key])):
+            sign = direction(col)
+            if sign == 0:
+                continue
+            base, cur = baseline[key][col], current[key][col]
+            if not all(math.isfinite(x) for x in (base, cur)) or base == 0:
+                continue
+            compared += 1
+            # ratio > 1 means "worse by that factor" in either direction.
+            ratio = (base / cur) if sign > 0 else (cur / base)
+            marker = ""
+            if ratio > args.threshold:
+                marker = "  <-- REGRESSION"
+                violations.append((key, col, base, cur, ratio))
+            print(f"{key} :: {col}: baseline={base:g} current={cur:g} "
+                  f"worse-by={ratio:.2f}x{marker}")
+
+    for key in missing:
+        print(f"{key}: present in baseline, missing from current run")
+
+    print(f"\ncompared {compared} metrics, {len(violations)} beyond "
+          f"{args.threshold:.1f}x threshold, {len(missing)} missing rows")
+    if missing:
+        sys.exit("error: baseline rows disappeared from the artifact")
+    if violations and args.enforce:
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -13,12 +13,23 @@
 //   --eval              hide one edge per vertex first and report recall
 //   --seed=<n>          RNG seed                      [1]
 //   --out=<file>        write "u: z1 z2 ..." lines    [stdout]
+//   --threads=<n>       loader thread count           [hardware]
+//   --convert=<file>    write input as binary v2 and exit
+//   --save-bin=<file>   also write loaded graph as binary v2
+//
+// Input files may be SNAP-style text edge lists (loaded with the
+// parallel mmap loader) or snaple binary graphs (v1 or v2, autodetected
+// by magic) — convert a big text file once with --convert and every
+// later run loads the CSR arrays directly.
 //
 // Examples:
 //   ./snaple_cli livejournal --eval --klocal=40
 //   ./snaple_cli soc-pokec.txt --score=counter --machines=8 --type2
+//   ./snaple_cli twitter_rv.net --convert=twitter.bin
+//   ./snaple_cli twitter.bin --eval
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "core/predictor.hpp"
@@ -27,6 +38,7 @@
 #include "graph/gen/datasets.hpp"
 #include "graph/io.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -40,12 +52,21 @@ bool file_exists(const std::string& path) {
   return std::ifstream(path).good();
 }
 
+/// True if the file starts with a snaple binary-graph magic ("SNAPLEG?").
+bool is_binary_graph(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  char magic[7] = {};
+  in.read(magic, sizeof(magic));
+  return in && std::string(magic, sizeof(magic)) == "SNAPLEG";
+}
+
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " <edge-list-file | gowalla|pokec|orkut|livejournal|twitter>"
                " [--symmetrize] [--score=NAME] [--k=N] [--klocal=N|inf]"
                " [--thr=N|inf] [--khops=2|3] [--machines=N] [--type2]"
-               " [--eval] [--seed=N] [--out=FILE]\n";
+               " [--eval] [--seed=N] [--out=FILE] [--threads=N]"
+               " [--convert=FILE] [--save-bin=FILE]\n";
   return 2;
 }
 
@@ -60,7 +81,10 @@ int main(int argc, char** argv) {
   bool type2 = false;
   bool evaluate = false;
   std::size_t machines = 1;
+  std::size_t threads = 0;
   std::string out_path;
+  std::string convert_path;
+  std::string save_bin_path;
   SnapleConfig config;
   config.k_local = 20;
 
@@ -94,6 +118,12 @@ int main(int argc, char** argv) {
         config.seed = std::strtoull(value_of("--seed=").c_str(), nullptr, 10);
       } else if (arg.rfind("--out=", 0) == 0) {
         out_path = value_of("--out=");
+      } else if (arg.rfind("--threads=", 0) == 0) {
+        threads = parse_limit(value_of("--threads="));
+      } else if (arg.rfind("--convert=", 0) == 0) {
+        convert_path = value_of("--convert=");
+      } else if (arg.rfind("--save-bin=", 0) == 0) {
+        save_bin_path = value_of("--save-bin=");
       } else {
         std::cerr << "unknown option: " << arg << "\n";
         return usage(argv[0]);
@@ -104,11 +134,38 @@ int main(int argc, char** argv) {
     }
   }
 
+  // A dedicated pool when --threads is given; the default pool otherwise.
+  std::unique_ptr<ThreadPool> own_pool;
+  ThreadPool* pool = nullptr;
+  if (threads > 1 && threads != kUnlimited) {
+    own_pool = std::make_unique<ThreadPool>(threads - 1);
+    pool = own_pool.get();
+  }
+
   CsrGraph graph;
+  WallTimer load_timer;
   try {
     if (file_exists(input)) {
-      std::cerr << "loading edge list " << input << "...\n";
-      graph = load_edge_list_text_file(input, symmetrize);
+      if (is_binary_graph(input)) {
+        if (symmetrize) {
+          // Binary graphs are finished CSRs; silently ignoring the flag
+          // would evaluate on a graph the user did not ask for.
+          std::cerr << "--symmetrize does not apply to binary graphs; "
+                       "symmetrize when converting the text file instead\n";
+          return 2;
+        }
+        std::cerr << "loading binary graph " << input << "...\n";
+        graph = load_binary_file(input);
+      } else if (threads == 1) {
+        // An explicit --threads=1 means truly serial: use the reference
+        // stream loader rather than the chunked parallel one.
+        std::cerr << "loading edge list " << input << " (serial)...\n";
+        std::ifstream in(input);
+        graph = load_edge_list_text(in, symmetrize);
+      } else {
+        std::cerr << "loading edge list " << input << "...\n";
+        graph = load_edge_list_text_file(input, symmetrize, pool);
+      }
     } else {
       std::cerr << "generating replica " << input << "...\n";
       graph = gen::load_or_generate(input, 0.25, config.seed);
@@ -118,7 +175,21 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cerr << "graph: " << graph.num_vertices() << " vertices, "
-            << graph.num_edges() << " edges\n";
+            << graph.num_edges() << " edges (loaded in "
+            << format_duration(load_timer.seconds()) << ")\n";
+
+  const std::string bin_out =
+      !convert_path.empty() ? convert_path : save_bin_path;
+  if (!bin_out.empty()) {
+    try {
+      save_binary_file(graph, bin_out);
+      std::cerr << "wrote binary v2 graph to " << bin_out << "\n";
+    } catch (const IoError& e) {
+      std::cerr << "cannot write '" << bin_out << "': " << e.what() << "\n";
+      return 1;
+    }
+    if (!convert_path.empty()) return 0;  // conversion-only run
+  }
 
   std::vector<Edge> hidden;
   if (evaluate) {

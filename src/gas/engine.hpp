@@ -39,7 +39,6 @@
 #pragma once
 
 #include <algorithm>
-#include <array>
 #include <cstddef>
 #include <functional>
 #include <string>
@@ -146,7 +145,10 @@ class Engine {
 
     struct WorkerState {
       Acc acc{};
-      std::array<std::size_t, 64> partial_bytes{};
+      // Sized from the partitioning, not a fixed cap: the only machine
+      // limit left is ReplicaSet's 64-bit mask, asserted where
+      // Partitioning is constructed.
+      std::vector<std::size_t> partial_bytes;
       std::vector<MachineId> touched;
       std::vector<MachineLoad> loads;
       std::vector<std::size_t> acc_bytes;  // accumulator memory per machine
@@ -157,6 +159,7 @@ class Engine {
     };
     std::vector<WorkerState> workers(slots);
     for (auto& w : workers) {
+      w.partial_bytes.assign(machines, 0);
       w.loads.resize(machines);
       w.acc_bytes.assign(machines, 0);
       w.touched.reserve(machines);

@@ -1,61 +1,224 @@
 #include "graph/builder.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <span>
 #include <utility>
+
+#include "util/thread_pool.hpp"
 
 namespace snaple {
 
+namespace {
+
+// Block size for bandwidth-bound passes over edge arrays: big enough to
+// amortize the per-block std::function call, small enough to balance.
+constexpr std::size_t kEdgeBlock = 1 << 15;
+
+}  // namespace
+
 void GraphBuilder::add_edge(VertexId src, VertexId dst) {
   if (src == dst) return;
+  // Id 0xffffffff is unusable: the vertex count (max id + 1) must itself
+  // fit VertexId, and silently wrapping it to 0 would corrupt the build.
+  SNAPLE_CHECK_MSG(std::max(src, dst) < 0xffffffffu,
+                   "vertex id 0xffffffff exceeds the 32-bit id space");
   num_vertices_ = std::max({num_vertices_, static_cast<VertexId>(src + 1),
                             static_cast<VertexId>(dst + 1)});
   edges_.push_back({src, dst});
 }
 
-void GraphBuilder::symmetrize() {
-  const std::size_t n = edges_.size();
-  edges_.reserve(n * 2);
-  for (std::size_t i = 0; i < n; ++i) {
-    edges_.push_back({edges_[i].dst, edges_[i].src});
-  }
+void GraphBuilder::add_edge_block(std::vector<Edge>&& block) {
+  if (block.empty()) return;
+  blocks_.push_back(std::move(block));
 }
 
-CsrGraph GraphBuilder::build() {
-  std::vector<Edge> edges = std::move(edges_);
-  edges_.clear();
+CsrGraph GraphBuilder::build(ThreadPool* pool) {
+  ThreadPool& tp = pool != nullptr ? *pool : default_pool();
 
-  std::sort(edges.begin(), edges.end());
-  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  // Every collected edge range, as spans so the passes below are uniform.
+  std::vector<std::span<const Edge>> shards;
+  shards.reserve(blocks_.size() + 1);
+  if (!edges_.empty()) shards.emplace_back(edges_);
+  for (const auto& b : blocks_) shards.emplace_back(b);
 
+  // Vertex count: the add_edge/declare_vertices watermark, raised by a
+  // parallel max-scan over the bulk blocks (self-loops never contribute,
+  // matching add_edge, which drops them before looking at the ids). The
+  // scan runs in 64 bits so id 0xffffffff is caught, not wrapped to 0.
+  std::atomic<std::uint64_t> max_n{num_vertices_};
+  for (const auto& b : blocks_) {
+    tp.parallel_blocks(
+        0, b.size(),
+        [&](std::size_t lo, std::size_t hi, std::size_t) {
+          std::uint64_t local = 0;
+          for (std::size_t i = lo; i < hi; ++i) {
+            const Edge& e = b[i];
+            if (e.src == e.dst) continue;
+            local = std::max({local, std::uint64_t{e.src} + 1,
+                              std::uint64_t{e.dst} + 1});
+          }
+          std::uint64_t seen = max_n.load(std::memory_order_relaxed);
+          while (local > seen &&
+                 !max_n.compare_exchange_weak(seen, local,
+                                              std::memory_order_relaxed)) {
+          }
+        },
+        kEdgeBlock);
+  }
+  const std::uint64_t v64 = max_n.load(std::memory_order_relaxed);
+  SNAPLE_CHECK_MSG(v64 <= 0xffffffffULL,
+                   "vertex id 0xffffffff exceeds the 32-bit id space");
+  const auto v_count = static_cast<VertexId>(v64);
+
+  // 1. Parallel out-degree histogram. u32 per row: a single source would
+  // need > 2^32 raw edges to overflow, beyond the 32-bit id universe.
+  std::vector<std::atomic<std::uint32_t>> counts(v_count);
+  for (const auto& shard : shards) {
+    tp.parallel_blocks(
+        0, shard.size(),
+        [&](std::size_t lo, std::size_t hi, std::size_t) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            const Edge& e = shard[i];
+            if (e.src == e.dst) continue;
+            counts[e.src].fetch_add(1, std::memory_order_relaxed);
+            if (mirror_) counts[e.dst].fetch_add(1, std::memory_order_relaxed);
+          }
+        },
+        kEdgeBlock);
+  }
+
+  // 2. Prefix-sum offsets; reset the counters for reuse as scatter cursors.
+  std::vector<EdgeIndex> raw_offsets(static_cast<std::size_t>(v_count) + 1, 0);
+  for (VertexId u = 0; u < v_count; ++u) {
+    raw_offsets[u + 1] =
+        raw_offsets[u] + counts[u].load(std::memory_order_relaxed);
+    counts[u].store(0, std::memory_order_relaxed);
+  }
+  const EdgeIndex raw_edges = raw_offsets[v_count];
+
+  // 3. Parallel scatter of targets into per-source segments (order within
+  // a segment is nondeterministic; the per-row sort below fixes that).
+  std::vector<VertexId> raw_targets(raw_edges);
+  for (const auto& shard : shards) {
+    tp.parallel_blocks(
+        0, shard.size(),
+        [&](std::size_t lo, std::size_t hi, std::size_t) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            const Edge& e = shard[i];
+            if (e.src == e.dst) continue;
+            raw_targets[raw_offsets[e.src] +
+                        counts[e.src].fetch_add(
+                            1, std::memory_order_relaxed)] = e.dst;
+            if (mirror_) {
+              raw_targets[raw_offsets[e.dst] +
+                          counts[e.dst].fetch_add(
+                              1, std::memory_order_relaxed)] = e.src;
+            }
+          }
+        },
+        kEdgeBlock);
+  }
+
+  // The raw edge list is no longer needed — free it before the sort phase
+  // so peak memory stays bounded.
+  std::vector<Edge>().swap(edges_);
+  std::vector<std::vector<Edge>>().swap(blocks_);
+
+  // 4. Per-row sort + dedup count (stored back into the counters; each
+  // row is owned by exactly one block iteration, so plain stores suffice).
+  tp.parallel_blocks(
+      0, v_count,
+      [&](std::size_t ub, std::size_t ue, std::size_t) {
+        for (std::size_t u = ub; u < ue; ++u) {
+          const auto row_begin = raw_targets.begin() +
+                                 static_cast<std::ptrdiff_t>(raw_offsets[u]);
+          const auto row_end = raw_targets.begin() +
+                               static_cast<std::ptrdiff_t>(raw_offsets[u + 1]);
+          std::sort(row_begin, row_end);
+          const auto unique_end = std::unique(row_begin, row_end);
+          counts[u].store(
+              static_cast<std::uint32_t>(unique_end - row_begin),
+              std::memory_order_relaxed);
+        }
+      },
+      /*min_block=*/1024);
+
+  // 5. Compact into the final out-CSR.
   CsrGraph g;
-  const VertexId v_count = num_vertices_;
-  const EdgeIndex e_count = edges.size();
-
-  g.out_offsets_.assign(v_count + 1, 0);
+  g.out_offsets_.assign(static_cast<std::size_t>(v_count) + 1, 0);
+  for (VertexId u = 0; u < v_count; ++u) {
+    g.out_offsets_[u + 1] =
+        g.out_offsets_[u] + counts[u].load(std::memory_order_relaxed);
+  }
+  const EdgeIndex e_count = g.out_offsets_[v_count];
   g.out_targets_.resize(e_count);
-  for (const auto& e : edges) ++g.out_offsets_[e.src + 1];
-  for (VertexId u = 0; u < v_count; ++u) {
-    g.out_offsets_[u + 1] += g.out_offsets_[u];
-  }
-  for (EdgeIndex i = 0; i < e_count; ++i) {
-    g.out_targets_[i] = edges[i].dst;  // edges are sorted by (src, dst)
-  }
+  tp.parallel_blocks(
+      0, v_count,
+      [&](std::size_t ub, std::size_t ue, std::size_t) {
+        for (std::size_t u = ub; u < ue; ++u) {
+          const std::uint32_t deg = counts[u].load(std::memory_order_relaxed);
+          std::copy_n(raw_targets.begin() +
+                          static_cast<std::ptrdiff_t>(raw_offsets[u]),
+                      deg,
+                      g.out_targets_.begin() +
+                          static_cast<std::ptrdiff_t>(g.out_offsets_[u]));
+          counts[u].store(0, std::memory_order_relaxed);  // reuse for in-CSR
+        }
+      },
+      /*min_block=*/1024);
+  std::vector<VertexId>().swap(raw_targets);
+  std::vector<EdgeIndex>().swap(raw_offsets);
 
-  // In-adjacency by counting sort over targets; rows come out sorted by
-  // source because we scan edges in (src, dst) order.
-  g.in_offsets_.assign(v_count + 1, 0);
-  g.in_sources_.resize(e_count);
-  for (const auto& e : edges) ++g.in_offsets_[e.dst + 1];
+  // 6. In-adjacency by the same counting sort over targets. Sources per
+  // target are unique (the out-CSR is deduplicated), so no dedup pass.
+  tp.parallel_blocks(
+      0, v_count,
+      [&](std::size_t ub, std::size_t ue, std::size_t) {
+        for (std::size_t u = ub; u < ue; ++u) {
+          for (EdgeIndex i = g.out_offsets_[u]; i < g.out_offsets_[u + 1];
+               ++i) {
+            counts[g.out_targets_[i]].fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      },
+      /*min_block=*/1024);
+  g.in_offsets_.assign(static_cast<std::size_t>(v_count) + 1, 0);
   for (VertexId u = 0; u < v_count; ++u) {
-    g.in_offsets_[u + 1] += g.in_offsets_[u];
+    g.in_offsets_[u + 1] =
+        g.in_offsets_[u] + counts[u].load(std::memory_order_relaxed);
+    counts[u].store(0, std::memory_order_relaxed);
   }
-  std::vector<EdgeIndex> cursor(g.in_offsets_.begin(),
-                                g.in_offsets_.end() - 1);
-  for (const auto& e : edges) {
-    g.in_sources_[cursor[e.dst]++] = e.src;
-  }
+  g.in_sources_.resize(e_count);
+  tp.parallel_blocks(
+      0, v_count,
+      [&](std::size_t ub, std::size_t ue, std::size_t) {
+        for (std::size_t u = ub; u < ue; ++u) {
+          for (EdgeIndex i = g.out_offsets_[u]; i < g.out_offsets_[u + 1];
+               ++i) {
+            const VertexId v = g.out_targets_[i];
+            g.in_sources_[g.in_offsets_[v] +
+                          counts[v].fetch_add(1, std::memory_order_relaxed)] =
+                static_cast<VertexId>(u);
+          }
+        }
+      },
+      /*min_block=*/1024);
+  tp.parallel_blocks(
+      0, v_count,
+      [&](std::size_t ub, std::size_t ue, std::size_t) {
+        for (std::size_t u = ub; u < ue; ++u) {
+          std::sort(g.in_sources_.begin() +
+                        static_cast<std::ptrdiff_t>(g.in_offsets_[u]),
+                    g.in_sources_.begin() +
+                        static_cast<std::ptrdiff_t>(g.in_offsets_[u + 1]));
+        }
+      },
+      /*min_block=*/1024);
 
   num_vertices_ = 0;
+  mirror_ = false;
   return g;
 }
 

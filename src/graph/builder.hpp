@@ -4,6 +4,13 @@
 // prediction — a vertex is never its own candidate), and can symmetrize,
 // which is how the paper converts the undirected gowalla / orkut datasets:
 // "We transform them into directed by duplicating edges on both directions."
+//
+// build() is a parallel counting sort by source (degree histogram →
+// prefix-sum offsets → scatter → per-row sort/dedup), not a global
+// std::sort: on a pool with W slots every O(E) pass scales with W, which
+// is what makes billion-edge ingestion practical. The result is
+// deterministic — identical for any worker count, and identical to what
+// the old global-sort build produced.
 #pragma once
 
 #include <vector>
@@ -12,6 +19,8 @@
 #include "graph/types.hpp"
 
 namespace snaple {
+
+class ThreadPool;
 
 class GraphBuilder {
  public:
@@ -43,23 +52,38 @@ class GraphBuilder {
     for (const auto& e : edges) add_edge(e.src, e.dst);
   }
 
-  /// Ensures every collected edge also exists in the reverse direction.
-  void symmetrize();
+  /// Takes ownership of a whole edge block without copying — the fast
+  /// path for parallel loaders, which hand over one block per parse
+  /// worker. Self-loops in the block are dropped at build(); the vertex
+  /// count grows to cover every non-self-loop endpoint (also at build(),
+  /// via a parallel scan).
+  void add_edge_block(std::vector<Edge>&& block);
+
+  /// Ensures every collected edge — including ones added after this call,
+  /// up to build() — also exists in the reverse direction. Implemented as
+  /// a build-time double scatter, so no mirrored edge list is ever
+  /// materialized.
+  void symmetrize() { mirror_ = true; }
 
   [[nodiscard]] VertexId num_vertices() const noexcept {
     return num_vertices_;
   }
   [[nodiscard]] std::size_t pending_edges() const noexcept {
-    return edges_.size();
+    std::size_t n = edges_.size();
+    for (const auto& b : blocks_) n += b.size();
+    return n;
   }
 
-  /// Builds the CSR graph (sorting + deduplicating edges). The builder is
-  /// left empty and reusable.
-  [[nodiscard]] CsrGraph build();
+  /// Builds the CSR graph (parallel counting sort + per-row dedup on
+  /// `pool`, the process-default pool when null). The builder is left
+  /// empty and reusable. Output is deterministic regardless of pool size.
+  [[nodiscard]] CsrGraph build(ThreadPool* pool = nullptr);
 
  private:
   VertexId num_vertices_ = 0;
+  bool mirror_ = false;
   std::vector<Edge> edges_;
+  std::vector<std::vector<Edge>> blocks_;
 };
 
 }  // namespace snaple

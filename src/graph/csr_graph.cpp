@@ -1,8 +1,113 @@
 #include "graph/csr_graph.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "util/thread_pool.hpp"
 
 namespace snaple {
+
+namespace {
+
+/// Offset-array shape checks: size V+1, starts at 0, monotone, ends at E.
+void check_offsets(const std::vector<EdgeIndex>& offsets,
+                   std::size_t num_values, const char* what) {
+  SNAPLE_CHECK_MSG(!offsets.empty(), std::string(what) + " offsets empty");
+  SNAPLE_CHECK_MSG(offsets.front() == 0,
+                   std::string(what) + " offsets must start at 0");
+  for (std::size_t u = 0; u + 1 < offsets.size(); ++u) {
+    SNAPLE_CHECK_MSG(offsets[u] <= offsets[u + 1],
+                     std::string(what) + " offsets must be monotone");
+  }
+  SNAPLE_CHECK_MSG(offsets.back() == num_values,
+                   std::string(what) + " offsets must end at the edge count");
+}
+
+/// Parallel per-row check: ids in range, rows strictly ascending (sorted,
+/// deduplicated) — the invariants binary-search lookups depend on.
+void check_rows(ThreadPool& pool, const std::vector<EdgeIndex>& offsets,
+                const std::vector<VertexId>& values, VertexId num_vertices,
+                const char* what) {
+  std::atomic<bool> bad{false};
+  pool.parallel_blocks(
+      0, offsets.size() - 1,
+      [&](std::size_t ub, std::size_t ue, std::size_t) {
+        for (std::size_t u = ub; u < ue; ++u) {
+          for (EdgeIndex i = offsets[u]; i < offsets[u + 1]; ++i) {
+            if (values[i] >= num_vertices ||
+                (i > offsets[u] && values[i - 1] >= values[i])) {
+              bad.store(true, std::memory_order_relaxed);
+              return;
+            }
+          }
+        }
+      },
+      /*min_block=*/4096);
+  SNAPLE_CHECK_MSG(!bad.load(),
+                   std::string(what) +
+                       " rows must hold in-range, strictly ascending ids");
+}
+
+}  // namespace
+
+CsrGraph CsrGraph::from_parts(std::vector<EdgeIndex> out_offsets,
+                              std::vector<VertexId> out_targets,
+                              std::vector<EdgeIndex> in_offsets,
+                              std::vector<VertexId> in_sources,
+                              ThreadPool* pool) {
+  ThreadPool& tp = pool != nullptr ? *pool : default_pool();
+  check_offsets(out_offsets, out_targets.size(), "out");
+  check_offsets(in_offsets, in_sources.size(), "in");
+  SNAPLE_CHECK_MSG(out_offsets.size() == in_offsets.size(),
+                   "out/in offset arrays must describe the same vertex set");
+  SNAPLE_CHECK_MSG(out_targets.size() == in_sources.size(),
+                   "out/in adjacency must hold the same edge count");
+  const auto n = static_cast<VertexId>(out_offsets.size() - 1);
+  check_rows(tp, out_offsets, out_targets, n, "out");
+  check_rows(tp, in_offsets, in_sources, n, "in");
+  // Transpose consistency: the multiset of directed edges read off the
+  // in-CSR must equal the out-CSR's. Compared via a commutative sum of
+  // per-edge hashes — one streaming O(E) pass per side instead of a
+  // binary search per edge, so it costs far less than the bulk read it
+  // guards — which catches any content mismatch with ~2^-64 failure odds
+  // (corruption detection, not a cryptographic commitment).
+  {
+    std::atomic<std::uint64_t> out_sum{0};
+    std::atomic<std::uint64_t> in_sum{0};
+    const auto hash_side = [&tp, n](const std::vector<EdgeIndex>& offsets,
+                                    const std::vector<VertexId>& values,
+                                    bool values_are_sources,
+                                    std::atomic<std::uint64_t>& sum) {
+      tp.parallel_blocks(
+          0, n,
+          [&](std::size_t ub, std::size_t ue, std::size_t) {
+            std::uint64_t local = 0;
+            for (std::size_t u = ub; u < ue; ++u) {
+              for (EdgeIndex i = offsets[u]; i < offsets[u + 1]; ++i) {
+                const auto w = static_cast<VertexId>(u);
+                const Edge e = values_are_sources ? Edge{values[i], w}
+                                                  : Edge{w, values[i]};
+                local += EdgeHash{}(e);
+              }
+            }
+            sum.fetch_add(local, std::memory_order_relaxed);
+          },
+          /*min_block=*/2048);
+    };
+    hash_side(out_offsets, out_targets, /*values_are_sources=*/false,
+              out_sum);
+    hash_side(in_offsets, in_sources, /*values_are_sources=*/true, in_sum);
+    SNAPLE_CHECK_MSG(out_sum.load() == in_sum.load(),
+                     "in-adjacency is not the transpose of out-adjacency");
+  }
+  CsrGraph g;
+  g.out_offsets_ = std::move(out_offsets);
+  g.out_targets_ = std::move(out_targets);
+  g.in_offsets_ = std::move(in_offsets);
+  g.in_sources_ = std::move(in_sources);
+  return g;
+}
 
 bool CsrGraph::has_edge(VertexId u, VertexId v) const {
   const auto nbrs = out_neighbors(u);

@@ -21,9 +21,23 @@ namespace snaple {
 
 class GraphBuilder;
 
+class ThreadPool;
+
 class CsrGraph {
  public:
   CsrGraph() = default;
+
+  /// Assembles a graph directly from its four CSR arrays — the seam for
+  /// bulk deserialization (binary format v2) and external builders, which
+  /// would otherwise round-trip every edge through GraphBuilder.
+  /// Validates the invariants the library computes on (offset shapes and
+  /// monotonicity always; per-row strictly-ascending targets and id range
+  /// with a parallel O(E) pass on `pool`, the default pool when null) and
+  /// throws CheckError on violation.
+  [[nodiscard]] static CsrGraph from_parts(
+      std::vector<EdgeIndex> out_offsets, std::vector<VertexId> out_targets,
+      std::vector<EdgeIndex> in_offsets, std::vector<VertexId> in_sources,
+      ThreadPool* pool = nullptr);
 
   [[nodiscard]] VertexId num_vertices() const noexcept {
     return static_cast<VertexId>(out_offsets_.empty()
@@ -80,6 +94,22 @@ class CsrGraph {
 
   /// Materializes the edge list in CSR order (mostly for tests and IO).
   [[nodiscard]] std::vector<Edge> edges() const;
+
+  /// The raw CSR arrays, for bulk IO (binary format v2 writes them with
+  /// single write() calls) and zero-copy inspection. Offsets have size
+  /// V+1 (or 0 on a default-constructed graph), targets/sources size E.
+  [[nodiscard]] std::span<const EdgeIndex> out_offsets() const noexcept {
+    return out_offsets_;
+  }
+  [[nodiscard]] std::span<const VertexId> out_targets() const noexcept {
+    return out_targets_;
+  }
+  [[nodiscard]] std::span<const EdgeIndex> in_offsets() const noexcept {
+    return in_offsets_;
+  }
+  [[nodiscard]] std::span<const VertexId> in_sources() const noexcept {
+    return in_sources_;
+  }
 
   /// Resident bytes of the adjacency arrays (memory accounting).
   [[nodiscard]] std::size_t memory_bytes() const noexcept {

@@ -88,6 +88,8 @@ CsrGraph load_or_generate(const std::string& name, double scale,
   std::error_code ec;
   if (std::filesystem::exists(path, ec)) {
     try {
+      // Reads either binary version: caches written before format v2
+      // existed stay valid (new entries are written as v2 below).
       return load_binary_file(path.string());
     } catch (const IoError&) {
       // Corrupt cache entry: fall through and regenerate.

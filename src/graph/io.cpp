@@ -1,18 +1,165 @@
 #include "graph/io.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <limits>
+#include <span>
 #include <sstream>
+#include <utility>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SNAPLE_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
 
 #include "graph/builder.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace snaple {
 
 namespace {
-constexpr std::array<char, 8> kMagic = {'S', 'N', 'A', 'P',
-                                        'L', 'E', 'G', '1'};
+
+constexpr std::array<char, 8> kMagicV1 = {'S', 'N', 'A', 'P',
+                                          'L', 'E', 'G', '1'};
+constexpr std::array<char, 8> kMagicV2 = {'S', 'N', 'A', 'P',
+                                          'L', 'E', 'G', '2'};
+
+// Largest usable vertex id: the vertex COUNT (max id + 1) must itself fit
+// VertexId, so id 0xffffffff is rejected — accepting it would wrap the
+// count to 0 and index the build arrays out of bounds.
+constexpr std::uint64_t kMaxId = 0xfffffffeULL;
+constexpr std::uint64_t kMaxVertices = 0xffffffffULL;
+
+// Reject absurd edge counts before resizing vectors from a (possibly
+// corrupt or truncated) header.
+constexpr std::uint64_t kMaxEdges = std::uint64_t{1} << 40;
+
+// ---------------------------------------------------------------------------
+// Text parsing — the hand-rolled scanner shared by the parallel chunks.
+// ---------------------------------------------------------------------------
+
+inline const char* skip_ws(const char* p, const char* end) {
+  while (p < end && (*p == ' ' || *p == '\t' || *p == '\r' || *p == '\v' ||
+                     *p == '\f')) {
+    ++p;
+  }
+  return p;
+}
+
+/// Scans a decimal integer the way istream's num_get does for unsigned
+/// types: an optional '+'/'-' sign ('-' negates modulo 2^64, so "-1"
+/// becomes 0xffff... and is then caught by the 32-bit id check), failing
+/// on no digits or u64 overflow (where num_get sets failbit → malformed).
+inline bool scan_u64(const char*& p, const char* end, std::uint64_t& out) {
+  bool negative = false;
+  if (p < end && (*p == '+' || *p == '-')) {
+    negative = *p == '-';
+    ++p;
+  }
+  if (p == end || *p < '0' || *p > '9') return false;
+  std::uint64_t v = 0;
+  while (p < end && *p >= '0' && *p <= '9') {
+    const auto d = static_cast<unsigned>(*p - '0');
+    if (v > (std::numeric_limits<std::uint64_t>::max() - d) / 10) {
+      return false;
+    }
+    v = v * 10 + d;
+    ++p;
+  }
+  out = negative ? std::uint64_t{0} - v : v;
+  return true;
+}
+
+enum class LineKind { kSkip, kEdge, kMalformed, kIdOverflow };
+
+/// Parses one line (newline excluded). Mirrors the serial reference
+/// loader exactly: a line is a comment iff its FIRST byte is '#' or '%',
+/// the "# snaple edge list: N vertices" header raises the declared vertex
+/// count, ids must fit 32 bits, and anything after the two ids is ignored.
+LineKind parse_line(const char* begin, const char* end, Edge& edge,
+                    std::uint64_t& declared_vertices) {
+  if (begin == end) return LineKind::kSkip;
+  if (*begin == '#' || *begin == '%') {
+    if (*begin == '#') {
+      // Comment lines are rare; copying one to get a NUL-terminated
+      // buffer for the header sscanf costs nothing overall.
+      const std::string line(begin, end);
+      unsigned long long v = 0;
+      if (std::sscanf(line.c_str(), "# snaple edge list: %llu vertices",
+                      &v) == 1 &&
+          v > 0 && v <= kMaxVertices) {
+        declared_vertices =
+            std::max(declared_vertices, static_cast<std::uint64_t>(v));
+      }
+    }
+    return LineKind::kSkip;
+  }
+  const char* p = skip_ws(begin, end);
+  std::uint64_t src = 0;
+  std::uint64_t dst = 0;
+  if (!scan_u64(p, end, src)) return LineKind::kMalformed;
+  p = skip_ws(p, end);
+  if (!scan_u64(p, end, dst)) return LineKind::kMalformed;
+  if (src > kMaxId || dst > kMaxId) return LineKind::kIdOverflow;
+  edge = {static_cast<VertexId>(src), static_cast<VertexId>(dst)};
+  return LineKind::kEdge;
+}
+
+struct ChunkResult {
+  std::vector<Edge> edges;
+  std::uint64_t declared_vertices = 0;
+  std::size_t lines = 0;             // lines started in this chunk
+  LineKind error = LineKind::kSkip;  // kSkip = no error
+  std::size_t error_line = 0;        // 1-based within the chunk
+  std::string error_text;            // offending line, for the message
+};
+
+/// Parses one line-aligned chunk; stops at the first bad line (its global
+/// line number is resolved by the caller from the preceding chunks'
+/// complete line counts).
+void parse_chunk(const char* begin, const char* end, ChunkResult& out) {
+  // ~"u v\n" with modest ids is ≥ 6 bytes/edge; reserving at a slightly
+  // optimistic ratio avoids most reallocation without overshooting.
+  out.edges.reserve(static_cast<std::size_t>(end - begin) / 8 + 4);
+  const char* p = begin;
+  while (p < end) {
+    const auto* nl = static_cast<const char*>(
+        std::memchr(p, '\n', static_cast<std::size_t>(end - p)));
+    const char* line_end = nl != nullptr ? nl : end;
+    ++out.lines;
+    Edge e{};
+    const LineKind kind = parse_line(p, line_end, e, out.declared_vertices);
+    if (kind == LineKind::kEdge) {
+      out.edges.push_back(e);
+    } else if (kind != LineKind::kSkip) {
+      out.error = kind;
+      out.error_line = out.lines;
+      out.error_text.assign(p, line_end);
+      return;
+    }
+    p = nl != nullptr ? nl + 1 : end;
+  }
+}
+
+[[noreturn]] void throw_line_error(LineKind kind, std::size_t line_no,
+                                   const std::string& text) {
+  if (kind == LineKind::kIdOverflow) {
+    throw IoError("vertex id exceeds 32 bits at line " +
+                  std::to_string(line_no));
+  }
+  throw IoError("malformed edge at line " + std::to_string(line_no) + ": '" +
+                text + "'");
+}
+
 }  // namespace
 
 CsrGraph load_edge_list_text(std::istream& in, bool symmetrize) {
@@ -28,7 +175,7 @@ CsrGraph load_edge_list_text(std::istream& in, bool symmetrize) {
       unsigned long long v = 0;
       if (std::sscanf(line.c_str(), "# snaple edge list: %llu vertices",
                       &v) == 1 &&
-          v > 0 && v <= 0xffffffffULL) {
+          v > 0 && v <= kMaxVertices) {
         builder.declare_vertices(static_cast<VertexId>(v));
       }
       continue;
@@ -40,7 +187,7 @@ CsrGraph load_edge_list_text(std::istream& in, bool symmetrize) {
       throw IoError("malformed edge at line " + std::to_string(line_no) +
                     ": '" + line + "'");
     }
-    if (src > 0xffffffffULL || dst > 0xffffffffULL) {
+    if (src > kMaxId || dst > kMaxId) {
       throw IoError("vertex id exceeds 32 bits at line " +
                     std::to_string(line_no));
     }
@@ -50,10 +197,93 @@ CsrGraph load_edge_list_text(std::istream& in, bool symmetrize) {
   return builder.build();
 }
 
-CsrGraph load_edge_list_text_file(const std::string& path, bool symmetrize) {
-  std::ifstream in(path);
+CsrGraph load_edge_list_text_buffer(const char* data, std::size_t size,
+                                    bool symmetrize, ThreadPool* pool) {
+  ThreadPool& tp = pool != nullptr ? *pool : default_pool();
+  GraphBuilder builder;
+  if (size > 0) {
+    // Chunk boundaries: nominal even splits advanced to the next line
+    // start, so no line is ever torn across workers. A pathological
+    // single-line file degenerates to one chunk.
+    constexpr std::size_t kMinChunk = std::size_t{1} << 16;
+    const std::size_t want = std::clamp<std::size_t>(
+        size / kMinChunk, std::size_t{1}, 4 * tp.slot_count());
+    std::vector<std::size_t> bounds{0};
+    for (std::size_t c = 1; c < want; ++c) {
+      const std::size_t nominal = size / want * c;
+      if (nominal <= bounds.back()) continue;
+      const auto* nl = static_cast<const char*>(
+          std::memchr(data + nominal, '\n', size - nominal));
+      if (nl == nullptr) break;
+      const auto pos = static_cast<std::size_t>(nl - data) + 1;
+      if (pos > bounds.back() && pos < size) bounds.push_back(pos);
+    }
+    bounds.push_back(size);
+
+    const std::size_t chunks = bounds.size() - 1;
+    std::vector<ChunkResult> results(chunks);
+    tp.parallel_for(
+        0, chunks,
+        [&](std::size_t c, std::size_t) {
+          parse_chunk(data + bounds[c], data + bounds[c + 1], results[c]);
+        },
+        /*grain=*/1);
+
+    // First bad line in file order wins; all chunks before it completed,
+    // so their line counts give the exact global line number.
+    std::size_t line_base = 0;
+    std::uint64_t declared = 0;
+    for (auto& r : results) {
+      if (r.error != LineKind::kSkip) {
+        throw_line_error(r.error, line_base + r.error_line, r.error_text);
+      }
+      line_base += r.lines;
+      declared = std::max(declared, r.declared_vertices);
+    }
+    if (declared > 0) builder.declare_vertices(static_cast<VertexId>(declared));
+    for (auto& r : results) builder.add_edge_block(std::move(r.edges));
+  }
+  if (symmetrize) builder.symmetrize();
+  return builder.build(&tp);
+}
+
+CsrGraph load_edge_list_text_file(const std::string& path, bool symmetrize,
+                                  ThreadPool* pool) {
+#ifdef SNAPLE_HAS_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw IoError("cannot open '" + path + "' for reading");
+  struct stat st {};
+  if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode)) {
+    const auto size = static_cast<std::size_t>(st.st_size);
+    if (size == 0) {
+      ::close(fd);
+      return load_edge_list_text_buffer(nullptr, 0, symmetrize, pool);
+    }
+    void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map != MAP_FAILED) {
+      struct Unmapper {
+        void* p;
+        std::size_t n;
+        int fd;
+        ~Unmapper() {
+          ::munmap(p, n);
+          ::close(fd);
+        }
+      } guard{map, size, fd};
+      ::madvise(map, size, MADV_SEQUENTIAL);
+      return load_edge_list_text_buffer(static_cast<const char*>(map), size,
+                                        symmetrize, pool);
+    }
+  }
+  ::close(fd);  // not a regular file or mmap failed: bulk-read below
+#endif
+  std::ifstream in(path, std::ios::binary);
   if (!in) throw IoError("cannot open '" + path + "' for reading");
-  return load_edge_list_text(in, symmetrize);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string data = std::move(buf).str();
+  return load_edge_list_text_buffer(data.data(), data.size(), symmetrize,
+                                    pool);
 }
 
 void save_edge_list_text(const CsrGraph& g, std::ostream& out) {
@@ -72,8 +302,47 @@ void save_edge_list_text_file(const CsrGraph& g, const std::string& path) {
   save_edge_list_text(g, out);
 }
 
+// ---------------------------------------------------------------------------
+// Binary format v2: magic, V, E, then the four CSR arrays verbatim.
+// ---------------------------------------------------------------------------
+
 void save_binary(const CsrGraph& g, std::ostream& out) {
-  out.write(kMagic.data(), kMagic.size());
+  out.write(kMagicV2.data(), kMagicV2.size());
+  const std::uint64_t v = g.num_vertices();
+  const std::uint64_t e = g.num_edges();
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  out.write(reinterpret_cast<const char*>(&e), sizeof(e));
+  const auto write_offsets = [&out](std::span<const EdgeIndex> s) {
+    if (s.empty()) {
+      // A default-constructed graph has no offset arrays; the format
+      // always carries V+1 entries, so emit the single 0.
+      const EdgeIndex zero = 0;
+      out.write(reinterpret_cast<const char*>(&zero), sizeof(zero));
+      return;
+    }
+    out.write(reinterpret_cast<const char*>(s.data()),
+              static_cast<std::streamsize>(s.size() * sizeof(EdgeIndex)));
+  };
+  const auto write_ids = [&out](std::span<const VertexId> s) {
+    if (s.empty()) return;
+    out.write(reinterpret_cast<const char*>(s.data()),
+              static_cast<std::streamsize>(s.size() * sizeof(VertexId)));
+  };
+  write_offsets(g.out_offsets());
+  write_ids(g.out_targets());
+  write_offsets(g.in_offsets());
+  write_ids(g.in_sources());
+  if (!out) throw IoError("write failure while saving binary graph");
+}
+
+void save_binary_file(const CsrGraph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot open '" + path + "' for writing");
+  save_binary(g, out);
+}
+
+void save_binary_v1(const CsrGraph& g, std::ostream& out) {
+  out.write(kMagicV1.data(), kMagicV1.size());
   const std::uint64_t v = g.num_vertices();
   const std::uint64_t e = g.num_edges();
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -88,32 +357,109 @@ void save_binary(const CsrGraph& g, std::ostream& out) {
   if (!out) throw IoError("write failure while saving binary graph");
 }
 
-void save_binary_file(const CsrGraph& g, const std::string& path) {
+void save_binary_v1_file(const CsrGraph& g, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw IoError("cannot open '" + path + "' for writing");
-  save_binary(g, out);
+  save_binary_v1(g, out);
 }
 
-CsrGraph load_binary(std::istream& in) {
-  std::array<char, 8> magic{};
-  in.read(magic.data(), magic.size());
-  if (!in || magic != kMagic) throw IoError("bad magic in binary graph");
+namespace {
+
+/// Where the stream is seekable, returns the bytes left after the current
+/// position (and restores the position); SIZE_MAX when unseekable.
+std::uint64_t remaining_bytes(std::istream& in) {
+  const std::istream::pos_type here = in.tellg();
+  if (here == std::istream::pos_type(-1)) return ~std::uint64_t{0};
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(here);
+  if (end == std::istream::pos_type(-1) || !in) {
+    in.clear();
+    in.seekg(here);
+    return ~std::uint64_t{0};
+  }
+  return static_cast<std::uint64_t>(end - here);
+}
+
+/// v1 payload (after the magic): per-edge reads through GraphBuilder —
+/// the compatibility path old cache files take.
+CsrGraph load_binary_v1_payload(std::istream& in) {
   std::uint64_t v = 0;
   std::uint64_t e = 0;
   in.read(reinterpret_cast<char*>(&v), sizeof(v));
   in.read(reinterpret_cast<char*>(&e), sizeof(e));
-  if (!in || v > 0xffffffffULL) throw IoError("bad binary graph header");
-  GraphBuilder builder(static_cast<VertexId>(v));
-  builder.reserve_edges(e);
-  for (std::uint64_t i = 0; i < e; ++i) {
-    VertexId src = 0;
-    VertexId dst = 0;
-    in.read(reinterpret_cast<char*>(&src), sizeof(src));
-    in.read(reinterpret_cast<char*>(&dst), sizeof(dst));
-    if (!in) throw IoError("truncated binary graph");
-    builder.add_edge(src, dst);
+  if (!in || v > kMaxVertices || e > kMaxEdges ||
+      e * (2 * sizeof(VertexId)) > remaining_bytes(in)) {
+    throw IoError("bad binary graph header");
   }
-  return builder.build();
+  try {
+    GraphBuilder builder(static_cast<VertexId>(v));
+    builder.reserve_edges(e);
+    for (std::uint64_t i = 0; i < e; ++i) {
+      VertexId src = 0;
+      VertexId dst = 0;
+      in.read(reinterpret_cast<char*>(&src), sizeof(src));
+      in.read(reinterpret_cast<char*>(&dst), sizeof(dst));
+      if (!in) throw IoError("truncated binary graph");
+      builder.add_edge(src, dst);
+    }
+    return builder.build();
+  } catch (const CheckError& err) {
+    // E.g. an edge record holding the unusable id 0xffffffff.
+    throw IoError(std::string("corrupt binary graph: ") + err.what());
+  }
+}
+
+/// v2 payload: four bulk reads straight into the CSR arrays, then the
+/// from_parts parallel validation.
+CsrGraph load_binary_v2_payload(std::istream& in) {
+  std::uint64_t v = 0;
+  std::uint64_t e = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  in.read(reinterpret_cast<char*>(&e), sizeof(e));
+  // Payload size implied by the header; checked against the actual bytes
+  // left (when seekable) so a corrupt header cannot demand terabyte
+  // allocations before the truncation is noticed.
+  const std::uint64_t payload = (v + 1) * 2 * sizeof(EdgeIndex) +
+                                e * 2 * sizeof(VertexId);
+  if (!in || v > kMaxVertices || e > kMaxEdges ||
+      payload > remaining_bytes(in)) {
+    throw IoError("bad binary graph header");
+  }
+  try {
+    std::vector<EdgeIndex> out_offsets(v + 1);
+    std::vector<VertexId> out_targets(e);
+    std::vector<EdgeIndex> in_offsets(v + 1);
+    std::vector<VertexId> in_sources(e);
+    const auto read_vec = [&in](auto& vec) {
+      if (vec.empty()) return;
+      in.read(reinterpret_cast<char*>(vec.data()),
+              static_cast<std::streamsize>(vec.size() * sizeof(vec[0])));
+    };
+    read_vec(out_offsets);
+    read_vec(out_targets);
+    read_vec(in_offsets);
+    read_vec(in_sources);
+    if (!in) throw IoError("truncated binary graph");
+    return CsrGraph::from_parts(std::move(out_offsets),
+                                std::move(out_targets), std::move(in_offsets),
+                                std::move(in_sources));
+  } catch (const CheckError& err) {
+    throw IoError(std::string("corrupt binary graph: ") + err.what());
+  } catch (const std::bad_alloc&) {
+    throw IoError("bad binary graph header (sizes exceed memory)");
+  }
+}
+
+}  // namespace
+
+CsrGraph load_binary(std::istream& in) {
+  std::array<char, 8> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in) throw IoError("bad magic in binary graph");
+  if (magic == kMagicV1) return load_binary_v1_payload(in);
+  if (magic == kMagicV2) return load_binary_v2_payload(in);
+  throw IoError("bad magic in binary graph");
 }
 
 CsrGraph load_binary_file(const std::string& path) {

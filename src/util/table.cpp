@@ -84,4 +84,73 @@ void Table::print_csv(std::ostream& os) const {
   for (const auto& row : rows_) print_row(row);
 }
 
+namespace {
+
+/// True iff `s` is a strict JSON number literal (so it can be emitted
+/// verbatim): -?int frac? exp?, no leading zeros, no inf/nan.
+bool is_json_number(const std::string& s) {
+  const char* p = s.c_str();
+  if (*p == '-') ++p;
+  if (*p < '0' || *p > '9') return false;
+  if (*p == '0' && p[1] >= '0' && p[1] <= '9') return false;
+  while (*p >= '0' && *p <= '9') ++p;
+  if (*p == '.') {
+    ++p;
+    if (*p < '0' || *p > '9') return false;
+    while (*p >= '0' && *p <= '9') ++p;
+  }
+  if (*p == 'e' || *p == 'E') {
+    ++p;
+    if (*p == '+' || *p == '-') ++p;
+    if (*p < '0' || *p > '9') return false;
+    while (*p >= '0' && *p <= '9') ++p;
+  }
+  return *p == '\0';
+}
+
+void json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(ch));
+          os << buf;
+        } else {
+          os << ch;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void Table::print_json(std::ostream& os) const {
+  os << '[';
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << (r == 0 ? "\n" : ",\n") << "  {";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c) os << ", ";
+      json_string(os, headers_[c]);
+      os << ": ";
+      const std::string& cell = rows_[r][c];
+      if (is_json_number(cell)) {
+        os << cell;
+      } else {
+        json_string(os, cell);
+      }
+    }
+    os << '}';
+  }
+  os << "\n]";
+}
+
 }  // namespace snaple

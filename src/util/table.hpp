@@ -30,6 +30,11 @@ class Table {
   /// Renders as RFC-4180-ish CSV (quotes cells containing commas/quotes).
   void print_csv(std::ostream& os) const;
 
+  /// Renders as a JSON array of row objects keyed by header. Cells that
+  /// are valid JSON number literals are emitted unquoted so downstream
+  /// tooling (bench/check_regression.py) can compare them numerically.
+  void print_json(std::ostream& os) const;
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

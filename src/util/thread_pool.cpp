@@ -120,6 +120,27 @@ void ThreadPool::parallel_for(
   }
 }
 
+void ThreadPool::parallel_blocks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
+    std::size_t min_block) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  if (min_block == 0) min_block = 1;
+  std::size_t blocks =
+      std::min((n + min_block - 1) / min_block, 8 * slot_count());
+  blocks = std::max<std::size_t>(blocks, 1);
+  parallel_for(
+      0, blocks,
+      [&](std::size_t bi, std::size_t worker) {
+        const std::size_t b = begin + n / blocks * bi + std::min(bi, n % blocks);
+        const std::size_t e =
+            begin + n / blocks * (bi + 1) + std::min(bi + 1, n % blocks);
+        if (b < e) body(b, e, worker);
+      },
+      /*grain=*/1);
+}
+
 ThreadPool& default_pool() {
   static ThreadPool pool;
   return pool;

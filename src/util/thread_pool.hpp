@@ -56,6 +56,19 @@ class ThreadPool {
         begin, end, [&](std::size_t i, std::size_t) { body(i); }, grain);
   }
 
+  /// Splits [begin, end) into contiguous blocks and runs `body(block_begin,
+  /// block_end, worker_id)` once per block across the pool. Unlike
+  /// parallel_for — which pays a std::function call per *index* — the body
+  /// here receives whole ranges, so per-element work can be a tight loop.
+  /// This is the right shape for bandwidth-bound passes over edge arrays
+  /// (histograms, scatters, bulk parsing). Blocks are sized ≥ `min_block`
+  /// (default 1) and there are at most ~8 per worker slot so skewed block
+  /// costs still balance through the pool's dynamic chunking.
+  void parallel_blocks(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
+      std::size_t min_block = 1);
+
   /// Number of worker slots (worker_count() + 1 for the caller); useful for
   /// sizing per-worker scratch vectors before calling parallel_for.
   [[nodiscard]] std::size_t slot_count() const noexcept {

@@ -1,0 +1,379 @@
+// The parallel ingestion path: chunked text parsing must match the
+// serial reference loader exactly (graphs AND error reporting), binary
+// v2 must round-trip every CSR detail, and legacy v1 files must stay
+// readable.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/gen/generators.hpp"
+#include "graph/io.hpp"
+#include "util/thread_pool.hpp"
+
+namespace snaple {
+namespace {
+
+CsrGraph parallel_load(const std::string& text, bool symmetrize = false,
+                       ThreadPool* pool = nullptr) {
+  return load_edge_list_text_buffer(text.data(), text.size(), symmetrize,
+                                    pool);
+}
+
+void expect_same_graph(const CsrGraph& a, const CsrGraph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_TRUE(std::equal(a.out_offsets().begin(), a.out_offsets().end(),
+                         b.out_offsets().begin()));
+  EXPECT_TRUE(std::equal(a.out_targets().begin(), a.out_targets().end(),
+                         b.out_targets().begin()));
+  EXPECT_TRUE(std::equal(a.in_offsets().begin(), a.in_offsets().end(),
+                         b.in_offsets().begin()));
+  EXPECT_TRUE(std::equal(a.in_sources().begin(), a.in_sources().end(),
+                         b.in_sources().begin()));
+}
+
+// ---------- parallel loader == serial reference ----------
+
+TEST(ParallelTextLoader, MatchesSerialOnGeneratedGraphs) {
+  for (const std::uint64_t seed : {1ull, 7ull, 42ull}) {
+    for (const VertexId n : {50u, 500u, 3000u}) {
+      for (const bool symmetrize : {false, true}) {
+        const CsrGraph g = gen::barabasi_albert(n, 4, seed);
+        std::stringstream ss;
+        save_edge_list_text(g, ss);
+        const std::string text = ss.str();
+
+        std::stringstream serial_in(text);
+        const CsrGraph serial = load_edge_list_text(serial_in, symmetrize);
+        const CsrGraph parallel = parallel_load(text, symmetrize);
+        expect_same_graph(serial, parallel);
+      }
+    }
+  }
+}
+
+TEST(ParallelTextLoader, DeterministicAcrossPoolSizes) {
+  const CsrGraph g = gen::rmat({.scale = 12, .edges = 40'000}, 5);
+  std::stringstream ss;
+  save_edge_list_text(g, ss);
+  const std::string text = ss.str();
+
+  const CsrGraph reference = parallel_load(text);
+  expect_same_graph(g, reference);
+  for (const std::size_t workers : {1ul, 3ul, 7ul}) {
+    ThreadPool pool(workers);
+    expect_same_graph(reference, parallel_load(text, false, &pool));
+  }
+}
+
+TEST(ParallelTextLoader, HandlesCommentsBlanksAndMissingFinalNewline) {
+  const std::string text = "# comment\n\n0 1\n% other\n1 2\n2 0";
+  const CsrGraph g = parallel_load(text);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.has_edge(2, 0));
+}
+
+TEST(ParallelTextLoader, HonorsSnapleVertexCountHeader) {
+  const CsrGraph g = parallel_load("# snaple edge list: 9 vertices\n0 1\n");
+  EXPECT_EQ(g.num_vertices(), 9u);
+  EXPECT_EQ(g.out_degree(8), 0u);
+}
+
+TEST(ParallelTextLoader, TrailingIsolatedVerticesRoundTripThroughText) {
+  GraphBuilder b(12);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  const CsrGraph g = b.build();
+  std::stringstream ss;
+  save_edge_list_text(g, ss);
+  const std::string text = ss.str();
+  expect_same_graph(g, parallel_load(text));
+}
+
+TEST(ParallelTextLoader, SymmetrizeMatchesSerial) {
+  const std::string text = "0 1\n2 1\n";
+  std::stringstream serial_in(text);
+  const CsrGraph serial = load_edge_list_text(serial_in, true);
+  const CsrGraph parallel = parallel_load(text, true);
+  expect_same_graph(serial, parallel);
+  EXPECT_TRUE(parallel.has_edge(1, 0));
+  EXPECT_TRUE(parallel.has_edge(1, 2));
+}
+
+TEST(ParallelTextLoader, ManyTinyLinesAcrossManyChunks) {
+  // Enough volume to exceed the loader's 64 KiB minimum chunk size so the
+  // buffer genuinely splits; every line must land in exactly one chunk.
+  std::string text;
+  for (VertexId u = 0; u < 60'000; ++u) {
+    text += std::to_string(u) + " " + std::to_string(u + 1) + "\n";
+  }
+  ThreadPool pool(5);
+  const CsrGraph g = parallel_load(text, false, &pool);
+  EXPECT_EQ(g.num_edges(), 60'000u);
+  EXPECT_EQ(g.num_vertices(), 60'001u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(59'999, 60'000));
+}
+
+// ---------- error reporting ----------
+
+void expect_error_at_line(const std::string& text, std::size_t line,
+                          const std::string& what_contains) {
+  // Both loaders must agree on the failing line.
+  const std::string needle = "line " + std::to_string(line);
+  try {
+    (void)parallel_load(text);
+    FAIL() << "parallel loader accepted malformed input";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find(what_contains), std::string::npos)
+        << e.what();
+  }
+  std::stringstream in(text);
+  try {
+    (void)load_edge_list_text(in);
+    FAIL() << "serial loader accepted malformed input";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ParallelTextLoader, MalformedLineNumberFirstLine) {
+  expect_error_at_line("junk\n0 1\n", 1, "malformed edge");
+}
+
+TEST(ParallelTextLoader, MalformedLineNumberMidFile) {
+  expect_error_at_line("0 1\n1 2\nnot numbers\n2 3\n", 3, "malformed edge");
+}
+
+TEST(ParallelTextLoader, MissingSecondIdIsMalformed) {
+  expect_error_at_line("0 1\n42\n", 2, "malformed edge");
+}
+
+TEST(ParallelTextLoader, IdOver32BitsReported) {
+  expect_error_at_line("0 1\n1 4294967296\n", 2, "exceeds 32 bits");
+}
+
+TEST(ParallelTextLoader, IdAtExactly32BitMaxRejected) {
+  // 0xffffffff would wrap the vertex count (max id + 1) to zero; both
+  // loaders must reject it instead of corrupting the build.
+  expect_error_at_line("0 1\n4294967295 0\n", 2, "exceeds 32 bits");
+}
+
+TEST(ParallelTextLoader, SignedIdsMatchStreamSemantics) {
+  // num_get accepts '+' and negates '-' modulo 2^64; the scanner must
+  // agree: "+1" parses, "-1" becomes huge and hits the 32-bit check.
+  const std::string plus = "+1 2\n";
+  std::stringstream serial_in(plus);
+  expect_same_graph(load_edge_list_text(serial_in), parallel_load(plus));
+  expect_error_at_line("0 1\n-1 2\n", 2, "exceeds 32 bits");
+}
+
+TEST(ParallelTextLoader, LineNumberCorrectDeepIntoChunkedFile) {
+  // Build a file large enough to split into several chunks and plant the
+  // bad line far from the start; the global line number must survive the
+  // per-chunk parse.
+  std::string text = "# snaple edge list: 70000 vertices\n";
+  const std::size_t good_lines = 65'000;
+  for (std::size_t i = 0; i < good_lines; ++i) {
+    text += std::to_string(i % 7) + " " + std::to_string(i % 6000 + 1) + "\n";
+  }
+  text += "oops\n";
+  ThreadPool pool(5);
+  try {
+    (void)load_edge_list_text_buffer(text.data(), text.size(), false, &pool);
+    FAIL() << "accepted malformed input";
+  } catch (const IoError& e) {
+    const std::string needle =
+        "line " + std::to_string(good_lines + 2);  // +1 header, 1-based
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << e.what();
+  }
+}
+
+// ---------- bulk builder API ----------
+
+TEST(GraphBuilder, EdgeBlocksMatchIncrementalAdds) {
+  GraphBuilder incremental;
+  GraphBuilder bulk;
+  std::vector<Edge> block1;
+  std::vector<Edge> block2;
+  for (VertexId u = 0; u < 200; ++u) {
+    const VertexId v = (u * 13 + 1) % 200;
+    incremental.add_edge(u, v);
+    (u % 2 == 0 ? block1 : block2).push_back({u, v});
+  }
+  bulk.add_edge_block(std::move(block1));
+  bulk.add_edge_block(std::move(block2));
+  expect_same_graph(incremental.build(), bulk.build());
+}
+
+TEST(GraphBuilder, EdgeBlocksDropSelfLoopsAndDuplicates) {
+  GraphBuilder b;
+  b.add_edge_block({{3, 3}, {1, 2}, {1, 2}, {2, 1}});
+  const CsrGraph g = b.build();
+  EXPECT_EQ(g.num_edges(), 2u);
+  // The self-loop at 3 contributes no vertex id, exactly like add_edge,
+  // which drops self-loops before looking at their endpoints.
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(2, 1));
+}
+
+TEST(GraphBuilder, SymmetrizeCoversBlockEdges) {
+  GraphBuilder b;
+  b.add_edge_block({{0, 1}, {2, 1}});
+  b.symmetrize();
+  const CsrGraph g = b.build();
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+// ---------- binary v2 ----------
+
+TEST(BinaryV2, RoundTripsGraphWithTrailingIsolatedVertices) {
+  GraphBuilder b(40);  // vertices 25..39 isolated
+  for (VertexId u = 0; u < 25; ++u) b.add_edge(u, (u + 3) % 25);
+  const CsrGraph g = b.build();
+  std::stringstream ss;
+  save_binary(g, ss);
+  expect_same_graph(g, load_binary(ss));
+}
+
+TEST(BinaryV2, RoundTripsEmptyGraph) {
+  const CsrGraph empty;
+  std::stringstream ss;
+  save_binary(empty, ss);
+  const CsrGraph back = load_binary(ss);
+  EXPECT_EQ(back.num_vertices(), 0u);
+  EXPECT_EQ(back.num_edges(), 0u);
+}
+
+TEST(BinaryV2, RejectsCorruptOffsets) {
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  const CsrGraph g = b.build();
+  std::stringstream ss;
+  save_binary(g, ss);
+  std::string data = ss.str();
+  // Corrupt the first out-offset entry (must be 0).
+  data[24] = 0x7f;
+  std::stringstream corrupted(data);
+  EXPECT_THROW((void)load_binary(corrupted), IoError);
+}
+
+TEST(BinaryV2, RejectsImplausibleHeaderWithoutAllocating) {
+  // Magic + a header demanding terabytes must fail as IoError (checked
+  // against the bytes actually present), not die in std::bad_alloc.
+  std::string bytes = "SNAPLEG2";
+  const auto push_u64 = [&bytes](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) bytes.push_back(static_cast<char>(v >> (8 * i)));
+  };
+  push_u64(4'000'000'000ULL);          // vertices
+  push_u64(std::uint64_t{1} << 39);    // edges (~4 TB of arrays)
+  std::stringstream in(bytes);
+  EXPECT_THROW((void)load_binary(in), IoError);
+}
+
+TEST(BinaryV2, RejectsInAdjacencyNotMatchingTranspose) {
+  // Tamper with one in_sources entry while keeping its row sorted and in
+  // range: the transpose-consistency pass must still catch it.
+  GraphBuilder b;
+  b.add_edge(3, 5);
+  b.add_edge(4, 5);
+  b.add_edge(0, 1);
+  const CsrGraph g = b.build();
+  std::stringstream ss;
+  save_binary(g, ss);
+  std::string data = ss.str();
+  // in_sources is the final E*4 bytes, [0, 3, 4]; rewriting the 3 to 2
+  // keeps vertex 5's row {2, 4} sorted and in range, but (2,5) is not an
+  // out-edge.
+  const std::size_t in_sources_off = data.size() - 3 * sizeof(VertexId);
+  ASSERT_EQ(static_cast<unsigned char>(data[in_sources_off + 4]), 3u);
+  data[in_sources_off + 4] = 2;
+  std::stringstream corrupted(data);
+  EXPECT_THROW((void)load_binary(corrupted), IoError);
+}
+
+TEST(BinaryV2, StreamAndFileAgree) {
+  const CsrGraph g = gen::barabasi_albert(300, 3, 9);
+  std::stringstream ss;
+  save_binary(g, ss);
+  expect_same_graph(g, load_binary(ss));
+}
+
+// ---------- binary v1 backward compatibility ----------
+
+TEST(BinaryV1, HandAuthoredFixtureStillLoads) {
+  // A v1 file built byte-by-byte, independent of save_binary_v1: proves
+  // the on-disk format (not just the current writer) stays readable.
+  // Graph: 5 vertices, edges (0,2), (1,0), (4,1).
+  std::string bytes = "SNAPLEG1";
+  const auto push_u64 = [&bytes](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) bytes.push_back(static_cast<char>(v >> (8 * i)));
+  };
+  const auto push_u32 = [&bytes](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) bytes.push_back(static_cast<char>(v >> (8 * i)));
+  };
+  push_u64(5);  // vertices
+  push_u64(3);  // edges
+  push_u32(0); push_u32(2);
+  push_u32(1); push_u32(0);
+  push_u32(4); push_u32(1);
+  std::stringstream in(bytes);
+  const CsrGraph g = load_binary(in);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(4, 1));
+  EXPECT_EQ(g.out_degree(3), 0u);
+}
+
+TEST(BinaryV1, WriterRoundTripsThroughAutodetect) {
+  const CsrGraph g = gen::barabasi_albert(200, 3, 4);
+  std::stringstream ss;
+  save_binary_v1(g, ss);
+  expect_same_graph(g, load_binary(ss));
+}
+
+TEST(BinaryV1, V1AndV2OfSameGraphLoadIdentically) {
+  const CsrGraph g = gen::rmat({.scale = 10, .edges = 8'000}, 3);
+  std::stringstream v1;
+  std::stringstream v2;
+  save_binary_v1(g, v1);
+  save_binary(g, v2);
+  expect_same_graph(load_binary(v1), load_binary(v2));
+}
+
+// ---------- from_parts validation ----------
+
+TEST(CsrFromParts, AcceptsValidArraysAndRejectsBadRows) {
+  // 2 vertices, edge 0->1.
+  const CsrGraph ok = CsrGraph::from_parts({0, 1, 1}, {1}, {0, 0, 1}, {0});
+  EXPECT_TRUE(ok.has_edge(0, 1));
+  // Target out of range.
+  EXPECT_THROW((void)CsrGraph::from_parts({0, 1, 1}, {7}, {0, 0, 1}, {0}),
+               CheckError);
+  // Non-monotone offsets.
+  EXPECT_THROW((void)CsrGraph::from_parts({0, 2, 1}, {1}, {0, 0, 1}, {0}),
+               CheckError);
+  // Unsorted row.
+  EXPECT_THROW(
+      (void)CsrGraph::from_parts({0, 2, 2}, {1, 0}, {0, 1, 2}, {0, 0}),
+      CheckError);
+}
+
+}  // namespace
+}  // namespace snaple

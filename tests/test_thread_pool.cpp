@@ -1,9 +1,12 @@
 // Unit tests for the thread pool: coverage, worker ids, exceptions.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "util/check.hpp"
@@ -131,6 +134,50 @@ TEST(ThreadPool, DefaultPoolIsUsable) {
     n.fetch_add(1, std::memory_order_relaxed);
   });
   EXPECT_EQ(n.load(), 64);
+}
+
+TEST(ThreadPool, ParallelBlocksCoverRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> visits(100'000);
+  pool.parallel_blocks(
+      0, visits.size(),
+      [&](std::size_t b, std::size_t e, std::size_t) {
+        for (std::size_t i = b; i < e; ++i) {
+          visits[i].fetch_add(1, std::memory_order_relaxed);
+        }
+      },
+      /*min_block=*/1024);
+  for (const auto& v : visits) ASSERT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPool, ParallelBlocksRespectsMinBlockAndNonZeroBegin) {
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> blocks;
+  pool.parallel_blocks(
+      1000, 1100,
+      [&](std::size_t b, std::size_t e, std::size_t) {
+        std::scoped_lock lock(mu);
+        blocks.emplace_back(b, e);
+      },
+      /*min_block=*/64);
+  std::sort(blocks.begin(), blocks.end());
+  ASSERT_FALSE(blocks.empty());
+  EXPECT_EQ(blocks.front().first, 1000u);
+  EXPECT_EQ(blocks.back().second, 1100u);
+  for (std::size_t i = 0; i + 1 < blocks.size(); ++i) {
+    EXPECT_EQ(blocks[i].second, blocks[i + 1].first);  // contiguous
+  }
+  // 100 items at min_block 64 → at most 2 blocks.
+  EXPECT_LE(blocks.size(), 2u);
+}
+
+TEST(ThreadPool, ParallelBlocksEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_blocks(5, 5,
+                       [&](std::size_t, std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
 }
 
 TEST(ThreadPool, LoadBalancesSkewedWork) {
