@@ -1,0 +1,116 @@
+// Shard-exchange micro-bench: what does true sharding cost?
+//
+// Runs the identical SNAPLE job (linearSum, klocal=20) on an 8-machine
+// type-I cluster through both engines:
+//   * flat    — one address space, distribution accounted;
+//   * sharded — per-machine shards, replica-local vertex data, explicit
+//               MessageBuffer exchange (the real per-superstep protocol).
+// and reports, per superstep, where the sharded wall time goes:
+// gather+build (phase A: local gather, partial-sum buffers), merge+apply
+// (phase B: drain partials, merge ascending machine order, apply, build
+// sync buffers) and sync drain (phase C: write syncs into mirror
+// replicas). Results and traffic are bit-identical between the engines
+// (the equivalence property test pins it), so the only question this
+// bench answers is overhead: the summary's wall-time ratio should stay
+// near 1 (the PR-3 acceptance bar is ≤ 1.25× at 8 machines).
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/snaple_program.hpp"
+
+int main(int argc, char** argv) {
+  using namespace snaple;
+  const auto opt = bench::parse_options(argc, argv);
+  bench::print_header(
+      "Shard-exchange overhead — flat vs truly sharded execution",
+      "per-superstep exchange-buffer build/serialize/drain time and the "
+      "sharded/flat wall-time ratio on 8 simulated machines.");
+
+  const auto ds = bench::prepare("gowalla", 0.75, opt);
+  const std::size_t machines = 8;
+  const auto cluster = gas::ClusterConfig::type_i(machines);
+  const auto part = gas::Partitioning::create(
+      ds.train, machines, gas::PartitionStrategy::kGreedy, opt.seed);
+
+  SnapleConfig cfg;
+  cfg.k_local = 20;
+  cfg.seed = opt.seed;
+
+  // The shard layout is placement preprocessing — built once per
+  // partitioning and reused across jobs, exactly as the partitioning
+  // itself is; the repo's measurement protocol (predictor.hpp) excludes
+  // partitioning from timed regions.
+  const auto topo = std::make_shared<const gas::ShardTopology>(
+      gas::ShardTopology::build(ds.train, part));
+
+  // Best-of-3 per mode (the dev box is a shared 1-core machine — single
+  // runs swing by ±10%): the interesting quantity is engine overhead,
+  // not allocator warm-up or scheduler noise. The headline ratio
+  // compares the summed *superstep* wall times — the engine-measured
+  // execution of the three GAS steps, which is what sharding changes;
+  // end-to-end run_snaple wall (adds result extraction and report
+  // assembly, identical in both modes) is reported alongside.
+  auto best_run = [&](gas::ExecutionMode exec) {
+    SnapleResult best;
+    double best_outer = 1e300;
+    double best_steps = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      WallTimer t;
+      SnapleResult r = run_snaple(ds.train, cfg, part, cluster, nullptr,
+                                  gas::ApplyMode::kFused, exec, topo);
+      best_outer = std::min(best_outer, t.seconds());
+      if (r.report.total_wall_s() < best_steps) {
+        best_steps = r.report.total_wall_s();
+        best = std::move(r);
+      }
+    }
+    return std::pair{std::move(best), best_outer};
+  };
+
+  auto [flat, flat_outer] = best_run(gas::ExecutionMode::kFlat);
+  auto [sharded, sharded_outer] = best_run(gas::ExecutionMode::kSharded);
+  const double flat_wall = flat.report.total_wall_s();
+  const double sharded_wall = sharded.report.total_wall_s();
+
+  Table steps({"step", "flat wall s", "sharded wall s", "net MB",
+               "gather+build s", "merge+apply s", "sync drain s"});
+  for (std::size_t i = 0; i < sharded.report.steps.size(); ++i) {
+    const auto& fs = flat.report.steps[i];
+    const auto& ss = sharded.report.steps[i];
+    steps.add_row({ss.name, Table::fmt(fs.wall_s, 4),
+                   Table::fmt(ss.wall_s, 4),
+                   Table::fmt(static_cast<double>(ss.net_bytes) / 1e6, 2),
+                   Table::fmt(ss.exchange.gather_build_s, 4),
+                   Table::fmt(ss.exchange.merge_apply_s, 4),
+                   Table::fmt(ss.exchange.sync_drain_s, 4)});
+  }
+  bench::finish(steps, opt, "per_step");
+
+  const bool identical =
+      flat.predictions == sharded.predictions &&
+      flat.report.total_net_bytes() == sharded.report.total_net_bytes();
+  Table summary({"engine", "steps wall s", "run wall s", "net MB", "ratio",
+                 "identical"});
+  summary.add_row(
+      {"flat", Table::fmt(flat_wall, 3), Table::fmt(flat_outer, 3),
+       Table::fmt(static_cast<double>(flat.report.total_net_bytes()) / 1e6,
+                  2),
+       "1.00", "-"});
+  summary.add_row(
+      {"sharded", Table::fmt(sharded_wall, 3), Table::fmt(sharded_outer, 3),
+       Table::fmt(
+           static_cast<double>(sharded.report.total_net_bytes()) / 1e6, 2),
+       Table::fmt(sharded_wall / std::max(flat_wall, 1e-12), 2),
+       identical ? "yes" : "NO"});
+  bench::finish(summary, opt, "summary");
+
+  if (!identical) {
+    std::cerr << "ERROR: sharded run diverged from flat run\n";
+    return 1;
+  }
+  std::cout << "sharded/flat wall ratio: "
+            << sharded_wall / std::max(flat_wall, 1e-12)
+            << " (acceptance bar: 1.25 at 8 machines)\n";
+  return 0;
+}

@@ -9,6 +9,11 @@
 //   --thr=<n|inf>       truncation threshold          [200]
 //   --khops=<2|3>       path length                   [2]
 //   --machines=<n>      simulated cluster size        [1]
+//   --partition=<s>     vertex-cut strategy: hash|greedy   [greedy]
+//   --flat              accounted-only engine (default: --machines>1
+//                       runs truly sharded — per-machine graph shards,
+//                       replica-local vertex data, explicit message
+//                       exchange — and prints per-shard stats)
 //   --type2             use type-II machines (else type-I / single)
 //   --eval              hide one edge per vertex first and report recall
 //   --seed=<n>          RNG seed                      [1]
@@ -27,6 +32,7 @@
 //   ./snaple_cli soc-pokec.txt --score=counter --machines=8 --type2
 //   ./snaple_cli twitter_rv.net --convert=twitter.bin
 //   ./snaple_cli twitter.bin --eval
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -35,9 +41,11 @@
 #include "core/predictor.hpp"
 #include "eval/experiment.hpp"
 #include "eval/metrics.hpp"
+#include "gas/shard.hpp"
 #include "graph/gen/datasets.hpp"
 #include "graph/io.hpp"
 #include "util/check.hpp"
+#include "util/table.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -64,7 +72,8 @@ int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " <edge-list-file | gowalla|pokec|orkut|livejournal|twitter>"
                " [--symmetrize] [--score=NAME] [--k=N] [--klocal=N|inf]"
-               " [--thr=N|inf] [--khops=2|3] [--machines=N] [--type2]"
+               " [--thr=N|inf] [--khops=2|3] [--machines=N]"
+               " [--partition=hash|greedy] [--flat] [--type2]"
                " [--eval] [--seed=N] [--out=FILE] [--threads=N]"
                " [--convert=FILE] [--save-bin=FILE]\n";
   return 2;
@@ -80,6 +89,8 @@ int main(int argc, char** argv) {
   bool symmetrize = false;
   bool type2 = false;
   bool evaluate = false;
+  bool flat = false;
+  auto strategy = gas::PartitionStrategy::kGreedy;
   std::size_t machines = 1;
   std::size_t threads = 0;
   std::string out_path;
@@ -114,6 +125,18 @@ int main(int argc, char** argv) {
                          "--khops must be 2 or 3");
       } else if (arg.rfind("--machines=", 0) == 0) {
         machines = parse_limit(value_of("--machines="));
+      } else if (arg.rfind("--partition=", 0) == 0) {
+        const std::string s = value_of("--partition=");
+        if (s == "hash") {
+          strategy = gas::PartitionStrategy::kHash;
+        } else if (s == "greedy") {
+          strategy = gas::PartitionStrategy::kGreedy;
+        } else {
+          std::cerr << "--partition must be hash or greedy\n";
+          return 2;
+        }
+      } else if (arg == "--flat") {
+        flat = true;
       } else if (arg.rfind("--seed=", 0) == 0) {
         config.seed = std::strtoull(value_of("--seed=").c_str(), nullptr, 10);
       } else if (arg.rfind("--out=", 0) == 0) {
@@ -205,22 +228,69 @@ int main(int argc, char** argv) {
                 std::thread::hardware_concurrency())
           : (type2 ? gas::ClusterConfig::type_ii(machines)
                    : gas::ClusterConfig::type_i(machines));
-  const LinkPredictor predictor(config, cluster);
+  // Multi-machine runs use the sharded engine unless --flat opts out:
+  // each simulated machine owns its graph shard and replica-local vertex
+  // data, and traffic is measured from the exchange buffers.
+  const auto exec = (machines > 1 && !flat) ? gas::ExecutionMode::kSharded
+                                            : gas::ExecutionMode::kFlat;
+  const LinkPredictor predictor(config, cluster, strategy, exec);
+
+  const auto partitioning =
+      gas::Partitioning::create(graph, cluster.num_machines, strategy,
+                                config.seed);
+  std::shared_ptr<const gas::ShardTopology> topo;
+  if (exec == gas::ExecutionMode::kSharded) {
+    // Per-shard layout report: what each simulated machine actually
+    // owns. The layout is reused by the prediction run below.
+    topo = std::make_shared<const gas::ShardTopology>(
+        gas::ShardTopology::build(graph, partitioning));
+    Table shard_table({"shard", "edges", "replicas", "masters", "mirrors",
+                       "structure MB"});
+    for (const auto& sh : topo->shards()) {
+      shard_table.add_row(
+          {std::to_string(sh.machine()),
+           std::to_string(sh.num_local_edges()),
+           std::to_string(sh.num_local()), std::to_string(sh.num_masters()),
+           std::to_string(sh.num_mirrors()),
+           Table::fmt(static_cast<double>(sh.memory_bytes()) / 1e6, 2)});
+    }
+    std::cerr << "shards (replication factor "
+              << Table::fmt(partitioning.replication_factor(), 2) << ", "
+              << (strategy == gas::PartitionStrategy::kGreedy ? "greedy"
+                                                              : "hash")
+              << " vertex-cut):\n";
+    shard_table.print(std::cerr);
+  }
 
   PredictionRun run;
   try {
-    run = predictor.predict(graph);
+    run = predictor.predict_with_partitioning(graph, partitioning, nullptr,
+                                              topo);
   } catch (const ResourceExhausted& e) {
     std::cerr << "simulated cluster out of memory: " << e.what() << "\n";
     return 1;
   }
 
   std::cerr << "config: " << config.describe() << "\n";
-  std::cerr << "cluster: " << cluster.describe() << "\n";
+  std::cerr << "cluster: " << cluster.describe() << " ("
+            << (exec == gas::ExecutionMode::kSharded ? "sharded" : "flat")
+            << " execution)\n";
   std::cerr << "host time: " << format_duration(run.wall_seconds)
             << ", simulated time: "
             << format_duration(run.simulated_seconds) << ", traffic: "
             << static_cast<double>(run.network_bytes) / 1e6 << " MB\n";
+  if (exec == gas::ExecutionMode::kSharded) {
+    std::size_t acc_peak = 0;
+    std::size_t vd_peak = 0;
+    for (const auto& s : run.report.steps) {
+      acc_peak = std::max(acc_peak, s.accumulator_bytes_peak);
+      vd_peak = std::max(vd_peak, s.vertex_data_bytes_peak);
+    }
+    std::cerr << "per-shard peaks: accumulators "
+              << static_cast<double>(acc_peak) / 1e6
+              << " MB, replicated vertex data "
+              << static_cast<double>(vd_peak) / 1e6 << " MB\n";
+  }
   if (evaluate) {
     std::cerr << "recall@" << config.k << ": "
               << eval::recall(run.predictions, hidden) << ", MRR: "

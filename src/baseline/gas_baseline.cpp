@@ -35,9 +35,9 @@ BaselineResult run_baseline(const CsrGraph& graph,
                             const BaselineConfig& config,
                             const gas::Partitioning& partitioning,
                             const gas::ClusterConfig& cluster,
-                            ThreadPool* pool) {
+                            ThreadPool* pool, gas::ExecutionMode exec) {
   gas::Engine<BaselineVertexData> engine(graph, partitioning, cluster,
-                                         &vertex_bytes, pool);
+                                         &vertex_bytes, pool, exec);
 
   // ---- Step 0: collect own neighbor ids. ----
   {

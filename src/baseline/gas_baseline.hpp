@@ -48,6 +48,7 @@ struct BaselineResult {
 [[nodiscard]] BaselineResult run_baseline(
     const CsrGraph& graph, const BaselineConfig& config,
     const gas::Partitioning& partitioning,
-    const gas::ClusterConfig& cluster, ThreadPool* pool = nullptr);
+    const gas::ClusterConfig& cluster, ThreadPool* pool = nullptr,
+    gas::ExecutionMode exec = gas::ExecutionMode::kFlat);
 
 }  // namespace snaple::baseline

@@ -5,10 +5,12 @@
 namespace snaple {
 
 LinkPredictor::LinkPredictor(SnapleConfig config, gas::ClusterConfig cluster,
-                             gas::PartitionStrategy strategy)
+                             gas::PartitionStrategy strategy,
+                             gas::ExecutionMode exec)
     : config_(std::move(config)),
       cluster_(std::move(cluster)),
-      strategy_(strategy) {}
+      strategy_(strategy),
+      exec_(exec) {}
 
 PredictionRun LinkPredictor::predict(const CsrGraph& graph,
                                      ThreadPool* pool) const {
@@ -19,10 +21,12 @@ PredictionRun LinkPredictor::predict(const CsrGraph& graph,
 
 PredictionRun LinkPredictor::predict_with_partitioning(
     const CsrGraph& graph, const gas::Partitioning& partitioning,
-    ThreadPool* pool) const {
+    ThreadPool* pool,
+    std::shared_ptr<const gas::ShardTopology> topology) const {
   WallTimer timer;
   SnapleResult snaple =
-      run_snaple(graph, config_, partitioning, cluster_, pool);
+      run_snaple(graph, config_, partitioning, cluster_, pool,
+                 gas::ApplyMode::kFused, exec_, std::move(topology));
   PredictionRun run;
   run.wall_seconds = timer.seconds();
   run.predictions = std::move(snaple.predictions);

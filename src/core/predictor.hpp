@@ -12,6 +12,7 @@
 // inspect result.report for simulated time and network traffic.
 #pragma once
 
+#include <memory>
 #include <thread>
 
 #include "core/config.hpp"
@@ -36,17 +37,24 @@ struct PredictionRun {
 
 class LinkPredictor {
  public:
+  /// `exec` selects flat (accounted) or truly sharded execution — the
+  /// predictions are bit-identical; sharded runs one task per machine
+  /// shard with explicit message exchange (docs/ARCHITECTURE.md).
   explicit LinkPredictor(
       SnapleConfig config,
       gas::ClusterConfig cluster = gas::ClusterConfig::single_machine(
           std::thread::hardware_concurrency()),
-      gas::PartitionStrategy strategy = gas::PartitionStrategy::kGreedy);
+      gas::PartitionStrategy strategy = gas::PartitionStrategy::kGreedy,
+      gas::ExecutionMode exec = gas::ExecutionMode::kFlat);
 
   [[nodiscard]] const SnapleConfig& config() const noexcept {
     return config_;
   }
   [[nodiscard]] const gas::ClusterConfig& cluster() const noexcept {
     return cluster_;
+  }
+  [[nodiscard]] gas::ExecutionMode execution_mode() const noexcept {
+    return exec_;
   }
 
   /// Runs link prediction over the whole graph. Thread-safe for concurrent
@@ -56,15 +64,18 @@ class LinkPredictor {
                                       ThreadPool* pool = nullptr) const;
 
   /// As predict(), but reuses a caller-provided partitioning (benches
-  /// sweep cluster sizes without re-partitioning needlessly).
+  /// sweep cluster sizes without re-partitioning needlessly) and, for
+  /// sharded execution, optionally a pre-built shard layout for it.
   [[nodiscard]] PredictionRun predict_with_partitioning(
       const CsrGraph& graph, const gas::Partitioning& partitioning,
-      ThreadPool* pool = nullptr) const;
+      ThreadPool* pool = nullptr,
+      std::shared_ptr<const gas::ShardTopology> topology = nullptr) const;
 
  private:
   SnapleConfig config_;
   gas::ClusterConfig cluster_;
   gas::PartitionStrategy strategy_;
+  gas::ExecutionMode exec_;
 };
 
 }  // namespace snaple

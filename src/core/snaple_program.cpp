@@ -96,14 +96,27 @@ const float* find_sim(const std::vector<std::pair<VertexId, float>>& sims,
 SnapleResult run_snaple(const CsrGraph& graph, const SnapleConfig& config,
                         const gas::Partitioning& partitioning,
                         const gas::ClusterConfig& cluster, ThreadPool* pool,
-                        gas::ApplyMode mode) {
+                        gas::ApplyMode mode, gas::ExecutionMode exec,
+                        std::shared_ptr<const gas::ShardTopology> topology) {
   SNAPLE_CHECK_MSG(config.k_hops == 2 || config.k_hops == 3,
                    "SNAPLE supports K=2 (the paper) and K=3 (footnote 2)");
   const ScoreConfig score = config.resolve_score();
   const Combinator comb = score.combinator;
   const Aggregator agg = score.aggregator;
   gas::Engine<SnapleVertexData> engine(graph, partitioning, cluster,
-                                       &snaple_vertex_data_bytes, pool);
+                                       &snaple_vertex_data_bytes, pool,
+                                       exec, std::move(topology));
+
+  // Cross-machine partial merge for the ScoreMap steps: fold the other
+  // shard's (z, σ, n) triplets with the same ⊕pre the gather uses — the
+  // `merge` of Algorithm 2 line 16, now also the wire-level sum.
+  auto merge_scores = [&](ScoreMap& into, ScoreMap&& from) {
+    from.for_each([&](VertexId z, float sigma, std::uint32_t paths) {
+      into.accumulate(z, sigma, paths, [&](float a, float b) {
+        return static_cast<float>(agg.pre(a, b));
+      });
+    });
+  };
 
   // ---- Step 1: sample Γ̂(u) under the truncation threshold thrΓ. ----
   {
@@ -185,6 +198,7 @@ SnapleResult run_snaple(const CsrGraph& graph, const SnapleConfig& config,
           }
           return bytes;
         },
+        merge_scores,
         [&](VertexId u, SnapleVertexData& du, ScoreMap& acc, std::size_t) {
           std::vector<std::pair<VertexId, float>> collected;
           acc.for_each([&](VertexId z, float sigma, std::uint32_t n) {
@@ -229,6 +243,7 @@ SnapleResult run_snaple(const CsrGraph& graph, const SnapleConfig& config,
           }
           return bytes;
         },
+        merge_scores,
         [&](VertexId, SnapleVertexData& du, ScoreMap& acc, std::size_t) {
           TopK<VertexId, double> top(config.k);
           acc.for_each([&](VertexId z, float sigma, std::uint32_t n) {
@@ -247,16 +262,14 @@ SnapleResult run_snaple(const CsrGraph& graph, const SnapleConfig& config,
   SnapleResult result;
   result.predictions.resize(graph.num_vertices());
   result.scored.resize(graph.num_vertices());
-  auto& data = engine.data();
-  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+  engine.visit_vertices([&](VertexId u, SnapleVertexData& du) {
     auto& scored = result.scored[u];
-    scored.reserve(data[u].predicted.size());
-    for (std::size_t i = 0; i < data[u].predicted.size(); ++i) {
-      scored.emplace_back(data[u].predicted[i],
-                          data[u].prediction_scores[i]);
+    scored.reserve(du.predicted.size());
+    for (std::size_t i = 0; i < du.predicted.size(); ++i) {
+      scored.emplace_back(du.predicted[i], du.prediction_scores[i]);
     }
-    result.predictions[u] = std::move(data[u].predicted);
-  }
+    result.predictions[u] = std::move(du.predicted);
+  });
   result.report = engine.report();
   return result;
 }

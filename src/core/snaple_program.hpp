@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "core/config.hpp"
@@ -62,13 +63,18 @@ struct SnapleResult {
 
 /// Runs Algorithm 2 on `graph` over the simulated `cluster` with the given
 /// partitioning. Throws gas::ResourceExhausted if a machine's memory
-/// budget is exceeded (cluster.machine.memory_bytes > 0).
-[[nodiscard]] SnapleResult run_snaple(const CsrGraph& graph,
-                                      const SnapleConfig& config,
-                                      const gas::Partitioning& partitioning,
-                                      const gas::ClusterConfig& cluster,
-                                      ThreadPool* pool = nullptr,
-                                      gas::ApplyMode mode =
-                                          gas::ApplyMode::kFused);
+/// budget is exceeded (cluster.machine.memory_bytes > 0). With
+/// gas::ExecutionMode::kSharded the three steps run on per-machine graph
+/// shards with explicit message exchange; predictions and accounting are
+/// bit-identical to flat execution (a property test pins this).
+/// `topology` optionally reuses a pre-built shard layout for the given
+/// partitioning (built on demand when null).
+[[nodiscard]] SnapleResult run_snaple(
+    const CsrGraph& graph, const SnapleConfig& config,
+    const gas::Partitioning& partitioning,
+    const gas::ClusterConfig& cluster, ThreadPool* pool = nullptr,
+    gas::ApplyMode mode = gas::ApplyMode::kFused,
+    gas::ExecutionMode exec = gas::ExecutionMode::kFlat,
+    std::shared_ptr<const gas::ShardTopology> topology = nullptr);
 
 }  // namespace snaple

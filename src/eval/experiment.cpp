@@ -30,10 +30,10 @@ Outcome run_snaple_experiment(const PreparedDataset& dataset,
                               const SnapleConfig& config,
                               const gas::ClusterConfig& cluster,
                               gas::PartitionStrategy strategy,
-                              ThreadPool* pool) {
+                              ThreadPool* pool, gas::ExecutionMode exec) {
   Outcome out;
   try {
-    LinkPredictor predictor(config, cluster, strategy);
+    LinkPredictor predictor(config, cluster, strategy, exec);
     PredictionRun run = predictor.predict(dataset.train, pool);
     out.recall = recall(run.predictions, dataset.hidden);
     out.wall_seconds = run.wall_seconds;
@@ -50,14 +50,14 @@ Outcome run_baseline_experiment(const PreparedDataset& dataset,
                                 const baseline::BaselineConfig& config,
                                 const gas::ClusterConfig& cluster,
                                 gas::PartitionStrategy strategy,
-                                ThreadPool* pool) {
+                                ThreadPool* pool, gas::ExecutionMode exec) {
   Outcome out;
   try {
     const auto partitioning = gas::Partitioning::create(
         dataset.train, cluster.num_machines, strategy);
     WallTimer timer;
     baseline::BaselineResult result = baseline::run_baseline(
-        dataset.train, config, partitioning, cluster, pool);
+        dataset.train, config, partitioning, cluster, pool, exec);
     out.wall_seconds = timer.seconds();
     out.recall = recall(result.predictions, dataset.hidden);
     out.simulated_seconds = result.report.total_sim_s();

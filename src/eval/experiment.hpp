@@ -61,13 +61,15 @@ struct Outcome {
     const PreparedDataset& dataset, const SnapleConfig& config,
     const gas::ClusterConfig& cluster,
     gas::PartitionStrategy strategy = gas::PartitionStrategy::kGreedy,
-    ThreadPool* pool = nullptr);
+    ThreadPool* pool = nullptr,
+    gas::ExecutionMode exec = gas::ExecutionMode::kFlat);
 
 [[nodiscard]] Outcome run_baseline_experiment(
     const PreparedDataset& dataset, const baseline::BaselineConfig& config,
     const gas::ClusterConfig& cluster,
     gas::PartitionStrategy strategy = gas::PartitionStrategy::kGreedy,
-    ThreadPool* pool = nullptr);
+    ThreadPool* pool = nullptr,
+    gas::ExecutionMode exec = gas::ExecutionMode::kFlat);
 
 [[nodiscard]] Outcome run_cassovary_experiment(
     const PreparedDataset& dataset, const cassovary::WalkConfig& config,

@@ -1,0 +1,14 @@
+#include "gas/exchange.hpp"
+
+#include <sstream>
+
+namespace snaple::gas {
+
+std::string ExchangeBreakdown::describe() const {
+  std::ostringstream os;
+  os << "gather+build " << gather_build_s << "s, merge+apply "
+     << merge_apply_s << "s, sync drain " << sync_drain_s << "s";
+  return os.str();
+}
+
+}  // namespace snaple::gas

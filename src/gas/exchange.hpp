@@ -1,0 +1,177 @@
+// Explicit inter-shard message exchange.
+//
+// In sharded execution every simulated machine owns a Shard (shard.hpp)
+// and communicates with the others only through the buffers defined here:
+//
+//   * mirror -> master: per-vertex gather partial sums, shipped after the
+//     local gather phase so the master can finish the fold;
+//   * master -> mirror: vertex-data syncs, shipped after apply so every
+//     replica observes the new Du before the next superstep.
+//
+// A MessageBuffer is a typed, ordered stream of records; an ExchangeGrid
+// is the machines x machines matrix of them (one outbox per ordered
+// (src, dst) pair). The engine *measures* network traffic by summing the
+// wire size of the off-diagonal buffers it actually built — net_bytes is
+// no longer a tally maintained alongside the computation, it is the size
+// of real data structures that crossed a shard boundary.
+//
+// What is real vs simulated (docs/ARCHITECTURE.md §Sharded execution):
+// buffers, routing, per-record headers and drain order are real; the
+// payload *encoding* is modeled — payloads travel as in-memory C++
+// objects (the shards share one address space) and each record carries
+// the wire size its compact binary encoding would have, as reported by
+// the program's gather_sum / vd_size callbacks. Swapping the in-memory
+// payload for genuine serialization is a local change inside push/drain.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "util/check.hpp"
+
+namespace snaple::gas {
+
+/// Fixed per-message framing cost: vertex id, payload length, contribution
+/// count and padding — the 16 bytes the engine has always charged per
+/// message, now laid down as an actual header struct.
+inline constexpr std::size_t kMessageHeaderBytes = 16;
+
+/// One record in a message stream. `payload_bytes` is the modeled wire
+/// size of `payload` (compact binary encoding); `contributions` carries
+/// the gather contribution count for partial sums (0 for vertex syncs).
+template <typename Payload>
+struct Message {
+  VertexId vertex = 0;
+  std::uint32_t payload_bytes = 0;
+  std::uint32_t contributions = 0;
+  Payload payload{};
+};
+
+/// An ordered stream of messages from one shard to another. Records are
+/// appended in ascending vertex order by construction (shards walk their
+/// local vertices in ascending global id), which the drain side exploits
+/// for deterministic merge order.
+template <typename Payload>
+class MessageBuffer {
+ public:
+  void push(VertexId vertex, std::uint32_t payload_bytes,
+            std::uint32_t contributions, Payload&& payload) {
+    msgs_.push_back(Message<Payload>{vertex, payload_bytes, contributions,
+                                     std::move(payload)});
+    payload_bytes_total_ += payload_bytes;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return msgs_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return msgs_.empty(); }
+
+  /// Measured wire size of the whole buffer: header + payload per record.
+  [[nodiscard]] std::size_t wire_bytes() const noexcept {
+    return msgs_.size() * kMessageHeaderBytes + payload_bytes_total_;
+  }
+
+  [[nodiscard]] auto begin() noexcept { return msgs_.begin(); }
+  [[nodiscard]] auto end() noexcept { return msgs_.end(); }
+  [[nodiscard]] auto begin() const noexcept { return msgs_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return msgs_.end(); }
+  [[nodiscard]] Message<Payload>& operator[](std::size_t i) {
+    return msgs_[i];
+  }
+
+  void clear() noexcept {
+    msgs_.clear();
+    payload_bytes_total_ = 0;
+  }
+
+  /// Pre-sizes the record vector (the engine knows each shard's sync
+  /// fan-out from the topology, so growth reallocations are avoidable).
+  void reserve(std::size_t records) { msgs_.reserve(records); }
+
+ private:
+  std::vector<Message<Payload>> msgs_;
+  std::size_t payload_bytes_total_ = 0;
+};
+
+/// The machines × machines matrix of message buffers for one exchange
+/// round. outbox(s, d) is written only by shard s's task and drained only
+/// by shard d's task, so the grid needs no locking: phases are separated
+/// by the engine's barriers.
+template <typename Payload>
+class ExchangeGrid {
+ public:
+  explicit ExchangeGrid(std::size_t machines)
+      : machines_(machines), buffers_(machines * machines) {
+    SNAPLE_CHECK(machines >= 1);
+  }
+
+  [[nodiscard]] std::size_t num_machines() const noexcept {
+    return machines_;
+  }
+
+  [[nodiscard]] MessageBuffer<Payload>& outbox(std::size_t src,
+                                               std::size_t dst) {
+    SNAPLE_DCHECK(src < machines_ && dst < machines_);
+    return buffers_[src * machines_ + dst];
+  }
+  [[nodiscard]] const MessageBuffer<Payload>& inbox(std::size_t dst,
+                                                    std::size_t src) const {
+    SNAPLE_DCHECK(src < machines_ && dst < machines_);
+    return buffers_[src * machines_ + dst];
+  }
+  [[nodiscard]] MessageBuffer<Payload>& inbox(std::size_t dst,
+                                              std::size_t src) {
+    SNAPLE_DCHECK(src < machines_ && dst < machines_);
+    return buffers_[src * machines_ + dst];
+  }
+
+  /// Measured bytes that crossed a machine boundary (diagonal buffers are
+  /// local hand-offs and free, matching the flat engine's accounting —
+  /// shards never create them, but the sum is defensive anyway).
+  [[nodiscard]] std::size_t wire_bytes() const noexcept {
+    std::size_t total = 0;
+    for (std::size_t s = 0; s < machines_; ++s) {
+      for (std::size_t d = 0; d < machines_; ++d) {
+        if (s != d) total += buffers_[s * machines_ + d].wire_bytes();
+      }
+    }
+    return total;
+  }
+
+  /// Number of cross-machine messages in the grid.
+  [[nodiscard]] std::size_t message_count() const noexcept {
+    std::size_t total = 0;
+    for (std::size_t s = 0; s < machines_; ++s) {
+      for (std::size_t d = 0; d < machines_; ++d) {
+        if (s != d) total += buffers_[s * machines_ + d].size();
+      }
+    }
+    return total;
+  }
+
+ private:
+  std::size_t machines_;
+  std::vector<MessageBuffer<Payload>> buffers_;
+};
+
+/// Wall-clock accounting for the three phases of a sharded superstep;
+/// embedded in StepStats so bench_shard_exchange can report where
+/// exchange time goes. All zero for flat execution.
+struct ExchangeBreakdown {
+  /// Phase A: local gather + partial-sum buffer build (mirror side).
+  double gather_build_s = 0.0;
+  /// Phase B: drain partial buffers, merge, apply, build sync buffers.
+  double merge_apply_s = 0.0;
+  /// Phase C: drain vertex-data syncs into mirror replicas.
+  double sync_drain_s = 0.0;
+
+  [[nodiscard]] double total() const noexcept {
+    return gather_build_s + merge_apply_s + sync_drain_s;
+  }
+
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace snaple::gas

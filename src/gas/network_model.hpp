@@ -43,4 +43,14 @@ struct SimTimeBreakdown {
     const ClusterConfig& cluster, const std::vector<MachineLoad>& loads,
     double cpu_seconds);
 
+/// Charges one src -> dst transfer of `bytes` to the per-machine loads —
+/// the seam through which the sharded engine prices each exchange buffer
+/// from its measured wire size.
+inline void charge_transfer(std::vector<MachineLoad>& loads,
+                            std::size_t src, std::size_t dst,
+                            std::size_t bytes) {
+  loads[src].bytes_out += bytes;
+  loads[dst].bytes_in += bytes;
+}
+
 }  // namespace snaple::gas

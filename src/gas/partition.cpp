@@ -34,6 +34,8 @@ namespace {
 void finalize_from_edges(const CsrGraph& g, std::uint64_t seed,
                          std::vector<MachineId>& edge_machine,
                          std::vector<ReplicaSet>& replicas,
+                         std::vector<std::uint64_t>& out_owner_mask,
+                         std::vector<std::uint64_t>& in_owner_mask,
                          std::vector<EdgeIndex>& edge_load,
                          std::vector<MachineId>& master,
                          std::size_t machines) {
@@ -45,6 +47,8 @@ void finalize_from_edges(const CsrGraph& g, std::uint64_t seed,
       ++edge_load[m];
       replicas[u].add(m);
       replicas[v].add(m);
+      out_owner_mask[u] |= std::uint64_t{1} << m;
+      in_owner_mask[v] |= std::uint64_t{1} << m;
       ++e;
     }
   }
@@ -88,14 +92,27 @@ Partitioning Partitioning::from_edge_assignment(
                    "vertex-cut replica sets are 64-bit masks");
   SNAPLE_CHECK_MSG(edge_machine.size() == g.num_edges(),
                    "need one machine per CSR edge");
+  // Validate the whole assignment up front with a pinpointing error:
+  // an out-of-range id must never reach the replica/load bookkeeping
+  // (ReplicaSet masks are 64-bit and edge_load_ has `machines` slots).
+  for (EdgeIndex e = 0; e < edge_machine.size(); ++e) {
+    SNAPLE_CHECK_MSG(edge_machine[e] < machines,
+                     "edge_machine[" + std::to_string(e) + "] = " +
+                         std::to_string(edge_machine[e]) +
+                         " but the partitioning has only " +
+                         std::to_string(machines) + " machines");
+  }
   Partitioning p;
   p.machines_ = machines;
   p.edge_machine_ = std::move(edge_machine);
   p.master_.assign(g.num_vertices(), 0);
   p.replicas_.assign(g.num_vertices(), ReplicaSet{});
+  p.out_owner_mask_.assign(g.num_vertices(), 0);
+  p.in_owner_mask_.assign(g.num_vertices(), 0);
   p.edge_load_.assign(machines, 0);
   finalize_from_edges(g, /*seed=*/7, p.edge_machine_, p.replicas_,
-                      p.edge_load_, p.master_, machines);
+                      p.out_owner_mask_, p.in_owner_mask_, p.edge_load_,
+                      p.master_, machines);
   return p;
 }
 
@@ -109,6 +126,8 @@ Partitioning Partitioning::create(const CsrGraph& g, std::size_t machines,
   p.edge_machine_.resize(g.num_edges());
   p.master_.assign(g.num_vertices(), 0);
   p.replicas_.assign(g.num_vertices(), ReplicaSet{});
+  p.out_owner_mask_.assign(g.num_vertices(), 0);
+  p.in_owner_mask_.assign(g.num_vertices(), 0);
   p.edge_load_.assign(machines, 0);
 
   Rng rng(seed);
@@ -154,7 +173,8 @@ Partitioning Partitioning::create(const CsrGraph& g, std::size_t machines,
   // which also derives the masters.
   p.replicas_.assign(g.num_vertices(), ReplicaSet{});
   p.edge_load_.assign(machines, 0);
-  finalize_from_edges(g, seed, p.edge_machine_, p.replicas_, p.edge_load_,
+  finalize_from_edges(g, seed, p.edge_machine_, p.replicas_,
+                      p.out_owner_mask_, p.in_owner_mask_, p.edge_load_,
                       p.master_, machines);
   return p;
 }

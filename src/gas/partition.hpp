@@ -29,7 +29,10 @@ class ReplicaSet {
  public:
   constexpr ReplicaSet() = default;
 
-  void add(MachineId m) noexcept { bits_ |= (std::uint64_t{1} << m); }
+  void add(MachineId m) noexcept {
+    SNAPLE_DCHECK(m < 64);  // shift past the mask is UB, not a no-op
+    bits_ |= (std::uint64_t{1} << m);
+  }
   [[nodiscard]] bool contains(MachineId m) const noexcept {
     return (bits_ >> m) & 1u;
   }
@@ -93,6 +96,20 @@ class Partitioning {
     return replicas_[u];
   }
 
+  /// Bitmask of machines owning at least one out-edge (u, *). With the
+  /// in-edge variant this tells a shard whether a vertex's gather can be
+  /// finalized locally or must wait for remote partial sums — the fast
+  /// path of the sharded engine.
+  [[nodiscard]] std::uint64_t out_edge_owners(VertexId u) const {
+    SNAPLE_DCHECK(u < out_owner_mask_.size());
+    return out_owner_mask_[u];
+  }
+  /// Bitmask of machines owning at least one in-edge (*, u).
+  [[nodiscard]] std::uint64_t in_edge_owners(VertexId u) const {
+    SNAPLE_DCHECK(u < in_owner_mask_.size());
+    return in_owner_mask_[u];
+  }
+
   /// Average number of replicas per vertex — THE vertex-cut quality metric.
   [[nodiscard]] double replication_factor() const;
 
@@ -107,6 +124,8 @@ class Partitioning {
   std::vector<MachineId> edge_machine_;  // size E
   std::vector<MachineId> master_;        // size V
   std::vector<ReplicaSet> replicas_;     // size V
+  std::vector<std::uint64_t> out_owner_mask_;  // size V
+  std::vector<std::uint64_t> in_owner_mask_;   // size V
   std::vector<EdgeIndex> edge_load_;     // size machines
 };
 

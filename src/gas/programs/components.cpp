@@ -13,6 +13,9 @@ struct LabelData {
 struct MinAcc {
   VertexId min_label = 0xffffffffu;
   void clear() noexcept { min_label = 0xffffffffu; }
+  void merge(MinAcc&& other) noexcept {
+    min_label = std::min(min_label, other.min_label);
+  }
 };
 
 }  // namespace
@@ -20,10 +23,10 @@ struct MinAcc {
 ComponentsResult connected_components(const CsrGraph& graph,
                                       const Partitioning& partitioning,
                                       const ClusterConfig& cluster,
-                                      ThreadPool* pool) {
+                                      ThreadPool* pool, ExecutionMode exec) {
   Engine<LabelData> engine(
       graph, partitioning, cluster,
-      [](const LabelData&) { return sizeof(VertexId); }, pool);
+      [](const LabelData&) { return sizeof(VertexId); }, pool, exec);
   for (VertexId u = 0; u < graph.num_vertices(); ++u) {
     engine.data()[u].label = u;
   }

@@ -25,6 +25,7 @@ struct ComponentsResult {
 
 [[nodiscard]] ComponentsResult connected_components(
     const CsrGraph& graph, const Partitioning& partitioning,
-    const ClusterConfig& cluster, ThreadPool* pool = nullptr);
+    const ClusterConfig& cluster, ThreadPool* pool = nullptr,
+    ExecutionMode exec = ExecutionMode::kFlat);
 
 }  // namespace snaple::gas

@@ -13,16 +13,20 @@ struct CoreData {
 struct ActiveAcc {
   std::size_t active_neighbors = 0;
   void clear() noexcept { active_neighbors = 0; }
+  void merge(ActiveAcc&& other) noexcept {
+    active_neighbors += other.active_neighbors;
+  }
 };
 
 }  // namespace
 
 KCoreResult k_core(const CsrGraph& graph, std::size_t k,
                    const Partitioning& partitioning,
-                   const ClusterConfig& cluster, ThreadPool* pool) {
+                   const ClusterConfig& cluster, ThreadPool* pool,
+                   ExecutionMode exec) {
   Engine<CoreData> engine(
       graph, partitioning, cluster,
-      [](const CoreData&) { return sizeof(std::uint8_t); }, pool);
+      [](const CoreData&) { return sizeof(std::uint8_t); }, pool, exec);
 
   KCoreResult result;
   for (;;) {

@@ -28,6 +28,7 @@ struct KCoreResult {
 [[nodiscard]] KCoreResult k_core(const CsrGraph& graph, std::size_t k,
                                  const Partitioning& partitioning,
                                  const ClusterConfig& cluster,
-                                 ThreadPool* pool = nullptr);
+                                 ThreadPool* pool = nullptr,
+                                 ExecutionMode exec = ExecutionMode::kFlat);
 
 }  // namespace snaple::gas

@@ -14,6 +14,7 @@ struct RankData {
 struct RankAcc {
   double total = 0.0;
   void clear() noexcept { total = 0.0; }
+  void merge(RankAcc&& other) noexcept { total += other.total; }
 };
 
 }  // namespace
@@ -21,12 +22,13 @@ struct RankAcc {
 PageRankResult pagerank(const CsrGraph& graph,
                         const Partitioning& partitioning,
                         const ClusterConfig& cluster,
-                        const PageRankOptions& options, ThreadPool* pool) {
+                        const PageRankOptions& options, ThreadPool* pool,
+                        ExecutionMode exec) {
   SNAPLE_CHECK(options.damping > 0.0 && options.damping < 1.0);
   const auto n = static_cast<double>(graph.num_vertices());
   Engine<RankData> engine(
       graph, partitioning, cluster,
-      [](const RankData&) { return sizeof(double); }, pool);
+      [](const RankData&) { return sizeof(double); }, pool, exec);
   for (auto& d : engine.data()) d.rank = 1.0 / n;
 
   PageRankResult result;

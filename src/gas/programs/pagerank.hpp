@@ -36,6 +36,8 @@ struct PageRankResult {
                                       const Partitioning& partitioning,
                                       const ClusterConfig& cluster,
                                       const PageRankOptions& options = {},
-                                      ThreadPool* pool = nullptr);
+                                      ThreadPool* pool = nullptr,
+                                      ExecutionMode exec =
+                                          ExecutionMode::kFlat);
 
 }  // namespace snaple::gas

@@ -13,17 +13,21 @@ struct DistData {
 struct MinDistAcc {
   std::uint32_t best = kInfiniteDistance;
   void clear() noexcept { best = kInfiniteDistance; }
+  void merge(MinDistAcc&& other) noexcept {
+    best = std::min(best, other.best);
+  }
 };
 
 }  // namespace
 
 SsspResult shortest_paths(const CsrGraph& graph, VertexId source,
                           const Partitioning& partitioning,
-                          const ClusterConfig& cluster, ThreadPool* pool) {
+                          const ClusterConfig& cluster, ThreadPool* pool,
+                          ExecutionMode exec) {
   SNAPLE_CHECK(source < graph.num_vertices());
   Engine<DistData> engine(
       graph, partitioning, cluster,
-      [](const DistData&) { return sizeof(std::uint32_t); }, pool);
+      [](const DistData&) { return sizeof(std::uint32_t); }, pool, exec);
   engine.data()[source].dist = 0;
 
   SsspResult result;

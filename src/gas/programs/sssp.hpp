@@ -29,6 +29,8 @@ struct SsspResult {
                                         VertexId source,
                                         const Partitioning& partitioning,
                                         const ClusterConfig& cluster,
-                                        ThreadPool* pool = nullptr);
+                                        ThreadPool* pool = nullptr,
+                                        ExecutionMode exec =
+                                            ExecutionMode::kFlat);
 
 }  // namespace snaple::gas

@@ -40,6 +40,7 @@ std::size_t tri_bytes(const TriData& d) {
 struct CountAcc {
   std::uint64_t total = 0;
   void clear() noexcept { total = 0; }
+  void merge(CountAcc&& other) noexcept { total += other.total; }
 };
 
 }  // namespace
@@ -47,7 +48,7 @@ struct CountAcc {
 TriangleResult count_triangles(const CsrGraph& graph,
                                const Partitioning& partitioning,
                                const ClusterConfig& cluster,
-                               ThreadPool* pool) {
+                               ThreadPool* pool, ExecutionMode exec) {
   // Spot-check symmetry on a deterministic sample of vertices.
   for (VertexId u = 0; u < graph.num_vertices();
        u += std::max<VertexId>(1, graph.num_vertices() / 64)) {
@@ -57,7 +58,8 @@ TriangleResult count_triangles(const CsrGraph& graph,
     }
   }
 
-  Engine<TriData> engine(graph, partitioning, cluster, &tri_bytes, pool);
+  Engine<TriData> engine(graph, partitioning, cluster, &tri_bytes, pool,
+                         exec);
 
   {
     StepOptions opt{.name = "tri-collect",

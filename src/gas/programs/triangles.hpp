@@ -31,6 +31,7 @@ struct TriangleResult {
 /// throws CheckError otherwise (verified on a sample).
 [[nodiscard]] TriangleResult count_triangles(
     const CsrGraph& graph, const Partitioning& partitioning,
-    const ClusterConfig& cluster, ThreadPool* pool = nullptr);
+    const ClusterConfig& cluster, ThreadPool* pool = nullptr,
+    ExecutionMode exec = ExecutionMode::kFlat);
 
 }  // namespace snaple::gas

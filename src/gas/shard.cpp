@@ -1,0 +1,97 @@
+#include "gas/shard.hpp"
+
+#include <algorithm>
+
+#include "util/thread_pool.hpp"
+
+namespace snaple::gas {
+
+VertexId Shard::local_id(VertexId global) const {
+  const auto it =
+      std::lower_bound(vertices_.begin(), vertices_.end(), global);
+  SNAPLE_CHECK_MSG(it != vertices_.end() && *it == global,
+                   "vertex is not replicated on this shard");
+  return static_cast<VertexId>(it - vertices_.begin());
+}
+
+ShardTopology ShardTopology::build(const CsrGraph& g, const Partitioning& p,
+                                   ThreadPool* pool) {
+  ThreadPool& tp = pool != nullptr ? *pool : default_pool();
+  const std::size_t machines = p.num_machines();
+  ShardTopology topo;
+  topo.shards_.resize(machines);
+
+  // One independent task per machine: each scans the global CSR and keeps
+  // what the partitioning assigned to it. Work is O(E + V) per machine —
+  // a build-time cost paid once per (graph, partitioning) pair.
+  tp.parallel_for(0, machines, [&](std::size_t mi, std::size_t) {
+    const auto m = static_cast<MachineId>(mi);
+    Shard& s = topo.shards_[mi];
+    s.machine_ = m;
+
+    // Local vertex set: every vertex replicated here, ascending, so the
+    // local id order mirrors global id order.
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+      if (p.replicas(u).contains(m)) s.vertices_.push_back(u);
+    }
+    const std::size_t n_local = s.vertices_.size();
+    s.is_master_.assign(n_local, 0);
+    s.sync_fanout_.assign(machines, 0);
+    for (VertexId l = 0; l < n_local; ++l) {
+      const VertexId u = s.vertices_[l];
+      if (p.master(u) == m) {
+        s.is_master_[l] = 1;
+        s.masters_.push_back(l);
+        p.replicas(u).for_each([&](MachineId r) {
+          if (r != m) ++s.sync_fanout_[r];
+        });
+      }
+    }
+
+    // Local out-CSR in one pass: for each local source, append the
+    // subsequence of its global out-edges owned by this machine, targets
+    // remapped to local ids. Exact final size is the partitioning's edge
+    // load, so the append never reallocates.
+    s.out_offsets_.assign(n_local + 1, 0);
+    s.out_targets_.reserve(p.edges_per_machine()[m]);
+    for (VertexId l = 0; l < n_local; ++l) {
+      const VertexId u = s.vertices_[l];
+      const EdgeIndex base = g.out_offset(u);
+      const auto nbrs = g.out_neighbors(u);
+      // Neighbor rows are sorted, so resume each global→local lookup
+      // where the previous one ended instead of bisecting the whole
+      // vertex list per edge.
+      auto hint = s.vertices_.begin();
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (p.edge_machine(base + i) == m) {
+          hint = std::lower_bound(hint, s.vertices_.end(), nbrs[i]);
+          s.out_targets_.push_back(
+              static_cast<VertexId>(hint - s.vertices_.begin()));
+        }
+      }
+      s.out_offsets_[l + 1] = s.out_targets_.size();
+    }
+
+    // Local in-CSR by scattering the out slice: walking local sources in
+    // ascending order appends each target's in-sources in ascending
+    // global source order — the same order CsrGraph::in_neighbors yields
+    // after filtering to this machine's edges.
+    s.in_offsets_.assign(n_local + 1, 0);
+    for (const VertexId t : s.out_targets_) ++s.in_offsets_[t + 1];
+    for (std::size_t l = 1; l <= n_local; ++l) {
+      s.in_offsets_[l] += s.in_offsets_[l - 1];
+    }
+    s.in_sources_.resize(s.out_targets_.size());
+    std::vector<EdgeIndex> cursor(s.in_offsets_.begin(),
+                                  s.in_offsets_.end() - 1);
+    for (VertexId l = 0; l < n_local; ++l) {
+      for (const VertexId t : s.out_neighbors(l)) {
+        s.in_sources_[cursor[t]++] = l;
+      }
+    }
+  });
+
+  return topo;
+}
+
+}  // namespace snaple::gas

@@ -30,16 +30,38 @@ class ScoreMap {
     std::uint32_t count = 0;
   };
 
-  explicit ScoreMap(std::size_t expected = 16) { rehash_for(expected); }
+  /// Default construction allocates nothing — the table appears on the
+  /// first accumulate(). The GAS engine default-constructs one map per
+  /// deferred master vertex each superstep; lazy allocation keeps the
+  /// empty ones (and the moved-from message payloads) free.
+  explicit ScoreMap(std::size_t expected = 0) {
+    if (expected > 0) rehash_for(expected);
+  }
 
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
 
-  /// Removes all entries but keeps the table memory for reuse.
+  /// Removes all entries but keeps the table memory for reuse. A hub
+  /// vertex balloons the reused table; once occupancy falls far below
+  /// capacity the logical table is shrunk (vector capacity is retained,
+  /// so this allocates nothing) — otherwise every later clear() would
+  /// keep sweeping a hub-sized array for a handful of entries.
   void clear() noexcept {
+    if (slots_.size() != mask_ + 1) {
+      // Sealed (dense) or never-allocated representation: drop to the
+      // lazy-empty state; a probing table reappears on first accumulate.
+      slots_.clear();
+      size_ = 0;
+      mask_ = 0;
+      shift_ = 64;
+      return;
+    }
     if (size_ == 0) return;
-    for (auto& s : slots_) s.key = kEmpty;
+    const std::size_t last = size_;
     size_ = 0;
+    if (!shrink_if_oversized(last)) {
+      for (auto& s : slots_) s.key = kEmpty;
+    }
   }
 
   /// Folds (key, score, count) into the map. On first sight the entry is
@@ -69,8 +91,19 @@ class ScoreMap {
     }
   }
 
-  /// Returns the entry for `key`, or nullptr if absent.
+  /// Returns the entry for `key`, or nullptr if absent. On a sealed map
+  /// (export_compact()) lookups fall back to a linear scan — sealed
+  /// partials are meant for iteration, but a stray find() must stay
+  /// correct rather than probe a table that does not exist.
   [[nodiscard]] const Slot* find(Key key) const noexcept {
+    if (slots_.empty()) return nullptr;
+    if (mask_ == 0) {  // sealed/dense: no probing structure (real tables
+                       // have capacity >= 16, so mask_ >= 15)
+      for (const auto& s : slots_) {
+        if (s.key == key) return &s;
+      }
+      return nullptr;
+    }
     std::size_t i = probe_start(key);
     for (;;) {
       const Slot& s = slots_[i];
@@ -93,7 +126,50 @@ class ScoreMap {
     return slots_.size() * sizeof(Slot);
   }
 
+  /// Extracts the contents into a *sealed* map, leaving *this empty but
+  /// with its table memory (capacity) intact. The sharded GAS engine
+  /// exports mirror partials with this: a moved-from scratch would regrow
+  /// through the whole rehash chain on the next vertex, and a plain copy
+  /// followed by clear() would sweep the (possibly hub-sized) table
+  /// twice — this does read-out and reset in the same single sweep.
+  ///
+  /// A sealed map stores its entries densely (slots_.size() == size(),
+  /// no empty slots, mask_ == 0): for_each() and clear() work normally —
+  /// all a serialized partial needs — while find() on it is invalid
+  /// (DCHECKed) and the first accumulate() transparently rebuilds a real
+  /// probing table from the dense entries via the normal growth rehash.
+  [[nodiscard]] ScoreMap export_compact() {
+    ScoreMap out;
+    if (size_ == 0) return out;
+    out.slots_.reserve(size_);
+    for (auto& s : slots_) {
+      if (s.key == kEmpty) continue;
+      out.slots_.push_back(s);
+      s.key = kEmpty;
+    }
+    out.size_ = size_;
+    size_ = 0;
+    shrink_if_oversized(out.size_);  // same hub hygiene as clear()
+    return out;
+  }
+
  private:
+  /// Shrinks the (empty) logical table when the last occupancy used far
+  /// less than its capacity. Reuses the vector's existing storage, so it
+  /// never allocates; returns true if the table was re-initialized.
+  /// Call only with size_ == 0.
+  bool shrink_if_oversized(std::size_t last_occupancy) noexcept {
+    if (slots_.size() < 256) return false;
+    std::size_t target = 16;
+    while (target * 3 < last_occupancy * 4 + 4) target <<= 1;
+    target <<= 1;  // headroom: the next vertex is likely similar
+    if (target * 4 > slots_.size()) return false;
+    slots_.assign(target, Slot{});
+    mask_ = target - 1;
+    shift_ = 64 - count_bits(target);
+    return true;
+  }
+
   [[nodiscard]] std::size_t probe_start(Key key) const noexcept {
     // Fibonacci hashing spreads sequential vertex ids well.
     const std::uint64_t h = static_cast<std::uint64_t>(key) * 0x9e3779b97f4a7c15ULL;

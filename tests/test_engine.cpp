@@ -19,13 +19,17 @@ struct Scalar {
 };
 std::size_t scalar_bytes(const Scalar&) { return sizeof(double); }
 
-/// Sum accumulator fulfilling the engine's Acc concept.
+/// Sum accumulator fulfilling the engine's Acc concept (clear + merge).
 struct SumAcc {
   double total = 0.0;
   std::size_t n = 0;
   void clear() {
     total = 0.0;
     n = 0;
+  }
+  void merge(SumAcc&& other) {
+    total += other.total;
+    n += other.n;
   }
 };
 

@@ -130,6 +130,94 @@ TEST(Partitioning, SixtyFourMachinesSupported) {
   EXPECT_EQ(p.num_machines(), 64u);
 }
 
+// ---------- from_edge_assignment edge cases ----------
+
+TEST(FromEdgeAssignment, RejectsOutOfRangeMachineWithClearError) {
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  const CsrGraph g = b.build();
+  try {
+    const auto p = Partitioning::from_edge_assignment(g, 4, {0, 9});
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    // The error names the offending index, value and machine count —
+    // nothing may be indexed before validation runs.
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("edge_machine[1] = 9"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("4 machines"), std::string::npos) << msg;
+  }
+  // Boundary: machine id == machines is already out of range.
+  EXPECT_THROW(Partitioning::from_edge_assignment(g, 2, {0, 2}),
+               CheckError);
+}
+
+TEST(FromEdgeAssignment, IsolatedVerticesGetDeterministicPlacement) {
+  GraphBuilder b(8);
+  b.add_edge(0, 1);  // vertices 2..7 isolated
+  const CsrGraph g = b.build();
+  const auto p = Partitioning::from_edge_assignment(g, 4, {2});
+  EXPECT_EQ(p.master(0), 2);
+  EXPECT_EQ(p.master(1), 2);
+  for (VertexId u = 2; u < 8; ++u) {
+    EXPECT_EQ(p.replicas(u).count(), 1);
+    EXPECT_TRUE(p.replicas(u).contains(p.master(u)));
+    EXPECT_LT(p.master(u), 4);
+  }
+  const auto q = Partitioning::from_edge_assignment(g, 4, {2});
+  for (VertexId u = 0; u < 8; ++u) EXPECT_EQ(p.master(u), q.master(u));
+}
+
+TEST(FromEdgeAssignment, SingleMachineIsTrivial) {
+  const CsrGraph g = test_graph();
+  const std::vector<MachineId> all_zero(g.num_edges(), 0);
+  const auto p = Partitioning::from_edge_assignment(g, 1, all_zero);
+  EXPECT_DOUBLE_EQ(p.replication_factor(), 1.0);
+  EXPECT_EQ(p.edges_per_machine()[0], g.num_edges());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    EXPECT_EQ(p.master(u), 0);
+  }
+}
+
+TEST(FromEdgeAssignment, AllEdgesOnOneMachineOfMany) {
+  const CsrGraph g = test_graph();
+  const std::vector<MachineId> all_three(g.num_edges(), 3);
+  const auto p = Partitioning::from_edge_assignment(g, 8, all_three);
+  EXPECT_EQ(p.edges_per_machine()[3], g.num_edges());
+  for (std::size_t m = 0; m < 8; ++m) {
+    if (m != 3) {
+      EXPECT_EQ(p.edges_per_machine()[m], 0u);
+    }
+  }
+  // Every connected vertex lives (and is mastered) on machine 3 only.
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    if (g.out_degree(u) + g.in_degree(u) == 0) continue;
+    EXPECT_EQ(p.replicas(u).count(), 1);
+    EXPECT_EQ(p.master(u), 3);
+  }
+  EXPECT_DOUBLE_EQ(p.replication_factor(), 1.0);
+}
+
+TEST(FromEdgeAssignment, SixtyFourMachinesRoundRobin) {
+  const CsrGraph g = gen::erdos_renyi(300, 3000, 21);
+  std::vector<MachineId> assign(g.num_edges());
+  for (EdgeIndex e = 0; e < g.num_edges(); ++e) {
+    assign[e] = static_cast<MachineId>(e % 64);
+  }
+  const auto p = Partitioning::from_edge_assignment(g, 64, assign);
+  EXPECT_EQ(p.num_machines(), 64u);
+  EdgeIndex total = 0;
+  for (const auto load : p.edges_per_machine()) total += load;
+  EXPECT_EQ(total, g.num_edges());
+  for (EdgeIndex e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(p.edge_machine(e), e % 64);
+  }
+  // Machine 64 would be one past the mask.
+  assign[0] = 64;
+  EXPECT_THROW(Partitioning::from_edge_assignment(g, 64, assign),
+               CheckError);
+}
+
 TEST(ReplicaSet, BitOperations) {
   ReplicaSet r;
   EXPECT_TRUE(r.empty());

@@ -276,6 +276,88 @@ TEST(ScoreMap, MatchesUnorderedMapReference) {
   }
 }
 
+TEST(ScoreMap, DefaultConstructionIsLazy) {
+  ScoreMap m;
+  EXPECT_EQ(m.memory_bytes(), 0u);  // no table until the first entry
+  EXPECT_EQ(m.find(3), nullptr);
+  m.clear();  // no-op on the lazy-empty state
+  auto plus = [](float a, float b) { return a + b; };
+  m.accumulate(3, 1.0f, 1, plus);
+  EXPECT_GT(m.memory_bytes(), 0u);
+  EXPECT_FLOAT_EQ(m.find(3)->score, 1.0f);
+}
+
+TEST(ScoreMap, ExportCompactSealsEntriesAndResetsSource) {
+  ScoreMap m;
+  auto plus = [](float a, float b) { return a + b; };
+  for (std::uint32_t k = 0; k < 50; ++k) m.accumulate(k, 1.0f, 1, plus);
+  const auto bytes = m.memory_bytes();
+  ScoreMap sealed = m.export_compact();
+  // Source is empty but keeps its table for the next vertex.
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.memory_bytes(), bytes);
+  // The sealed map holds exactly the entries, densely.
+  EXPECT_EQ(sealed.size(), 50u);
+  EXPECT_EQ(sealed.memory_bytes(), 50 * sizeof(ScoreMap::Slot));
+  std::size_t visited = 0;
+  sealed.for_each([&](std::uint32_t k, float s, std::uint32_t n) {
+    ++visited;
+    EXPECT_LT(k, 50u);
+    EXPECT_FLOAT_EQ(s, 1.0f);
+    EXPECT_EQ(n, 1u);
+  });
+  EXPECT_EQ(visited, 50u);
+  // The source map is immediately reusable.
+  m.accumulate(7, 2.0f, 1, plus);
+  EXPECT_FLOAT_EQ(m.find(7)->score, 2.0f);
+}
+
+TEST(ScoreMap, AccumulateIntoSealedMapSelfHeals) {
+  ScoreMap m;
+  auto plus = [](float a, float b) { return a + b; };
+  for (std::uint32_t k = 0; k < 20; ++k) m.accumulate(k, 1.0f, 1, plus);
+  ScoreMap sealed = m.export_compact();
+  // Folding into a sealed map rebuilds a real probing table first.
+  sealed.accumulate(5, 2.0f, 1, plus);
+  sealed.accumulate(100, 1.0f, 1, plus);
+  EXPECT_EQ(sealed.size(), 21u);
+  EXPECT_FLOAT_EQ(sealed.find(5)->score, 3.0f);
+  EXPECT_FLOAT_EQ(sealed.find(100)->score, 1.0f);
+}
+
+TEST(ScoreMap, ClearOnSealedMapRestoresLazyEmpty) {
+  ScoreMap m;
+  auto plus = [](float a, float b) { return a + b; };
+  for (std::uint32_t k = 0; k < 30; ++k) m.accumulate(k, 1.0f, 1, plus);
+  ScoreMap sealed = m.export_compact();
+  sealed.clear();
+  EXPECT_TRUE(sealed.empty());
+  EXPECT_EQ(sealed.find(3), nullptr);
+  for (std::uint32_t k = 0; k < 40; ++k) sealed.accumulate(k, 1.0f, 1, plus);
+  EXPECT_EQ(sealed.size(), 40u);
+  for (std::uint32_t k = 0; k < 40; ++k) {
+    ASSERT_NE(sealed.find(k), nullptr) << k;
+  }
+}
+
+TEST(ScoreMap, ShrinksLogicalTableAfterHubVertex) {
+  ScoreMap m;
+  auto plus = [](float a, float b) { return a + b; };
+  // A hub inflates the table…
+  for (std::uint32_t k = 0; k < 5000; ++k) m.accumulate(k, 1.0f, 1, plus);
+  const auto hub_bytes = m.memory_bytes();
+  // …then a clear after a small occupancy shrinks the logical table so
+  // later clears stop sweeping a hub-sized array.
+  m.clear();
+  for (std::uint32_t k = 0; k < 8; ++k) m.accumulate(k, 1.0f, 1, plus);
+  m.clear();
+  EXPECT_LT(m.memory_bytes(), hub_bytes);
+  // Still a fully working map afterwards.
+  for (std::uint32_t k = 0; k < 300; ++k) m.accumulate(k, 2.0f, 1, plus);
+  EXPECT_EQ(m.size(), 300u);
+  EXPECT_FLOAT_EQ(m.find(123)->score, 2.0f);
+}
+
 // ---------- Stats ----------
 
 TEST(RunningStats, MeanVarianceMinMax) {
