@@ -16,7 +16,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/predictor.hpp"
+#include "core/snaple_program.hpp"
 #include "eval/experiment.hpp"
 #include "util/table.hpp"
 
@@ -46,20 +46,23 @@ int main(int argc, char** argv) {
           dataset.train, machines, strategy, config.seed);
       for (const auto exec : {snaple::gas::ExecutionMode::kFlat,
                               snaple::gas::ExecutionMode::kSharded}) {
-        const snaple::LinkPredictor predictor(config, cluster, strategy,
-                                              exec);
+        // The engine-level batch primitive: this walkthrough is about
+        // the per-step distributed accounting of all three GAS steps,
+        // which fit+serve predict() intentionally does not model.
         const auto run =
-            predictor.predict_with_partitioning(dataset.train, partitioning);
+            snaple::run_snaple(dataset.train, config, partitioning, cluster,
+                               nullptr, snaple::gas::ApplyMode::kFused,
+                               exec);
         table.add_row(
             {std::to_string(machines),
              std::to_string(cluster.total_cores()),
              strategy == snaple::gas::PartitionStrategy::kGreedy ? "greedy"
                                                                  : "hash",
              exec == snaple::gas::ExecutionMode::kFlat ? "flat" : "sharded",
-             snaple::Table::fmt(run.replication_factor, 2),
+             snaple::Table::fmt(partitioning.replication_factor(), 2),
              snaple::Table::fmt(
-                 static_cast<double>(run.network_bytes) / 1e6, 1),
-             snaple::Table::fmt(run.simulated_seconds, 3)});
+                 static_cast<double>(run.report.total_net_bytes()) / 1e6, 1),
+             snaple::Table::fmt(run.report.total_sim_s(), 3)});
       }
     }
   }

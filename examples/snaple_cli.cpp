@@ -1,13 +1,18 @@
-// snaple_cli — run link prediction on any graph from the command line.
+// snaple_cli — batch link prediction AND model serving from the command
+// line.
 //
-//   $ ./snaple_cli <edge-list-file | replica-name> [options]
+//   $ ./snaple_cli <edge-list-file | replica-name> [options]   batch run
+//   $ ./snaple_cli graph.txt --fit --save-model=m.bin          fit offline
+//   $ ./snaple_cli --load-model=m.bin --query=3,17,42          serve
 //
+// Graph / config options:
 //   --symmetrize        treat the input edge list as undirected
 //   --score=<name>      Table-3 scoring method        [linearSum]
-//   --k=<n>             predictions per vertex        [5]
+//   --k=<n>             predictions per vertex/query  [5]
 //   --klocal=<n|inf>    sampling parameter            [20]
 //   --thr=<n|inf>       truncation threshold          [200]
 //   --khops=<2|3>       path length                   [2]
+//   --hop2min=<f>       K=3 2-hop pruning threshold   [0 = off]
 //   --machines=<n>      simulated cluster size        [1]
 //   --partition=<s>     vertex-cut strategy: hash|greedy   [greedy]
 //   --flat              accounted-only engine (default: --machines>1
@@ -16,11 +21,21 @@
 //                       exchange — and prints per-shard stats)
 //   --type2             use type-II machines (else type-I / single)
 //   --eval              hide one edge per vertex first and report recall
+//                       (batch mode only)
 //   --seed=<n>          RNG seed                      [1]
-//   --out=<file>        write "u: z1 z2 ..." lines    [stdout]
+//   --out=<file>        write predictions             [stdout]
 //   --threads=<n>       loader thread count           [hardware]
 //   --convert=<file>    write input as binary v2 and exit
 //   --save-bin=<file>   also write loaded graph as binary v2
+//
+// Serving options (any of these switches to the fit/serve flow):
+//   --fit               fit the model (steps 1–2) and stop — no batch
+//                       predictions; combine with --save-model
+//   --save-model=<file> serialize the fitted model (SNAPLEM1 format)
+//   --load-model=<file> serve from a saved model instead of fitting;
+//                       the graph argument is not needed
+//   --query=u1,u2,...   answer top-k for the listed vertices, printed as
+//                       "u: z1(score) z2(score) ..."
 //
 // Input files may be SNAP-style text edge lists (loaded with the
 // parallel mmap loader) or snaple binary graphs (v1 or v2, autodetected
@@ -31,12 +46,14 @@
 //   ./snaple_cli livejournal --eval --klocal=40
 //   ./snaple_cli soc-pokec.txt --score=counter --machines=8 --type2
 //   ./snaple_cli twitter_rv.net --convert=twitter.bin
-//   ./snaple_cli twitter.bin --eval
+//   ./snaple_cli twitter.bin --fit --save-model=twitter-model.bin
+//   ./snaple_cli --load-model=twitter-model.bin --query=1,7,900 --k=10
 #include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/predictor.hpp"
 #include "eval/experiment.hpp"
@@ -68,14 +85,71 @@ bool is_binary_graph(const std::string& path) {
   return in && std::string(magic, sizeof(magic)) == "SNAPLEG";
 }
 
+/// Parses "--query=1,5,42" into vertex ids.
+std::vector<snaple::VertexId> parse_query_list(const std::string& list) {
+  std::vector<snaple::VertexId> out;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::string item =
+        list.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    if (!item.empty()) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(item.c_str(), &end, 10);
+      if (end == item.c_str() || *end != '\0' || v > 0xfffffffeULL) {
+        throw snaple::CheckError("bad --query vertex id '" + item + "'");
+      }
+      out.push_back(static_cast<snaple::VertexId>(v));
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// Serves --query=... against a model: validates every id up front (no
+/// partial output on a bad request), then prints "u: z(score) ..."
+/// lines. k = 0 means the model's configured k. Returns a process exit
+/// code.
+int serve_queries(const snaple::QueryEngine& server,
+                  const std::string& query_list, std::size_t k,
+                  std::ostream& out) {
+  try {
+    const auto users = parse_query_list(query_list);
+    for (const snaple::VertexId u : users) {
+      if (u >= server.model().num_vertices()) {
+        std::cerr << "--query vertex " << u << " out of range (model has "
+                  << server.model().num_vertices() << " vertices)\n";
+        return 1;
+      }
+    }
+    for (const snaple::VertexId u : users) {
+      out << u << ':';
+      for (const auto& [z, score] : server.topk(u, k)) {
+        out << ' ' << z << '(' << score << ')';
+      }
+      out << '\n';
+    }
+  } catch (const snaple::CheckError& e) {
+    std::cerr << "query failed: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " <edge-list-file | gowalla|pokec|orkut|livejournal|twitter>"
                " [--symmetrize] [--score=NAME] [--k=N] [--klocal=N|inf]"
-               " [--thr=N|inf] [--khops=2|3] [--machines=N]"
+               " [--thr=N|inf] [--khops=2|3] [--hop2min=F] [--machines=N]"
                " [--partition=hash|greedy] [--flat] [--type2]"
                " [--eval] [--seed=N] [--out=FILE] [--threads=N]"
-               " [--convert=FILE] [--save-bin=FILE]\n";
+               " [--convert=FILE] [--save-bin=FILE]\n"
+               "   or: " << argv0
+            << " <graph> --fit [--save-model=FILE] [--query=U1,U2,...]\n"
+               "   or: " << argv0
+            << " --load-model=FILE --query=U1,U2,... [--k=N]\n";
   return 2;
 }
 
@@ -85,36 +159,52 @@ int main(int argc, char** argv) {
   using namespace snaple;
   if (argc < 2) return usage(argv[0]);
 
-  const std::string input = argv[1];
+  std::string input;
   bool symmetrize = false;
   bool type2 = false;
   bool evaluate = false;
   bool flat = false;
+  bool fit_only = false;
   auto strategy = gas::PartitionStrategy::kGreedy;
   std::size_t machines = 1;
   std::size_t threads = 0;
   std::string out_path;
   std::string convert_path;
   std::string save_bin_path;
+  std::string save_model_path;
+  std::string load_model_path;
+  std::string query_list;
+  bool have_query = false;
+  bool have_k = false;
   SnapleConfig config;
   config.k_local = 20;
 
-  for (int i = 2; i < argc; ++i) {
+  for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value_of = [&](const char* prefix) {
       return arg.substr(std::string(prefix).size());
     };
     try {
-      if (arg == "--symmetrize") {
+      if (!arg.empty() && arg[0] != '-') {
+        if (!input.empty()) {
+          std::cerr << "two inputs given: '" << input << "' and '" << arg
+                    << "'\n";
+          return usage(argv[0]);
+        }
+        input = arg;
+      } else if (arg == "--symmetrize") {
         symmetrize = true;
       } else if (arg == "--type2") {
         type2 = true;
       } else if (arg == "--eval") {
         evaluate = true;
+      } else if (arg == "--fit") {
+        fit_only = true;
       } else if (arg.rfind("--score=", 0) == 0) {
         config.score = parse_score_kind(value_of("--score="));
       } else if (arg.rfind("--k=", 0) == 0) {
         config.k = parse_limit(value_of("--k="));
+        have_k = true;
       } else if (arg.rfind("--klocal=", 0) == 0) {
         config.k_local = parse_limit(value_of("--klocal="));
       } else if (arg.rfind("--thr=", 0) == 0) {
@@ -123,6 +213,8 @@ int main(int argc, char** argv) {
         config.k_hops = parse_limit(value_of("--khops="));
         SNAPLE_CHECK_MSG(config.k_hops == 2 || config.k_hops == 3,
                          "--khops must be 2 or 3");
+      } else if (arg.rfind("--hop2min=", 0) == 0) {
+        config.hop2_min_score = std::atof(value_of("--hop2min=").c_str());
       } else if (arg.rfind("--machines=", 0) == 0) {
         machines = parse_limit(value_of("--machines="));
       } else if (arg.rfind("--partition=", 0) == 0) {
@@ -147,6 +239,13 @@ int main(int argc, char** argv) {
         convert_path = value_of("--convert=");
       } else if (arg.rfind("--save-bin=", 0) == 0) {
         save_bin_path = value_of("--save-bin=");
+      } else if (arg.rfind("--save-model=", 0) == 0) {
+        save_model_path = value_of("--save-model=");
+      } else if (arg.rfind("--load-model=", 0) == 0) {
+        load_model_path = value_of("--load-model=");
+      } else if (arg.rfind("--query=", 0) == 0) {
+        query_list = value_of("--query=");
+        have_query = true;
       } else {
         std::cerr << "unknown option: " << arg << "\n";
         return usage(argv[0]);
@@ -157,12 +256,65 @@ int main(int argc, char** argv) {
     }
   }
 
+  const bool serving = fit_only || have_query || !save_model_path.empty() ||
+                       !load_model_path.empty();
+  if (serving && evaluate) {
+    std::cerr << "--eval applies to the batch flow only\n";
+    return 2;
+  }
+  if (load_model_path.empty() && input.empty()) {
+    std::cerr << "no input graph (or --load-model) given\n";
+    return usage(argv[0]);
+  }
+  if (!load_model_path.empty() && !input.empty()) {
+    std::cerr << "--load-model serves a finished model; drop the graph "
+                 "argument (it would be ignored)\n";
+    return 2;
+  }
+
   // A dedicated pool when --threads is given; the default pool otherwise.
   std::unique_ptr<ThreadPool> own_pool;
   ThreadPool* pool = nullptr;
   if (threads > 1 && threads != kUnlimited) {
     own_pool = std::make_unique<ThreadPool>(threads - 1);
     pool = own_pool.get();
+  }
+
+  std::ofstream out_file;
+  std::ostream* out = &std::cout;
+  if (!out_path.empty()) {
+    out_file.open(out_path);
+    if (!out_file) {
+      std::cerr << "cannot write " << out_path << "\n";
+      return 1;
+    }
+    out = &out_file;
+  }
+
+  // ---- Serve from a saved model: no graph, no fit. ----
+  if (!load_model_path.empty()) {
+    std::shared_ptr<const PredictorModel> model;
+    try {
+      WallTimer load_timer;
+      model = std::make_shared<const PredictorModel>(
+          PredictorModel::load_file(load_model_path));
+      std::cerr << "loaded model: " << model->num_vertices()
+                << " vertices, "
+                << static_cast<double>(model->memory_bytes()) / 1e6
+                << " MB, config [" << model->config().describe() << "] (in "
+                << format_duration(load_timer.seconds()) << ")\n";
+    } catch (const std::exception& e) {
+      std::cerr << "cannot load model '" << load_model_path
+                << "': " << e.what() << "\n";
+      return 1;
+    }
+    if (!have_query) {
+      std::cerr << "model loaded; pass --query=u1,u2,... to serve\n";
+      return 0;
+    }
+    const QueryEngine server(model);
+    // An explicit --k overrides the model's configured k (0 = model's).
+    return serve_queries(server, query_list, have_k ? config.k : 0, *out);
   }
 
   CsrGraph graph;
@@ -233,7 +385,6 @@ int main(int argc, char** argv) {
   // data, and traffic is measured from the exchange buffers.
   const auto exec = (machines > 1 && !flat) ? gas::ExecutionMode::kSharded
                                             : gas::ExecutionMode::kFlat;
-  const LinkPredictor predictor(config, cluster, strategy, exec);
 
   const auto partitioning =
       gas::Partitioning::create(graph, cluster.num_machines, strategy,
@@ -241,7 +392,7 @@ int main(int argc, char** argv) {
   std::shared_ptr<const gas::ShardTopology> topo;
   if (exec == gas::ExecutionMode::kSharded) {
     // Per-shard layout report: what each simulated machine actually
-    // owns. The layout is reused by the prediction run below.
+    // owns. The layout is reused by the runs below.
     topo = std::make_shared<const gas::ShardTopology>(
         gas::ShardTopology::build(graph, partitioning));
     Table shard_table({"shard", "edges", "replicas", "masters", "mirrors",
@@ -262,27 +413,68 @@ int main(int argc, char** argv) {
     shard_table.print(std::cerr);
   }
 
-  PredictionRun run;
-  try {
-    run = predictor.predict_with_partitioning(graph, partitioning, nullptr,
-                                              topo);
-  } catch (const ResourceExhausted& e) {
-    std::cerr << "simulated cluster out of memory: " << e.what() << "\n";
-    return 1;
-  }
-
   std::cerr << "config: " << config.describe() << "\n";
   std::cerr << "cluster: " << cluster.describe() << " ("
             << (exec == gas::ExecutionMode::kSharded ? "sharded" : "flat")
             << " execution)\n";
-  std::cerr << "host time: " << format_duration(run.wall_seconds)
+
+  // ---- Fit/serve flow: build the model, optionally save and query. ----
+  if (serving) {
+    const LinkPredictor predictor(config, cluster, strategy, exec);
+    PredictorModel model;
+    try {
+      WallTimer fit_timer;
+      model = predictor.fit_with_partitioning(graph, partitioning, pool,
+                                              topo);
+      std::cerr << "fitted model in " << format_duration(fit_timer.seconds())
+                << ": " << static_cast<double>(model.memory_bytes()) / 1e6
+                << " MB, fit traffic "
+                << static_cast<double>(
+                       model.fit_report().total_net_bytes()) / 1e6
+                << " MB\n";
+    } catch (const ResourceExhausted& e) {
+      std::cerr << "simulated cluster out of memory: " << e.what() << "\n";
+      return 1;
+    }
+    if (!save_model_path.empty()) {
+      try {
+        model.save_file(save_model_path);
+        std::cerr << "wrote model to " << save_model_path << "\n";
+      } catch (const IoError& e) {
+        std::cerr << "cannot write '" << save_model_path
+                  << "': " << e.what() << "\n";
+        return 1;
+      }
+    }
+    if (have_query) {
+      const QueryEngine server(
+          std::make_shared<const PredictorModel>(std::move(model)));
+      return serve_queries(server, query_list, 0, *out);
+    }
+    return 0;
+  }
+
+  // ---- Batch flow: the fully-accounted three-step engine run. ----
+  SnapleResult result;
+  WallTimer run_timer;
+  try {
+    result = run_snaple(graph, config, partitioning, cluster, pool,
+                        gas::ApplyMode::kFused, exec, topo);
+  } catch (const ResourceExhausted& e) {
+    std::cerr << "simulated cluster out of memory: " << e.what() << "\n";
+    return 1;
+  }
+  const double wall_seconds = run_timer.seconds();
+
+  std::cerr << "host time: " << format_duration(wall_seconds)
             << ", simulated time: "
-            << format_duration(run.simulated_seconds) << ", traffic: "
-            << static_cast<double>(run.network_bytes) / 1e6 << " MB\n";
+            << format_duration(result.report.total_sim_s()) << ", traffic: "
+            << static_cast<double>(result.report.total_net_bytes()) / 1e6
+            << " MB\n";
   if (exec == gas::ExecutionMode::kSharded) {
     std::size_t acc_peak = 0;
     std::size_t vd_peak = 0;
-    for (const auto& s : run.report.steps) {
+    for (const auto& s : result.report.steps) {
       acc_peak = std::max(acc_peak, s.accumulator_bytes_peak);
       vd_peak = std::max(vd_peak, s.vertex_data_bytes_peak);
     }
@@ -293,25 +485,15 @@ int main(int argc, char** argv) {
   }
   if (evaluate) {
     std::cerr << "recall@" << config.k << ": "
-              << eval::recall(run.predictions, hidden) << ", MRR: "
-              << eval::mean_reciprocal_rank(run.predictions, hidden)
+              << eval::recall(result.predictions, hidden) << ", MRR: "
+              << eval::mean_reciprocal_rank(result.predictions, hidden)
               << "\n";
   }
 
-  std::ofstream out_file;
-  std::ostream* out = &std::cout;
-  if (!out_path.empty()) {
-    out_file.open(out_path);
-    if (!out_file) {
-      std::cerr << "cannot write " << out_path << "\n";
-      return 1;
-    }
-    out = &out_file;
-  }
   for (VertexId u = 0; u < graph.num_vertices(); ++u) {
-    if (run.predictions[u].empty()) continue;
+    if (result.predictions[u].empty()) continue;
     (*out) << u << ':';
-    for (VertexId z : run.predictions[u]) (*out) << ' ' << z;
+    for (VertexId z : result.predictions[u]) (*out) << ' ' << z;
     (*out) << '\n';
   }
   return 0;

@@ -48,6 +48,17 @@ struct SnapleConfig {
   /// AND 3. Costs roughly 3× the K=2 run.
   std::size_t k_hops = 2;
 
+  /// K=3 only: candidates whose aggregated 2-hop score falls below this
+  /// threshold are dropped in step 2b *before* the klocal selection —
+  /// the ROADMAP "K=3 cost" pruning knob. 0 (the default) disables
+  /// pruning and is bit-identical to the unpruned pipeline. Under the
+  /// default Γmax policy a positive threshold only ever removes
+  /// below-threshold 2-hop candidates (tests pin the exact filter);
+  /// under the Γmin/Γrnd control policies the selection runs over the
+  /// pruned pool, so the retained set is not a subset of the unpruned
+  /// one.
+  double hop2_min_score = 0.0;
+
   /// Seed for the Bernoulli truncation of step 1 and the Γrnd policy.
   std::uint64_t seed = 1;
 
@@ -56,6 +67,8 @@ struct SnapleConfig {
   }
 
   [[nodiscard]] std::string describe() const;
+
+  friend bool operator==(const SnapleConfig&, const SnapleConfig&) = default;
 };
 
 }  // namespace snaple

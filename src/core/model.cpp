@@ -1,0 +1,376 @@
+#include "core/model.hpp"
+
+#include <array>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "graph/io.hpp"
+#include "util/thread_pool.hpp"
+
+namespace snaple {
+
+namespace {
+
+constexpr std::array<char, 8> kModelMagic = {'S', 'N', 'A', 'P',
+                                             'L', 'E', 'M', '1'};
+
+// Same ceiling as the graph loaders: the vertex COUNT must fit VertexId.
+constexpr std::uint64_t kMaxVertices = 0xffffffffULL;
+
+// Entry counts are bounded by remaining file bytes on load, but reject
+// absurd headers outright before any allocation (mirrors io.cpp's
+// kMaxEdges discipline).
+constexpr std::uint64_t kMaxEntries = std::uint64_t{1} << 40;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void write_vec(std::ostream& out, const std::vector<T>& v) {
+  if (v.empty()) return;
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+void read_pod(std::istream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void read_vec(std::istream& in, std::vector<T>& v) {
+  if (v.empty()) return;
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+/// Offsets must be size V+1, start at 0, be monotone, and end at `count`.
+void check_offsets(const std::vector<EdgeIndex>& offsets,
+                   std::uint64_t count, const char* what) {
+  if (offsets.empty() || offsets.front() != 0 || offsets.back() != count) {
+    throw IoError(std::string("corrupt model: bad ") + what + " offsets");
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) {
+      throw IoError(std::string("corrupt model: ") + what +
+                    " offsets not monotone");
+    }
+  }
+}
+
+void check_ids(const std::vector<VertexId>& ids, std::uint64_t num_vertices,
+               const char* what) {
+  for (const VertexId v : ids) {
+    if (v >= num_vertices) {
+      throw IoError(std::string("corrupt model: ") + what +
+                    " id out of range");
+    }
+  }
+}
+
+/// Every per-vertex id row must be strictly ascending — the query path
+/// binary-searches gamma rows and relies on sims/hop2 row order for the
+/// bit-exact fold replay, so an unsorted row would serve silently wrong
+/// answers rather than fail.
+void check_sorted_rows(const std::vector<EdgeIndex>& offsets,
+                       const std::vector<VertexId>& ids, const char* what) {
+  for (std::size_t u = 0; u + 1 < offsets.size(); ++u) {
+    for (EdgeIndex i = offsets[u] + 1; i < offsets[u + 1]; ++i) {
+      if (ids[i - 1] >= ids[i]) {
+        throw IoError(std::string("corrupt model: ") + what +
+                      " row not strictly ascending");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+PredictorModel PredictorModel::build(SnapleConfig config,
+                                     const CsrGraph& graph,
+                                     const gas::Partitioning& partitioning,
+                                     SnapleFitData fit,
+                                     std::shared_ptr<const CsrGraph> owned,
+                                     ThreadPool* pool) {
+  const VertexId n = graph.num_vertices();
+  SNAPLE_CHECK_MSG(fit.vertex_data.size() == n,
+                   "fit state does not match the graph");
+  ThreadPool& tp = pool != nullptr ? *pool : default_pool();
+
+  PredictorModel m;
+  m.config_ = config;
+  m.num_machines_ =
+      static_cast<std::uint32_t>(partitioning.num_machines());
+  m.num_vertices_ = n;
+  m.graph_ = std::move(owned);
+  m.fit_report_ = std::move(fit.report);
+
+  // Offsets from the harvested list sizes (serial O(V) prefix sums).
+  m.gamma_offsets_.resize(static_cast<std::size_t>(n) + 1);
+  m.sims_offsets_.resize(static_cast<std::size_t>(n) + 1);
+  if (config.k_hops == 3) {
+    m.hop2_offsets_.resize(static_cast<std::size_t>(n) + 1);
+  }
+  EdgeIndex gamma_total = 0;
+  EdgeIndex sims_total = 0;
+  EdgeIndex hop2_total = 0;
+  for (VertexId u = 0; u < n; ++u) {
+    const SnapleVertexData& du = fit.vertex_data[u];
+    m.gamma_offsets_[u] = gamma_total;
+    m.sims_offsets_[u] = sims_total;
+    gamma_total += du.gamma_hat.size();
+    sims_total += du.sims.size();
+    if (config.k_hops == 3) {
+      m.hop2_offsets_[u] = hop2_total;
+      hop2_total += du.hop2.size();
+    }
+  }
+  m.gamma_offsets_[n] = gamma_total;
+  m.sims_offsets_[n] = sims_total;
+  if (config.k_hops == 3) m.hop2_offsets_[n] = hop2_total;
+
+  m.gamma_ids_.resize(gamma_total);
+  m.sims_ids_.resize(sims_total);
+  m.sims_scores_.resize(sims_total);
+  m.sims_machines_.resize(sims_total);
+  m.hop2_ids_.resize(hop2_total);
+  m.hop2_scores_.resize(hop2_total);
+
+  // Parallel scatter. Machine tags: every retained neighbor is an
+  // out-neighbor of u, and both lists are ascending, so one merge scan
+  // over the CSR row resolves each retained edge's CSR index — and with
+  // it the machine the partitioning assigned that edge to.
+  tp.parallel_for(0, n, [&](std::size_t i, std::size_t) {
+    const auto u = static_cast<VertexId>(i);
+    const SnapleVertexData& du = fit.vertex_data[u];
+    std::copy(du.gamma_hat.begin(), du.gamma_hat.end(),
+              m.gamma_ids_.begin() +
+                  static_cast<std::ptrdiff_t>(m.gamma_offsets_[u]));
+    const auto nbrs = graph.out_neighbors(u);
+    const EdgeIndex base = graph.out_offset(u);
+    std::size_t pos = 0;
+    std::size_t at = m.sims_offsets_[u];
+    for (const auto& [v, s] : du.sims) {
+      while (pos < nbrs.size() && nbrs[pos] < v) ++pos;
+      SNAPLE_CHECK_MSG(pos < nbrs.size() && nbrs[pos] == v,
+                       "retained neighbor is not an out-edge of the graph");
+      m.sims_ids_[at] = v;
+      m.sims_scores_[at] = s;
+      m.sims_machines_[at] = partitioning.edge_machine(base + pos);
+      ++at;
+    }
+    if (config.k_hops == 3) {
+      std::size_t h = m.hop2_offsets_[u];
+      for (const auto& [z, s] : du.hop2) {
+        m.hop2_ids_[h] = z;
+        m.hop2_scores_[h] = s;
+        ++h;
+      }
+    }
+  });
+  return m;
+}
+
+std::size_t PredictorModel::memory_bytes() const noexcept {
+  return (gamma_offsets_.size() + sims_offsets_.size() +
+          hop2_offsets_.size()) *
+             sizeof(EdgeIndex) +
+         (gamma_ids_.size() + sims_ids_.size() + hop2_ids_.size()) *
+             sizeof(VertexId) +
+         (sims_scores_.size() + hop2_scores_.size()) * sizeof(float) +
+         sims_machines_.size() * sizeof(gas::MachineId);
+}
+
+void PredictorModel::save(std::ostream& out) const {
+  out.write(kModelMagic.data(), kModelMagic.size());
+  write_pod(out, kFormatVersion);
+  write_pod(out, num_machines_);
+  write_pod(out, static_cast<std::uint64_t>(num_vertices_));
+
+  write_pod(out, static_cast<std::uint64_t>(config_.k));
+  write_pod(out, static_cast<std::uint64_t>(config_.k_local));
+  write_pod(out, static_cast<std::uint64_t>(config_.thr_gamma));
+  write_pod(out, static_cast<std::uint32_t>(config_.score));
+  write_pod(out, static_cast<std::uint32_t>(config_.policy));
+  write_pod(out, static_cast<std::uint64_t>(config_.k_hops));
+  write_pod(out, config_.seed);
+  write_pod(out, config_.alpha);
+  write_pod(out, config_.hop2_min_score);
+
+  write_pod(out, static_cast<std::uint64_t>(gamma_ids_.size()));
+  write_pod(out, static_cast<std::uint64_t>(sims_ids_.size()));
+  write_pod(out, static_cast<std::uint64_t>(hop2_ids_.size()));
+
+  // Empty model (V=0): offset arrays may be empty in memory; the format
+  // always carries V+1 entries per offset table, so emit the single 0.
+  const auto write_offsets = [&out](const std::vector<EdgeIndex>& v) {
+    if (v.empty()) {
+      write_pod(out, EdgeIndex{0});
+    } else {
+      write_vec(out, v);
+    }
+  };
+  write_offsets(gamma_offsets_);
+  write_vec(out, gamma_ids_);
+  write_offsets(sims_offsets_);
+  write_vec(out, sims_ids_);
+  write_vec(out, sims_scores_);
+  write_vec(out, sims_machines_);
+  if (config_.k_hops == 3) {
+    write_offsets(hop2_offsets_);
+    write_vec(out, hop2_ids_);
+    write_vec(out, hop2_scores_);
+  }
+  if (!out) throw IoError("write failure while saving predictor model");
+}
+
+void PredictorModel::save_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot open '" + path + "' for writing");
+  save(out);
+}
+
+PredictorModel PredictorModel::load(std::istream& in) {
+  std::array<char, 8> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kModelMagic) {
+    throw IoError("bad magic in predictor model");
+  }
+  std::uint32_t version = 0;
+  read_pod(in, version);
+  if (!in || version != kFormatVersion) {
+    throw IoError("unsupported predictor model version " +
+                  std::to_string(version));
+  }
+
+  PredictorModel m;
+  std::uint64_t num_vertices = 0;
+  read_pod(in, m.num_machines_);
+  read_pod(in, num_vertices);
+
+  std::uint64_t k = 0;
+  std::uint64_t k_local = 0;
+  std::uint64_t thr_gamma = 0;
+  std::uint32_t score = 0;
+  std::uint32_t policy = 0;
+  std::uint64_t k_hops = 0;
+  read_pod(in, k);
+  read_pod(in, k_local);
+  read_pod(in, thr_gamma);
+  read_pod(in, score);
+  read_pod(in, policy);
+  read_pod(in, k_hops);
+  read_pod(in, m.config_.seed);
+  read_pod(in, m.config_.alpha);
+  read_pod(in, m.config_.hop2_min_score);
+
+  std::uint64_t gamma_count = 0;
+  std::uint64_t sims_count = 0;
+  std::uint64_t hop2_count = 0;
+  read_pod(in, gamma_count);
+  read_pod(in, sims_count);
+  read_pod(in, hop2_count);
+
+  if (!in || num_vertices > kMaxVertices ||
+      m.num_machines_ < 1 || m.num_machines_ > 64 ||
+      score > static_cast<std::uint32_t>(ScoreKind::kGeomGeom) ||
+      policy > static_cast<std::uint32_t>(SelectionPolicy::kRandom) ||
+      (k_hops != 2 && k_hops != 3) || (k_hops == 2 && hop2_count != 0) ||
+      gamma_count > kMaxEntries || sims_count > kMaxEntries ||
+      hop2_count > kMaxEntries) {
+    throw IoError("bad predictor model header");
+  }
+  m.config_.k = static_cast<std::size_t>(k);
+  m.config_.k_local = static_cast<std::size_t>(k_local);
+  m.config_.thr_gamma = static_cast<std::size_t>(thr_gamma);
+  m.config_.score = static_cast<ScoreKind>(score);
+  m.config_.policy = static_cast<SelectionPolicy>(policy);
+  m.config_.k_hops = static_cast<std::size_t>(k_hops);
+  m.num_vertices_ = static_cast<VertexId>(num_vertices);
+
+  // Payload size implied by the header, checked against the bytes left
+  // (when seekable) before any allocation — exactly like graph format v2.
+  const std::uint64_t offsets_bytes =
+      (num_vertices + 1) * sizeof(EdgeIndex);
+  std::uint64_t payload =
+      2 * offsets_bytes + gamma_count * sizeof(VertexId) +
+      sims_count * (sizeof(VertexId) + sizeof(float) +
+                    sizeof(gas::MachineId));
+  if (k_hops == 3) {
+    payload += offsets_bytes + hop2_count * (sizeof(VertexId) +
+                                             sizeof(float));
+  }
+  if (payload > stream_remaining_bytes(in)) {
+    throw IoError("truncated predictor model");
+  }
+
+  try {
+    const auto v1 = static_cast<std::size_t>(num_vertices) + 1;
+    m.gamma_offsets_.resize(v1);
+    m.gamma_ids_.resize(gamma_count);
+    m.sims_offsets_.resize(v1);
+    m.sims_ids_.resize(sims_count);
+    m.sims_scores_.resize(sims_count);
+    m.sims_machines_.resize(sims_count);
+    read_vec(in, m.gamma_offsets_);
+    read_vec(in, m.gamma_ids_);
+    read_vec(in, m.sims_offsets_);
+    read_vec(in, m.sims_ids_);
+    read_vec(in, m.sims_scores_);
+    read_vec(in, m.sims_machines_);
+    if (k_hops == 3) {
+      m.hop2_offsets_.resize(v1);
+      m.hop2_ids_.resize(hop2_count);
+      m.hop2_scores_.resize(hop2_count);
+      read_vec(in, m.hop2_offsets_);
+      read_vec(in, m.hop2_ids_);
+      read_vec(in, m.hop2_scores_);
+    }
+  } catch (const std::bad_alloc&) {
+    throw IoError("bad predictor model header (sizes exceed memory)");
+  }
+  if (!in) throw IoError("truncated predictor model");
+
+  check_offsets(m.gamma_offsets_, gamma_count, "gamma");
+  check_offsets(m.sims_offsets_, sims_count, "sims");
+  check_ids(m.gamma_ids_, num_vertices, "gamma");
+  check_ids(m.sims_ids_, num_vertices, "sims");
+  check_sorted_rows(m.gamma_offsets_, m.gamma_ids_, "gamma");
+  check_sorted_rows(m.sims_offsets_, m.sims_ids_, "sims");
+  for (const gas::MachineId t : m.sims_machines_) {
+    if (t >= m.num_machines_) {
+      throw IoError("corrupt model: machine tag out of range");
+    }
+  }
+  if (k_hops == 3) {
+    check_offsets(m.hop2_offsets_, hop2_count, "hop2");
+    check_ids(m.hop2_ids_, num_vertices, "hop2");
+    check_sorted_rows(m.hop2_offsets_, m.hop2_ids_, "hop2");
+  }
+  return m;
+}
+
+PredictorModel PredictorModel::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open '" + path + "' for reading");
+  return load(in);
+}
+
+bool operator==(const PredictorModel& a, const PredictorModel& b) {
+  return a.config_ == b.config_ && a.num_machines_ == b.num_machines_ &&
+         a.num_vertices_ == b.num_vertices_ &&
+         a.gamma_offsets_ == b.gamma_offsets_ &&
+         a.gamma_ids_ == b.gamma_ids_ &&
+         a.sims_offsets_ == b.sims_offsets_ &&
+         a.sims_ids_ == b.sims_ids_ &&
+         a.sims_scores_ == b.sims_scores_ &&
+         a.sims_machines_ == b.sims_machines_ &&
+         a.hop2_offsets_ == b.hop2_offsets_ &&
+         a.hop2_ids_ == b.hop2_ids_ && a.hop2_scores_ == b.hop2_scores_;
+}
+
+}  // namespace snaple

@@ -1,0 +1,168 @@
+// PredictorModel — the immutable artifact of SNAPLE's model-building
+// steps (1–2, plus 2b for K=3), separated from query serving.
+//
+// The paper computes predictions for every vertex in one batch pass; a
+// production deployment (the ROADMAP's north star) is a query-serving
+// workload: build the model offline, answer "who should u follow?" on
+// demand. The model owns everything step 3 reads and nothing it does not:
+//
+//   * Γ̂(u)      — the truncated neighborhood sample (step 1), used as the
+//                 already-a-neighbor exclusion filter;
+//   * Du.sims   — the klocal retained neighbors with raw similarities
+//                 (step 2), each tagged with the machine its edge was
+//                 assigned to at fit time (see below);
+//   * Du.hop2   — K=3 only: the folded 2-hop candidate scores (step 2b);
+//   * the SnapleConfig and a format version stamp.
+//
+// Per-vertex lists are stored as flattened CSR-style arrays (offsets +
+// values), so save/load is a handful of bulk reads/writes — the same
+// discipline as graph binary format v2 — and a query reads contiguous
+// spans.
+//
+// Why machine tags? The batch engine folds a vertex's step-3 paths
+// grouped by the machine owning each edge (CSR order within a machine,
+// machines merged ascending — engine.hpp). Float ⊕pre is not associative,
+// so replaying a query bit-identically to the batch run that the property
+// tests pin requires regrouping by the same fit-time machine assignment.
+// The tags cost one byte per retained neighbor and freeze the exact
+// numeric semantics of the run that built the model.
+//
+// Serialized layout (little-endian, magic "SNAPLEM1"):
+//   u32 format version | u32 num_machines | u64 num_vertices
+//   config: u64 k | u64 k_local | u64 thr_gamma | u32 score | u32 policy
+//           u64 k_hops | u64 seed | f64 alpha | f64 hop2_min_score
+//   u64 gamma_count | u64 sims_count | u64 hop2_count
+//   gamma_offsets (V+1 × u64) | gamma_ids (u32 …)
+//   sims_offsets | sims_ids | sims_scores (f32 …) | sims_machines (u8 …)
+//   [K=3 only] hop2_offsets | hop2_ids | hop2_scores
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/snaple_program.hpp"
+#include "gas/partition.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace snaple {
+
+class ThreadPool;
+
+class PredictorModel {
+ public:
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  PredictorModel() = default;
+
+  /// Assembles a model from the state `run_snaple_fit` harvested.
+  /// `graph` must be the graph the fit ran on (retained-edge machine tags
+  /// are resolved against its CSR positions); `owned` optionally moves
+  /// shared ownership of that graph into the model — queries never touch
+  /// the graph, so null is fine and is what a loaded model has.
+  [[nodiscard]] static PredictorModel build(
+      SnapleConfig config, const CsrGraph& graph,
+      const gas::Partitioning& partitioning, SnapleFitData fit,
+      std::shared_ptr<const CsrGraph> owned = nullptr,
+      ThreadPool* pool = nullptr);
+
+  [[nodiscard]] const SnapleConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] VertexId num_vertices() const noexcept {
+    return num_vertices_;
+  }
+  /// Simulated machine count of the fit run (tags are < this).
+  [[nodiscard]] std::uint32_t num_machines() const noexcept {
+    return num_machines_;
+  }
+  /// The fit graph, when the model was built with shared ownership;
+  /// null after load() or a fit from a plain reference.
+  [[nodiscard]] const std::shared_ptr<const CsrGraph>& graph()
+      const noexcept {
+    return graph_;
+  }
+  /// Engine accounting of the fit steps. Empty on a loaded model (the
+  /// report is runtime metadata, not part of the serialized artifact).
+  [[nodiscard]] const gas::EngineReport& fit_report() const noexcept {
+    return fit_report_;
+  }
+
+  /// Γ̂(u), sorted ascending.
+  [[nodiscard]] std::span<const VertexId> gamma_hat(VertexId u) const {
+    SNAPLE_DCHECK(u < num_vertices_);
+    return {gamma_ids_.data() + gamma_offsets_[u],
+            gamma_ids_.data() + gamma_offsets_[u + 1]};
+  }
+
+  /// The retained neighbors of u: parallel spans sorted ascending by id.
+  struct SimsView {
+    std::span<const VertexId> ids;
+    std::span<const float> scores;
+    std::span<const gas::MachineId> machines;
+  };
+  [[nodiscard]] SimsView sims(VertexId u) const {
+    SNAPLE_DCHECK(u < num_vertices_);
+    const std::size_t b = sims_offsets_[u];
+    const std::size_t e = sims_offsets_[u + 1];
+    return {{sims_ids_.data() + b, sims_ids_.data() + e},
+            {sims_scores_.data() + b, sims_scores_.data() + e},
+            {sims_machines_.data() + b, sims_machines_.data() + e}};
+  }
+
+  /// K=3 only: u's folded 2-hop candidates (empty spans for K=2 models).
+  struct Hop2View {
+    std::span<const VertexId> ids;
+    std::span<const float> scores;
+  };
+  [[nodiscard]] Hop2View hop2(VertexId u) const {
+    SNAPLE_DCHECK(u < num_vertices_);
+    if (hop2_offsets_.empty()) return {};
+    const std::size_t b = hop2_offsets_[u];
+    const std::size_t e = hop2_offsets_[u + 1];
+    return {{hop2_ids_.data() + b, hop2_ids_.data() + e},
+            {hop2_scores_.data() + b, hop2_scores_.data() + e}};
+  }
+
+  /// Resident bytes of the model arrays (excludes the graph).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+  /// Serializes the model (format above). Throws IoError on write failure.
+  void save(std::ostream& out) const;
+  void save_file(const std::string& path) const;
+
+  /// Loads a serialized model, validating the header, array shapes and
+  /// every id/tag; throws IoError on bad magic, version mismatch,
+  /// truncation or corruption. The loaded model serves queries
+  /// immediately (graph() is null, fit_report() empty).
+  [[nodiscard]] static PredictorModel load(std::istream& in);
+  [[nodiscard]] static PredictorModel load_file(const std::string& path);
+
+  /// Structural equality: config + all arrays (the serialized identity);
+  /// the graph pointer and fit report are runtime state and not compared.
+  friend bool operator==(const PredictorModel& a, const PredictorModel& b);
+
+ private:
+  SnapleConfig config_;
+  std::uint32_t num_machines_ = 1;
+  VertexId num_vertices_ = 0;
+
+  std::vector<EdgeIndex> gamma_offsets_;  // size V+1 (0 on empty model)
+  std::vector<VertexId> gamma_ids_;
+  std::vector<EdgeIndex> sims_offsets_;   // size V+1
+  std::vector<VertexId> sims_ids_;
+  std::vector<float> sims_scores_;
+  std::vector<gas::MachineId> sims_machines_;
+  std::vector<EdgeIndex> hop2_offsets_;   // size V+1 for K=3, else empty
+  std::vector<VertexId> hop2_ids_;
+  std::vector<float> hop2_scores_;
+
+  std::shared_ptr<const CsrGraph> graph_;
+  gas::EngineReport fit_report_;
+};
+
+}  // namespace snaple

@@ -12,6 +12,40 @@ LinkPredictor::LinkPredictor(SnapleConfig config, gas::ClusterConfig cluster,
       strategy_(strategy),
       exec_(exec) {}
 
+PredictorModel LinkPredictor::fit_impl(
+    const CsrGraph& graph, std::shared_ptr<const CsrGraph> owned,
+    const gas::Partitioning& partitioning, ThreadPool* pool,
+    std::shared_ptr<const gas::ShardTopology> topology) const {
+  SnapleFitData fit =
+      run_snaple_fit(graph, config_, partitioning, cluster_, pool,
+                     gas::ApplyMode::kFused, exec_, std::move(topology));
+  return PredictorModel::build(config_, graph, partitioning, std::move(fit),
+                               std::move(owned), pool);
+}
+
+PredictorModel LinkPredictor::fit(const CsrGraph& graph,
+                                  ThreadPool* pool) const {
+  const auto partitioning = gas::Partitioning::create(
+      graph, cluster_.num_machines, strategy_, config_.seed);
+  return fit_impl(graph, nullptr, partitioning, pool, nullptr);
+}
+
+PredictorModel LinkPredictor::fit(std::shared_ptr<const CsrGraph> graph,
+                                  ThreadPool* pool) const {
+  SNAPLE_CHECK_MSG(graph != nullptr, "fit needs a graph");
+  const auto partitioning = gas::Partitioning::create(
+      *graph, cluster_.num_machines, strategy_, config_.seed);
+  const CsrGraph& ref = *graph;
+  return fit_impl(ref, std::move(graph), partitioning, pool, nullptr);
+}
+
+PredictorModel LinkPredictor::fit_with_partitioning(
+    const CsrGraph& graph, const gas::Partitioning& partitioning,
+    ThreadPool* pool,
+    std::shared_ptr<const gas::ShardTopology> topology) const {
+  return fit_impl(graph, nullptr, partitioning, pool, std::move(topology));
+}
+
 PredictionRun LinkPredictor::predict(const CsrGraph& graph,
                                      ThreadPool* pool) const {
   const auto partitioning = gas::Partitioning::create(
@@ -24,13 +58,21 @@ PredictionRun LinkPredictor::predict_with_partitioning(
     ThreadPool* pool,
     std::shared_ptr<const gas::ShardTopology> topology) const {
   WallTimer timer;
-  SnapleResult snaple =
-      run_snaple(graph, config_, partitioning, cluster_, pool,
-                 gas::ApplyMode::kFused, exec_, std::move(topology));
+  const auto model = std::make_shared<const PredictorModel>(
+      fit_impl(graph, nullptr, partitioning, pool, std::move(topology)));
+  const QueryEngine server(model);
+  WallTimer serve_timer;
+  auto scored = server.topk_all(0, pool);
+  const double serve_wall = serve_timer.seconds();
+
   PredictionRun run;
   run.wall_seconds = timer.seconds();
-  run.predictions = std::move(snaple.predictions);
-  run.report = std::move(snaple.report);
+  run.predictions = prediction_lists(scored);
+  run.report = model->fit_report();
+  gas::StepStats serve_stats;
+  serve_stats.name = "3:recommend (serve)";
+  serve_stats.wall_s = serve_wall;
+  run.report.steps.push_back(serve_stats);
   run.simulated_seconds = run.report.total_sim_s();
   run.network_bytes = run.report.total_net_bytes();
   run.replication_factor = partitioning.replication_factor();

@@ -1,21 +1,40 @@
-// High-level public API: configure once, predict on any graph.
+// High-level public API: fit once, serve queries — or predict in batch.
 //
 // LinkPredictor bundles the SNAPLE configuration with a simulated cluster
-// and a partitioning strategy, so the common case is three lines:
+// and a partitioning strategy. The serving flow is three lines:
 //
-//   snaple::SnapleConfig cfg;                 // k=5, klocal=20, linearSum
-//   snaple::LinkPredictor predictor(cfg);     // single "machine"
-//   auto result = predictor.predict(graph);   // result.predictions[u]
+//   snaple::LinkPredictor predictor(cfg);     // k=5, klocal=20, linearSum
+//   auto model = std::make_shared<const snaple::PredictorModel>(
+//       predictor.fit(graph));                // steps 1–2, build once
+//   snaple::QueryEngine server(model);        // server.topk(u) on demand
+//
+// fit() runs the model-building GAS steps (1–2, plus 2b for K=3) and
+// harvests the per-vertex state into an immutable PredictorModel that
+// save()s/load()s for offline build + online serving (model.hpp).
+// QueryEngine::topk(u, k) answers one user in work proportional to u's
+// retained paths — not a whole-graph pass (query_engine.hpp).
+//
+// predict() remains for whole-graph batch prediction, now as sugar over
+// fit + a batch query of every vertex; its predictions are bit-identical
+// to the engine-level batch primitive `run_snaple` (a property test pins
+// predictions and scores). Benches and experiments that reproduce the
+// paper's per-step accounting (simulated time, network traffic of all
+// three steps) call `run_snaple` directly — a served query is
+// machine-local by design, so predict()'s report covers the fit steps
+// plus the measured serve wall time.
 //
 // For distributed simulation, pass a ClusterConfig (e.g.
-// gas::ClusterConfig::type_i(32) for the paper's 256-core testbed) and
-// inspect result.report for simulated time and network traffic.
+// gas::ClusterConfig::type_i(32) for the paper's 256-core testbed); the
+// fit steps run on the simulated cluster and the model records each
+// retained edge's machine so serving replays the exact batch fold.
 #pragma once
 
 #include <memory>
 #include <thread>
 
 #include "core/config.hpp"
+#include "core/model.hpp"
+#include "core/query_engine.hpp"
 #include "core/snaple_program.hpp"
 #include "gas/cluster.hpp"
 #include "gas/partition.hpp"
@@ -25,12 +44,15 @@ namespace snaple {
 struct PredictionRun {
   /// predictions[u] = up to k predicted neighbors of u, best first.
   std::vector<std::vector<VertexId>> predictions;
+  /// Fit-step engine accounting plus a wall-only "3:recommend (serve)"
+  /// entry for the batch query pass (queries ship no bytes).
   gas::EngineReport report;
-  /// Measured host wall time of the three GAS steps (graph loading and
+  /// Measured host wall time of fit + batch query (graph loading and
   /// partitioning excluded, matching the paper's measurement protocol).
   double wall_seconds = 0.0;
-  /// Simulated distributed execution time on the configured cluster.
+  /// Simulated distributed execution time of the fit steps.
   double simulated_seconds = 0.0;
+  /// Network traffic of the fit steps (serving is replica-local).
   std::size_t network_bytes = 0;
   double replication_factor = 0.0;
 };
@@ -57,21 +79,43 @@ class LinkPredictor {
     return exec_;
   }
 
-  /// Runs link prediction over the whole graph. Thread-safe for concurrent
-  /// calls with distinct pools. Throws gas::ResourceExhausted if the
-  /// cluster's memory budget is exceeded.
+  /// Runs steps 1–2 (and 2b for K=3) and builds the query-serving model.
+  /// The model does not retain the graph (queries never read it); pass a
+  /// shared_ptr via the second overload to move shared ownership in.
+  /// Thread-safe for concurrent calls with distinct pools. Throws
+  /// gas::ResourceExhausted if the cluster's memory budget is exceeded.
+  [[nodiscard]] PredictorModel fit(const CsrGraph& graph,
+                                   ThreadPool* pool = nullptr) const;
+  [[nodiscard]] PredictorModel fit(std::shared_ptr<const CsrGraph> graph,
+                                   ThreadPool* pool = nullptr) const;
+
+  /// As fit(), but reuses a caller-provided partitioning (benches sweep
+  /// cluster sizes without re-partitioning needlessly) and, for sharded
+  /// execution, optionally a pre-built shard layout for it.
+  [[nodiscard]] PredictorModel fit_with_partitioning(
+      const CsrGraph& graph, const gas::Partitioning& partitioning,
+      ThreadPool* pool = nullptr,
+      std::shared_ptr<const gas::ShardTopology> topology = nullptr) const;
+
+  /// Whole-graph batch prediction: fit + one query per vertex. Same
+  /// predictions as `run_snaple` on the same partitioning (pinned
+  /// bit-identically by a property test); see the header comment for
+  /// what the report covers.
   [[nodiscard]] PredictionRun predict(const CsrGraph& graph,
                                       ThreadPool* pool = nullptr) const;
 
-  /// As predict(), but reuses a caller-provided partitioning (benches
-  /// sweep cluster sizes without re-partitioning needlessly) and, for
-  /// sharded execution, optionally a pre-built shard layout for it.
+  /// As predict(), with a caller-provided partitioning / shard layout.
   [[nodiscard]] PredictionRun predict_with_partitioning(
       const CsrGraph& graph, const gas::Partitioning& partitioning,
       ThreadPool* pool = nullptr,
       std::shared_ptr<const gas::ShardTopology> topology = nullptr) const;
 
  private:
+  [[nodiscard]] PredictorModel fit_impl(
+      const CsrGraph& graph, std::shared_ptr<const CsrGraph> owned,
+      const gas::Partitioning& partitioning, ThreadPool* pool,
+      std::shared_ptr<const gas::ShardTopology> topology) const;
+
   SnapleConfig config_;
   gas::ClusterConfig cluster_;
   gas::PartitionStrategy strategy_;

@@ -1,0 +1,158 @@
+#include "core/query_engine.hpp"
+
+#include <algorithm>
+
+#include "util/score_map.hpp"
+#include "util/thread_pool.hpp"
+#include "util/top_k.hpp"
+
+namespace snaple {
+
+namespace {
+
+/// Reused fold state. One per thread (see local_scratch): topk() must be
+/// safe for concurrent callers, and reuse keeps the hot path
+/// allocation-free in steady state exactly like the batch engine's
+/// per-worker accumulators.
+struct QueryScratch {
+  ScoreMap partial;
+  ScoreMap merged;
+};
+
+QueryScratch& local_scratch() {
+  static thread_local QueryScratch scratch;
+  return scratch;
+}
+
+/// Replays step 3 for one vertex into scratch.merged, reproducing the
+/// batch engine's canonical fold bit-exactly: u's retained edges grouped
+/// by their fit-time machine tag, folded in ascending-id order within a
+/// group (CSR order), groups merged in ascending machine order with the
+/// same ⊕pre the engine's cross-machine merge uses. The first
+/// contributing group folds straight into `merged` — the engine swaps
+/// the first partial in wholesale, so this is the same float chain.
+void score_candidates(const PredictorModel& model, const ScoreConfig& score,
+                      VertexId u, QueryScratch& scratch) {
+  const Combinator comb = score.combinator;
+  const Aggregator agg = score.aggregator;
+  const auto pre = [&agg](float a, float b) {
+    return static_cast<float>(agg.pre(a, b));
+  };
+  const auto gamma = model.gamma_hat(u);
+  const auto su = model.sims(u);
+  const bool three_hop = model.config().k_hops == 3;
+  scratch.merged.clear();
+
+  std::uint64_t machines = 0;
+  for (const gas::MachineId m : su.machines) {
+    machines |= std::uint64_t{1} << m;
+  }
+  while (machines != 0) {
+    const auto mach = static_cast<gas::MachineId>(
+        __builtin_ctzll(machines));
+    machines &= machines - 1;
+    ScoreMap& acc =
+        scratch.merged.empty() ? scratch.merged : scratch.partial;
+    for (std::size_t i = 0; i < su.ids.size(); ++i) {
+      if (su.machines[i] != mach) continue;
+      const float suv = su.scores[i];
+      auto fold_candidate = [&](VertexId z, float downstream) {
+        if (z == u) return;
+        if (std::binary_search(gamma.begin(), gamma.end(), z)) {
+          return;  // already a neighbor: not a missing-edge candidate
+        }
+        const double path_sim = comb(suv, downstream);
+        acc.accumulate(z, static_cast<float>(path_sim), 1, pre);
+      };
+      const auto sv = model.sims(su.ids[i]);
+      for (std::size_t j = 0; j < sv.ids.size(); ++j) {
+        fold_candidate(sv.ids[j], sv.scores[j]);
+      }
+      if (three_hop) {
+        const auto hv = model.hop2(su.ids[i]);
+        for (std::size_t j = 0; j < hv.ids.size(); ++j) {
+          fold_candidate(hv.ids[j], hv.scores[j]);
+        }
+      }
+    }
+    if (&acc == &scratch.partial && !scratch.partial.empty()) {
+      // Cross-group merge — the engine's merge_scores on whole partials.
+      scratch.partial.for_each(
+          [&](VertexId z, float sigma, std::uint32_t paths) {
+            scratch.merged.accumulate(z, sigma, paths, pre);
+          });
+      scratch.partial.clear();
+    }
+  }
+}
+
+std::vector<std::pair<VertexId, float>> rank(const ScoreMap& candidates,
+                                             const Aggregator agg,
+                                             std::size_t k) {
+  // At most size() entries can come back, so clamp before TopK reserves
+  // k slots — a huge caller k (e.g. "inf" from a CLI) must mean "all",
+  // not a length_error from the reserve.
+  k = std::min(k, candidates.size());
+  TopK<VertexId, double> top(k);
+  candidates.for_each([&](VertexId z, float sigma, std::uint32_t n) {
+    top.offer(z, agg.post(sigma, n));
+  });
+  std::vector<std::pair<VertexId, float>> out;
+  const auto entries = top.take_sorted();
+  out.reserve(entries.size());
+  for (const auto& entry : entries) {
+    out.emplace_back(entry.item, static_cast<float>(entry.score));
+  }
+  return out;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(std::shared_ptr<const PredictorModel> model)
+    : model_(std::move(model)) {
+  SNAPLE_CHECK_MSG(model_ != nullptr, "QueryEngine needs a model");
+  score_ = model_->config().resolve_score();
+}
+
+std::vector<std::pair<VertexId, float>> QueryEngine::topk(
+    VertexId u, std::size_t k) const {
+  SNAPLE_CHECK_MSG(u < model_->num_vertices(),
+                   "query vertex out of model range");
+  QueryScratch& scratch = local_scratch();
+  score_candidates(*model_, score_, u, scratch);
+  return rank(scratch.merged, score_.aggregator,
+              k == 0 ? model_->config().k : k);
+}
+
+std::vector<std::vector<std::pair<VertexId, float>>> QueryEngine::topk_batch(
+    std::span<const VertexId> users, std::size_t k, ThreadPool* pool) const {
+  ThreadPool& tp = pool != nullptr ? *pool : default_pool();
+  std::vector<std::vector<std::pair<VertexId, float>>> out(users.size());
+  tp.parallel_for(0, users.size(), [&](std::size_t i, std::size_t) {
+    out[i] = topk(users[i], k);
+  });
+  return out;
+}
+
+std::vector<std::vector<std::pair<VertexId, float>>> QueryEngine::topk_all(
+    std::size_t k, ThreadPool* pool) const {
+  ThreadPool& tp = pool != nullptr ? *pool : default_pool();
+  std::vector<std::vector<std::pair<VertexId, float>>> out(
+      model_->num_vertices());
+  tp.parallel_for(0, model_->num_vertices(), [&](std::size_t i, std::size_t) {
+    out[i] = topk(static_cast<VertexId>(i), k);
+  });
+  return out;
+}
+
+std::vector<std::vector<VertexId>> prediction_lists(
+    const std::vector<std::vector<std::pair<VertexId, float>>>& scored) {
+  std::vector<std::vector<VertexId>> out(scored.size());
+  for (std::size_t u = 0; u < scored.size(); ++u) {
+    out[u].reserve(scored[u].size());
+    for (const auto& zs : scored[u]) out[u].push_back(zs.first);
+  }
+  return out;
+}
+
+}  // namespace snaple

@@ -1,0 +1,73 @@
+// QueryEngine — on-demand single-vertex prediction over a PredictorModel.
+//
+// Serving counterpart of the batch pipeline: where `run_snaple` executes
+// step 3 for every vertex in one GAS pass, a QueryEngine executes it for
+// just the queried vertex, reading only u's retained paths from the
+// model. One query costs O(Σ_{v ∈ Γmax(u)} (|sims(v)| + |hop2(v)|)) —
+// roughly klocal² score folds — instead of a whole-graph pass, which is
+// what makes million-user request traffic servable (bench_query measures
+// the gap; the acceptance bar is ≥100× on the ~1M-edge bench graph).
+//
+// Results are bit-identical to the batch path: the fold replays the
+// engine's canonical machine-grouped order using the model's fit-time
+// edge tags (model.hpp explains why), and a property test pins every
+// vertex's predictions AND scores against `run_snaple`.
+//
+// Thread safety: topk() is safe for concurrent callers — scratch state
+// (the reused ScoreMaps) is per-thread, the model is immutable.
+// topk_batch() additionally spreads the queries over a ThreadPool.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/scoring.hpp"
+
+namespace snaple {
+
+class ThreadPool;
+
+class QueryEngine {
+ public:
+  /// The engine shares ownership of the model: serve threads stay valid
+  /// for the engine's lifetime regardless of who built or loaded it.
+  explicit QueryEngine(std::shared_ptr<const PredictorModel> model);
+
+  [[nodiscard]] const PredictorModel& model() const noexcept {
+    return *model_;
+  }
+
+  /// Top-k predictions for u with their final ⊕post scores, best first.
+  /// k = 0 means the model's configured k. Any k is valid — the candidate
+  /// scores are complete before ranking, so k beyond the configured value
+  /// simply returns more of the tail. Throws CheckError on u out of
+  /// range.
+  [[nodiscard]] std::vector<std::pair<VertexId, float>> topk(
+      VertexId u, std::size_t k = 0) const;
+
+  /// topk() for a batch of users, spread over `pool` (the default pool
+  /// when null). out[i] corresponds to users[i]; duplicate ids are fine.
+  [[nodiscard]] std::vector<std::vector<std::pair<VertexId, float>>>
+  topk_batch(std::span<const VertexId> users, std::size_t k = 0,
+             ThreadPool* pool = nullptr) const;
+
+  /// topk() for every vertex of the model — the batch-predict sugar
+  /// (LinkPredictor::predict) and the equivalence property test.
+  [[nodiscard]] std::vector<std::vector<std::pair<VertexId, float>>>
+  topk_all(std::size_t k = 0, ThreadPool* pool = nullptr) const;
+
+ private:
+  std::shared_ptr<const PredictorModel> model_;
+  ScoreConfig score_;  // resolved once from the model's config
+};
+
+/// Strips the scores off topk_all()/topk_batch() output, yielding the
+/// id-only prediction lists the eval metrics and PredictionRun consume.
+[[nodiscard]] std::vector<std::vector<VertexId>> prediction_lists(
+    const std::vector<std::vector<std::pair<VertexId, float>>>& scored);
+
+}  // namespace snaple

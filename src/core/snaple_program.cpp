@@ -29,6 +29,10 @@ std::string SnapleConfig::describe() const {
   out += " thr=";
   out += (thr_gamma == kUnlimited ? "inf" : std::to_string(thr_gamma));
   if (policy != SelectionPolicy::kMax) out += " policy=" + policy_name(policy);
+  if (k_hops != 2) out += " K=" + std::to_string(k_hops);
+  if (hop2_min_score > 0) {
+    out += " hop2min=" + std::to_string(hop2_min_score);
+  }
   return out;
 }
 
@@ -91,6 +95,199 @@ const float* find_sim(const std::vector<std::pair<VertexId, float>>& sims,
   return &it->second;
 }
 
+using SnapleEngine = gas::Engine<SnapleVertexData>;
+
+/// Everything the four step definitions need; one per run.
+struct StepContext {
+  const CsrGraph& graph;
+  const SnapleConfig& config;
+  const ScoreConfig score;
+  const gas::ApplyMode mode;
+};
+
+/// Cross-machine partial merge for the ScoreMap steps: fold the other
+/// shard's (z, σ, n) triplets with the same ⊕pre the gather uses — the
+/// `merge` of Algorithm 2 line 16, now also the wire-level sum.
+auto make_merge_scores(const Aggregator agg) {
+  return [agg](ScoreMap& into, ScoreMap&& from) {
+    from.for_each([&](VertexId z, float sigma, std::uint32_t paths) {
+      into.accumulate(z, sigma, paths, [&](float a, float b) {
+        return static_cast<float>(agg.pre(a, b));
+      });
+    });
+  };
+}
+
+// ---- Step 1: sample Γ̂(u) under the truncation threshold thrΓ. ----
+void step_sample(SnapleEngine& engine, const StepContext& ctx) {
+  const SnapleConfig& config = ctx.config;
+  const CsrGraph& graph = ctx.graph;
+  gas::StepOptions opt{.name = "1:sample-neighborhood",
+                       .dir = gas::EdgeDir::kOut,
+                       .mode = ctx.mode};
+  engine.step<std::vector<VertexId>>(
+      opt,
+      [&](VertexId u, VertexId v, const SnapleVertexData&,
+          const SnapleVertexData&, std::vector<VertexId>& acc)
+          -> std::size_t {
+        if (config.thr_gamma != kUnlimited) {
+          const std::size_t deg = graph.out_degree(u);
+          if (deg > config.thr_gamma) {
+            const double keep = static_cast<double>(config.thr_gamma) /
+                                static_cast<double>(deg);
+            if (edge_uniform(config.seed, u, v) > keep) return 0;
+          }
+        }
+        acc.push_back(v);
+        return sizeof(VertexId);
+      },
+      [](VertexId, SnapleVertexData& du, std::vector<VertexId>& acc,
+         std::size_t) {
+        du.gamma_hat.assign(acc.begin(), acc.end());
+        std::sort(du.gamma_hat.begin(), du.gamma_hat.end());
+      });
+}
+
+// ---- Step 2: raw similarities, keep the klocal best (Γmax). ----
+void step_similarities(SnapleEngine& engine, const StepContext& ctx) {
+  const SnapleConfig& config = ctx.config;
+  gas::StepOptions opt{.name = "2:similarities",
+                       .dir = gas::EdgeDir::kOut,
+                       .mode = ctx.mode};
+  using SimAcc = std::vector<std::pair<VertexId, float>>;
+  engine.step<SimAcc>(
+      opt,
+      [&](VertexId, VertexId v, const SnapleVertexData& du,
+          const SnapleVertexData& dv, SimAcc& acc) -> std::size_t {
+        const double s =
+            similarity(ctx.score.metric, du.gamma_hat, dv.gamma_hat,
+                       ctx.graph.out_degree(v));
+        acc.emplace_back(v, static_cast<float>(s));
+        return sizeof(VertexId) + sizeof(float);
+      },
+      [&](VertexId u, SnapleVertexData& du, SimAcc& acc, std::size_t) {
+        select_k_local(acc, config, u);
+        du.sims.assign(acc.begin(), acc.end());
+      });
+}
+
+// ---- Step 2b (K=3 only): fold 2-hop scores one hop further. ----
+// Each vertex computes its aggregated 2-hop candidate scores (the same
+// path-combination/aggregation the final step performs) and keeps the
+// klocal best; the final step can then extend them by one more edge —
+// the recursive ⊗ fold of the paper's footnote 2. A positive
+// config.hop2_min_score drops below-threshold candidates before the
+// klocal selection (the K=3 pruning knob; 0 keeps everything).
+void step_hop2(SnapleEngine& engine, const StepContext& ctx) {
+  const SnapleConfig& config = ctx.config;
+  const Combinator comb = ctx.score.combinator;
+  const Aggregator agg = ctx.score.aggregator;
+  gas::StepOptions opt{.name = "2b:hop2-scores",
+                       .dir = gas::EdgeDir::kOut,
+                       .mode = ctx.mode};
+  engine.step<ScoreMap>(
+      opt,
+      [&](VertexId u, VertexId v, const SnapleVertexData& du,
+          const SnapleVertexData& dv, ScoreMap& acc) -> std::size_t {
+        const float* suv = find_sim(du.sims, v);
+        if (suv == nullptr) return 0;
+        std::size_t bytes = 0;
+        for (const auto& [z, svz] : dv.sims) {
+          if (z == u) continue;
+          if (std::binary_search(du.gamma_hat.begin(), du.gamma_hat.end(),
+                                 z)) {
+            continue;
+          }
+          acc.accumulate(z, static_cast<float>(comb(*suv, svz)), 1,
+                         [&](float a, float b) {
+                           return static_cast<float>(agg.pre(a, b));
+                         });
+          bytes += sizeof(VertexId) + sizeof(float) + sizeof(std::uint32_t);
+        }
+        return bytes;
+      },
+      make_merge_scores(agg),
+      [&](VertexId u, SnapleVertexData& du, ScoreMap& acc, std::size_t) {
+        std::vector<std::pair<VertexId, float>> collected;
+        acc.for_each([&](VertexId z, float sigma, std::uint32_t n) {
+          const auto s = static_cast<float>(agg.post(sigma, n));
+          if (config.hop2_min_score > 0 && s < config.hop2_min_score) {
+            return;  // pruned: this 2-hop candidate scores too low
+          }
+          collected.emplace_back(z, s);
+        });
+        select_k_local(collected, config, u);
+        du.hop2.assign(collected.begin(), collected.end());
+      });
+}
+
+// ---- Step 3: combine (⊗) along paths, aggregate (⊕), rank top-k. ----
+void step_recommend(SnapleEngine& engine, const StepContext& ctx) {
+  const SnapleConfig& config = ctx.config;
+  const Combinator comb = ctx.score.combinator;
+  const Aggregator agg = ctx.score.aggregator;
+  gas::StepOptions opt{.name = "3:recommend",
+                       .dir = gas::EdgeDir::kOut,
+                       .mode = ctx.mode};
+  engine.step<ScoreMap>(
+      opt,
+      [&](VertexId u, VertexId v, const SnapleVertexData& du,
+          const SnapleVertexData& dv, ScoreMap& acc) -> std::size_t {
+        const float* suv = find_sim(du.sims, v);
+        if (suv == nullptr) return 0;  // v ∉ Γmax(u): path not retained
+        std::size_t bytes = 0;
+        auto fold_candidate = [&](VertexId z, float downstream) {
+          if (z == u) return;
+          if (std::binary_search(du.gamma_hat.begin(), du.gamma_hat.end(),
+                                 z)) {
+            return;  // already a neighbor: not a missing-edge candidate
+          }
+          const double path_sim = comb(*suv, downstream);
+          acc.accumulate(z, static_cast<float>(path_sim), 1,
+                         [&](float a, float b) {
+                           return static_cast<float>(agg.pre(a, b));
+                         });
+          bytes += sizeof(VertexId) + sizeof(float) + sizeof(std::uint32_t);
+        };
+        for (const auto& [z, svz] : dv.sims) fold_candidate(z, svz);
+        if (config.k_hops == 3) {
+          // 3-hop paths u → v → (v's 2-hop candidate z): extend v's
+          // folded 2-hop score by the first-hop similarity.
+          for (const auto& [z, s2] : dv.hop2) fold_candidate(z, s2);
+        }
+        return bytes;
+      },
+      make_merge_scores(agg),
+      [&](VertexId, SnapleVertexData& du, ScoreMap& acc, std::size_t) {
+        TopK<VertexId, double> top(config.k);
+        acc.for_each([&](VertexId z, float sigma, std::uint32_t n) {
+          top.offer(z, agg.post(sigma, n));
+        });
+        du.predicted.clear();
+        du.prediction_scores.clear();
+        for (const auto& entry : top.take_sorted()) {
+          du.predicted.push_back(entry.item);
+          du.prediction_scores.push_back(
+              static_cast<float>(entry.score));
+        }
+      });
+}
+
+/// Steps 1–2 (and 2b): the model-building half shared by run_snaple and
+/// run_snaple_fit.
+void run_model_steps(SnapleEngine& engine, const StepContext& ctx) {
+  step_sample(engine, ctx);
+  step_similarities(engine, ctx);
+  if (ctx.config.k_hops == 3) step_hop2(engine, ctx);
+}
+
+StepContext make_context(const CsrGraph& graph, const SnapleConfig& config,
+                         gas::ApplyMode mode) {
+  SNAPLE_CHECK_MSG(config.k_hops == 2 || config.k_hops == 3,
+                   "SNAPLE supports K=2 (the paper) and K=3 (footnote 2)");
+  return StepContext{graph, config, config.resolve_score(), mode};
+}
+
 }  // namespace
 
 SnapleResult run_snaple(const CsrGraph& graph, const SnapleConfig& config,
@@ -98,166 +295,12 @@ SnapleResult run_snaple(const CsrGraph& graph, const SnapleConfig& config,
                         const gas::ClusterConfig& cluster, ThreadPool* pool,
                         gas::ApplyMode mode, gas::ExecutionMode exec,
                         std::shared_ptr<const gas::ShardTopology> topology) {
-  SNAPLE_CHECK_MSG(config.k_hops == 2 || config.k_hops == 3,
-                   "SNAPLE supports K=2 (the paper) and K=3 (footnote 2)");
-  const ScoreConfig score = config.resolve_score();
-  const Combinator comb = score.combinator;
-  const Aggregator agg = score.aggregator;
-  gas::Engine<SnapleVertexData> engine(graph, partitioning, cluster,
-                                       &snaple_vertex_data_bytes, pool,
-                                       exec, std::move(topology));
-
-  // Cross-machine partial merge for the ScoreMap steps: fold the other
-  // shard's (z, σ, n) triplets with the same ⊕pre the gather uses — the
-  // `merge` of Algorithm 2 line 16, now also the wire-level sum.
-  auto merge_scores = [&](ScoreMap& into, ScoreMap&& from) {
-    from.for_each([&](VertexId z, float sigma, std::uint32_t paths) {
-      into.accumulate(z, sigma, paths, [&](float a, float b) {
-        return static_cast<float>(agg.pre(a, b));
-      });
-    });
-  };
-
-  // ---- Step 1: sample Γ̂(u) under the truncation threshold thrΓ. ----
-  {
-    gas::StepOptions opt{.name = "1:sample-neighborhood",
-                         .dir = gas::EdgeDir::kOut,
-                         .mode = mode};
-    engine.step<std::vector<VertexId>>(
-        opt,
-        [&](VertexId u, VertexId v, const SnapleVertexData&,
-            const SnapleVertexData&, std::vector<VertexId>& acc)
-            -> std::size_t {
-          if (config.thr_gamma != kUnlimited) {
-            const std::size_t deg = graph.out_degree(u);
-            if (deg > config.thr_gamma) {
-              const double keep = static_cast<double>(config.thr_gamma) /
-                                  static_cast<double>(deg);
-              if (edge_uniform(config.seed, u, v) > keep) return 0;
-            }
-          }
-          acc.push_back(v);
-          return sizeof(VertexId);
-        },
-        [](VertexId, SnapleVertexData& du, std::vector<VertexId>& acc,
-           std::size_t) {
-          du.gamma_hat.assign(acc.begin(), acc.end());
-          std::sort(du.gamma_hat.begin(), du.gamma_hat.end());
-        });
-  }
-
-  // ---- Step 2: raw similarities, keep the klocal best (Γmax). ----
-  {
-    gas::StepOptions opt{.name = "2:similarities",
-                         .dir = gas::EdgeDir::kOut,
-                         .mode = mode};
-    using SimAcc = std::vector<std::pair<VertexId, float>>;
-    engine.step<SimAcc>(
-        opt,
-        [&](VertexId, VertexId v, const SnapleVertexData& du,
-            const SnapleVertexData& dv, SimAcc& acc) -> std::size_t {
-          const double s =
-              similarity(score.metric, du.gamma_hat, dv.gamma_hat,
-                         graph.out_degree(v));
-          acc.emplace_back(v, static_cast<float>(s));
-          return sizeof(VertexId) + sizeof(float);
-        },
-        [&](VertexId u, SnapleVertexData& du, SimAcc& acc, std::size_t) {
-          select_k_local(acc, config, u);
-          du.sims.assign(acc.begin(), acc.end());
-        });
-  }
-
-  // ---- Step 2b (K=3 only): fold 2-hop scores one hop further. ----
-  // Each vertex computes its aggregated 2-hop candidate scores (the same
-  // path-combination/aggregation the final step performs) and keeps the
-  // klocal best; the final step can then extend them by one more edge —
-  // the recursive ⊗ fold of the paper's footnote 2.
-  if (config.k_hops == 3) {
-    gas::StepOptions opt{.name = "2b:hop2-scores",
-                         .dir = gas::EdgeDir::kOut,
-                         .mode = mode};
-    engine.step<ScoreMap>(
-        opt,
-        [&](VertexId u, VertexId v, const SnapleVertexData& du,
-            const SnapleVertexData& dv, ScoreMap& acc) -> std::size_t {
-          const float* suv = find_sim(du.sims, v);
-          if (suv == nullptr) return 0;
-          std::size_t bytes = 0;
-          for (const auto& [z, svz] : dv.sims) {
-            if (z == u) continue;
-            if (std::binary_search(du.gamma_hat.begin(), du.gamma_hat.end(),
-                                   z)) {
-              continue;
-            }
-            acc.accumulate(z, static_cast<float>(comb(*suv, svz)), 1,
-                           [&](float a, float b) {
-                             return static_cast<float>(agg.pre(a, b));
-                           });
-            bytes += sizeof(VertexId) + sizeof(float) + sizeof(std::uint32_t);
-          }
-          return bytes;
-        },
-        merge_scores,
-        [&](VertexId u, SnapleVertexData& du, ScoreMap& acc, std::size_t) {
-          std::vector<std::pair<VertexId, float>> collected;
-          acc.for_each([&](VertexId z, float sigma, std::uint32_t n) {
-            collected.emplace_back(z,
-                                   static_cast<float>(agg.post(sigma, n)));
-          });
-          select_k_local(collected, config, u);
-          du.hop2.assign(collected.begin(), collected.end());
-        });
-  }
-
-  // ---- Step 3: combine (⊗) along paths, aggregate (⊕), rank top-k. ----
-  {
-    gas::StepOptions opt{.name = "3:recommend",
-                         .dir = gas::EdgeDir::kOut,
-                         .mode = mode};
-    engine.step<ScoreMap>(
-        opt,
-        [&](VertexId u, VertexId v, const SnapleVertexData& du,
-            const SnapleVertexData& dv, ScoreMap& acc) -> std::size_t {
-          const float* suv = find_sim(du.sims, v);
-          if (suv == nullptr) return 0;  // v ∉ Γmax(u): path not retained
-          std::size_t bytes = 0;
-          auto fold_candidate = [&](VertexId z, float downstream) {
-            if (z == u) return;
-            if (std::binary_search(du.gamma_hat.begin(), du.gamma_hat.end(),
-                                   z)) {
-              return;  // already a neighbor: not a missing-edge candidate
-            }
-            const double path_sim = comb(*suv, downstream);
-            acc.accumulate(z, static_cast<float>(path_sim), 1,
-                           [&](float a, float b) {
-                             return static_cast<float>(agg.pre(a, b));
-                           });
-            bytes += sizeof(VertexId) + sizeof(float) + sizeof(std::uint32_t);
-          };
-          for (const auto& [z, svz] : dv.sims) fold_candidate(z, svz);
-          if (config.k_hops == 3) {
-            // 3-hop paths u → v → (v's 2-hop candidate z): extend v's
-            // folded 2-hop score by the first-hop similarity.
-            for (const auto& [z, s2] : dv.hop2) fold_candidate(z, s2);
-          }
-          return bytes;
-        },
-        merge_scores,
-        [&](VertexId, SnapleVertexData& du, ScoreMap& acc, std::size_t) {
-          TopK<VertexId, double> top(config.k);
-          acc.for_each([&](VertexId z, float sigma, std::uint32_t n) {
-            top.offer(z, agg.post(sigma, n));
-          });
-          du.predicted.clear();
-          du.prediction_scores.clear();
-          for (const auto& entry : top.take_sorted()) {
-            du.predicted.push_back(entry.item);
-            du.prediction_scores.push_back(
-                static_cast<float>(entry.score));
-          }
-        });
-  }
+  const StepContext ctx = make_context(graph, config, mode);
+  SnapleEngine engine(graph, partitioning, cluster,
+                      &snaple_vertex_data_bytes, pool, exec,
+                      std::move(topology));
+  run_model_steps(engine, ctx);
+  step_recommend(engine, ctx);
 
   SnapleResult result;
   result.predictions.resize(graph.num_vertices());
@@ -272,6 +315,27 @@ SnapleResult run_snaple(const CsrGraph& graph, const SnapleConfig& config,
   });
   result.report = engine.report();
   return result;
+}
+
+SnapleFitData run_snaple_fit(
+    const CsrGraph& graph, const SnapleConfig& config,
+    const gas::Partitioning& partitioning,
+    const gas::ClusterConfig& cluster, ThreadPool* pool,
+    gas::ApplyMode mode, gas::ExecutionMode exec,
+    std::shared_ptr<const gas::ShardTopology> topology) {
+  const StepContext ctx = make_context(graph, config, mode);
+  SnapleEngine engine(graph, partitioning, cluster,
+                      &snaple_vertex_data_bytes, pool, exec,
+                      std::move(topology));
+  run_model_steps(engine, ctx);
+
+  SnapleFitData out;
+  out.vertex_data.resize(graph.num_vertices());
+  engine.visit_vertices([&](VertexId u, SnapleVertexData& du) {
+    out.vertex_data[u] = std::move(du);
+  });
+  out.report = engine.report();
+  return out;
 }
 
 }  // namespace snaple

@@ -77,4 +77,26 @@ struct SnapleResult {
     gas::ExecutionMode exec = gas::ExecutionMode::kFlat,
     std::shared_ptr<const gas::ShardTopology> topology = nullptr);
 
+/// The harvested state of the model-building half of Algorithm 2: steps
+/// 1–2 (and 2b for K=3) executed, step 3 NOT run. vertex_data[u] carries
+/// Γ̂(u), Du.sims and (K=3) Du.hop2; `predicted` is empty. This is the raw
+/// material of core/model.hpp's PredictorModel.
+struct SnapleFitData {
+  std::vector<SnapleVertexData> vertex_data;
+  gas::EngineReport report;
+};
+
+/// Runs only steps 1–2 (and 2b for K=3) — everything `run_snaple` does
+/// before the per-vertex recommendation step — and harvests the per-vertex
+/// program state. Same engine, same accounting, same execution modes; the
+/// harvested state is bit-identical to what step 3 of a full batch run
+/// would have read (the serving property test pins this transitively).
+[[nodiscard]] SnapleFitData run_snaple_fit(
+    const CsrGraph& graph, const SnapleConfig& config,
+    const gas::Partitioning& partitioning,
+    const gas::ClusterConfig& cluster, ThreadPool* pool = nullptr,
+    gas::ApplyMode mode = gas::ApplyMode::kFused,
+    gas::ExecutionMode exec = gas::ExecutionMode::kFlat,
+    std::shared_ptr<const gas::ShardTopology> topology = nullptr);
+
 }  // namespace snaple

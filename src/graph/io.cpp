@@ -363,11 +363,7 @@ void save_binary_v1_file(const CsrGraph& g, const std::string& path) {
   save_binary_v1(g, out);
 }
 
-namespace {
-
-/// Where the stream is seekable, returns the bytes left after the current
-/// position (and restores the position); SIZE_MAX when unseekable.
-std::uint64_t remaining_bytes(std::istream& in) {
+std::uint64_t stream_remaining_bytes(std::istream& in) {
   const std::istream::pos_type here = in.tellg();
   if (here == std::istream::pos_type(-1)) return ~std::uint64_t{0};
   in.seekg(0, std::ios::end);
@@ -381,6 +377,8 @@ std::uint64_t remaining_bytes(std::istream& in) {
   return static_cast<std::uint64_t>(end - here);
 }
 
+namespace {
+
 /// v1 payload (after the magic): per-edge reads through GraphBuilder —
 /// the compatibility path old cache files take.
 CsrGraph load_binary_v1_payload(std::istream& in) {
@@ -389,7 +387,7 @@ CsrGraph load_binary_v1_payload(std::istream& in) {
   in.read(reinterpret_cast<char*>(&v), sizeof(v));
   in.read(reinterpret_cast<char*>(&e), sizeof(e));
   if (!in || v > kMaxVertices || e > kMaxEdges ||
-      e * (2 * sizeof(VertexId)) > remaining_bytes(in)) {
+      e * (2 * sizeof(VertexId)) > stream_remaining_bytes(in)) {
     throw IoError("bad binary graph header");
   }
   try {
@@ -423,7 +421,7 @@ CsrGraph load_binary_v2_payload(std::istream& in) {
   const std::uint64_t payload = (v + 1) * 2 * sizeof(EdgeIndex) +
                                 e * 2 * sizeof(VertexId);
   if (!in || v > kMaxVertices || e > kMaxEdges ||
-      payload > remaining_bytes(in)) {
+      payload > stream_remaining_bytes(in)) {
     throw IoError("bad binary graph header");
   }
   try {

@@ -72,4 +72,11 @@ void save_binary_file(const CsrGraph& g, const std::string& path);
 void save_binary_v1(const CsrGraph& g, std::ostream& out);
 void save_binary_v1_file(const CsrGraph& g, const std::string& path);
 
+/// Where the stream is seekable, returns the bytes left after the current
+/// position (and restores the position); SIZE_MAX when unseekable. Binary
+/// loaders (graph v1/v2, core/model.hpp) check header-implied payload
+/// sizes against this so a corrupt header cannot demand absurd
+/// allocations before the truncation is noticed.
+[[nodiscard]] std::uint64_t stream_remaining_bytes(std::istream& in);
+
 }  // namespace snaple

@@ -51,10 +51,10 @@ TEST(SnapleProgram, HandComputedScores) {
   const CsrGraph g = hand_graph();
   // Γ(0)={1,2}, Γ(1)={2,3}, Γ(2)={1,3}, Γ(3)={1}.
   // sim = Jaccard: sim(0,1)=|{2}|/|{1,2,3}|=1/3; sim(0,2)=|{1}|/3=1/3.
-  // Paths 0→1→3: sim(1,3)=|∅|/|{1,2,3}|=0 → path=0.9·(1/3)+0.1·0=0.3
-  //       0→2→3: sim(2,3)=0 → path=0.3
+  // Paths 0→1→3: sim(1,3)=|∅|/|{1,2,3}|=0    → path=0.9·(1/3)+0.1·0  =0.3
+  //       0→2→3: sim(2,3)=|{1}|/|{1,3}|=1/2 → path=0.9·(1/3)+0.1·0.5=0.35
   // Candidate z=3 only (2∈Γ(0) excluded, 1∈Γ(0) excluded).
-  // linearSum score(0,3)=0.6.
+  // linearSum score(0,3)=0.65 (test_model_query checks the value).
   const auto result = run_on(g, unrestricted());
   ASSERT_EQ(result.predictions[0], (std::vector<VertexId>{3}));
 
@@ -332,7 +332,9 @@ TEST(LinkPredictorApi, PredictReturnsTimingAndTraffic) {
   EXPECT_GT(run.simulated_seconds, 0.0);
   EXPECT_GT(run.network_bytes, 0u);
   EXPECT_GE(run.replication_factor, 1.0);
-  EXPECT_EQ(run.report.steps.size(), 3u);  // the three Algorithm-2 steps
+  // Two fit steps (K=2) plus the batch-serve pass — predict() is sugar
+  // over fit + query; run_snaple keeps the fully-accounted 3-step path.
+  EXPECT_EQ(run.report.steps.size(), 3u);
 }
 
 TEST(LinkPredictorApi, ReusablePartitioning) {
