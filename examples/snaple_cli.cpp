@@ -4,6 +4,7 @@
 //   $ ./snaple_cli <edge-list-file | replica-name> [options]   batch run
 //   $ ./snaple_cli graph.txt --fit --save-model=m.bin          fit offline
 //   $ ./snaple_cli --load-model=m.bin --query=3,17,42          serve
+//   $ ./snaple_cli graph.txt --update=new.txt --query=3        live updates
 //
 // Graph / config options:
 //   --symmetrize        treat the input edge list as undirected
@@ -14,7 +15,10 @@
 //   --khops=<2|3>       path length                   [2]
 //   --hop2min=<f>       K=3 2-hop pruning threshold   [0 = off]
 //   --machines=<n>      simulated cluster size        [1]
-//   --partition=<s>     vertex-cut strategy: hash|greedy   [greedy]
+//   --partition=<s>     vertex-cut strategy: hash|greedy|local  [greedy;
+//                       local = insertion-stable endpoint-hash placement,
+//                       required by --update on >1 machine and forced as
+//                       its default]
 //   --flat              accounted-only engine (default: --machines>1
 //                       runs truly sharded — per-machine graph shards,
 //                       replica-local vertex data, explicit message
@@ -36,6 +40,14 @@
 //                       the graph argument is not needed
 //   --query=u1,u2,...   answer top-k for the listed vertices, printed as
 //                       "u: z1(score) z2(score) ..."
+//   --update=<file>     incremental updates: fit the graph, then stream
+//                       the file's "u v" edge inserts into the served
+//                       model (core/dynamic_model.hpp) — recomputing only
+//                       the stale rows, bit-identical to refitting on the
+//                       union graph. Already-present/self-loop/out-of-
+//                       range lines are skipped with a count. Combine
+//                       with --query (served post-update) and
+//                       --save-model (writes the updated model).
 //
 // Input files may be SNAP-style text edge lists (loaded with the
 // parallel mmap loader) or snaple binary graphs (v1 or v2, autodetected
@@ -53,8 +65,10 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
+#include "core/dynamic_model.hpp"
 #include "core/predictor.hpp"
 #include "eval/experiment.hpp"
 #include "eval/metrics.hpp"
@@ -118,9 +132,9 @@ int serve_queries(const snaple::QueryEngine& server,
   try {
     const auto users = parse_query_list(query_list);
     for (const snaple::VertexId u : users) {
-      if (u >= server.model().num_vertices()) {
+      if (u >= server.num_vertices()) {
         std::cerr << "--query vertex " << u << " out of range (model has "
-                  << server.model().num_vertices() << " vertices)\n";
+                  << server.num_vertices() << " vertices)\n";
         return 1;
       }
     }
@@ -138,18 +152,80 @@ int serve_queries(const snaple::QueryEngine& server,
   return 0;
 }
 
+/// Streams "u v" edge inserts from a SNAP-style text file into a live
+/// model in batches. Lines that cannot be applied — already-present
+/// edges (live streams repeat), self-loops, out-of-range ids, malformed
+/// text — are counted and skipped rather than aborting the stream.
+struct UpdateReport {
+  std::size_t applied = 0;
+  std::size_t skipped = 0;
+  std::size_t rows_recomputed = 0;
+  double wall_s = 0.0;
+};
+
+UpdateReport stream_updates(snaple::DynamicModel& dyn, std::istream& in) {
+  using namespace snaple;
+  constexpr std::size_t kBatch = 4096;
+  UpdateReport report;
+  WallTimer timer;
+  std::vector<Edge> batch;
+  std::unordered_set<Edge, EdgeHash> pending;  // intra-batch duplicates
+  const VertexId n = dyn.num_vertices();
+
+  auto flush = [&] {
+    if (batch.empty()) return;
+    const auto stats = dyn.add_edges(batch);
+    report.applied += stats.edges;
+    report.rows_recomputed +=
+        stats.gamma_rows + stats.sims_rows + stats.hop2_rows;
+    batch.clear();
+    pending.clear();
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    char* end = nullptr;
+    const unsigned long long u = std::strtoull(line.c_str(), &end, 10);
+    if (end == line.c_str()) {
+      ++report.skipped;
+      continue;
+    }
+    char* end2 = nullptr;
+    const unsigned long long v = std::strtoull(end, &end2, 10);
+    if (end2 == end) {
+      ++report.skipped;
+      continue;
+    }
+    const Edge e{static_cast<VertexId>(u), static_cast<VertexId>(v)};
+    if (u >= n || v >= n || u == v || dyn.graph().has_edge(e.src, e.dst) ||
+        !pending.insert(e).second) {
+      ++report.skipped;
+      continue;
+    }
+    batch.push_back(e);
+    if (batch.size() >= kBatch) flush();
+  }
+  flush();
+  report.wall_s = timer.seconds();
+  return report;
+}
+
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " <edge-list-file | gowalla|pokec|orkut|livejournal|twitter>"
                " [--symmetrize] [--score=NAME] [--k=N] [--klocal=N|inf]"
                " [--thr=N|inf] [--khops=2|3] [--hop2min=F] [--machines=N]"
-               " [--partition=hash|greedy] [--flat] [--type2]"
+               " [--partition=hash|greedy|local] [--flat] [--type2]"
                " [--eval] [--seed=N] [--out=FILE] [--threads=N]"
                " [--convert=FILE] [--save-bin=FILE]\n"
                "   or: " << argv0
             << " <graph> --fit [--save-model=FILE] [--query=U1,U2,...]\n"
                "   or: " << argv0
-            << " --load-model=FILE --query=U1,U2,... [--k=N]\n";
+            << " --load-model=FILE --query=U1,U2,... [--k=N]\n"
+               "   or: " << argv0
+            << " <graph> --update=EDGE-FILE [--query=U1,U2,...]"
+               " [--save-model=FILE]\n";
   return 2;
 }
 
@@ -173,9 +249,11 @@ int main(int argc, char** argv) {
   std::string save_bin_path;
   std::string save_model_path;
   std::string load_model_path;
+  std::string update_path;
   std::string query_list;
   bool have_query = false;
   bool have_k = false;
+  bool have_partition = false;
   SnapleConfig config;
   config.k_local = 20;
 
@@ -223,10 +301,13 @@ int main(int argc, char** argv) {
           strategy = gas::PartitionStrategy::kHash;
         } else if (s == "greedy") {
           strategy = gas::PartitionStrategy::kGreedy;
+        } else if (s == "local") {
+          strategy = gas::PartitionStrategy::kEdgeLocal;
         } else {
-          std::cerr << "--partition must be hash or greedy\n";
+          std::cerr << "--partition must be hash, greedy or local\n";
           return 2;
         }
+        have_partition = true;
       } else if (arg == "--flat") {
         flat = true;
       } else if (arg.rfind("--seed=", 0) == 0) {
@@ -243,6 +324,8 @@ int main(int argc, char** argv) {
         save_model_path = value_of("--save-model=");
       } else if (arg.rfind("--load-model=", 0) == 0) {
         load_model_path = value_of("--load-model=");
+      } else if (arg.rfind("--update=", 0) == 0) {
+        update_path = value_of("--update=");
       } else if (arg.rfind("--query=", 0) == 0) {
         query_list = value_of("--query=");
         have_query = true;
@@ -257,10 +340,28 @@ int main(int argc, char** argv) {
   }
 
   const bool serving = fit_only || have_query || !save_model_path.empty() ||
-                       !load_model_path.empty();
+                       !load_model_path.empty() || !update_path.empty();
   if (serving && evaluate) {
     std::cerr << "--eval applies to the batch flow only\n";
     return 2;
+  }
+  if (!update_path.empty()) {
+    if (!load_model_path.empty()) {
+      std::cerr << "--update needs the fit graph; fit it here instead of "
+                   "--load-model (a saved model carries no graph)\n";
+      return 2;
+    }
+    // Incremental updates require the insertion-stable edge placement
+    // (tags of existing edges must survive inserts); single-machine
+    // runs qualify under any strategy because every tag is 0.
+    if (!have_partition) {
+      strategy = gas::PartitionStrategy::kEdgeLocal;
+    } else if (strategy != gas::PartitionStrategy::kEdgeLocal &&
+               machines > 1) {
+      std::cerr << "--update on --machines>1 requires --partition=local "
+                   "(hash/greedy tags shift when edges are inserted)\n";
+      return 2;
+    }
   }
   if (load_model_path.empty() && input.empty()) {
     std::cerr << "no input graph (or --load-model) given\n";
@@ -405,11 +506,13 @@ int main(int argc, char** argv) {
            std::to_string(sh.num_mirrors()),
            Table::fmt(static_cast<double>(sh.memory_bytes()) / 1e6, 2)});
     }
+    const char* strategy_name =
+        strategy == gas::PartitionStrategy::kGreedy  ? "greedy"
+        : strategy == gas::PartitionStrategy::kHash ? "hash"
+                                                    : "local";
     std::cerr << "shards (replication factor "
               << Table::fmt(partitioning.replication_factor(), 2) << ", "
-              << (strategy == gas::PartitionStrategy::kGreedy ? "greedy"
-                                                              : "hash")
-              << " vertex-cut):\n";
+              << strategy_name << " vertex-cut):\n";
     shard_table.print(std::cerr);
   }
 
@@ -435,6 +538,61 @@ int main(int argc, char** argv) {
     } catch (const ResourceExhausted& e) {
       std::cerr << "simulated cluster out of memory: " << e.what() << "\n";
       return 1;
+    }
+    // ---- Incremental updates: wrap the model, stream the inserts. ----
+    if (!update_path.empty()) {
+      std::ifstream updates(update_path);
+      if (!updates) {
+        std::cerr << "cannot read update file '" << update_path << "'\n";
+        return 1;
+      }
+      const auto shared_graph =
+          std::make_shared<const CsrGraph>(std::move(graph));
+      std::shared_ptr<DynamicModel> wrapped;
+      UpdateReport report;
+      try {
+        // The partitioning above was created with config.seed, which is
+        // also DynamicModel's default placement seed.
+        wrapped = std::make_shared<DynamicModel>(
+            std::make_shared<const PredictorModel>(std::move(model)),
+            shared_graph, std::nullopt, pool);
+        report = stream_updates(*wrapped, updates);
+      } catch (const CheckError& e) {
+        std::cerr << "update failed: " << e.what() << "\n";
+        return 1;
+      }
+      DynamicModel& dyn = *wrapped;
+      std::cerr << "applied " << report.applied << " inserts ("
+                << report.skipped << " skipped: duplicate/self-loop/"
+                << "out-of-range/malformed) in "
+                << format_duration(report.wall_s);
+      if (report.applied > 0) {
+        std::cerr << " — "
+                  << Table::fmt(report.wall_s * 1e6 /
+                                    static_cast<double>(report.applied), 1)
+                  << " us/insert, " << report.rows_recomputed
+                  << " rows recomputed";
+      }
+      std::cerr << "; model version " << dyn.version() << ", +"
+                << static_cast<double>(dyn.overlay_bytes()) / 1e6
+                << " MB overlay\n";
+      if (!save_model_path.empty()) {
+        try {
+          dyn.freeze().save_file(save_model_path);
+          std::cerr << "wrote updated model to " << save_model_path << "\n";
+        } catch (const IoError& e) {
+          std::cerr << "cannot write '" << save_model_path
+                    << "': " << e.what() << "\n";
+          return 1;
+        }
+      }
+      if (have_query) {
+        // Serve straight from the live model's versioned rows.
+        const QueryEngine server{
+            std::shared_ptr<const DynamicModel>(wrapped)};
+        return serve_queries(server, query_list, 0, *out);
+      }
+      return 0;
     }
     if (!save_model_path.empty()) {
       try {

@@ -1,0 +1,343 @@
+#include "core/dynamic_model.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+#include <utility>
+
+#include "core/similarity.hpp"
+#include "util/thread_pool.hpp"
+
+namespace snaple {
+
+namespace {
+
+/// An out-edge of the vertex being recomputed, with its insertion-stable
+/// machine: the unit the machine-grouped collection orders by.
+struct SimEntry {
+  gas::MachineId machine;
+  VertexId target;
+  float sim;
+};
+
+std::shared_ptr<const CsrGraph> require_graph(
+    std::shared_ptr<const CsrGraph> graph) {
+  SNAPLE_CHECK_MSG(graph != nullptr,
+                   "DynamicModel needs the fit graph (a loaded model "
+                   "carries none — refit, or keep the graph alongside "
+                   "the model)");
+  return graph;
+}
+
+std::shared_ptr<const PredictorModel> require_model(
+    std::shared_ptr<const PredictorModel> model) {
+  SNAPLE_CHECK_MSG(model != nullptr, "DynamicModel needs a base model");
+  return model;
+}
+
+}  // namespace
+
+DynamicModel::DynamicModel(std::shared_ptr<const PredictorModel> base,
+                           std::shared_ptr<const CsrGraph> graph,
+                           std::optional<std::uint64_t> partition_seed,
+                           ThreadPool* pool)
+    : base_(require_model(std::move(base))),
+      overlay_(require_graph(std::move(graph))),
+      partition_seed_(partition_seed.value_or(base_->config().seed)) {
+  SNAPLE_CHECK_MSG(overlay_.num_vertices() == base_->num_vertices(),
+                   "graph and model disagree on the vertex count — this "
+                   "is not the graph the model was fit on");
+  SNAPLE_CHECK_MSG(
+      !(base_->config().policy == SelectionPolicy::kRandom &&
+        base_->config().k_hops == 3),
+      "incremental updates do not support the Γrnd policy with K=3: its "
+      "hop2 selection shuffles candidates in accumulator-iteration "
+      "order, which no out-of-band recompute can reproduce bit-exactly");
+
+  const VertexId n = base_->num_vertices();
+  score_ = base_->config().resolve_score();
+  hop2_skip_zero_ = rows::hop2_zero_skip(base_->config(), score_);
+  gamma_rows_ = RowTable(n);
+  sims_rows_ = RowTable(n);
+  if (base_->config().k_hops == 3) hop2_rows_ = RowTable(n);
+  row_version_ = std::make_unique<std::atomic<std::uint64_t>[]>(n);
+
+  // Verify every base tag against the insertion-stable placement rule
+  // and every retained neighbor against the graph. Fits made with
+  // kHash/kGreedy on >1 machine fail here by design: their tags key on
+  // CSR edge positions, which an insert would shift, breaking the
+  // refit-equivalence contract. Single-machine fits always pass.
+  const std::uint32_t machines = base_->num_machines();
+  ThreadPool& tp = pool != nullptr ? *pool : default_pool();
+  const CsrGraph& g = overlay_.base();
+  tp.parallel_for(0, n, [&](std::size_t i, std::size_t) {
+    const auto u = static_cast<VertexId>(i);
+    const auto su = base_->sims(u);
+    for (std::size_t j = 0; j < su.ids.size(); ++j) {
+      SNAPLE_CHECK_MSG(g.has_edge(u, su.ids[j]),
+                       "retained neighbor " + std::to_string(su.ids[j]) +
+                           " of vertex " + std::to_string(u) +
+                           " is not an edge of the graph — this is not "
+                           "the graph the model was fit on");
+      SNAPLE_CHECK_MSG(
+          su.machines[j] == gas::edge_local_machine(u, su.ids[j], machines,
+                                                    partition_seed_),
+          "machine tag of edge (" + std::to_string(u) + ", " +
+              std::to_string(su.ids[j]) +
+              ") does not follow the insertion-stable placement — fit "
+              "with gas::PartitionStrategy::kEdgeLocal (seed " +
+              std::to_string(partition_seed_) +
+              ") to serve incremental updates");
+    }
+  });
+}
+
+// ---------------------------------------------------------------------
+// Writer path.
+// ---------------------------------------------------------------------
+
+void DynamicModel::validate_batch(std::span<const Edge> batch) const {
+  const VertexId n = num_vertices();
+  std::unordered_set<Edge, EdgeHash> seen;
+  seen.reserve(batch.size());
+  for (const Edge& e : batch) {
+    SNAPLE_CHECK_MSG(e.src < n && e.dst < n,
+                     "inserted edge (" + std::to_string(e.src) + ", " +
+                         std::to_string(e.dst) +
+                         ") is out of range: the model has " +
+                         std::to_string(n) + " vertices");
+    SNAPLE_CHECK_MSG(e.src != e.dst,
+                     "self-loop (" + std::to_string(e.src) + ", " +
+                         std::to_string(e.dst) + ") rejected");
+    SNAPLE_CHECK_MSG(!overlay_.has_edge(e.src, e.dst),
+                     "edge (" + std::to_string(e.src) + ", " +
+                         std::to_string(e.dst) +
+                         ") already exists in the union graph");
+    SNAPLE_CHECK_MSG(seen.insert(e).second,
+                     "edge (" + std::to_string(e.src) + ", " +
+                         std::to_string(e.dst) +
+                         ") appears twice in the batch");
+  }
+}
+
+DynamicModel::UpdateStats DynamicModel::add_edge(VertexId u, VertexId v) {
+  const Edge e{u, v};
+  return add_edges({&e, 1});
+}
+
+DynamicModel::UpdateStats DynamicModel::add_edges(
+    std::span<const Edge> batch) {
+  // All-or-nothing: the whole batch is validated before the first
+  // overlay mutation, so a throw leaves the model untouched.
+  validate_batch(batch);
+  if (batch.empty()) return {};
+  return apply_validated(batch);
+}
+
+DynamicModel::UpdateStats DynamicModel::apply_validated(
+    std::span<const Edge> batch) {
+  for (const Edge& e : batch) overlay_.insert(e.src, e.dst);
+
+  auto sort_unique = [](std::vector<VertexId>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+
+  // Stale-row sets against the *union* graph (header comment derives
+  // them): Γ̂ stales only at the sources; sims at the sources and their
+  // in-neighborhoods; hop2 one in-hop further.
+  std::vector<VertexId> sources;
+  sources.reserve(batch.size());
+  for (const Edge& e : batch) sources.push_back(e.src);
+  sort_unique(sources);
+
+  std::vector<VertexId> sims_stale = sources;
+  for (const VertexId u : sources) {
+    overlay_.for_each_in_neighbor(
+        u, [&](VertexId x) { sims_stale.push_back(x); });
+  }
+  sort_unique(sims_stale);
+
+  std::vector<VertexId> hop2_stale;
+  if (!hop2_rows_.empty()) {
+    hop2_stale = sims_stale;
+    for (const VertexId x : sims_stale) {
+      overlay_.for_each_in_neighbor(
+          x, [&](VertexId y) { hop2_stale.push_back(y); });
+    }
+    sort_unique(hop2_stale);
+  }
+
+  // Recompute in dependency order — each phase reads rows the previous
+  // phase already published (same thread, plain program order; readers
+  // see each row flip atomically).
+  for (const VertexId u : sources) {
+    auto slab = std::make_unique<RowSlab>();
+    slab->ids = compute_gamma_row(u);
+    publish(gamma_rows_, u, std::move(slab));
+  }
+  for (const VertexId x : sims_stale) {
+    publish(sims_rows_, x, compute_sims_row(x));
+  }
+  if (!hop2_rows_.empty()) {
+    rows::PathFoldScratch scratch;
+    for (const VertexId x : hop2_stale) {
+      publish(hop2_rows_, x, compute_hop2_row(x, scratch));
+    }
+  }
+
+  version_.fetch_add(batch.size(), std::memory_order_release);
+  return UpdateStats{batch.size(), sources.size(), sims_stale.size(),
+                     hop2_stale.size()};
+}
+
+// ---------------------------------------------------------------------
+// Row recomputes — bit-identical to what a from-scratch fit on the
+// union graph computes for the same row (snaple_rows.hpp kernels).
+// ---------------------------------------------------------------------
+
+std::vector<VertexId> DynamicModel::compute_gamma_row(VertexId u) const {
+  // Step 1 for one vertex: the per-edge Bernoulli decision over the
+  // union out-row. The merged iteration is already ascending, which is
+  // the order the engine's apply sorts into.
+  std::vector<VertexId> row;
+  const std::size_t deg = overlay_.out_degree(u);
+  overlay_.for_each_out_neighbor(u, [&](VertexId w) {
+    if (rows::keep_sampled_edge(base_->config(), u, w, deg)) {
+      row.push_back(w);
+    }
+  });
+  return row;
+}
+
+std::unique_ptr<DynamicModel::RowSlab> DynamicModel::compute_sims_row(
+    VertexId x) const {
+  // Step 2 for one vertex: similarities over the union out-row,
+  // collected machine-grouped (ascending machine, ascending target
+  // within a machine) exactly as the engine's per-machine partials
+  // merge — the order Γrnd's shuffle keys on.
+  const std::uint32_t machines = base_->num_machines();
+  const auto gx = gamma_hat(x);
+  std::vector<SimEntry> entries;
+  entries.reserve(overlay_.out_degree(x));
+  overlay_.for_each_out_neighbor(x, [&](VertexId w) {
+    const double s = similarity(score_.metric, gx, gamma_hat(w),
+                                overlay_.out_degree(w));
+    entries.push_back({gas::edge_local_machine(x, w, machines,
+                                               partition_seed_),
+                       w, static_cast<float>(s)});
+  });
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const SimEntry& a, const SimEntry& b) {
+                     return a.machine < b.machine;
+                   });
+
+  std::vector<std::pair<VertexId, float>> collected;
+  collected.reserve(entries.size());
+  for (const SimEntry& e : entries) collected.emplace_back(e.target, e.sim);
+  rows::select_k_local(collected, base_->config(), x);
+
+  auto slab = std::make_unique<RowSlab>();
+  slab->ids.reserve(collected.size());
+  slab->scores.reserve(collected.size());
+  slab->machines.reserve(collected.size());
+  for (const auto& [w, s] : collected) {
+    slab->ids.push_back(w);
+    slab->scores.push_back(s);
+    slab->machines.push_back(
+        gas::edge_local_machine(x, w, machines, partition_seed_));
+  }
+  return slab;
+}
+
+std::unique_ptr<DynamicModel::RowSlab> DynamicModel::compute_hop2_row(
+    VertexId x, rows::PathFoldScratch& scratch) const {
+  // Step 2b for one vertex: the machine-grouped path fold over the
+  // (already republished) sims rows, then the threshold filter and
+  // klocal selection of the engine's apply.
+  rows::fold_vertex_paths(*this, score_, x, rows::PathFold::kHop2,
+                          hop2_skip_zero_, scratch);
+  const SnapleConfig& cfg = base_->config();
+  const Aggregator agg = score_.aggregator;
+  std::vector<std::pair<VertexId, float>> collected;
+  scratch.merged.for_each([&](VertexId z, float sigma, std::uint32_t n) {
+    const auto s = static_cast<float>(agg.post(sigma, n));
+    if (cfg.hop2_min_score > 0 && s < cfg.hop2_min_score) {
+      return;  // pruned: this 2-hop candidate scores too low
+    }
+    collected.emplace_back(z, s);
+  });
+  rows::select_k_local(collected, cfg, x);
+
+  auto slab = std::make_unique<RowSlab>();
+  slab->ids.reserve(collected.size());
+  slab->scores.reserve(collected.size());
+  for (const auto& [z, s] : collected) {
+    slab->ids.push_back(z);
+    slab->scores.push_back(s);
+  }
+  return slab;
+}
+
+void DynamicModel::publish(RowTable& table, VertexId u,
+                           std::unique_ptr<RowSlab> slab) {
+  const RowSlab* p = slab.get();
+  slabs_.push_back(std::move(slab));  // retired slabs stay owned forever
+  table[u].store(p, std::memory_order_release);
+  row_version_[u].fetch_add(1, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------
+// Snapshot + accounting.
+// ---------------------------------------------------------------------
+
+PredictorModel DynamicModel::freeze() const {
+  const VertexId n = num_vertices();
+  const bool three_hop = base_->config().k_hops == 3;
+  PredictorModel m;
+  m.config_ = base_->config();
+  m.num_machines_ = base_->num_machines();
+  m.num_vertices_ = n;
+
+  m.gamma_offsets_.reserve(static_cast<std::size_t>(n) + 1);
+  m.sims_offsets_.reserve(static_cast<std::size_t>(n) + 1);
+  if (three_hop) m.hop2_offsets_.reserve(static_cast<std::size_t>(n) + 1);
+  for (VertexId u = 0; u < n; ++u) {
+    m.gamma_offsets_.push_back(m.gamma_ids_.size());
+    const auto g = gamma_hat(u);
+    m.gamma_ids_.insert(m.gamma_ids_.end(), g.begin(), g.end());
+
+    m.sims_offsets_.push_back(m.sims_ids_.size());
+    const auto s = sims(u);
+    m.sims_ids_.insert(m.sims_ids_.end(), s.ids.begin(), s.ids.end());
+    m.sims_scores_.insert(m.sims_scores_.end(), s.scores.begin(),
+                          s.scores.end());
+    m.sims_machines_.insert(m.sims_machines_.end(), s.machines.begin(),
+                            s.machines.end());
+    if (three_hop) {
+      m.hop2_offsets_.push_back(m.hop2_ids_.size());
+      const auto h = hop2(u);
+      m.hop2_ids_.insert(m.hop2_ids_.end(), h.ids.begin(), h.ids.end());
+      m.hop2_scores_.insert(m.hop2_scores_.end(), h.scores.begin(),
+                            h.scores.end());
+    }
+  }
+  m.gamma_offsets_.push_back(m.gamma_ids_.size());
+  m.sims_offsets_.push_back(m.sims_ids_.size());
+  if (three_hop) m.hop2_offsets_.push_back(m.hop2_ids_.size());
+  return m;
+}
+
+std::size_t DynamicModel::overlay_bytes() const noexcept {
+  std::size_t bytes =
+      overlay_.memory_bytes() +
+      slabs_.capacity() * sizeof(std::unique_ptr<const RowSlab>);
+  for (const auto& s : slabs_) {
+    bytes += sizeof(RowSlab) + s->ids.capacity() * sizeof(VertexId) +
+             s->scores.capacity() * sizeof(float) +
+             s->machines.capacity() * sizeof(gas::MachineId);
+  }
+  return bytes;
+}
+
+}  // namespace snaple

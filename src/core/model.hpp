@@ -51,6 +51,7 @@
 
 namespace snaple {
 
+class DynamicModel;
 class ThreadPool;
 
 class PredictorModel {
@@ -147,6 +148,11 @@ class PredictorModel {
   friend bool operator==(const PredictorModel& a, const PredictorModel& b);
 
  private:
+  /// DynamicModel::freeze() assembles a model directly from its current
+  /// rows (there is no SnapleFitData or CSR graph to route through
+  /// build()).
+  friend class DynamicModel;
+
   SnapleConfig config_;
   std::uint32_t num_machines_ = 1;
   VertexId num_vertices_ = 0;

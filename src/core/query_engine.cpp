@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/dynamic_model.hpp"
+#include "core/snaple_rows.hpp"
 #include "util/score_map.hpp"
 #include "util/thread_pool.hpp"
 #include "util/top_k.hpp"
@@ -10,80 +12,15 @@ namespace snaple {
 
 namespace {
 
-/// Reused fold state. One per thread (see local_scratch): topk() must be
-/// safe for concurrent callers, and reuse keeps the hot path
-/// allocation-free in steady state exactly like the batch engine's
-/// per-worker accumulators.
-struct QueryScratch {
-  ScoreMap partial;
-  ScoreMap merged;
-};
-
-QueryScratch& local_scratch() {
-  static thread_local QueryScratch scratch;
+/// Reused fold state. One per thread: topk() must be safe for concurrent
+/// callers, and reuse keeps the hot path allocation-free in steady state
+/// exactly like the batch engine's per-worker accumulators. The fold
+/// itself — the machine-grouped bit-exact replay of step 3 — lives in
+/// core/snaple_rows.hpp (rows::fold_vertex_paths), shared with the
+/// incremental-update recompute path.
+rows::PathFoldScratch& local_scratch() {
+  static thread_local rows::PathFoldScratch scratch;
   return scratch;
-}
-
-/// Replays step 3 for one vertex into scratch.merged, reproducing the
-/// batch engine's canonical fold bit-exactly: u's retained edges grouped
-/// by their fit-time machine tag, folded in ascending-id order within a
-/// group (CSR order), groups merged in ascending machine order with the
-/// same ⊕pre the engine's cross-machine merge uses. The first
-/// contributing group folds straight into `merged` — the engine swaps
-/// the first partial in wholesale, so this is the same float chain.
-void score_candidates(const PredictorModel& model, const ScoreConfig& score,
-                      VertexId u, QueryScratch& scratch) {
-  const Combinator comb = score.combinator;
-  const Aggregator agg = score.aggregator;
-  const auto pre = [&agg](float a, float b) {
-    return static_cast<float>(agg.pre(a, b));
-  };
-  const auto gamma = model.gamma_hat(u);
-  const auto su = model.sims(u);
-  const bool three_hop = model.config().k_hops == 3;
-  scratch.merged.clear();
-
-  std::uint64_t machines = 0;
-  for (const gas::MachineId m : su.machines) {
-    machines |= std::uint64_t{1} << m;
-  }
-  while (machines != 0) {
-    const auto mach = static_cast<gas::MachineId>(
-        __builtin_ctzll(machines));
-    machines &= machines - 1;
-    ScoreMap& acc =
-        scratch.merged.empty() ? scratch.merged : scratch.partial;
-    for (std::size_t i = 0; i < su.ids.size(); ++i) {
-      if (su.machines[i] != mach) continue;
-      const float suv = su.scores[i];
-      auto fold_candidate = [&](VertexId z, float downstream) {
-        if (z == u) return;
-        if (std::binary_search(gamma.begin(), gamma.end(), z)) {
-          return;  // already a neighbor: not a missing-edge candidate
-        }
-        const double path_sim = comb(suv, downstream);
-        acc.accumulate(z, static_cast<float>(path_sim), 1, pre);
-      };
-      const auto sv = model.sims(su.ids[i]);
-      for (std::size_t j = 0; j < sv.ids.size(); ++j) {
-        fold_candidate(sv.ids[j], sv.scores[j]);
-      }
-      if (three_hop) {
-        const auto hv = model.hop2(su.ids[i]);
-        for (std::size_t j = 0; j < hv.ids.size(); ++j) {
-          fold_candidate(hv.ids[j], hv.scores[j]);
-        }
-      }
-    }
-    if (&acc == &scratch.partial && !scratch.partial.empty()) {
-      // Cross-group merge — the engine's merge_scores on whole partials.
-      scratch.partial.for_each(
-          [&](VertexId z, float sigma, std::uint32_t paths) {
-            scratch.merged.accumulate(z, sigma, paths, pre);
-          });
-      scratch.partial.clear();
-    }
-  }
 }
 
 std::vector<std::pair<VertexId, float>> rank(const ScoreMap& candidates,
@@ -114,14 +51,41 @@ QueryEngine::QueryEngine(std::shared_ptr<const PredictorModel> model)
   score_ = model_->config().resolve_score();
 }
 
+QueryEngine::QueryEngine(std::shared_ptr<const DynamicModel> model)
+    : dynamic_(std::move(model)) {
+  SNAPLE_CHECK_MSG(dynamic_ != nullptr, "QueryEngine needs a model");
+  score_ = dynamic_->config().resolve_score();
+}
+
+const PredictorModel& QueryEngine::model() const {
+  SNAPLE_CHECK_MSG(model_ != nullptr,
+                   "this engine serves a DynamicModel — use "
+                   "dynamic_model() (or freeze() it for an artifact)");
+  return *model_;
+}
+
+VertexId QueryEngine::num_vertices() const noexcept {
+  return model_ != nullptr ? model_->num_vertices()
+                           : dynamic_->num_vertices();
+}
+
+const SnapleConfig& QueryEngine::config() const noexcept {
+  return model_ != nullptr ? model_->config() : dynamic_->config();
+}
+
 std::vector<std::pair<VertexId, float>> QueryEngine::topk(
     VertexId u, std::size_t k) const {
-  SNAPLE_CHECK_MSG(u < model_->num_vertices(),
-                   "query vertex out of model range");
-  QueryScratch& scratch = local_scratch();
-  score_candidates(*model_, score_, u, scratch);
-  return rank(scratch.merged, score_.aggregator,
-              k == 0 ? model_->config().k : k);
+  SNAPLE_CHECK_MSG(u < num_vertices(), "query vertex out of model range");
+  rows::PathFoldScratch& scratch = local_scratch();
+  if (model_ != nullptr) {
+    rows::fold_vertex_paths(*model_, score_, u, rows::PathFold::kRecommend,
+                            /*zero_skip=*/false, scratch);
+  } else {
+    rows::fold_vertex_paths(*dynamic_, score_, u,
+                            rows::PathFold::kRecommend,
+                            /*zero_skip=*/false, scratch);
+  }
+  return rank(scratch.merged, score_.aggregator, k == 0 ? config().k : k);
 }
 
 std::vector<std::vector<std::pair<VertexId, float>>> QueryEngine::topk_batch(
@@ -137,9 +101,8 @@ std::vector<std::vector<std::pair<VertexId, float>>> QueryEngine::topk_batch(
 std::vector<std::vector<std::pair<VertexId, float>>> QueryEngine::topk_all(
     std::size_t k, ThreadPool* pool) const {
   ThreadPool& tp = pool != nullptr ? *pool : default_pool();
-  std::vector<std::vector<std::pair<VertexId, float>>> out(
-      model_->num_vertices());
-  tp.parallel_for(0, model_->num_vertices(), [&](std::size_t i, std::size_t) {
+  std::vector<std::vector<std::pair<VertexId, float>>> out(num_vertices());
+  tp.parallel_for(0, num_vertices(), [&](std::size_t i, std::size_t) {
     out[i] = topk(static_cast<VertexId>(i), k);
   });
   return out;

@@ -14,8 +14,12 @@
 // vertex's predictions AND scores against `run_snaple`.
 //
 // Thread safety: topk() is safe for concurrent callers — scratch state
-// (the reused ScoreMaps) is per-thread, the model is immutable.
-// topk_batch() additionally spreads the queries over a ThreadPool.
+// (the reused ScoreMaps) is per-thread, the model is immutable. Over a
+// DynamicModel the engine reads the versioned rows (lock-free acquire
+// loads), so queries keep serving, untorn, while a writer applies
+// incremental updates — each query sees every row either pre- or
+// post-publish. topk_batch() additionally spreads the queries over a
+// ThreadPool.
 #pragma once
 
 #include <cstddef>
@@ -29,6 +33,7 @@
 
 namespace snaple {
 
+class DynamicModel;
 class ThreadPool;
 
 class QueryEngine {
@@ -37,9 +42,25 @@ class QueryEngine {
   /// for the engine's lifetime regardless of who built or loaded it.
   explicit QueryEngine(std::shared_ptr<const PredictorModel> model);
 
-  [[nodiscard]] const PredictorModel& model() const noexcept {
-    return *model_;
+  /// Serves over a live DynamicModel instead: reads go through the
+  /// model's versioned row pointers, so concurrent add_edge(s) calls on
+  /// it are safe and become visible to subsequent queries.
+  explicit QueryEngine(std::shared_ptr<const DynamicModel> model);
+
+  /// The static model backing this engine. Valid only for engines built
+  /// from a PredictorModel (throws CheckError on a dynamic engine —
+  /// there is no frozen artifact to hand out; see dynamic_model()).
+  [[nodiscard]] const PredictorModel& model() const;
+
+  /// The live model backing this engine, or null for a static engine.
+  [[nodiscard]] const std::shared_ptr<const DynamicModel>& dynamic_model()
+      const noexcept {
+    return dynamic_;
   }
+
+  /// Vertex count / configuration of whichever model backs the engine.
+  [[nodiscard]] VertexId num_vertices() const noexcept;
+  [[nodiscard]] const SnapleConfig& config() const noexcept;
 
   /// Top-k predictions for u with their final ⊕post scores, best first.
   /// k = 0 means the model's configured k. Any k is valid — the candidate
@@ -61,7 +82,9 @@ class QueryEngine {
   topk_all(std::size_t k = 0, ThreadPool* pool = nullptr) const;
 
  private:
+  // Exactly one of the two is set.
   std::shared_ptr<const PredictorModel> model_;
+  std::shared_ptr<const DynamicModel> dynamic_;
   ScoreConfig score_;  // resolved once from the model's config
 };
 

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <utility>
 
-#include "util/rng.hpp"
+#include "core/snaple_rows.hpp"
 #include "util/score_map.hpp"
 #include "util/top_k.hpp"
 
@@ -46,63 +46,20 @@ std::size_t snaple_vertex_data_bytes(const SnapleVertexData& d) {
 
 namespace {
 
-/// Deterministic per-edge uniform in [0,1) for the step-1 Bernoulli
-/// truncation — a gather may not share RNG state across edges, so the
-/// "random" draw is a hash of (seed, u, v).
-double edge_uniform(std::uint64_t seed, VertexId u, VertexId v) {
-  SplitMix64 sm(seed ^ ((static_cast<std::uint64_t>(u) << 32) | v));
-  return static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
-}
-
-/// Step-2 selection: keeps `k_local` entries of `collected` according to
-/// the policy, then orders them by vertex id for binary-search lookup.
-void select_k_local(std::vector<std::pair<VertexId, float>>& collected,
-                    const SnapleConfig& cfg, VertexId u) {
-  if (cfg.k_local != kUnlimited && collected.size() > cfg.k_local) {
-    switch (cfg.policy) {
-      case SelectionPolicy::kMax:
-        std::sort(collected.begin(), collected.end(),
-                  [](const auto& a, const auto& b) {
-                    if (a.second != b.second) return a.second > b.second;
-                    return a.first < b.first;
-                  });
-        break;
-      case SelectionPolicy::kMin:
-        std::sort(collected.begin(), collected.end(),
-                  [](const auto& a, const auto& b) {
-                    if (a.second != b.second) return a.second < b.second;
-                    return a.first < b.first;
-                  });
-        break;
-      case SelectionPolicy::kRandom: {
-        Rng rng(cfg.seed ^ (0xabcd'ef01'2345'6789ULL + u));
-        shuffle(collected, rng);
-        break;
-      }
-    }
-    collected.resize(cfg.k_local);
-  }
-  std::sort(collected.begin(), collected.end());
-}
-
-/// Binary search in an id-sorted sims list.
-const float* find_sim(const std::vector<std::pair<VertexId, float>>& sims,
-                      VertexId v) {
-  const auto it = std::lower_bound(
-      sims.begin(), sims.end(), v,
-      [](const auto& entry, VertexId key) { return entry.first < key; });
-  if (it == sims.end() || it->first != v) return nullptr;
-  return &it->second;
-}
-
 using SnapleEngine = gas::Engine<SnapleVertexData>;
 
-/// Everything the four step definitions need; one per run.
+/// Everything the four step definitions need; one per run. The per-row
+/// bodies (Bernoulli sampling, klocal selection, the ⊗/⊕pre candidate
+/// folds) live in core/snaple_rows.hpp, shared with the serving-side
+/// replays — bit-identity between batch and serving depends on it.
 struct StepContext {
   const CsrGraph& graph;
   const SnapleConfig& config;
   const ScoreConfig score;
   const gas::ApplyMode mode;
+  /// 2b zero-path early exit (rows::hop2_zero_skip): provably exact
+  /// under a Sum aggregator with hop2_min_score > 0, off otherwise.
+  const bool hop2_skip_zero;
 };
 
 /// Cross-machine partial merge for the ScoreMap steps: fold the other
@@ -130,13 +87,8 @@ void step_sample(SnapleEngine& engine, const StepContext& ctx) {
       [&](VertexId u, VertexId v, const SnapleVertexData&,
           const SnapleVertexData&, std::vector<VertexId>& acc)
           -> std::size_t {
-        if (config.thr_gamma != kUnlimited) {
-          const std::size_t deg = graph.out_degree(u);
-          if (deg > config.thr_gamma) {
-            const double keep = static_cast<double>(config.thr_gamma) /
-                                static_cast<double>(deg);
-            if (edge_uniform(config.seed, u, v) > keep) return 0;
-          }
+        if (!rows::keep_sampled_edge(config, u, v, graph.out_degree(u))) {
+          return 0;
         }
         acc.push_back(v);
         return sizeof(VertexId);
@@ -166,7 +118,7 @@ void step_similarities(SnapleEngine& engine, const StepContext& ctx) {
         return sizeof(VertexId) + sizeof(float);
       },
       [&](VertexId u, SnapleVertexData& du, SimAcc& acc, std::size_t) {
-        select_k_local(acc, config, u);
+        rows::select_k_local(acc, config, u);
         du.sims.assign(acc.begin(), acc.end());
       });
 }
@@ -177,11 +129,14 @@ void step_similarities(SnapleEngine& engine, const StepContext& ctx) {
 // klocal best; the final step can then extend them by one more edge —
 // the recursive ⊗ fold of the paper's footnote 2. A positive
 // config.hop2_min_score drops below-threshold candidates before the
-// klocal selection (the K=3 pruning knob; 0 keeps everything).
+// klocal selection (the K=3 pruning knob; 0 keeps everything), and —
+// when provably exact (ctx.hop2_skip_zero) — lets the gather skip
+// zero-valued paths, including whole edges, before any candidate work.
 void step_hop2(SnapleEngine& engine, const StepContext& ctx) {
   const SnapleConfig& config = ctx.config;
   const Combinator comb = ctx.score.combinator;
   const Aggregator agg = ctx.score.aggregator;
+  const bool skip_zero = ctx.hop2_skip_zero;
   gas::StepOptions opt{.name = "2b:hop2-scores",
                        .dir = gas::EdgeDir::kOut,
                        .mode = ctx.mode};
@@ -189,22 +144,14 @@ void step_hop2(SnapleEngine& engine, const StepContext& ctx) {
       opt,
       [&](VertexId u, VertexId v, const SnapleVertexData& du,
           const SnapleVertexData& dv, ScoreMap& acc) -> std::size_t {
-        const float* suv = find_sim(du.sims, v);
+        const float* suv = rows::find_sim(du.sims, v);
         if (suv == nullptr) return 0;
-        std::size_t bytes = 0;
-        for (const auto& [z, svz] : dv.sims) {
-          if (z == u) continue;
-          if (std::binary_search(du.gamma_hat.begin(), du.gamma_hat.end(),
-                                 z)) {
-            continue;
-          }
-          acc.accumulate(z, static_cast<float>(comb(*suv, svz)), 1,
-                         [&](float a, float b) {
-                           return static_cast<float>(agg.pre(a, b));
-                         });
-          bytes += sizeof(VertexId) + sizeof(float) + sizeof(std::uint32_t);
-        }
-        return bytes;
+        return rows::fold_hop2_edge(
+            u, std::span<const VertexId>(du.gamma_hat), *suv,
+            rows::PairSims{&dv.sims}, comb, skip_zero, acc,
+            [&](float a, float b) {
+              return static_cast<float>(agg.pre(a, b));
+            });
       },
       make_merge_scores(agg),
       [&](VertexId u, SnapleVertexData& du, ScoreMap& acc, std::size_t) {
@@ -216,7 +163,7 @@ void step_hop2(SnapleEngine& engine, const StepContext& ctx) {
           }
           collected.emplace_back(z, s);
         });
-        select_k_local(collected, config, u);
+        rows::select_k_local(collected, config, u);
         du.hop2.assign(collected.begin(), collected.end());
       });
 }
@@ -233,27 +180,21 @@ void step_recommend(SnapleEngine& engine, const StepContext& ctx) {
       opt,
       [&](VertexId u, VertexId v, const SnapleVertexData& du,
           const SnapleVertexData& dv, ScoreMap& acc) -> std::size_t {
-        const float* suv = find_sim(du.sims, v);
+        const float* suv = rows::find_sim(du.sims, v);
         if (suv == nullptr) return 0;  // v ∉ Γmax(u): path not retained
-        std::size_t bytes = 0;
-        auto fold_candidate = [&](VertexId z, float downstream) {
-          if (z == u) return;
-          if (std::binary_search(du.gamma_hat.begin(), du.gamma_hat.end(),
-                                 z)) {
-            return;  // already a neighbor: not a missing-edge candidate
-          }
-          const double path_sim = comb(*suv, downstream);
-          acc.accumulate(z, static_cast<float>(path_sim), 1,
-                         [&](float a, float b) {
-                           return static_cast<float>(agg.pre(a, b));
-                         });
-          bytes += sizeof(VertexId) + sizeof(float) + sizeof(std::uint32_t);
+        const std::span<const VertexId> gamma(du.gamma_hat);
+        const auto pre = [&](float a, float b) {
+          return static_cast<float>(agg.pre(a, b));
         };
-        for (const auto& [z, svz] : dv.sims) fold_candidate(z, svz);
+        std::size_t bytes =
+            rows::fold_path_list(u, gamma, *suv, rows::PairSims{&dv.sims},
+                                 comb, /*skip_zero=*/false, acc, pre);
         if (config.k_hops == 3) {
           // 3-hop paths u → v → (v's 2-hop candidate z): extend v's
           // folded 2-hop score by the first-hop similarity.
-          for (const auto& [z, s2] : dv.hop2) fold_candidate(z, s2);
+          bytes += rows::fold_path_list(u, gamma, *suv,
+                                        rows::PairSims{&dv.hop2}, comb,
+                                        /*skip_zero=*/false, acc, pre);
         }
         return bytes;
       },
@@ -285,7 +226,9 @@ StepContext make_context(const CsrGraph& graph, const SnapleConfig& config,
                          gas::ApplyMode mode) {
   SNAPLE_CHECK_MSG(config.k_hops == 2 || config.k_hops == 3,
                    "SNAPLE supports K=2 (the paper) and K=3 (footnote 2)");
-  return StepContext{graph, config, config.resolve_score(), mode};
+  ScoreConfig score = config.resolve_score();
+  const bool skip = rows::hop2_zero_skip(config, score);
+  return StepContext{graph, config, std::move(score), mode, skip};
 }
 
 }  // namespace

@@ -27,6 +27,17 @@ MachineId least_loaded(const std::vector<EdgeIndex>& load,
 
 }  // namespace
 
+MachineId edge_local_machine(VertexId u, VertexId v, std::size_t machines,
+                             std::uint64_t seed) noexcept {
+  // Keyed by the endpoint pair alone (plus a constant that decorrelates
+  // it from the step-1 truncation hash, which keys the same way on the
+  // run seed). Modulo bias at machines <= 64 is negligible, and the
+  // rule's value is determinism, not perfect uniformity.
+  SplitMix64 sm(seed ^ 0xed6e'10ca'1b1a'5edbULL ^
+                ((static_cast<std::uint64_t>(u) << 32) | v));
+  return static_cast<MachineId>(sm.next() % machines);
+}
+
 namespace {
 
 /// Shared epilogue: derive replica sets, loads and masters from a
@@ -139,7 +150,9 @@ Partitioning Partitioning::create(const CsrGraph& g, std::size_t machines,
   for (VertexId u = 0; u < g.num_vertices(); ++u) {
     for (VertexId v : g.out_neighbors(u)) {
       MachineId m;
-      if (strategy == PartitionStrategy::kHash || machines == 1) {
+      if (strategy == PartitionStrategy::kEdgeLocal) {
+        m = edge_local_machine(u, v, machines, seed);
+      } else if (strategy == PartitionStrategy::kHash || machines == 1) {
         m = static_cast<MachineId>(rng.next_below(machines));
       } else {
         // Oblivious greedy (PowerGraph): intersection of the endpoints'

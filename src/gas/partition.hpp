@@ -57,7 +57,29 @@ class ReplicaSet {
   std::uint64_t bits_ = 0;
 };
 
-enum class PartitionStrategy { kHash, kGreedy };
+enum class PartitionStrategy {
+  /// Uniform random edge placement drawn from a sequential RNG over the
+  /// CSR edge order (GraphLab's default "random"). Cheap and balanced,
+  /// but a machine assignment depends on the edge's *position*, so the
+  /// same edge can land elsewhere after the graph changes.
+  kHash,
+  /// The oblivious greedy heuristic: prefer machines already hosting
+  /// both endpoints, then either, breaking ties by load.
+  kGreedy,
+  /// Insertion-stable placement: the machine of edge (u, v) is a pure
+  /// hash of the endpoints and the seed — never of the edge's CSR
+  /// position or of any placement history. Statistically equivalent to
+  /// kHash (uniform, no locality), and the only strategy under which a
+  /// graph mutation leaves every existing edge's machine unchanged.
+  /// Required by core/dynamic_model.hpp's incremental updates.
+  kEdgeLocal,
+};
+
+/// The kEdgeLocal placement rule, exposed so incremental model updates
+/// can tag edges that did not exist when the Partitioning was built.
+[[nodiscard]] MachineId edge_local_machine(VertexId u, VertexId v,
+                                           std::size_t machines,
+                                           std::uint64_t seed) noexcept;
 
 class Partitioning {
  public:

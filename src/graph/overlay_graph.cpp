@@ -1,0 +1,53 @@
+#include "graph/overlay_graph.hpp"
+
+#include <algorithm>
+
+namespace snaple {
+
+bool OverlayGraph::contains(const DeltaMap& map, VertexId u, VertexId v) {
+  const auto it = map.find(u);
+  if (it == map.end()) return false;
+  return std::binary_search(it->second.begin(), it->second.end(), v);
+}
+
+bool OverlayGraph::insert(VertexId u, VertexId v) {
+  const VertexId n = base_->num_vertices();
+  SNAPLE_CHECK_MSG(u < n && v < n,
+                   "inserted edge (" + std::to_string(u) + ", " +
+                       std::to_string(v) +
+                       ") is out of range: the graph has " +
+                       std::to_string(n) +
+                       " vertices and the overlay cannot grow the "
+                       "vertex set");
+  SNAPLE_CHECK_MSG(u != v, "self-loop (" + std::to_string(u) + ", " +
+                               std::to_string(u) +
+                               ") rejected: a vertex is never its own "
+                               "link-prediction candidate");
+  if (has_edge(u, v)) return false;
+
+  auto sorted_insert = [](std::vector<VertexId>& row, VertexId id) {
+    row.insert(std::upper_bound(row.begin(), row.end(), id), id);
+  };
+  sorted_insert(out_delta_[u], v);
+  sorted_insert(in_delta_[v], u);
+  ++inserted_;
+  return true;
+}
+
+std::size_t OverlayGraph::memory_bytes() const noexcept {
+  // Rough: delta ids + one bucket record per touched vertex.
+  constexpr std::size_t kPerRow =
+      sizeof(VertexId) + sizeof(void*) + sizeof(std::vector<VertexId>);
+  std::size_t bytes = (out_delta_.size() + in_delta_.size()) * kPerRow;
+  for (const auto& [u, row] : out_delta_) {
+    (void)u;
+    bytes += row.capacity() * sizeof(VertexId);
+  }
+  for (const auto& [u, row] : in_delta_) {
+    (void)u;
+    bytes += row.capacity() * sizeof(VertexId);
+  }
+  return bytes;
+}
+
+}  // namespace snaple

@@ -1,0 +1,133 @@
+// Appendable adjacency overlay over an immutable CsrGraph.
+//
+// The CSR representation the whole library computes on is deliberately
+// immutable — every array is bulk-built, bulk-saved and shared. A live
+// serving tier, however, keeps receiving edges (core/dynamic_model.hpp),
+// and rebuilding a billion-edge CSR per insert is off the table. The
+// overlay keeps the base graph untouched and stores inserted edges as
+// per-vertex sorted delta rows, keyed only for the vertices that
+// actually changed: a union adjacency query merges the base row with
+// the (usually tiny or absent) delta row on the fly.
+//
+// Scope: insert-only, fixed vertex set (link prediction never predicts
+// for a vertex the model has no row for), single writer. Readers of the
+// DynamicModel never touch the overlay — it is writer-side state — so
+// no synchronization lives here.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+#include "util/check.hpp"
+
+namespace snaple {
+
+class OverlayGraph {
+ public:
+  /// The base graph is shared, never copied, never mutated.
+  explicit OverlayGraph(std::shared_ptr<const CsrGraph> base)
+      : base_(std::move(base)) {
+    SNAPLE_CHECK_MSG(base_ != nullptr, "overlay needs a base graph");
+  }
+
+  [[nodiscard]] const CsrGraph& base() const noexcept { return *base_; }
+  [[nodiscard]] const std::shared_ptr<const CsrGraph>& base_ptr()
+      const noexcept {
+    return base_;
+  }
+
+  [[nodiscard]] VertexId num_vertices() const noexcept {
+    return base_->num_vertices();
+  }
+  /// Union edge count: base + inserted.
+  [[nodiscard]] EdgeIndex num_edges() const noexcept {
+    return base_->num_edges() + inserted_;
+  }
+  [[nodiscard]] std::size_t num_inserted() const noexcept {
+    return inserted_;
+  }
+
+  /// Inserts the directed edge (u, v). Throws CheckError on an
+  /// out-of-range endpoint or a self-loop; returns false (and inserts
+  /// nothing) when the edge already exists in the union graph.
+  bool insert(VertexId u, VertexId v);
+
+  /// True if (u, v) exists in the union graph.
+  [[nodiscard]] bool has_edge(VertexId u, VertexId v) const {
+    return base_->has_edge(u, v) || contains(out_delta_, u, v);
+  }
+
+  [[nodiscard]] std::size_t out_degree(VertexId u) const {
+    return base_->out_degree(u) + delta_row(out_delta_, u).size();
+  }
+  [[nodiscard]] std::size_t in_degree(VertexId u) const {
+    return base_->in_degree(u) + delta_row(in_delta_, u).size();
+  }
+
+  /// Inserted out-/in-neighbors of u, sorted ascending (empty span when
+  /// u was never touched).
+  [[nodiscard]] std::span<const VertexId> extra_out(VertexId u) const {
+    return delta_row(out_delta_, u);
+  }
+  [[nodiscard]] std::span<const VertexId> extra_in(VertexId u) const {
+    return delta_row(in_delta_, u);
+  }
+
+  /// Visits u's union out-neighborhood in ascending id order — a
+  /// two-pointer merge of the base row and the delta row (both sorted,
+  /// disjoint by the insert() duplicate check).
+  template <typename Fn>
+  void for_each_out_neighbor(VertexId u, Fn&& fn) const {
+    merge_rows(base_->out_neighbors(u), delta_row(out_delta_, u),
+               std::forward<Fn>(fn));
+  }
+  template <typename Fn>
+  void for_each_in_neighbor(VertexId u, Fn&& fn) const {
+    merge_rows(base_->in_neighbors(u), delta_row(in_delta_, u),
+               std::forward<Fn>(fn));
+  }
+
+  /// Resident bytes of the delta rows (the base graph is accounted by
+  /// its owner).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+ private:
+  using DeltaMap = std::unordered_map<VertexId, std::vector<VertexId>>;
+
+  [[nodiscard]] static std::span<const VertexId> delta_row(
+      const DeltaMap& map, VertexId u) {
+    const auto it = map.find(u);
+    if (it == map.end()) return {};
+    return it->second;
+  }
+
+  [[nodiscard]] static bool contains(const DeltaMap& map, VertexId u,
+                                     VertexId v);
+
+  template <typename Fn>
+  static void merge_rows(std::span<const VertexId> a,
+                         std::span<const VertexId> b, Fn&& fn) {
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < a.size() && j < b.size()) {
+      if (a[i] < b[j]) {
+        fn(a[i++]);
+      } else {
+        fn(b[j++]);
+      }
+    }
+    while (i < a.size()) fn(a[i++]);
+    while (j < b.size()) fn(b[j++]);
+  }
+
+  std::shared_ptr<const CsrGraph> base_;
+  DeltaMap out_delta_;
+  DeltaMap in_delta_;
+  std::size_t inserted_ = 0;
+};
+
+}  // namespace snaple

@@ -1,0 +1,394 @@
+// DynamicModel — incremental model updates (ISSUE 5).
+//
+// The load-bearing property: after ANY sequence of add_edge/add_edges,
+// the DynamicModel is BIT-identical — every row, every machine tag,
+// every served prediction and float score — to LinkPredictor::fit run
+// from scratch on the union graph under the same config and the
+// insertion-stable (kEdgeLocal) edge placement. Floats make this
+// strict, so the assertions are EXPECT_EQ / operator==, never
+// EXPECT_NEAR. The suite also pins the version-counter semantics,
+// invalid-insert rejection (atomic, model untouched), and lock-free
+// concurrent reads during a writer burst.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/dynamic_model.hpp"
+#include "core/predictor.hpp"
+#include "core/query_engine.hpp"
+#include "graph/builder.hpp"
+#include "graph/gen/datasets.hpp"
+
+namespace snaple {
+namespace {
+
+using Scored = std::vector<std::pair<VertexId, float>>;
+
+/// Splits `full` into a base graph (shared_ptr, same vertex count) and a
+/// deterministic sample of ~`want` edges to replay as live inserts.
+struct Split {
+  std::shared_ptr<const CsrGraph> base;
+  std::vector<Edge> inserts;
+};
+
+Split split_graph(const CsrGraph& full, std::size_t want) {
+  const auto all = full.edges();
+  const std::size_t stride = std::max<std::size_t>(2, all.size() / want);
+  Split out;
+  GraphBuilder b(full.num_vertices());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (i % stride == 1 && out.inserts.size() < want) {
+      out.inserts.push_back(all[i]);
+    } else {
+      b.add_edge(all[i].src, all[i].dst);
+    }
+  }
+  out.base = std::make_shared<const CsrGraph>(b.build());
+  return out;
+}
+
+/// Non-owning view for serving stack-held models in assertions.
+template <typename T>
+std::shared_ptr<const T> unowned(const T& ref) {
+  return std::shared_ptr<const T>(std::shared_ptr<const T>{}, &ref);
+}
+
+/// Fits a model on `g` under the insertion-stable edge placement —
+/// the precondition DynamicModel verifies. Partitions with cfg.seed,
+/// exactly as LinkPredictor::fit would, so DynamicModel's defaulted
+/// partition_seed resolves to the right placement.
+std::shared_ptr<const PredictorModel> fit_edge_local(
+    const CsrGraph& g, const SnapleConfig& cfg, std::size_t machines,
+    gas::ExecutionMode exec) {
+  const auto part = gas::Partitioning::create(
+      g, machines, gas::PartitionStrategy::kEdgeLocal, cfg.seed);
+  const auto cluster = machines == 1 ? gas::ClusterConfig::single_machine(2)
+                                     : gas::ClusterConfig::type_i(machines);
+  const LinkPredictor predictor(cfg, cluster,
+                                gas::PartitionStrategy::kEdgeLocal, exec);
+  return std::make_shared<const PredictorModel>(
+      predictor.fit_with_partitioning(g, part));
+}
+
+void expect_identical_serving(const DynamicModel& dyn,
+                              const PredictorModel& refit,
+                              const std::string& what) {
+  const QueryEngine live(unowned(dyn));
+  const QueryEngine fresh(unowned(refit));
+  for (VertexId u = 0; u < refit.num_vertices(); ++u) {
+    ASSERT_EQ(live.topk(u), fresh.topk(u)) << what << " u=" << u;
+  }
+}
+
+// ---------- incremental ≡ refit (the tentpole property) ----------
+
+TEST(DynamicModelEquivalence, BitIdenticalToRefitAcrossSeedsModesAndK) {
+  struct Combo {
+    std::size_t k_hops;
+    std::size_t machines;
+    gas::ExecutionMode exec;
+    double hop2_min;
+  };
+  const Combo combos[] = {
+      {2, 1, gas::ExecutionMode::kFlat, 0.0},
+      {2, 4, gas::ExecutionMode::kFlat, 0.0},
+      {2, 4, gas::ExecutionMode::kSharded, 0.0},
+      {3, 1, gas::ExecutionMode::kFlat, 0.0},
+      {3, 4, gas::ExecutionMode::kFlat, 0.02},  // knob on: zero-skip live
+      {3, 4, gas::ExecutionMode::kSharded, 0.0},
+  };
+  for (const std::uint64_t seed : {3ull, 11ull}) {
+    const CsrGraph full = gen::make_dataset("gowalla", 0.02, seed);
+    const Split split = split_graph(full, 30);
+    ASSERT_GE(split.inserts.size(), 20u);
+    for (const Combo& c : combos) {
+      SnapleConfig cfg;
+      cfg.k_local = 10;
+      cfg.k_hops = c.k_hops;
+      cfg.seed = seed;
+      cfg.hop2_min_score = c.hop2_min;
+      const std::string what = "seed=" + std::to_string(seed) +
+                               " K=" + std::to_string(c.k_hops) +
+                               " machines=" + std::to_string(c.machines) +
+                               (c.exec == gas::ExecutionMode::kSharded
+                                    ? " sharded"
+                                    : " flat");
+
+      DynamicModel dyn(fit_edge_local(*split.base, cfg, c.machines, c.exec),
+                       split.base);
+      for (const Edge& e : split.inserts) {
+        (void)dyn.add_edge(e.src, e.dst);
+      }
+
+      // The union of base + inserts is `full` by construction, so the
+      // from-scratch reference is a fit on the full graph.
+      const auto refit = fit_edge_local(full, cfg, c.machines, c.exec);
+      EXPECT_TRUE(dyn.freeze() == *refit) << what;
+      expect_identical_serving(dyn, *refit, what);
+    }
+  }
+}
+
+TEST(DynamicModelEquivalence, BatchedAndSingleInsertsConverge) {
+  // One-by-one, one big batch, and uneven chunks must all land at the
+  // same refit-on-union state (each recompute reads the final graph).
+  const CsrGraph full = gen::make_dataset("gowalla", 0.02, 7);
+  const Split split = split_graph(full, 24);
+  SnapleConfig cfg;
+  cfg.k_local = 10;
+  cfg.k_hops = 3;
+  const auto base_model =
+      fit_edge_local(*split.base, cfg, 4, gas::ExecutionMode::kFlat);
+
+  DynamicModel one_by_one(base_model, split.base);
+  for (const Edge& e : split.inserts) (void)one_by_one.add_edge(e.src, e.dst);
+
+  DynamicModel one_batch(base_model, split.base);
+  (void)one_batch.add_edges(split.inserts);
+
+  DynamicModel chunked(base_model, split.base);
+  for (std::size_t at = 0; at < split.inserts.size(); at += 7) {
+    const std::size_t len = std::min<std::size_t>(
+        7, split.inserts.size() - at);
+    (void)chunked.add_edges({split.inserts.data() + at, len});
+  }
+
+  const auto refit = fit_edge_local(full, cfg, 4, gas::ExecutionMode::kFlat);
+  EXPECT_TRUE(one_by_one.freeze() == *refit);
+  EXPECT_TRUE(one_batch.freeze() == *refit);
+  EXPECT_TRUE(chunked.freeze() == *refit);
+  EXPECT_EQ(one_by_one.version(), split.inserts.size());
+  EXPECT_EQ(one_batch.version(), split.inserts.size());
+}
+
+TEST(DynamicModelEquivalence, RandomPolicyKTwoIsExactToo) {
+  // Γrnd's shuffle keys on the collected order, which the sims
+  // recompute reproduces machine-grouped — so even the randomized
+  // control policy replays bit-exactly at K=2.
+  const CsrGraph full = gen::make_dataset("gowalla", 0.02, 5);
+  const Split split = split_graph(full, 16);
+  SnapleConfig cfg;
+  cfg.k_local = 5;  // small, so the shuffle truncation actually bites
+  cfg.policy = SelectionPolicy::kRandom;
+  const auto base_model =
+      fit_edge_local(*split.base, cfg, 4, gas::ExecutionMode::kFlat);
+  DynamicModel dyn(base_model, split.base);
+  (void)dyn.add_edges(split.inserts);
+  const auto refit = fit_edge_local(full, cfg, 4, gas::ExecutionMode::kFlat);
+  EXPECT_TRUE(dyn.freeze() == *refit);
+}
+
+// ---------- version counters ----------
+
+TEST(DynamicModelVersions, PerRowAndGlobalCountersTrackUpdates) {
+  const CsrGraph full = gen::make_dataset("gowalla", 0.02, 9);
+  const Split split = split_graph(full, 8);
+  SnapleConfig cfg;
+  const auto base_model =
+      fit_edge_local(*split.base, cfg, 1, gas::ExecutionMode::kFlat);
+  DynamicModel dyn(base_model, split.base);
+
+  EXPECT_EQ(dyn.version(), 0u);
+  for (VertexId u = 0; u < dyn.num_vertices(); ++u) {
+    ASSERT_EQ(dyn.row_version(u), 0u) << "fresh model, u=" << u;
+  }
+
+  const Edge e = split.inserts.front();
+  const auto stats = dyn.add_edge(e.src, e.dst);
+  EXPECT_EQ(stats.edges, 1u);
+  EXPECT_EQ(stats.gamma_rows, 1u);
+  EXPECT_GE(stats.sims_rows, 1u);  // {src} ∪ in(src)
+  EXPECT_EQ(stats.hop2_rows, 0u);  // K=2: no hop2 table
+  EXPECT_EQ(dyn.version(), 1u);
+  EXPECT_GE(dyn.row_version(e.src), 1u);
+
+  // Rows outside the stale set keep version 0 — the update was surgical.
+  std::size_t untouched = 0;
+  for (VertexId u = 0; u < dyn.num_vertices(); ++u) {
+    if (dyn.row_version(u) == 0) ++untouched;
+  }
+  EXPECT_GT(untouched, dyn.num_vertices() / 2);
+
+  // A batch bumps the global version by its size.
+  const std::size_t before = dyn.version();
+  (void)dyn.add_edges({split.inserts.data() + 1, 3});
+  EXPECT_EQ(dyn.version(), before + 3);
+}
+
+// ---------- invalid inserts ----------
+
+TEST(DynamicModelRejection, BadInsertsThrowAndChangeNothing) {
+  const CsrGraph full = gen::make_dataset("gowalla", 0.02, 13);
+  const Split split = split_graph(full, 8);
+  SnapleConfig cfg;
+  const auto base_model =
+      fit_edge_local(*split.base, cfg, 1, gas::ExecutionMode::kFlat);
+  DynamicModel dyn(base_model, split.base);
+  ASSERT_GE(split.inserts.size(), 4u);
+  const QueryEngine server(unowned(dyn));
+
+  // One good insert first, then a snapshot of vertex 0's serving state:
+  // everything rejected below must leave it untouched.
+  const Edge fresh = split.inserts.front();
+  (void)dyn.add_edge(fresh.src, fresh.dst);
+  const Scored want0 = server.topk(0);
+
+  const VertexId n = dyn.num_vertices();
+  const Edge existing = split.base->edges().front();
+
+  EXPECT_THROW((void)dyn.add_edge(3, 3), CheckError);          // self-loop
+  EXPECT_THROW((void)dyn.add_edge(n, 0), CheckError);          // src range
+  EXPECT_THROW((void)dyn.add_edge(0, n + 7), CheckError);      // dst range
+  EXPECT_THROW((void)dyn.add_edge(existing.src, existing.dst),
+               CheckError);  // duplicate of a base edge
+  EXPECT_THROW((void)dyn.add_edge(fresh.src, fresh.dst),
+               CheckError);  // duplicate of a previously inserted edge
+
+  // A batch with one bad edge is rejected atomically: nothing applied.
+  const std::uint64_t version = dyn.version();
+  const std::vector<Edge> bad = {split.inserts[1], split.inserts[2],
+                                 {7, 7}};
+  EXPECT_THROW((void)dyn.add_edges(bad), CheckError);
+  const std::vector<Edge> twice = {split.inserts[3], split.inserts[3]};
+  EXPECT_THROW((void)dyn.add_edges(twice), CheckError);
+  EXPECT_EQ(dyn.version(), version);
+  EXPECT_FALSE(dyn.graph().has_edge(split.inserts[1].src,
+                                    split.inserts[1].dst));
+  EXPECT_EQ(server.topk(0), want0);
+}
+
+TEST(DynamicModelRejection, RequiresEdgeLocalTagsAndDeterministicPolicy) {
+  const CsrGraph full = gen::make_dataset("gowalla", 0.02, 3);
+  const auto g = std::make_shared<const CsrGraph>(full);
+  SnapleConfig cfg;
+
+  // A greedy multi-machine fit carries position-dependent tags — the
+  // constructor must refuse rather than serve subtly-wrong folds.
+  const auto part = gas::Partitioning::create(
+      *g, 4, gas::PartitionStrategy::kGreedy, cfg.seed);
+  const LinkPredictor greedy(cfg, gas::ClusterConfig::type_i(4));
+  const auto wrong = std::make_shared<const PredictorModel>(
+      greedy.fit_with_partitioning(*g, part));
+  EXPECT_THROW(DynamicModel(wrong, g), CheckError);
+
+  // Single-machine fits always qualify (every tag is 0)...
+  const LinkPredictor single(cfg);
+  const auto ok = std::make_shared<const PredictorModel>(single.fit(*g));
+  EXPECT_NO_THROW(DynamicModel(ok, g));
+
+  // ...as does the documented fit-then-wrap flow on >1 machine: a
+  // kEdgeLocal LinkPredictor partitions internally with config.seed,
+  // and DynamicModel's defaulted partition_seed must resolve to it.
+  const LinkPredictor lp4(cfg, gas::ClusterConfig::type_i(4),
+                          gas::PartitionStrategy::kEdgeLocal);
+  const auto m4 = std::make_shared<const PredictorModel>(lp4.fit(*g));
+  EXPECT_NO_THROW(DynamicModel(m4, g));
+
+  // ...but Γrnd with K=3 cannot be replayed bit-exactly and is refused.
+  SnapleConfig rnd3 = cfg;
+  rnd3.policy = SelectionPolicy::kRandom;
+  rnd3.k_hops = 3;
+  const LinkPredictor p3(rnd3);
+  const auto m3 = std::make_shared<const PredictorModel>(p3.fit(*g));
+  EXPECT_THROW(DynamicModel(m3, g), CheckError);
+
+  // And the graph must be the fit graph.
+  const auto other = std::make_shared<const CsrGraph>(
+      gen::make_dataset("gowalla", 0.02, 4));
+  if (other->num_vertices() == g->num_vertices()) {
+    EXPECT_THROW(DynamicModel(ok, other), CheckError);
+  }
+  EXPECT_THROW(DynamicModel(ok, nullptr), CheckError);
+}
+
+// ---------- concurrent readers during a writer burst ----------
+
+TEST(DynamicModelConcurrency, ReadersNeverTearDuringWriterBurst) {
+  const CsrGraph full = gen::make_dataset("gowalla", 0.03, 17);
+  const Split split = split_graph(full, 64);
+  SnapleConfig cfg;
+  cfg.k_hops = 3;  // hop2 rows republish too
+  cfg.k_local = 10;
+  const auto base_model =
+      fit_edge_local(*split.base, cfg, 4, gas::ExecutionMode::kFlat);
+  auto dyn = std::make_shared<DynamicModel>(base_model, split.base);
+  const QueryEngine server{std::shared_ptr<const DynamicModel>(dyn)};
+
+  constexpr std::size_t kThreads = 8;
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> bad{0};
+  std::atomic<std::size_t> queries{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kThreads);
+  const VertexId n = dyn->num_vertices();
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&, t] {
+      VertexId u = static_cast<VertexId>((t * 131) % n);
+      while (!done.load(std::memory_order_relaxed)) {
+        const Scored got = server.topk(u);
+        // Structural invariants that any untorn row state satisfies:
+        // bounded size, in-range distinct ids, finite descending scores.
+        bool ok = got.size() <= cfg.k;
+        for (std::size_t i = 0; i < got.size() && ok; ++i) {
+          ok = got[i].first < n && std::isfinite(got[i].second) &&
+               (i == 0 || got[i - 1].second >= got[i].second);
+          for (std::size_t j = 0; j < i && ok; ++j) {
+            ok = got[j].first != got[i].first;
+          }
+        }
+        if (!ok) bad.fetch_add(1, std::memory_order_relaxed);
+        queries.fetch_add(1, std::memory_order_relaxed);
+        u = (u + 17) % n;
+      }
+    });
+  }
+  for (const Edge& e : split.inserts) (void)dyn->add_edge(e.src, e.dst);
+  done.store(true);
+  for (auto& th : readers) th.join();
+
+  EXPECT_EQ(bad.load(), 0u);
+  EXPECT_GT(queries.load(), 0u);
+
+  // Once the writer is quiescent, serving equals the union refit.
+  const auto refit = fit_edge_local(full, cfg, 4, gas::ExecutionMode::kFlat);
+  EXPECT_TRUE(dyn->freeze() == *refit);
+  expect_identical_serving(*dyn, *refit, "post-burst");
+}
+
+// ---------- QueryEngine dual backend ----------
+
+TEST(DynamicModelServing, QueryEngineExposesTheRightBackend) {
+  const CsrGraph full = gen::make_dataset("gowalla", 0.02, 21);
+  const auto g = std::make_shared<const CsrGraph>(full);
+  SnapleConfig cfg;
+  const LinkPredictor predictor(cfg);
+  const auto model = std::make_shared<const PredictorModel>(predictor.fit(*g));
+
+  const QueryEngine fixed(model);
+  EXPECT_EQ(&fixed.model(), model.get());
+  EXPECT_EQ(fixed.dynamic_model(), nullptr);
+  EXPECT_EQ(fixed.num_vertices(), g->num_vertices());
+
+  const auto dyn = std::make_shared<const DynamicModel>(model, g);
+  const QueryEngine live(dyn);
+  EXPECT_EQ(live.dynamic_model(), dyn);
+  EXPECT_EQ(live.num_vertices(), g->num_vertices());
+  EXPECT_EQ(live.config().k, cfg.k);
+  EXPECT_THROW((void)live.model(), CheckError);
+  EXPECT_THROW((void)live.topk(g->num_vertices()), CheckError);
+
+  // Before any update the two backends serve identical answers (the
+  // dynamic read path is the same fold over the same base rows).
+  for (VertexId u = 0; u < g->num_vertices(); ++u) {
+    ASSERT_EQ(live.topk(u), fixed.topk(u)) << "u=" << u;
+  }
+  EXPECT_EQ(dyn->overlay_bytes(), 0u);  // no updates yet: zero overhead
+}
+
+}  // namespace
+}  // namespace snaple
