@@ -1,0 +1,337 @@
+// Sharded serving tier under load: route, fetch, measure, verify.
+//
+// ISSUE 6's proof-under-load harness for src/serve/: the model is
+// partitioned over N ShardServers, a QueryRouter drives Zipfian query
+// traffic from closed-loop client threads over a real byte transport,
+// and the whole exercise is gated on bit-identity with the
+// single-process QueryEngine. Three phases:
+//
+//   correctness   ENFORCED (exit 1): sampled Zipf users answered by the
+//                 cluster ≡ QueryEngine, bit for bit, across shard
+//                 counts × transports × colocate/fetch modes.
+//   traffic       closed-loop clients, Zipfian user mix: p50/p99
+//                 latency, queries/sec, remote fetches and wire bytes
+//                 per query — the co-locate vs remote-fetch cost model
+//                 with numbers attached (docs/SERVING.md).
+//   updates       the serving tier's freshness story under writes: a
+//                 DynamicModel absorbs an insert stream while queries
+//                 measure tail latency idle vs during the burst; the
+//                 post-burst freeze() is re-sharded and ENFORCED
+//                 bit-identical again (updates and sharding compose).
+//
+// Baselines: bench/baselines/bench_serve_traffic.json, recorded at
+// --scale=0.1 --seed=42 (CI smoke scale). wall-s and queries_per_second
+// columns are judged by check_regression.py; latency percentiles are
+// informational (CI machines differ too much for microsecond gates).
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/dynamic_model.hpp"
+#include "core/predictor.hpp"
+#include "core/query_engine.hpp"
+#include "graph/builder.hpp"
+#include "graph/gen/datasets.hpp"
+#include "serve/router.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace snaple;
+
+/// Zipfian user sampler: rank r (0-based) drawn with P(r) ∝ 1/(r+1)^s,
+/// ranks mapped to vertex ids through a seed-keyed permutation so the
+/// hot users land on different shards run to run (a contiguous range
+/// partitioning with unpermuted Zipf ranks would aim all heat at shard
+/// 0 — realistic ids are not sorted by popularity).
+class ZipfUsers {
+ public:
+  ZipfUsers(VertexId n, double exponent, std::uint64_t seed) : perm_(n) {
+    cdf_.reserve(n);
+    double total = 0.0;
+    for (VertexId r = 0; r < n; ++r) {
+      total += 1.0 / std::pow(static_cast<double>(r) + 1.0, exponent);
+      cdf_.push_back(total);
+    }
+    for (double& c : cdf_) c /= total;
+    for (VertexId u = 0; u < n; ++u) perm_[u] = u;
+    Rng rng(seed ^ 0x5a1bf00d);
+    shuffle(perm_, rng);
+  }
+
+  [[nodiscard]] VertexId draw(Rng& rng) const {
+    const double x = rng.next_double();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), x);
+    const auto rank = static_cast<std::size_t>(
+        it == cdf_.end() ? cdf_.size() - 1 : it - cdf_.begin());
+    return perm_[rank];
+  }
+
+ private:
+  std::vector<double> cdf_;
+  std::vector<VertexId> perm_;
+};
+
+struct LoadResult {
+  double wall_s = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double qps = 0.0;
+  std::size_t queries = 0;
+};
+
+/// Closed-loop load: `clients` threads, each drawing its own Zipf user
+/// stream and issuing `per_client` back-to-back queries against `topk`
+/// (any callable VertexId -> scored list), timing every request.
+template <typename TopkFn>
+LoadResult drive_load(const ZipfUsers& users, std::size_t clients,
+                      std::size_t per_client, std::uint64_t seed,
+                      TopkFn&& topk) {
+  std::vector<std::vector<double>> lat_us(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  WallTimer wall;
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(seed + 0x9e3779b97f4a7c15ULL * (c + 1));
+      auto& lat = lat_us[c];
+      lat.reserve(per_client);
+      for (std::size_t q = 0; q < per_client; ++q) {
+        const VertexId u = users.draw(rng);
+        WallTimer t;
+        (void)topk(u);
+        lat.push_back(t.seconds() * 1e6);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  LoadResult r;
+  r.wall_s = wall.seconds();
+  std::vector<double> all;
+  for (auto& lat : lat_us) {
+    all.insert(all.end(), lat.begin(), lat.end());
+  }
+  r.queries = all.size();
+  r.p50_us = percentile(all, 0.50);
+  r.p99_us = percentile(all, 0.99);
+  r.qps = static_cast<double>(r.queries) / std::max(r.wall_s, 1e-12);
+  return r;
+}
+
+std::string mode_name(serve::TransportKind t, bool colocate) {
+  return std::string(serve::to_string(t)) +
+         (colocate ? "+colocate" : "+fetch");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_options(argc, argv);
+  bench::print_header(
+      "Sharded serving tier — Zipfian traffic over shard servers",
+      "ISSUE 6: the model partitioned over ShardServers behind a "
+      "QueryRouter, queried by closed-loop Zipf clients over real byte "
+      "transports; p50/p99/QPS plus the co-locate vs remote-fetch cost "
+      "model, gated on bit-identity with the single-process engine.");
+
+  const std::size_t clients =
+      std::min<std::size_t>(8, std::max(2u, std::thread::hardware_concurrency()));
+
+  // ~1M directed edges at --scale=1; ~512 edges held back as the live
+  // insert stream of the update phase (same discipline as bench_update).
+  const CsrGraph union_graph =
+      gen::make_dataset("livejournal", 1.25 * opt.scale, opt.seed);
+  const auto all_edges = union_graph.edges();
+  const std::size_t want_inserts =
+      std::min<std::size_t>(512, all_edges.size() / 8);
+  const std::size_t stride =
+      std::max<std::size_t>(2, all_edges.size() / want_inserts);
+  std::vector<Edge> inserts;
+  GraphBuilder builder(union_graph.num_vertices());
+  for (std::size_t i = 0; i < all_edges.size(); ++i) {
+    if (i % stride == 1 && inserts.size() < want_inserts) {
+      inserts.push_back(all_edges[i]);
+    } else {
+      builder.add_edge(all_edges[i].src, all_edges[i].dst);
+    }
+  }
+  const auto base_graph = std::make_shared<const CsrGraph>(builder.build());
+  const VertexId n = base_graph->num_vertices();
+  std::cout << "graph: " << n << " vertices, " << base_graph->num_edges()
+            << " edges (" << inserts.size() << " held back as inserts), "
+            << clients << " clients\n\n";
+
+  SnapleConfig cfg;
+  cfg.k_local = 20;
+  cfg.seed = opt.seed;
+  // 4 simulated machines with the insertion-stable placement: queries
+  // replay nontrivial machine-grouped folds AND the update phase can
+  // wrap the same model in a DynamicModel.
+  const auto cluster_cfg = gas::ClusterConfig::type_i(4);
+  const LinkPredictor predictor(cfg, cluster_cfg,
+                                gas::PartitionStrategy::kEdgeLocal);
+  const auto model =
+      std::make_shared<const PredictorModel>(predictor.fit(base_graph));
+  const QueryEngine engine(model);
+
+  const ZipfUsers users(n, /*exponent=*/0.99, opt.seed);
+
+  // ---- Phase 1: correctness gates (ENFORCED). ------------------------
+  std::vector<VertexId> sample;
+  {
+    Rng rng(opt.seed ^ 0xc0ffee);
+    for (std::size_t i = 0; i < 512; ++i) sample.push_back(users.draw(rng));
+  }
+  std::vector<std::vector<std::pair<VertexId, float>>> reference;
+  reference.reserve(sample.size());
+  for (const VertexId u : sample) reference.push_back(engine.topk(u));
+
+  std::size_t total_mismatches = 0;
+  Table correctness({"shards", "mode", "queries", "mismatches"});
+  for (const std::size_t shards : {2ul, 8ul}) {
+    for (const auto transport : {serve::TransportKind::kInProcess,
+                                 serve::TransportKind::kUnixSocket}) {
+      for (const bool colocate : {true, false}) {
+        serve::ServeOptions so;
+        so.num_shards = shards;
+        so.transport = transport;
+        so.colocate = colocate;
+        serve::ServingCluster cluster(*model, so);
+        std::size_t mismatches = 0;
+        for (std::size_t i = 0; i < sample.size(); ++i) {
+          if (cluster.router().topk(sample[i]) != reference[i]) {
+            ++mismatches;
+          }
+        }
+        total_mismatches += mismatches;
+        correctness.add_row({std::to_string(shards),
+                             mode_name(transport, colocate),
+                             std::to_string(sample.size()),
+                             std::to_string(mismatches)});
+      }
+    }
+  }
+  bench::finish(correctness, opt, "correctness");
+
+  // ---- Phase 2: closed-loop Zipfian traffic. -------------------------
+  const std::size_t per_client =
+      std::max<std::size_t>(200, static_cast<std::size_t>(1500 * opt.scale));
+  Table traffic({"mode", "shards", "queries", "wall s",
+                 "queries_per_second", "p50_us", "p99_us",
+                 "fetches/query", "wire B/query"});
+  for (const auto transport : {serve::TransportKind::kInProcess,
+                               serve::TransportKind::kUnixSocket}) {
+    for (const bool colocate : {true, false}) {
+      serve::ServeOptions so;
+      so.num_shards = 4;
+      so.transport = transport;
+      so.colocate = colocate;
+      so.connections_per_shard = clients;
+      serve::ServingCluster cluster(*model, so);
+      const auto r = drive_load(
+          users, clients, per_client, opt.seed,
+          [&](VertexId u) { return cluster.router().topk(u); });
+      std::uint64_t fetches = 0, wire = 0;
+      for (const auto& s : cluster.stats()) {
+        fetches += s.remote_fetch_requests;
+        wire += s.frontend_bytes_in + s.frontend_bytes_out +
+                s.peer_bytes_out + s.peer_bytes_in;
+      }
+      const auto per_query = [&](std::uint64_t v) {
+        return Table::fmt(static_cast<double>(v) /
+                              static_cast<double>(r.queries), 2);
+      };
+      traffic.add_row({mode_name(transport, colocate), "4",
+                       std::to_string(r.queries), Table::fmt(r.wall_s, 4),
+                       Table::fmt(r.qps, 0), Table::fmt(r.p50_us, 1),
+                       Table::fmt(r.p99_us, 1), per_query(fetches),
+                       per_query(wire)});
+    }
+  }
+  bench::finish(traffic, opt, "traffic");
+
+  // ---- Phase 3: query tail latency while updates stream in. ----------
+  const auto dyn =
+      std::make_shared<const DynamicModel>(model, base_graph);
+  const QueryEngine live(dyn);
+
+  const auto idle = drive_load(users, clients, per_client, opt.seed + 1,
+                               [&](VertexId u) { return live.topk(u); });
+
+  // Writer burst: replay the held-back edges (cycling if the query side
+  // outlasts the stream) until every client finishes its quota.
+  std::atomic<bool> done{false};
+  std::size_t applied = 0;
+  double burst_wall = 0.0;
+  std::thread writer([&] {
+    auto* w = const_cast<DynamicModel*>(dyn.get());
+    WallTimer t;
+    std::size_t i = 0;
+    while (!done.load(std::memory_order_relaxed) && i < inserts.size()) {
+      (void)w->add_edge(inserts[i].src, inserts[i].dst);
+      ++i;
+    }
+    applied = i;
+    burst_wall = t.seconds();
+  });
+  const auto burst = drive_load(users, clients, per_client, opt.seed + 2,
+                                [&](VertexId u) { return live.topk(u); });
+  done.store(true, std::memory_order_relaxed);
+  writer.join();
+
+  // The sharded tier serves the updated model too: freeze, re-shard,
+  // and hold it to the same bit-identity bar (ENFORCED).
+  const auto frozen =
+      std::make_shared<const PredictorModel>(dyn->freeze());
+  const QueryEngine frozen_engine(frozen);
+  std::size_t frozen_mismatches = 0;
+  {
+    serve::ServeOptions so;
+    so.num_shards = 4;
+    so.colocate = false;  // the harder mode: fetch paths over the wire
+    serve::ServingCluster cluster(*frozen, so);
+    for (const VertexId u : sample) {
+      if (cluster.router().topk(u) != frozen_engine.topk(u)) {
+        ++frozen_mismatches;
+      }
+    }
+  }
+
+  Table update({"phase", "queries", "wall s", "queries_per_second",
+                "p50_us", "p99_us"});
+  update.add_row({"queries-idle", std::to_string(idle.queries),
+                  Table::fmt(idle.wall_s, 4), Table::fmt(idle.qps, 0),
+                  Table::fmt(idle.p50_us, 1), Table::fmt(idle.p99_us, 1)});
+  update.add_row({"queries-during-burst", std::to_string(burst.queries),
+                  Table::fmt(burst.wall_s, 4), Table::fmt(burst.qps, 0),
+                  Table::fmt(burst.p50_us, 1),
+                  Table::fmt(burst.p99_us, 1)});
+  bench::finish(update, opt, "update");
+  std::cout << "writer burst: " << applied << " inserts in "
+            << Table::fmt(burst_wall, 4) << " s\n\n";
+
+  // ---- Gates. --------------------------------------------------------
+  if (total_mismatches > 0) {
+    std::cerr << "ERROR: " << total_mismatches
+              << " sharded answers diverged from the single-process "
+                 "QueryEngine\n";
+    return 1;
+  }
+  if (frozen_mismatches > 0) {
+    std::cerr << "ERROR: " << frozen_mismatches
+              << " post-update sharded answers diverged after freeze()\n";
+    return 1;
+  }
+  std::cout << "correctness: " << sample.size() << " Zipf users × 8 "
+            << "cluster configs identical to QueryEngine; post-update "
+               "re-shard identical too\n";
+  return 0;
+}

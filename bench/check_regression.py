@@ -69,21 +69,33 @@ def rows_from_artifact(doc):
             yield " | ".join(label_bits), metrics
 
 
-def load(path):
+def load(path, role):
+    """Parses one artifact; role ("current"/"baseline") names it in errors.
+
+    Every failure path exits with a message that says WHICH file is bad —
+    a missing or mangled committed baseline must read as "fix the
+    baseline", not as a mysterious regression in the fresh run.
+    """
     try:
         with open(path) as fh:
             doc = json.load(fh)
     except (OSError, json.JSONDecodeError) as exc:
-        sys.exit(f"error: cannot read {path}: {exc}")
+        sys.exit(f"error: cannot read {role} artifact {path}: {exc}")
+    if not isinstance(doc, dict):
+        sys.exit(f"error: {role} artifact {path} is malformed: expected a "
+                 f"JSON object, got {type(doc).__name__}")
     merged = {}
-    for key, metrics in rows_from_artifact(doc):
-        # Duplicate keys (e.g. several text-parallel rows) get suffixes so
-        # both stay comparable.
-        base, n = key, 2
-        while key in merged:
-            key = f"{base} #{n}"
-            n += 1
-        merged[key] = metrics
+    try:
+        for key, metrics in rows_from_artifact(doc):
+            # Duplicate keys (e.g. several text-parallel rows) get suffixes
+            # so both stay comparable.
+            base, n = key, 2
+            while key in merged:
+                key = f"{base} #{n}"
+                n += 1
+            merged[key] = metrics
+    except (AttributeError, TypeError) as exc:
+        sys.exit(f"error: {role} artifact {path} is malformed: {exc}")
     return merged
 
 
@@ -97,8 +109,8 @@ def main():
                     help="exit 1 on threshold violations (default: report)")
     args = ap.parse_args()
 
-    current = load(args.current)
-    baseline = load(args.baseline)
+    current = load(args.current, "current")
+    baseline = load(args.baseline, "baseline")
 
     missing = sorted(set(baseline) - set(current))
     violations = []

@@ -48,6 +48,16 @@
 //                       range lines are skipped with a count. Combine
 //                       with --query (served post-update) and
 //                       --save-model (writes the updated model).
+//   --serve-shards=<n>  answer --query through a sharded serving tier
+//                       (serve/router.hpp): the model is partitioned
+//                       into n byte-balanced vertex ranges, each served
+//                       by its own shard behind a byte transport, and
+//                       every query is routed to its owner. Answers are
+//                       bit-identical to the single-process engine.
+//                       With --update the live model is frozen first.
+//   --serve-transport=mem|uds
+//                       shard transport: in-process byte queues (mem,
+//                       default) or Unix-domain sockets (uds)
 //
 // Input files may be SNAP-style text edge lists (loaded with the
 // parallel mmap loader) or snaple binary graphs (v1 or v2, autodetected
@@ -75,6 +85,7 @@
 #include "gas/shard.hpp"
 #include "graph/gen/datasets.hpp"
 #include "graph/io.hpp"
+#include "serve/router.hpp"
 #include "util/check.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -122,13 +133,14 @@ std::vector<snaple::VertexId> parse_query_list(const std::string& list) {
   return out;
 }
 
-/// Serves --query=... against a model: validates every id up front (no
-/// partial output on a bad request), then prints "u: z(score) ..."
-/// lines. k = 0 means the model's configured k. Returns a process exit
-/// code.
-int serve_queries(const snaple::QueryEngine& server,
-                  const std::string& query_list, std::size_t k,
-                  std::ostream& out) {
+/// Serves --query=... against anything with num_vertices() and
+/// topk(u, k) — the in-process QueryEngine or a sharded QueryRouter:
+/// validates every id up front (no partial output on a bad request),
+/// then prints "u: z(score) ..." lines. k = 0 means the model's
+/// configured k. Returns a process exit code.
+template <typename Server>
+int serve_queries(Server& server, const std::string& query_list,
+                  std::size_t k, std::ostream& out) {
   try {
     const auto users = parse_query_list(query_list);
     for (const snaple::VertexId u : users) {
@@ -150,6 +162,29 @@ int serve_queries(const snaple::QueryEngine& server,
     return 1;
   }
   return 0;
+}
+
+/// --serve-shards: stands up a ServingCluster over the finished model
+/// and answers --query through the router, so every answer crosses the
+/// chosen byte transport.
+int serve_sharded(const snaple::PredictorModel& model, std::size_t shards,
+                  snaple::serve::TransportKind transport,
+                  const std::string& query_list, std::size_t k,
+                  std::ostream& out) {
+  using namespace snaple::serve;
+  ServeOptions options;
+  options.num_shards = shards;
+  options.transport = transport;
+  ServingCluster cluster(model, options);
+  std::cerr << "serving over " << shards << " shards ("
+            << to_string(transport) << " transport)\n";
+  const int rc = serve_queries(cluster.router(), query_list, k, out);
+  std::uint64_t queries = 0;
+  for (const auto& s : cluster.stats()) queries += s.queries;
+  std::cerr << "shards answered " << queries << " queries, "
+            << cluster.router().bytes_sent() << " B out, "
+            << cluster.router().bytes_received() << " B in\n";
+  return rc;
 }
 
 /// Streams "u v" edge inserts from a SNAP-style text file into a live
@@ -222,7 +257,8 @@ int usage(const char* argv0) {
                "   or: " << argv0
             << " <graph> --fit [--save-model=FILE] [--query=U1,U2,...]\n"
                "   or: " << argv0
-            << " --load-model=FILE --query=U1,U2,... [--k=N]\n"
+            << " --load-model=FILE --query=U1,U2,... [--k=N]"
+               " [--serve-shards=N] [--serve-transport=mem|uds]\n"
                "   or: " << argv0
             << " <graph> --update=EDGE-FILE [--query=U1,U2,...]"
                " [--save-model=FILE]\n";
@@ -251,6 +287,8 @@ int main(int argc, char** argv) {
   std::string load_model_path;
   std::string update_path;
   std::string query_list;
+  std::size_t serve_shards = 0;  // 0 = in-process QueryEngine serving
+  auto serve_transport = serve::TransportKind::kInProcess;
   bool have_query = false;
   bool have_k = false;
   bool have_partition = false;
@@ -329,6 +367,20 @@ int main(int argc, char** argv) {
       } else if (arg.rfind("--query=", 0) == 0) {
         query_list = value_of("--query=");
         have_query = true;
+      } else if (arg.rfind("--serve-shards=", 0) == 0) {
+        serve_shards = parse_limit(value_of("--serve-shards="));
+        SNAPLE_CHECK_MSG(serve_shards >= 1 && serve_shards != kUnlimited,
+                         "--serve-shards must be a positive count");
+      } else if (arg.rfind("--serve-transport=", 0) == 0) {
+        const std::string t = value_of("--serve-transport=");
+        if (t == "mem") {
+          serve_transport = serve::TransportKind::kInProcess;
+        } else if (t == "uds") {
+          serve_transport = serve::TransportKind::kUnixSocket;
+        } else {
+          std::cerr << "--serve-transport must be mem or uds\n";
+          return 2;
+        }
       } else {
         std::cerr << "unknown option: " << arg << "\n";
         return usage(argv[0]);
@@ -340,7 +392,8 @@ int main(int argc, char** argv) {
   }
 
   const bool serving = fit_only || have_query || !save_model_path.empty() ||
-                       !load_model_path.empty() || !update_path.empty();
+                       !load_model_path.empty() || !update_path.empty() ||
+                       serve_shards > 0;
   if (serving && evaluate) {
     std::cerr << "--eval applies to the batch flow only\n";
     return 2;
@@ -413,9 +466,14 @@ int main(int argc, char** argv) {
       std::cerr << "model loaded; pass --query=u1,u2,... to serve\n";
       return 0;
     }
-    const QueryEngine server(model);
     // An explicit --k overrides the model's configured k (0 = model's).
-    return serve_queries(server, query_list, have_k ? config.k : 0, *out);
+    const std::size_t serve_k = have_k ? config.k : 0;
+    if (serve_shards > 0) {
+      return serve_sharded(*model, serve_shards, serve_transport,
+                           query_list, serve_k, *out);
+    }
+    const QueryEngine server(model);
+    return serve_queries(server, query_list, serve_k, *out);
   }
 
   CsrGraph graph;
@@ -587,6 +645,12 @@ int main(int argc, char** argv) {
         }
       }
       if (have_query) {
+        if (serve_shards > 0) {
+          // Sharding serves immutable row arrays; freeze the live model
+          // into one first (bit-identical to a from-scratch refit).
+          return serve_sharded(dyn.freeze(), serve_shards, serve_transport,
+                               query_list, 0, *out);
+        }
         // Serve straight from the live model's versioned rows.
         const QueryEngine server{
             std::shared_ptr<const DynamicModel>(wrapped)};
@@ -605,6 +669,10 @@ int main(int argc, char** argv) {
       }
     }
     if (have_query) {
+      if (serve_shards > 0) {
+        return serve_sharded(model, serve_shards, serve_transport,
+                             query_list, 0, *out);
+      }
       const QueryEngine server(
           std::make_shared<const PredictorModel>(std::move(model)));
       return serve_queries(server, query_list, 0, *out);

@@ -175,6 +175,51 @@ PredictorModel PredictorModel::build(SnapleConfig config,
   return m;
 }
 
+PredictorModel::RowsSlice PredictorModel::slice_rows(VertexId begin,
+                                                     VertexId end) const {
+  SNAPLE_CHECK_MSG(begin <= end && end <= num_vertices_,
+                   "slice range out of model bounds");
+  RowsSlice s;
+  s.begin = begin;
+  s.end = end;
+  if (num_vertices_ == 0) {  // empty model: no offset tables to slice
+    s.gamma_offsets.assign(1, 0);
+    s.sims_offsets.assign(1, 0);
+    return s;
+  }
+
+  const auto rebase = [](const std::vector<EdgeIndex>& offsets,
+                         VertexId lo, VertexId hi,
+                         std::vector<EdgeIndex>& out) {
+    out.resize(static_cast<std::size_t>(hi - lo) + 1);
+    const EdgeIndex base = offsets[lo];
+    for (VertexId u = lo; u <= hi; ++u) out[u - lo] = offsets[u] - base;
+  };
+  const auto copy_span = [](const auto& src, EdgeIndex lo, EdgeIndex hi,
+                            auto& out) {
+    out.assign(src.begin() + static_cast<std::ptrdiff_t>(lo),
+               src.begin() + static_cast<std::ptrdiff_t>(hi));
+  };
+
+  rebase(gamma_offsets_, begin, end, s.gamma_offsets);
+  copy_span(gamma_ids_, gamma_offsets_[begin], gamma_offsets_[end],
+            s.gamma_ids);
+  rebase(sims_offsets_, begin, end, s.sims_offsets);
+  copy_span(sims_ids_, sims_offsets_[begin], sims_offsets_[end], s.sims_ids);
+  copy_span(sims_scores_, sims_offsets_[begin], sims_offsets_[end],
+            s.sims_scores);
+  copy_span(sims_machines_, sims_offsets_[begin], sims_offsets_[end],
+            s.sims_machines);
+  if (!hop2_offsets_.empty()) {
+    rebase(hop2_offsets_, begin, end, s.hop2_offsets);
+    copy_span(hop2_ids_, hop2_offsets_[begin], hop2_offsets_[end],
+              s.hop2_ids);
+    copy_span(hop2_scores_, hop2_offsets_[begin], hop2_offsets_[end],
+              s.hop2_scores);
+  }
+  return s;
+}
+
 std::size_t PredictorModel::memory_bytes() const noexcept {
   return (gamma_offsets_.size() + sims_offsets_.size() +
           hop2_offsets_.size()) *
@@ -283,6 +328,13 @@ PredictorModel PredictorModel::load(std::istream& in) {
       gamma_count > kMaxEntries || sims_count > kMaxEntries ||
       hop2_count > kMaxEntries) {
     throw IoError("bad predictor model header");
+  }
+  // Config floats have invariants the scoring layer checks at use time;
+  // reject a corrupt file here instead of handing out a model that
+  // throws on its first query. The comparisons also reject NaN.
+  if (!(m.config_.alpha >= 0.0 && m.config_.alpha <= 1.0) ||
+      !(m.config_.hop2_min_score >= 0.0)) {
+    throw IoError("bad predictor model header (config out of range)");
   }
   m.config_.k = static_cast<std::size_t>(k);
   m.config_.k_local = static_cast<std::size_t>(k_local);

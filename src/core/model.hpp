@@ -132,6 +132,43 @@ class PredictorModel {
   /// Resident bytes of the model arrays (excludes the graph).
   [[nodiscard]] std::size_t memory_bytes() const noexcept;
 
+  /// A self-contained copy of the rows of a contiguous vertex range
+  /// [begin, end): the same flattened CSR-style arrays as the model,
+  /// with offsets rebased so row u lives at index u - begin. This is the
+  /// slicing primitive of the sharded serving tier (serve/model_shard.hpp
+  /// gives each shard process exactly its range's rows); hop2 arrays are
+  /// empty for K=2 models, mirroring the model itself.
+  struct RowsSlice {
+    VertexId begin = 0;
+    VertexId end = 0;
+    std::vector<EdgeIndex> gamma_offsets;  // size (end-begin)+1
+    std::vector<VertexId> gamma_ids;
+    std::vector<EdgeIndex> sims_offsets;
+    std::vector<VertexId> sims_ids;
+    std::vector<float> sims_scores;
+    std::vector<gas::MachineId> sims_machines;
+    std::vector<EdgeIndex> hop2_offsets;   // size (end-begin)+1, or empty
+    std::vector<VertexId> hop2_ids;
+    std::vector<float> hop2_scores;
+  };
+  [[nodiscard]] RowsSlice slice_rows(VertexId begin, VertexId end) const;
+
+  /// Per-vertex resident bytes of u's rows (ids + scores + tags + the
+  /// amortized offset entries) — the weight the serving tier balances
+  /// contiguous shard ranges by.
+  [[nodiscard]] std::size_t row_bytes(VertexId u) const {
+    SNAPLE_DCHECK(u < num_vertices_);
+    const std::size_t gamma = gamma_offsets_[u + 1] - gamma_offsets_[u];
+    const std::size_t sims = sims_offsets_[u + 1] - sims_offsets_[u];
+    const std::size_t hop2 =
+        hop2_offsets_.empty() ? 0 : hop2_offsets_[u + 1] - hop2_offsets_[u];
+    return gamma * sizeof(VertexId) +
+           sims * (sizeof(VertexId) + sizeof(float) +
+                   sizeof(gas::MachineId)) +
+           hop2 * (sizeof(VertexId) + sizeof(float)) +
+           (hop2_offsets_.empty() ? 2 : 3) * sizeof(EdgeIndex);
+  }
+
   /// Serializes the model (format above). Throws IoError on write failure.
   void save(std::ostream& out) const;
   void save_file(const std::string& path) const;

@@ -23,9 +23,10 @@ rows::PathFoldScratch& local_scratch() {
   return scratch;
 }
 
-std::vector<std::pair<VertexId, float>> rank(const ScoreMap& candidates,
-                                             const Aggregator agg,
-                                             std::size_t k) {
+}  // namespace
+
+std::vector<std::pair<VertexId, float>> rank_candidates(
+    const ScoreMap& candidates, const Aggregator& agg, std::size_t k) {
   // At most size() entries can come back, so clamp before TopK reserves
   // k slots — a huge caller k (e.g. "inf" from a CLI) must mean "all",
   // not a length_error from the reserve.
@@ -42,8 +43,6 @@ std::vector<std::pair<VertexId, float>> rank(const ScoreMap& candidates,
   }
   return out;
 }
-
-}  // namespace
 
 QueryEngine::QueryEngine(std::shared_ptr<const PredictorModel> model)
     : model_(std::move(model)) {
@@ -85,7 +84,8 @@ std::vector<std::pair<VertexId, float>> QueryEngine::topk(
                             rows::PathFold::kRecommend,
                             /*zero_skip=*/false, scratch);
   }
-  return rank(scratch.merged, score_.aggregator, k == 0 ? config().k : k);
+  return rank_candidates(scratch.merged, score_.aggregator,
+                         k == 0 ? config().k : k);
 }
 
 std::vector<std::vector<std::pair<VertexId, float>>> QueryEngine::topk_batch(

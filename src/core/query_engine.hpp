@@ -34,7 +34,17 @@
 namespace snaple {
 
 class DynamicModel;
+class ScoreMap;
 class ThreadPool;
+
+/// Ranks a folded candidate ScoreMap into the best-first top-k
+/// (id, ⊕post score) list — the final stage of every serving topk.
+/// Shared by QueryEngine and the sharded serving tier
+/// (serve/model_shard.hpp), so both rank with the identical float path.
+/// k is clamped to the candidate count; pass the model's configured k
+/// for the default serving answer.
+[[nodiscard]] std::vector<std::pair<VertexId, float>> rank_candidates(
+    const ScoreMap& candidates, const Aggregator& agg, std::size_t k);
 
 class QueryEngine {
  public:

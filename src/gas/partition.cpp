@@ -27,6 +27,54 @@ MachineId least_loaded(const std::vector<EdgeIndex>& load,
 
 }  // namespace
 
+std::vector<VertexRange> split_weighted_ranges(
+    std::span<const std::uint64_t> prefix_weight, std::size_t parts) {
+  SNAPLE_CHECK_MSG(!prefix_weight.empty() && prefix_weight.front() == 0,
+                   "prefix weights must start at 0 (size n+1)");
+  SNAPLE_CHECK_MSG(parts >= 1, "need at least one range");
+  const auto n = static_cast<VertexId>(prefix_weight.size() - 1);
+  SNAPLE_CHECK_MSG(std::is_sorted(prefix_weight.begin(), prefix_weight.end()),
+                   "prefix weights must be monotone");
+  const std::uint64_t total = prefix_weight.back();
+
+  std::vector<VertexRange> ranges(parts);
+  VertexId cursor = 0;
+  for (std::size_t i = 0; i < parts; ++i) {
+    ranges[i].begin = cursor;
+    if (i + 1 == parts) {
+      cursor = n;
+    } else {
+      // Ideal boundary i+1 sits at weight total·(i+1)/parts; take the
+      // vertex boundary whose prefix weight is closest (ties cut low,
+      // via lower_bound), clamped so ranges stay sorted.
+      const std::uint64_t target = static_cast<std::uint64_t>(
+          (static_cast<__uint128_t>(total) * (i + 1)) / parts);
+      auto it = std::lower_bound(prefix_weight.begin(), prefix_weight.end(),
+                                 target);
+      if (it != prefix_weight.begin() &&
+          (it == prefix_weight.end() ||
+           *it - target > target - *(it - 1))) {
+        --it;
+      }
+      auto at = static_cast<VertexId>(it - prefix_weight.begin());
+      cursor = std::clamp(at, cursor, n);
+    }
+    ranges[i].end = cursor;
+  }
+  return ranges;
+}
+
+std::size_t range_owner(std::span<const VertexRange> ranges, VertexId u) {
+  SNAPLE_CHECK_MSG(!ranges.empty() && u < ranges.back().end,
+                   "vertex outside every range");
+  // First range whose end exceeds u; empty ranges have end <= u and are
+  // skipped naturally.
+  const auto it = std::upper_bound(
+      ranges.begin(), ranges.end(), u,
+      [](VertexId key, const VertexRange& r) { return key < r.end; });
+  return static_cast<std::size_t>(it - ranges.begin());
+}
+
 MachineId edge_local_machine(VertexId u, VertexId v, std::size_t machines,
                              std::uint64_t seed) noexcept {
   // Keyed by the endpoint pair alone (plus a constant that decorrelates

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/csr_graph.hpp"
@@ -23,6 +24,39 @@
 namespace snaple::gas {
 
 using MachineId = std::uint8_t;
+
+/// A contiguous, half-open vertex range [begin, end) — the unit of
+/// *range* partitioning. Where the vertex-cut Partitioning below spreads
+/// edges over machines, range partitioning assigns whole vertices to
+/// consecutive slices: the layout the sharded serving tier uses, because
+/// a model's flattened per-vertex arrays slice cleanly along it and the
+/// owner of a vertex is one comparison away (serve/model_shard.hpp).
+struct VertexRange {
+  VertexId begin = 0;
+  VertexId end = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return end - begin; }
+  [[nodiscard]] bool contains(VertexId u) const noexcept {
+    return u >= begin && u < end;
+  }
+  friend bool operator==(const VertexRange&, const VertexRange&) = default;
+};
+
+/// Splits [0, n) into exactly `parts` consecutive VertexRanges whose
+/// *weights* are as balanced as a contiguous split allows.
+/// `prefix_weight` has n+1 monotone entries with prefix_weight[0] == 0;
+/// vertex u weighs prefix_weight[u+1] - prefix_weight[u] (pass byte
+/// sizes, row lengths, degrees — whatever the shards should balance).
+/// Boundary i lands on the prefix value closest to total·i/parts, so the
+/// result is deterministic, covers [0, n) exactly and never overlaps;
+/// ranges may be empty when parts > n or the weight mass is skewed.
+[[nodiscard]] std::vector<VertexRange> split_weighted_ranges(
+    std::span<const std::uint64_t> prefix_weight, std::size_t parts);
+
+/// Owner lookup over the ranges split_weighted_ranges produced (they are
+/// sorted and contiguous): index of the range containing u.
+[[nodiscard]] std::size_t range_owner(std::span<const VertexRange> ranges,
+                                      VertexId u);
 
 /// Set of machines (≤ 64) hosting a replica, as a bitmask.
 class ReplicaSet {

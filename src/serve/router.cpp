@@ -1,0 +1,422 @@
+#include "serve/router.hpp"
+
+#include <cstring>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace snaple::serve {
+
+namespace {
+
+constexpr std::uint8_t kOpTopk = 1;
+constexpr std::uint8_t kOpFetch = 2;
+constexpr std::uint8_t kStatusOk = 0;
+constexpr std::uint8_t kStatusError = 1;
+
+// -------- little request/response buffer helpers --------------------
+// Requests and responses are assembled in one buffer and shipped with a
+// single send(): one syscall per message on the socket transport, and
+// the byte counters then count whole messages.
+
+template <typename T>
+void put(std::vector<std::uint8_t>& buf, const T& value) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
+  buf.insert(buf.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+void put_span(std::vector<std::uint8_t>& buf, std::span<const T> values) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(values.data());
+  buf.insert(buf.end(), p, p + values.size_bytes());
+}
+
+template <typename T>
+T get(ByteChannel& ch) {
+  T value;
+  ch.recv(&value, sizeof(T));
+  return value;
+}
+
+template <typename T>
+void get_array(ByteChannel& ch, std::vector<T>& out, std::size_t count) {
+  const std::size_t old = out.size();
+  out.resize(old + count);
+  if (count != 0) ch.recv(out.data() + old, count * sizeof(T));
+}
+
+void send_buffer(ByteChannel& ch, const std::vector<std::uint8_t>& buf) {
+  ch.send(buf.data(), buf.size());
+}
+
+void put_error(std::vector<std::uint8_t>& buf, const std::string& message) {
+  put<std::uint8_t>(buf, kStatusError);
+  put<std::uint32_t>(buf, static_cast<std::uint32_t>(message.size()));
+  buf.insert(buf.end(), message.begin(), message.end());
+}
+
+/// Reads a status byte; on error, reads the message and rethrows it as
+/// CheckError on this side of the wire.
+void expect_ok(ByteChannel& ch) {
+  if (get<std::uint8_t>(ch) == kStatusOk) return;
+  const auto len = get<std::uint32_t>(ch);
+  std::string message(len, '\0');
+  if (len != 0) ch.recv(message.data(), len);
+  throw CheckError(message);
+}
+
+}  // namespace
+
+// -------------------------------------------------------------------
+// ShardServer
+// -------------------------------------------------------------------
+
+ShardServer::ShardServer(ModelShard shard,
+                         std::vector<gas::VertexRange> ranges)
+    : shard_(std::move(shard)), ranges_(std::move(ranges)) {
+  peers_.resize(ranges_.size());
+}
+
+ShardServer::~ShardServer() { shutdown(); }
+
+void ShardServer::serve(std::unique_ptr<ByteChannel> channel,
+                        bool frontend) {
+  auto conn = std::make_unique<Connection>();
+  conn->channel = std::move(channel);
+  conn->frontend = frontend;
+  ByteChannel& ch = *conn->channel;
+  conn->thread = std::thread([this, &ch] { serve_loop(ch); });
+  connections_.push_back(std::move(conn));
+}
+
+void ShardServer::connect_peer(std::size_t shard_index,
+                               std::unique_ptr<ByteChannel> channel) {
+  SNAPLE_CHECK_MSG(shard_index < peers_.size(), "peer index out of range");
+  auto link = std::make_unique<PeerLink>();
+  link->channel = std::move(channel);
+  peers_[shard_index] = std::move(link);
+}
+
+void ShardServer::shutdown() {
+  if (down_.exchange(true)) return;
+  for (auto& conn : connections_) conn->channel->close();
+  for (auto& peer : peers_) {
+    if (peer != nullptr) peer->channel->close();
+  }
+  for (auto& conn : connections_) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+}
+
+ShardStats ShardServer::stats() const {
+  ShardStats s;
+  s.queries = queries_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.remote_fetch_requests =
+      remote_fetch_requests_.load(std::memory_order_relaxed);
+  s.remote_rows = remote_rows_.load(std::memory_order_relaxed);
+  for (const auto& conn : connections_) {
+    if (!conn->frontend) continue;  // counted by the requesting shard
+    s.frontend_bytes_in += conn->channel->bytes_received();
+    s.frontend_bytes_out += conn->channel->bytes_sent();
+  }
+  for (const auto& peer : peers_) {
+    if (peer == nullptr) continue;
+    s.peer_bytes_out += peer->channel->bytes_sent();
+    s.peer_bytes_in += peer->channel->bytes_received();
+  }
+  s.replica_count = shard_.replica_count();
+  s.replica_bytes = shard_.replica_bytes();
+  return s;
+}
+
+void ShardServer::serve_loop(ByteChannel& ch) {
+  try {
+    for (;;) {
+      const auto op = get<std::uint8_t>(ch);
+      if (op == kOpTopk) {
+        handle_topk(ch);
+      } else if (op == kOpFetch) {
+        handle_fetch(ch);
+      } else {
+        // Unknown opcode = the stream is desynced; an error response
+        // then EOF is all that can be said safely.
+        std::vector<std::uint8_t> buf;
+        put_error(buf, "unknown opcode " + std::to_string(op));
+        send_buffer(ch, buf);
+        break;
+      }
+    }
+  } catch (const TransportError&) {
+    // Link closed (router/cluster shutdown, or peer death): clean exit.
+  }
+  ch.close();
+}
+
+void ShardServer::handle_topk(ByteChannel& ch) {
+  const auto u = get<std::uint32_t>(ch);
+  const auto k = get<std::uint64_t>(ch);
+  queries_.fetch_add(1, std::memory_order_relaxed);
+
+  std::vector<std::uint8_t> buf;
+  try {
+    SNAPLE_CHECK_MSG(shard_.owns(u),
+                     "query vertex " + std::to_string(u) +
+                         " routed to the wrong shard [" +
+                         std::to_string(shard_.range().begin) + ", " +
+                         std::to_string(shard_.range().end) + ")");
+    FetchedRows fetched;
+    const FetchedRows* overlay = nullptr;
+    const std::vector<VertexId> missing = shard_.missing_rows(u);
+    if (!missing.empty()) {
+      fetched = fetch_remote(missing);
+      overlay = &fetched;
+    }
+    const auto result =
+        shard_.topk(u, static_cast<std::size_t>(k), overlay);
+    put<std::uint8_t>(buf, kStatusOk);
+    put<std::uint32_t>(buf, static_cast<std::uint32_t>(result.size()));
+    for (const auto& [id, score] : result) put<std::uint32_t>(buf, id);
+    for (const auto& [id, score] : result) put<float>(buf, score);
+  } catch (const TransportError&) {
+    throw;  // the frontend link itself died — no response possible
+  } catch (const std::exception& e) {
+    buf.clear();
+    put_error(buf, e.what());
+    errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  send_buffer(ch, buf);
+}
+
+void ShardServer::handle_fetch(ByteChannel& ch) {
+  const auto count = get<std::uint32_t>(ch);
+  std::vector<VertexId> ids;
+  get_array(ch, ids, count);
+
+  std::vector<std::uint8_t> buf;
+  try {
+    std::vector<std::uint8_t> payload;
+    for (const VertexId v : ids) {
+      SNAPLE_CHECK_MSG(shard_.owns(v),
+                       "fetch for vertex " + std::to_string(v) +
+                           " sent to a non-owning shard");
+      const auto sv = shard_.sims(v);
+      put<std::uint32_t>(payload,
+                         static_cast<std::uint32_t>(sv.ids.size()));
+      put_span(payload, sv.ids);
+      put_span(payload, sv.scores);
+      const auto hv = shard_.hop2(v);
+      put<std::uint32_t>(payload,
+                         static_cast<std::uint32_t>(hv.ids.size()));
+      put_span(payload, hv.ids);
+      put_span(payload, hv.scores);
+    }
+    put<std::uint8_t>(buf, kStatusOk);
+    buf.insert(buf.end(), payload.begin(), payload.end());
+  } catch (const std::exception& e) {
+    buf.clear();
+    put_error(buf, e.what());
+    errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  send_buffer(ch, buf);
+}
+
+FetchedRows ShardServer::fetch_remote(
+    const std::vector<VertexId>& missing) {
+  FetchedRows fetched;
+  fetched.sims_offsets.push_back(0);
+  fetched.hop2_offsets.push_back(0);
+
+  // `missing` is sorted and ranges are contiguous ascending, so each
+  // owner's ids form one consecutive run — one batched request per run,
+  // appended in order, keeps fetched.ids sorted with no merge step.
+  std::size_t i = 0;
+  while (i < missing.size()) {
+    const std::size_t owner = gas::range_owner(ranges_, missing[i]);
+    std::size_t j = i;
+    while (j < missing.size() && ranges_[owner].contains(missing[j])) {
+      ++j;
+    }
+    const std::span<const VertexId> run(missing.data() + i, j - i);
+
+    PeerLink* peer = peers_[owner].get();
+    SNAPLE_CHECK_MSG(peer != nullptr,
+                     "no peer link to shard " + std::to_string(owner) +
+                         " — build the cluster in remote-fetch mode");
+    try {
+      std::lock_guard<std::mutex> lock(peer->mu);
+      ByteChannel& ch = *peer->channel;
+      std::vector<std::uint8_t> req;
+      put<std::uint8_t>(req, kOpFetch);
+      put<std::uint32_t>(req, static_cast<std::uint32_t>(run.size()));
+      put_span(req, run);
+      send_buffer(ch, req);
+
+      expect_ok(ch);
+      for (const VertexId v : run) {
+        fetched.ids.push_back(v);
+        const auto sims_len = get<std::uint32_t>(ch);
+        get_array(ch, fetched.sims_ids, sims_len);
+        get_array(ch, fetched.sims_scores, sims_len);
+        fetched.sims_offsets.push_back(fetched.sims_ids.size());
+        const auto hop2_len = get<std::uint32_t>(ch);
+        get_array(ch, fetched.hop2_ids, hop2_len);
+        get_array(ch, fetched.hop2_scores, hop2_len);
+        fetched.hop2_offsets.push_back(fetched.hop2_ids.size());
+      }
+    } catch (const TransportError& e) {
+      // A dead peer fails this query, not the frontend link.
+      throw CheckError(std::string("peer fetch from shard ") +
+                       std::to_string(owner) + " failed: " + e.what());
+    }
+    remote_fetch_requests_.fetch_add(1, std::memory_order_relaxed);
+    remote_rows_.fetch_add(run.size(), std::memory_order_relaxed);
+    i = j;
+  }
+  return fetched;
+}
+
+// -------------------------------------------------------------------
+// QueryRouter
+// -------------------------------------------------------------------
+
+QueryRouter::QueryRouter(
+    std::vector<gas::VertexRange> ranges,
+    std::vector<std::vector<std::unique_ptr<ByteChannel>>>
+        connections_per_shard)
+    : ranges_(std::move(ranges)) {
+  SNAPLE_CHECK_MSG(!ranges_.empty(), "router needs at least one range");
+  SNAPLE_CHECK_MSG(connections_per_shard.size() == ranges_.size(),
+                   "one connection pool per shard");
+  pools_.resize(connections_per_shard.size());
+  for (std::size_t s = 0; s < connections_per_shard.size(); ++s) {
+    SNAPLE_CHECK_MSG(!connections_per_shard[s].empty(),
+                     "shard " + std::to_string(s) + " has no connections");
+    for (auto& channel : connections_per_shard[s]) {
+      auto conn = std::make_unique<Connection>();
+      conn->channel = std::move(channel);
+      pools_[s].push_back(std::move(conn));
+    }
+  }
+  round_robin_ =
+      std::make_unique<std::atomic<std::size_t>[]>(pools_.size());
+  for (std::size_t s = 0; s < pools_.size(); ++s) round_robin_[s] = 0;
+}
+
+QueryRouter::~QueryRouter() { close(); }
+
+void QueryRouter::close() {
+  for (auto& pool : pools_) {
+    for (auto& conn : pool) conn->channel->close();
+  }
+}
+
+std::vector<std::pair<VertexId, float>> QueryRouter::topk(VertexId u,
+                                                          std::size_t k) {
+  SNAPLE_CHECK_MSG(u < num_vertices(), "query vertex out of model range");
+  const std::size_t shard = shard_of(u);
+  auto& pool = pools_[shard];
+  const std::size_t pick =
+      round_robin_[shard].fetch_add(1, std::memory_order_relaxed) %
+      pool.size();
+  Connection& conn = *pool[pick];
+
+  std::lock_guard<std::mutex> lock(conn.mu);
+  ByteChannel& ch = *conn.channel;
+  std::vector<std::uint8_t> req;
+  put<std::uint8_t>(req, kOpTopk);
+  put<std::uint32_t>(req, u);
+  put<std::uint64_t>(req, static_cast<std::uint64_t>(k));
+  send_buffer(ch, req);
+
+  expect_ok(ch);
+  const auto count = get<std::uint32_t>(ch);
+  std::vector<VertexId> ids;
+  std::vector<float> scores;
+  get_array(ch, ids, count);
+  get_array(ch, scores, count);
+  std::vector<std::pair<VertexId, float>> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    out.emplace_back(ids[i], scores[i]);
+  }
+  return out;
+}
+
+std::uint64_t QueryRouter::bytes_sent() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& pool : pools_) {
+    for (const auto& conn : pool) total += conn->channel->bytes_sent();
+  }
+  return total;
+}
+
+std::uint64_t QueryRouter::bytes_received() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& pool : pools_) {
+    for (const auto& conn : pool) {
+      total += conn->channel->bytes_received();
+    }
+  }
+  return total;
+}
+
+// -------------------------------------------------------------------
+// ServingCluster
+// -------------------------------------------------------------------
+
+ServingCluster::ServingCluster(const PredictorModel& model,
+                               const ServeOptions& options)
+    : options_(options) {
+  SNAPLE_CHECK_MSG(options.num_shards >= 1, "need at least one shard");
+  SNAPLE_CHECK_MSG(options.connections_per_shard >= 1,
+                   "need at least one router connection per shard");
+  SNAPLE_CHECK_MSG(model.num_vertices() > 0,
+                   "cannot shard an empty model");
+  ranges_ = plan_shard_ranges(model, options.num_shards);
+
+  servers_.reserve(ranges_.size());
+  for (const auto& range : ranges_) {
+    servers_.push_back(std::make_unique<ShardServer>(
+        ModelShard::build(model, range, options.colocate), ranges_));
+  }
+
+  if (!options.colocate) {
+    // Full mesh of shard↔shard fetch links (client at i, served at j).
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+      for (std::size_t j = 0; j < servers_.size(); ++j) {
+        if (i == j) continue;
+        ChannelPair link = make_channel_pair(options.transport);
+        servers_[j]->serve(std::move(link.server), /*frontend=*/false);
+        servers_[i]->connect_peer(j, std::move(link.client));
+      }
+    }
+  }
+
+  std::vector<std::vector<std::unique_ptr<ByteChannel>>> pools(
+      servers_.size());
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    for (std::size_t c = 0; c < options.connections_per_shard; ++c) {
+      ChannelPair link = make_channel_pair(options.transport);
+      servers_[s]->serve(std::move(link.server));
+      pools[s].push_back(std::move(link.client));
+    }
+  }
+  router_ = std::make_unique<QueryRouter>(ranges_, std::move(pools));
+}
+
+ServingCluster::~ServingCluster() {
+  // Router first: frontend serving threads drain and exit before the
+  // peer links those threads may fetch over are closed.
+  router_->close();
+  for (auto& server : servers_) server->shutdown();
+}
+
+std::vector<ShardStats> ServingCluster::stats() const {
+  std::vector<ShardStats> out;
+  out.reserve(servers_.size());
+  for (const auto& server : servers_) out.push_back(server->stats());
+  return out;
+}
+
+}  // namespace snaple::serve

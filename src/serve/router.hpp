@@ -1,0 +1,219 @@
+// Query routing over shard servers — the serving tier's network layer.
+//
+// Topology: N ShardServers (one ModelShard each, a thread per inbound
+// connection) and one QueryRouter holding a small connection pool to
+// every shard. In remote-fetch mode each shard additionally holds a
+// client link to every other shard, so a query's non-resident neighbor
+// rows are fetched shard→shard (one batched request per owning shard —
+// the "explicit remote fetch, counted" of the cost model), never routed
+// back through the frontend.
+//
+// Wire protocol (host byte order — shard links never cross machines of
+// different architecture in this simulated tier; scores travel as raw
+// f32 bytes, which is what keeps the sharded answers bit-identical):
+//
+//   request  := u8 op, payload
+//     op 1 (topk):       u32 u | u64 k
+//     op 2 (fetch_rows): u32 count | count × u32 id   (ids ascending,
+//                        every id owned by the receiving shard)
+//   response := u8 status (0 = ok, 1 = error)
+//     error payload: u32 len | len bytes of message — the router/fetcher
+//       rethrows it as CheckError, so a misrouted or out-of-range query
+//       surfaces to the caller exactly like QueryEngine's own check.
+//     topk ok:  u32 count | count × u32 id | count × f32 score
+//     fetch ok: per requested id, in request order:
+//               u32 sims_len | sims_len × u32 id | sims_len × f32 score
+//             | u32 hop2_len | hop2_len × u32 id | hop2_len × f32 score
+//
+// Shutdown: closing a link's client end makes the serving thread's next
+// recv throw TransportError, which IS the clean exit (transport.hpp).
+// ServingCluster tears down router connections first, peer links after,
+// so no thread is ever mid-fetch on a dead peer during normal teardown.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "gas/partition.hpp"
+#include "serve/model_shard.hpp"
+#include "serve/transport.hpp"
+
+namespace snaple::serve {
+
+/// Per-shard serving counters, readable while the cluster serves.
+struct ShardStats {
+  std::uint64_t queries = 0;        // topk requests answered (incl. errors)
+  std::uint64_t errors = 0;         // error responses sent
+  std::uint64_t remote_fetch_requests = 0;  // batched peer fetches issued
+  std::uint64_t remote_rows = 0;    // rows pulled over peer links
+  std::uint64_t frontend_bytes_in = 0;   // router→shard request bytes
+  std::uint64_t frontend_bytes_out = 0;  // shard→router response bytes
+  std::uint64_t peer_bytes_out = 0;  // this shard's outgoing fetch bytes
+  std::uint64_t peer_bytes_in = 0;   // fetched row bytes received
+  std::uint64_t replica_count = 0;   // co-located rows (0 in fetch mode)
+  std::uint64_t replica_bytes = 0;
+};
+
+/// One shard process stand-in: serves the wire protocol over any number
+/// of inbound links, each on its own thread, answering topk for owned
+/// vertices (fetching missing neighbor rows from peers first) and
+/// fetch_rows for peers. serve()/connect_peer() are setup-time only;
+/// the serving threads themselves are concurrency-safe afterwards.
+class ShardServer {
+ public:
+  /// `ranges` is the full cluster layout (for owner lookup on fetches).
+  ShardServer(ModelShard shard, std::vector<gas::VertexRange> ranges);
+  ~ShardServer();
+
+  ShardServer(const ShardServer&) = delete;
+  ShardServer& operator=(const ShardServer&) = delete;
+
+  /// Starts a serving thread reading requests off `channel` until EOF.
+  /// frontend=false marks a peer-facing link (fetch traffic); its bytes
+  /// are excluded from the frontend counters, because the requesting
+  /// shard already counts them on its side of the same link.
+  void serve(std::unique_ptr<ByteChannel> channel, bool frontend = true);
+
+  /// Registers the client end of a link to peer shard `shard_index`
+  /// (required before serving any vertex with missing rows).
+  void connect_peer(std::size_t shard_index,
+                    std::unique_ptr<ByteChannel> channel);
+
+  [[nodiscard]] const ModelShard& shard() const noexcept { return shard_; }
+
+  /// Closes every link and joins the serving threads. Idempotent; the
+  /// destructor calls it.
+  void shutdown();
+
+  [[nodiscard]] ShardStats stats() const;
+
+ private:
+  struct Connection {
+    std::unique_ptr<ByteChannel> channel;
+    std::thread thread;
+    bool frontend = true;
+  };
+  struct PeerLink {
+    std::unique_ptr<ByteChannel> channel;
+    std::mutex mu;  // one fetch in flight per link at a time
+  };
+
+  void serve_loop(ByteChannel& ch);
+  void handle_topk(ByteChannel& ch);
+  void handle_fetch(ByteChannel& ch);
+  /// One batched fetch per owning shard of `missing` (sorted). Peer
+  /// transport failures surface as CheckError (the query fails, the
+  /// frontend link survives).
+  [[nodiscard]] FetchedRows fetch_remote(
+      const std::vector<VertexId>& missing);
+
+  ModelShard shard_;
+  std::vector<gas::VertexRange> ranges_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::vector<std::unique_ptr<PeerLink>> peers_;  // index = shard, null self
+  std::atomic<std::uint64_t> queries_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> remote_fetch_requests_{0};
+  std::atomic<std::uint64_t> remote_rows_{0};
+  std::atomic<bool> down_{false};
+};
+
+/// The client side: owns a connection pool per shard, routes topk(u) to
+/// u's owner by range lookup and speaks the wire protocol. topk() is
+/// safe for concurrent callers — each call picks a pooled connection
+/// round-robin and serializes on that connection's mutex.
+class QueryRouter {
+ public:
+  QueryRouter(std::vector<gas::VertexRange> ranges,
+              std::vector<std::vector<std::unique_ptr<ByteChannel>>>
+                  connections_per_shard);
+  ~QueryRouter();
+
+  QueryRouter(const QueryRouter&) = delete;
+  QueryRouter& operator=(const QueryRouter&) = delete;
+
+  [[nodiscard]] VertexId num_vertices() const noexcept {
+    return ranges_.back().end;
+  }
+  [[nodiscard]] std::size_t num_shards() const noexcept {
+    return ranges_.size();
+  }
+  [[nodiscard]] std::size_t shard_of(VertexId u) const {
+    return gas::range_owner(ranges_, u);
+  }
+
+  /// Top-k of u served by u's shard — bit-identical to
+  /// QueryEngine::topk(u, k) on the unsharded model. k = 0 means the
+  /// model's configured k. Shard-side failures (misroute, bad vertex)
+  /// arrive as CheckError; a dead link as TransportError.
+  [[nodiscard]] std::vector<std::pair<VertexId, float>> topk(
+      VertexId u, std::size_t k = 0);
+
+  /// Closes every pooled connection (signals the shards' serving
+  /// threads to exit). Idempotent; the destructor calls it.
+  void close();
+
+  [[nodiscard]] std::uint64_t bytes_sent() const noexcept;
+  [[nodiscard]] std::uint64_t bytes_received() const noexcept;
+
+ private:
+  struct Connection {
+    std::unique_ptr<ByteChannel> channel;
+    std::mutex mu;
+  };
+
+  std::vector<gas::VertexRange> ranges_;
+  std::vector<std::vector<std::unique_ptr<Connection>>> pools_;
+  std::unique_ptr<std::atomic<std::size_t>[]> round_robin_;
+};
+
+/// Cluster assembly options.
+struct ServeOptions {
+  std::size_t num_shards = 2;
+  TransportKind transport = TransportKind::kInProcess;
+  /// true: co-locate out-of-range neighbor rows at build time (queries
+  /// always shard-local). false: fetch them from the owning shard per
+  /// query, over shard↔shard links.
+  bool colocate = true;
+  /// Router connections pooled per shard (each gets a serving thread).
+  std::size_t connections_per_shard = 1;
+};
+
+/// Everything wired: plans byte-balanced ranges, builds the shards,
+/// starts the servers, connects peer links (fetch mode) and a router
+/// pool. The process-boundary discipline is real — after construction,
+/// every query crosses the chosen byte transport; only fork(2) is
+/// simulated away.
+class ServingCluster {
+ public:
+  ServingCluster(const PredictorModel& model, const ServeOptions& options);
+  ~ServingCluster();
+
+  ServingCluster(const ServingCluster&) = delete;
+  ServingCluster& operator=(const ServingCluster&) = delete;
+
+  [[nodiscard]] QueryRouter& router() noexcept { return *router_; }
+  [[nodiscard]] const std::vector<gas::VertexRange>& ranges()
+      const noexcept {
+    return ranges_;
+  }
+  [[nodiscard]] const ServeOptions& options() const noexcept {
+    return options_;
+  }
+  /// Per-shard counters, index-aligned with ranges().
+  [[nodiscard]] std::vector<ShardStats> stats() const;
+
+ private:
+  ServeOptions options_;
+  std::vector<gas::VertexRange> ranges_;
+  std::vector<std::unique_ptr<ShardServer>> servers_;
+  std::unique_ptr<QueryRouter> router_;
+};
+
+}  // namespace snaple::serve

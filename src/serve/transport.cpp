@@ -1,0 +1,185 @@
+#include "serve/transport.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace snaple::serve {
+
+const char* to_string(TransportKind kind) noexcept {
+  switch (kind) {
+    case TransportKind::kInProcess:
+      return "mem";
+    case TransportKind::kUnixSocket:
+      return "uds";
+  }
+  return "?";
+}
+
+namespace {
+
+// ---------------------------------------------------------------------
+// In-process transport: two byte queues under one mutex.
+// ---------------------------------------------------------------------
+
+/// Shared state of one in-process link. One mutex for both directions
+/// keeps close() trivially race-free; the queues are only contended by
+/// the two ends, and the serving tier already serializes each end.
+struct InProcessLink {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::uint8_t> to_server;  // client writes, server reads
+  std::deque<std::uint8_t> to_client;  // server writes, client reads
+  bool server_closed = false;
+  bool client_closed = false;
+};
+
+class InProcessChannel final : public ByteChannel {
+ public:
+  InProcessChannel(std::shared_ptr<InProcessLink> link, bool is_server)
+      : link_(std::move(link)), is_server_(is_server) {}
+
+  ~InProcessChannel() override { close(); }
+
+  void send(const void* data, std::size_t len) override {
+    const auto* bytes = static_cast<const std::uint8_t*>(data);
+    {
+      std::lock_guard<std::mutex> lock(link_->mu);
+      if (my_closed() || peer_closed()) {
+        throw TransportError("send on closed in-process channel");
+      }
+      auto& queue = is_server_ ? link_->to_client : link_->to_server;
+      queue.insert(queue.end(), bytes, bytes + len);
+    }
+    link_->cv.notify_all();
+    bytes_sent_.fetch_add(len, std::memory_order_relaxed);
+  }
+
+  void recv(void* data, std::size_t len) override {
+    auto* bytes = static_cast<std::uint8_t*>(data);
+    std::unique_lock<std::mutex> lock(link_->mu);
+    auto& queue = is_server_ ? link_->to_server : link_->to_client;
+    std::size_t got = 0;
+    while (got < len) {
+      // Drain whatever is queued first: bytes sent before the peer
+      // closed must still be readable, mirroring socket EOF semantics.
+      while (got < len && !queue.empty()) {
+        bytes[got++] = queue.front();
+        queue.pop_front();
+      }
+      if (got == len) break;
+      if (my_closed() || peer_closed()) {
+        bytes_received_.fetch_add(got, std::memory_order_relaxed);
+        throw TransportError("in-process channel closed mid-message");
+      }
+      link_->cv.wait(lock);
+    }
+    bytes_received_.fetch_add(got, std::memory_order_relaxed);
+  }
+
+  void close() override {
+    {
+      std::lock_guard<std::mutex> lock(link_->mu);
+      (is_server_ ? link_->server_closed : link_->client_closed) = true;
+    }
+    link_->cv.notify_all();
+  }
+
+ private:
+  [[nodiscard]] bool my_closed() const {
+    return is_server_ ? link_->server_closed : link_->client_closed;
+  }
+  [[nodiscard]] bool peer_closed() const {
+    return is_server_ ? link_->client_closed : link_->server_closed;
+  }
+
+  std::shared_ptr<InProcessLink> link_;
+  bool is_server_;
+};
+
+// ---------------------------------------------------------------------
+// Unix-domain socket transport.
+// ---------------------------------------------------------------------
+
+class UnixSocketChannel final : public ByteChannel {
+ public:
+  explicit UnixSocketChannel(int fd) : fd_(fd) {}
+
+  ~UnixSocketChannel() override {
+    close();
+    // The fd itself is released only here, after any thread blocked in
+    // recv() has been woken by the shutdown(2) in close() — closing the
+    // fd under a concurrent read would let the kernel reuse the number.
+    ::close(fd_);
+  }
+
+  void send(const void* data, std::size_t len) override {
+    const auto* bytes = static_cast<const std::uint8_t*>(data);
+    std::size_t sent = 0;
+    while (sent < len) {
+      // MSG_NOSIGNAL: a closed peer must surface as TransportError, not
+      // a process-killing SIGPIPE.
+      const ssize_t n =
+          ::send(fd_, bytes + sent, len - sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        bytes_sent_.fetch_add(sent, std::memory_order_relaxed);
+        throw TransportError(std::string("socket send failed: ") +
+                             std::strerror(errno));
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    bytes_sent_.fetch_add(sent, std::memory_order_relaxed);
+  }
+
+  void recv(void* data, std::size_t len) override {
+    auto* bytes = static_cast<std::uint8_t*>(data);
+    std::size_t got = 0;
+    while (got < len) {
+      const ssize_t n = ::recv(fd_, bytes + got, len - got, 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        bytes_received_.fetch_add(got, std::memory_order_relaxed);
+        throw TransportError(std::string("socket recv failed: ") +
+                             std::strerror(errno));
+      }
+      if (n == 0) {
+        bytes_received_.fetch_add(got, std::memory_order_relaxed);
+        throw TransportError("socket closed by peer");
+      }
+      got += static_cast<std::size_t>(n);
+    }
+    bytes_received_.fetch_add(got, std::memory_order_relaxed);
+  }
+
+  void close() override {
+    // shutdown, not close: wakes a peer OR a local thread blocked in
+    // recv on this very fd, while keeping the fd number reserved until
+    // the destructor runs.
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+ChannelPair make_channel_pair(TransportKind kind) {
+  if (kind == TransportKind::kInProcess) {
+    auto link = std::make_shared<InProcessLink>();
+    return {std::make_unique<InProcessChannel>(link, /*is_server=*/true),
+            std::make_unique<InProcessChannel>(link, /*is_server=*/false)};
+  }
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    throw TransportError(std::string("socketpair failed: ") +
+                         std::strerror(errno));
+  }
+  return {std::make_unique<UnixSocketChannel>(fds[0]),
+          std::make_unique<UnixSocketChannel>(fds[1])};
+}
+
+}  // namespace snaple::serve

@@ -1,0 +1,99 @@
+// Byte transports of the sharded serving tier.
+//
+// A serving cluster is a set of shard servers plus a router, each end of
+// every link talking through the one interface below: send all the bytes
+// or throw, receive exactly the requested bytes or throw. Two
+// implementations share it:
+//
+//   * InProcessChannel — a mutex+condvar byte queue pair. Zero syscalls,
+//     so tests and benchmarks can isolate protocol/routing cost from
+//     kernel socket cost, and the bit-identity tests run anywhere.
+//   * UnixSocketChannel — a real SOCK_STREAM unix-domain socketpair. The
+//     bytes cross the kernel exactly as they would between shard
+//     *processes*; only the fork is simulated away. Proves the wire
+//     protocol survives short reads/writes and real EOF semantics.
+//
+// Both ends count bytes (atomic, readable concurrently), which is how
+// ServeStats attributes network volume to queries vs remote row fetches.
+//
+// Close semantics: close() wakes any blocked peer, whose next recv()
+// throws TransportError — the cluster's shutdown signal (there is no
+// in-band "shutdown" message; EOF is the shutdown message, exactly as a
+// died process would present).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace snaple::serve {
+
+/// Thrown on torn writes, truncated reads and reads/writes after the
+/// peer closed. Catching it at a server loop's top level IS the clean
+/// shutdown path.
+class TransportError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Which concrete transport a cluster's links use.
+enum class TransportKind {
+  kInProcess,   // mutex+condvar byte queues, no syscalls
+  kUnixSocket,  // AF_UNIX SOCK_STREAM socketpair through the kernel
+};
+
+[[nodiscard]] const char* to_string(TransportKind kind) noexcept;
+
+/// One end of a bidirectional, ordered, reliable byte stream.
+/// send/recv are all-or-throw: partial transfers never escape (short
+/// socket writes are retried internally). A single end is NOT safe for
+/// concurrent callers — the serving tier serializes each connection
+/// behind a mutex (router.hpp); distinct ends are independent.
+class ByteChannel {
+ public:
+  virtual ~ByteChannel() = default;
+
+  /// Sends exactly `len` bytes, or throws TransportError (peer closed,
+  /// socket error).
+  virtual void send(const void* data, std::size_t len) = 0;
+
+  /// Receives exactly `len` bytes into `data`, or throws TransportError
+  /// (EOF before `len` bytes, socket error, channel closed).
+  virtual void recv(void* data, std::size_t len) = 0;
+
+  /// Closes this end: the peer's blocked/next recv() throws, as does any
+  /// further send/recv here. Idempotent, safe to call from another
+  /// thread while the owner blocks in recv (that is the point).
+  virtual void close() = 0;
+
+  [[nodiscard]] std::uint64_t bytes_sent() const noexcept {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bytes_received() const noexcept {
+    return bytes_received_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> bytes_received_{0};
+};
+
+/// The two connected ends of one link. Hand `server` to the shard's
+/// connection thread, keep `client` on the caller side.
+struct ChannelPair {
+  std::unique_ptr<ByteChannel> server;
+  std::unique_ptr<ByteChannel> client;
+};
+
+/// Connected pair of the requested kind. kUnixSocket throws
+/// TransportError if socketpair(2) fails (fd exhaustion).
+[[nodiscard]] ChannelPair make_channel_pair(TransportKind kind);
+
+}  // namespace snaple::serve

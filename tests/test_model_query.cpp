@@ -14,6 +14,7 @@
 #include <sstream>
 #include <thread>
 
+#include "core/dynamic_model.hpp"
 #include "core/model.hpp"
 #include "core/predictor.hpp"
 #include "core/query_engine.hpp"
@@ -393,6 +394,170 @@ TEST(Hop2Pruning, PositiveThresholdOnlyRemovesBelowThresholdCandidates) {
     const auto gp = pruned.gamma_hat(u);
     ASSERT_TRUE(std::equal(gf.begin(), gf.end(), gp.begin(), gp.end()));
   }
+}
+
+// ---------- format fuzzing: every truncation, systematic bit flips ----------
+
+/// Small fit whose serialized form covers every section of the format:
+/// K=3 (hop2 arrays present), 2 machines (nontrivial tags).
+std::string tiny_model_bytes() {
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(1, 2);
+  b.add_edge(1, 3);
+  b.add_edge(2, 1);
+  b.add_edge(2, 3);
+  b.add_edge(3, 1);
+  SnapleConfig cfg;
+  cfg.k_hops = 3;
+  const LinkPredictor predictor(cfg, gas::ClusterConfig::type_i(2));
+  std::stringstream buf;
+  predictor.fit(b.build()).save(buf);
+  return buf.str();
+}
+
+TEST(ModelFormatFuzz, TruncationAtEveryByteOffsetIsRejected) {
+  const std::string bytes = tiny_model_bytes();
+  ASSERT_GT(bytes.size(), 112u);  // header + all sections present
+  // The format has no padding or optional tail: EVERY strict prefix is
+  // a truncation and must throw IoError — not crash, not hand back a
+  // model built from half the arrays.
+  for (std::size_t keep = 0; keep < bytes.size(); ++keep) {
+    std::stringstream cut(bytes.substr(0, keep));
+    EXPECT_THROW((void)PredictorModel::load(cut), IoError) << keep;
+  }
+  std::stringstream whole(bytes);
+  EXPECT_NO_THROW((void)PredictorModel::load(whole));
+}
+
+TEST(ModelFormatFuzz, HeaderAndOffsetByteFlipsNeverCrashOrHalfLoad) {
+  const std::string bytes = tiny_model_bytes();
+  // Corruption target: the full header (112 bytes: magic, version,
+  // machines, V, config, counts) plus the gamma offset table right
+  // after it — the fields that steer every later read. Each byte takes
+  // three flips: low bit, high bit, all bits.
+  std::stringstream whole(bytes);
+  const PredictorModel reference = PredictorModel::load(whole);
+  const std::size_t offsets_end =
+      112 + (static_cast<std::size_t>(reference.num_vertices()) + 1) * 8;
+  ASSERT_LT(offsets_end, bytes.size());
+
+  for (std::size_t at = 0; at < offsets_end; ++at) {
+    for (const unsigned char mask : {0x01, 0x80, 0xff}) {
+      std::string mutated = bytes;
+      mutated[at] = static_cast<char>(mutated[at] ^ mask);
+      std::stringstream in(mutated);
+      PredictorModel m;
+      try {
+        m = PredictorModel::load(in);
+      } catch (const IoError&) {
+        continue;  // clean rejection — the expected outcome
+      }
+      // The mutation passed validation (a config field like α or the
+      // seed, or an offset shift that still yields consistent rows).
+      // Then it must be a COMPLETE model: every vertex serves without
+      // crashing and every row accessor stays in bounds.
+      ASSERT_EQ(m.num_vertices(), reference.num_vertices())
+          << "at=" << at << " mask=" << int(mask);
+      const QueryEngine engine(
+          std::make_shared<const PredictorModel>(std::move(m)));
+      for (VertexId u = 0; u < reference.num_vertices(); ++u) {
+        (void)engine.topk(u);
+      }
+    }
+  }
+
+  // The identification fields specifically can never survive a flip.
+  for (std::size_t at = 0; at < 12; ++at) {  // magic + version
+    std::string mutated = bytes;
+    mutated[at] = static_cast<char>(mutated[at] ^ 0x01);
+    std::stringstream in(mutated);
+    EXPECT_THROW((void)PredictorModel::load(in), IoError) << at;
+  }
+}
+
+// ---------- topk edge cases, over both serving backends ----------
+
+/// Runs `check` against a QueryEngine over the static model and over a
+/// DynamicModel wrap of the same fit — the two serving backends must
+/// agree on every edge-case contract.
+template <typename Fn>
+void for_both_backends(const CsrGraph& g, const SnapleConfig& cfg,
+                       Fn&& check) {
+  const LinkPredictor predictor(cfg);
+  const auto graph = std::make_shared<const CsrGraph>(g);
+  const auto model =
+      std::make_shared<const PredictorModel>(predictor.fit(*graph));
+  check(QueryEngine(model), "static");
+  const auto dynamic = std::make_shared<const DynamicModel>(model, graph);
+  check(QueryEngine(dynamic), "dynamic");
+}
+
+TEST(QueryEdgeCases, IsolatedVertexHasNoRecommendations) {
+  // Vertex 4 exists (GraphBuilder pins the vertex count) but has no
+  // edges at all: no retained paths, so topk must be empty, not a
+  // crash or an out-of-range row read.
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  SnapleConfig cfg;
+  for_both_backends(b.build(), cfg, [](const QueryEngine& e,
+                                       const char* backend) {
+    EXPECT_EQ(e.num_vertices(), 5u) << backend;
+    EXPECT_TRUE(e.topk(4).empty()) << backend;
+    EXPECT_TRUE(e.topk(4, 100).empty()) << backend;
+  });
+}
+
+TEST(QueryEdgeCases, AllCandidatesSelfOrAlreadyNeighbors) {
+  // 0 ↔ 1 only: every 2-hop path from 0 lands back on 0 itself, and
+  // every path from 1 lands on 1 — the candidate filter must leave
+  // nothing, for both backends.
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);
+  SnapleConfig cfg;
+  cfg.k_local = kUnlimited;
+  for_both_backends(b.build(), cfg, [](const QueryEngine& e,
+                                       const char* backend) {
+    EXPECT_TRUE(e.topk(0).empty()) << backend;
+    EXPECT_TRUE(e.topk(1).empty()) << backend;
+  });
+}
+
+TEST(QueryEdgeCases, KZeroMeansConfiguredKOnBothBackends) {
+  const CsrGraph g = gen::make_dataset("gowalla", 0.02, 17);
+  SnapleConfig cfg;
+  cfg.k = 3;
+  for_both_backends(g, cfg, [&g](const QueryEngine& e,
+                                 const char* backend) {
+    for (VertexId u = 0; u < g.num_vertices(); u += 23) {
+      const auto dflt = e.topk(u);
+      EXPECT_LE(dflt.size(), 3u) << backend << " u=" << u;
+      EXPECT_EQ(dflt, e.topk(u, 3)) << backend << " u=" << u;
+    }
+  });
+}
+
+TEST(QueryEdgeCases, KBeyondCandidateSetClampsOnBothBackends) {
+  const CsrGraph g = gen::make_dataset("gowalla", 0.02, 17);
+  SnapleConfig cfg;
+  for_both_backends(g, cfg, [&g](const QueryEngine& e,
+                                 const char* backend) {
+    for (VertexId u = 0; u < g.num_vertices(); u += 23) {
+      const auto all = e.topk(u, kUnlimited);
+      // Asking for even more changes nothing — the candidate set is
+      // exhausted, not padded.
+      EXPECT_EQ(e.topk(u, all.size() + 1000), all)
+          << backend << " u=" << u;
+      for (std::size_t i = 0; i + 1 < all.size(); ++i) {
+        EXPECT_GE(all[i].second, all[i + 1].second)
+            << backend << " u=" << u;
+      }
+    }
+  });
 }
 
 // ---------- hand-checkable single query ----------
