@@ -58,6 +58,16 @@
 //   --serve-transport=mem|uds
 //                       shard transport: in-process byte queues (mem,
 //                       default) or Unix-domain sockets (uds)
+//   --serve-cache-mb=N  with --serve-shards: serve in remote-fetch
+//                       locality mode (neighbor rows fetched shard→shard
+//                       instead of replicated at build time) with an
+//                       N-MB versioned hot-row cache per shard on the
+//                       fetch path; stats go to stderr
+//   --serve-batch=N     answer --query in batches of N: the router
+//                       submits ONE pipelined wire message per owning
+//                       shard per batch (also accepted by in-process
+//                       serving, where it maps to QueryEngine's batch
+//                       entry point)
 //
 // Input files may be SNAP-style text edge lists (loaded with the
 // parallel mmap loader) or snaple binary graphs (v1 or v2, autodetected
@@ -72,6 +82,7 @@
 //   ./snaple_cli --load-model=twitter-model.bin --query=1,7,900 --k=10
 #include <algorithm>
 #include <fstream>
+#include <span>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -133,14 +144,25 @@ std::vector<snaple::VertexId> parse_query_list(const std::string& list) {
   return out;
 }
 
-/// Serves --query=... against anything with num_vertices() and
-/// topk(u, k) — the in-process QueryEngine or a sharded QueryRouter:
-/// validates every id up front (no partial output on a bad request),
-/// then prints "u: z(score) ..." lines. k = 0 means the model's
-/// configured k. Returns a process exit code.
+void print_scored(std::ostream& out, snaple::VertexId u,
+                  const std::vector<std::pair<snaple::VertexId, float>>&
+                      predictions) {
+  out << u << ':';
+  for (const auto& [z, score] : predictions) {
+    out << ' ' << z << '(' << score << ')';
+  }
+  out << '\n';
+}
+
+/// Serves --query=... against anything with num_vertices(), topk(u, k)
+/// and topk_batch(users, k) — the in-process QueryEngine or a sharded
+/// QueryRouter: validates every id up front (no partial output on a bad
+/// request), then prints "u: z(score) ..." lines. k = 0 means the
+/// model's configured k; batch > 1 submits chunks of that many queries
+/// through the batch entry point. Returns a process exit code.
 template <typename Server>
 int serve_queries(Server& server, const std::string& query_list,
-                  std::size_t k, std::ostream& out) {
+                  std::size_t k, std::size_t batch, std::ostream& out) {
   try {
     const auto users = parse_query_list(query_list);
     for (const snaple::VertexId u : users) {
@@ -150,12 +172,19 @@ int serve_queries(Server& server, const std::string& query_list,
         return 1;
       }
     }
-    for (const snaple::VertexId u : users) {
-      out << u << ':';
-      for (const auto& [z, score] : server.topk(u, k)) {
-        out << ' ' << z << '(' << score << ')';
+    if (batch > 1) {
+      for (std::size_t i = 0; i < users.size(); i += batch) {
+        const std::span<const snaple::VertexId> chunk(
+            users.data() + i, std::min(batch, users.size() - i));
+        const auto results = server.topk_batch(chunk, k);
+        for (std::size_t j = 0; j < chunk.size(); ++j) {
+          print_scored(out, chunk[j], results[j]);
+        }
       }
-      out << '\n';
+    } else {
+      for (const snaple::VertexId u : users) {
+        print_scored(out, u, server.topk(u, k));
+      }
     }
   } catch (const snaple::CheckError& e) {
     std::cerr << "query failed: " << e.what() << "\n";
@@ -166,24 +195,58 @@ int serve_queries(Server& server, const std::string& query_list,
 
 /// --serve-shards: stands up a ServingCluster over the finished model
 /// and answers --query through the router, so every answer crosses the
-/// chosen byte transport.
+/// chosen byte transport. cache_mb > 0 switches the cluster to
+/// remote-fetch locality with a hot-row cache per shard (keyed by
+/// `row_versions` when serving a freeze()d updated model).
 int serve_sharded(const snaple::PredictorModel& model, std::size_t shards,
                   snaple::serve::TransportKind transport,
+                  std::size_t cache_mb, std::size_t batch,
+                  std::shared_ptr<const std::vector<std::uint64_t>>
+                      row_versions,
                   const std::string& query_list, std::size_t k,
                   std::ostream& out) {
   using namespace snaple::serve;
   ServeOptions options;
   options.num_shards = shards;
   options.transport = transport;
+  if (cache_mb > 0) {
+    options.colocate = false;  // the cache lives on the fetch path
+    options.cache_bytes = cache_mb << 20;
+    options.row_versions = std::move(row_versions);
+  }
   ServingCluster cluster(model, options);
   std::cerr << "serving over " << shards << " shards ("
-            << to_string(transport) << " transport)\n";
-  const int rc = serve_queries(cluster.router(), query_list, k, out);
-  std::uint64_t queries = 0;
-  for (const auto& s : cluster.stats()) queries += s.queries;
-  std::cerr << "shards answered " << queries << " queries, "
-            << cluster.router().bytes_sent() << " B out, "
-            << cluster.router().bytes_received() << " B in\n";
+            << to_string(transport) << " transport, "
+            << (cache_mb > 0 ? "remote-fetch + " + std::to_string(cache_mb) +
+                                   " MB hot-row cache/shard"
+                             : "colocated rows");
+  if (batch > 1) std::cerr << ", batch=" << batch;
+  std::cerr << ")\n";
+  const int rc = serve_queries(cluster.router(), query_list, k, batch, out);
+  std::uint64_t queries = 0, fetches = 0;
+  for (const auto& s : cluster.stats()) {
+    queries += s.queries;
+    fetches += s.remote_fetch_requests;
+  }
+  const auto rs = cluster.router().stats();
+  std::cerr << "shards answered " << queries << " queries ("
+            << rs.requests << " wire messages, max " << rs.max_inflight
+            << " in flight), " << cluster.router().bytes_sent()
+            << " B out, " << cluster.router().bytes_received() << " B in\n";
+  if (cache_mb > 0) {
+    const RowCacheStats cs = cluster.cache_stats();
+    const std::uint64_t lookups = cs.hits + cs.misses;
+    std::cerr << "hot-row cache: " << cs.hits << " hits / " << lookups
+              << " lookups";
+    if (lookups > 0) {
+      std::cerr << " (" << snaple::Table::fmt(
+                              100.0 * static_cast<double>(cs.hits) /
+                                  static_cast<double>(lookups), 1)
+                << "%)";
+    }
+    std::cerr << ", " << cs.evictions << " evictions, " << cs.stale_drops
+              << " stale drops, " << fetches << " peer fetches\n";
+  }
   return rc;
 }
 
@@ -258,7 +321,8 @@ int usage(const char* argv0) {
             << " <graph> --fit [--save-model=FILE] [--query=U1,U2,...]\n"
                "   or: " << argv0
             << " --load-model=FILE --query=U1,U2,... [--k=N]"
-               " [--serve-shards=N] [--serve-transport=mem|uds]\n"
+               " [--serve-shards=N] [--serve-transport=mem|uds]"
+               " [--serve-cache-mb=N] [--serve-batch=N]\n"
                "   or: " << argv0
             << " <graph> --update=EDGE-FILE [--query=U1,U2,...]"
                " [--save-model=FILE]\n";
@@ -289,6 +353,8 @@ int main(int argc, char** argv) {
   std::string query_list;
   std::size_t serve_shards = 0;  // 0 = in-process QueryEngine serving
   auto serve_transport = serve::TransportKind::kInProcess;
+  std::size_t serve_cache_mb = 0;  // 0 = colocated rows, no cache
+  std::size_t serve_batch = 1;     // 1 = per-query round trips
   bool have_query = false;
   bool have_k = false;
   bool have_partition = false;
@@ -381,6 +447,14 @@ int main(int argc, char** argv) {
           std::cerr << "--serve-transport must be mem or uds\n";
           return 2;
         }
+      } else if (arg.rfind("--serve-cache-mb=", 0) == 0) {
+        serve_cache_mb = parse_limit(value_of("--serve-cache-mb="));
+        SNAPLE_CHECK_MSG(serve_cache_mb >= 1 && serve_cache_mb != kUnlimited,
+                         "--serve-cache-mb must be a positive MB count");
+      } else if (arg.rfind("--serve-batch=", 0) == 0) {
+        serve_batch = parse_limit(value_of("--serve-batch="));
+        SNAPLE_CHECK_MSG(serve_batch >= 1 && serve_batch != kUnlimited,
+                         "--serve-batch must be a positive count");
       } else {
         std::cerr << "unknown option: " << arg << "\n";
         return usage(argv[0]);
@@ -396,6 +470,11 @@ int main(int argc, char** argv) {
                        serve_shards > 0;
   if (serving && evaluate) {
     std::cerr << "--eval applies to the batch flow only\n";
+    return 2;
+  }
+  if (serve_cache_mb > 0 && serve_shards == 0) {
+    std::cerr << "--serve-cache-mb caches the sharded tier's remote "
+                 "fetches; pass --serve-shards=N too\n";
     return 2;
   }
   if (!update_path.empty()) {
@@ -470,10 +549,11 @@ int main(int argc, char** argv) {
     const std::size_t serve_k = have_k ? config.k : 0;
     if (serve_shards > 0) {
       return serve_sharded(*model, serve_shards, serve_transport,
-                           query_list, serve_k, *out);
+                           serve_cache_mb, serve_batch, nullptr, query_list,
+                           serve_k, *out);
     }
     const QueryEngine server(model);
-    return serve_queries(server, query_list, serve_k, *out);
+    return serve_queries(server, query_list, serve_k, serve_batch, *out);
   }
 
   CsrGraph graph;
@@ -647,14 +727,22 @@ int main(int argc, char** argv) {
       if (have_query) {
         if (serve_shards > 0) {
           // Sharding serves immutable row arrays; freeze the live model
-          // into one first (bit-identical to a from-scratch refit).
+          // into one first (bit-identical to a from-scratch refit). The
+          // per-row update counters key the hot-row cache, so entries
+          // carried across a future re-shard retire themselves.
+          auto versions = std::make_shared<std::vector<std::uint64_t>>(
+              dyn.num_vertices());
+          for (VertexId u = 0; u < dyn.num_vertices(); ++u) {
+            (*versions)[u] = dyn.row_version(u);
+          }
           return serve_sharded(dyn.freeze(), serve_shards, serve_transport,
-                               query_list, 0, *out);
+                               serve_cache_mb, serve_batch,
+                               std::move(versions), query_list, 0, *out);
         }
         // Serve straight from the live model's versioned rows.
         const QueryEngine server{
             std::shared_ptr<const DynamicModel>(wrapped)};
-        return serve_queries(server, query_list, 0, *out);
+        return serve_queries(server, query_list, 0, serve_batch, *out);
       }
       return 0;
     }
@@ -671,11 +759,12 @@ int main(int argc, char** argv) {
     if (have_query) {
       if (serve_shards > 0) {
         return serve_sharded(model, serve_shards, serve_transport,
+                             serve_cache_mb, serve_batch, nullptr,
                              query_list, 0, *out);
       }
       const QueryEngine server(
           std::make_shared<const PredictorModel>(std::move(model)));
-      return serve_queries(server, query_list, 0, *out);
+      return serve_queries(server, query_list, 0, serve_batch, *out);
     }
     return 0;
   }

@@ -21,13 +21,13 @@ std::size_t sorted_find(const std::vector<VertexId>& ids, VertexId v) {
   return static_cast<std::size_t>(it - ids.begin());
 }
 
-/// Model-row source over a shard plus an optional fetched-row overlay —
-/// the `Model` interface rows::fold_vertex_paths templates over.
-/// Resolution order: owned slice, replica table, fetched overlay; a row
-/// resident nowhere is a routing bug and throws (never misscores).
+/// Model-row source over a shard plus an optional row overlay — the
+/// `Model` interface rows::fold_vertex_paths templates over. Resolution
+/// order: owned slice, replica table, overlay (cached or fetched rows);
+/// a row resident nowhere is a routing bug and throws (never misscores).
 struct ShardRowSource {
   const ModelShard* shard;
-  const FetchedRows* fetched;
+  const RowOverlay* overlay;
 
   [[nodiscard]] std::span<const VertexId> gamma_hat(VertexId u) const {
     return shard->gamma_hat(u);
@@ -35,23 +35,17 @@ struct ShardRowSource {
 
   [[nodiscard]] PredictorModel::SimsView sims(VertexId v) const {
     if (shard->has_row(v)) return shard->sims(v);
-    const std::size_t i = fetched_index(v);
-    const std::size_t b = fetched->sims_offsets[i];
-    const std::size_t e = fetched->sims_offsets[i + 1];
-    return {{fetched->sims_ids.data() + b, fetched->sims_ids.data() + e},
-            {fetched->sims_scores.data() + b,
-             fetched->sims_scores.data() + e},
+    const HotRow& row = overlay_row(v);
+    return {{row.sims_ids.data(), row.sims_ids.size()},
+            {row.sims_scores.data(), row.sims_scores.size()},
             {}};
   }
 
   [[nodiscard]] PredictorModel::Hop2View hop2(VertexId v) const {
     if (shard->has_row(v)) return shard->hop2(v);
-    const std::size_t i = fetched_index(v);
-    const std::size_t b = fetched->hop2_offsets[i];
-    const std::size_t e = fetched->hop2_offsets[i + 1];
-    return {{fetched->hop2_ids.data() + b, fetched->hop2_ids.data() + e},
-            {fetched->hop2_scores.data() + b,
-             fetched->hop2_scores.data() + e}};
+    const HotRow& row = overlay_row(v);
+    return {{row.hop2_ids.data(), row.hop2_ids.size()},
+            {row.hop2_scores.data(), row.hop2_scores.size()}};
   }
 
   [[nodiscard]] const SnapleConfig& config() const {
@@ -59,14 +53,14 @@ struct ShardRowSource {
   }
 
  private:
-  [[nodiscard]] std::size_t fetched_index(VertexId v) const {
+  [[nodiscard]] const HotRow& overlay_row(VertexId v) const {
     const std::size_t i =
-        fetched != nullptr ? sorted_find(fetched->ids, v) : kNpos;
+        overlay != nullptr ? sorted_find(overlay->ids, v) : kNpos;
     SNAPLE_CHECK_MSG(i != kNpos,
                      "row for vertex " + std::to_string(v) +
                          " is not resident on this shard and was not "
-                         "fetched — route a fetch first");
-    return i;
+                         "cached or fetched — route a fetch first");
+    return *overlay->rows[i];
   }
 };
 
@@ -189,10 +183,10 @@ std::vector<VertexId> ModelShard::missing_rows(VertexId u) const {
 }
 
 std::vector<std::pair<VertexId, float>> ModelShard::topk(
-    VertexId u, std::size_t k, const FetchedRows* fetched) const {
+    VertexId u, std::size_t k, const RowOverlay* overlay) const {
   SNAPLE_CHECK_MSG(owns(u), "query vertex " + std::to_string(u) +
                                 " routed to the wrong shard");
-  const ShardRowSource source{this, fetched};
+  const ShardRowSource source{this, overlay};
   rows::PathFoldScratch& scratch = local_scratch();
   rows::fold_vertex_paths(source, score_, u, rows::PathFold::kRecommend,
                           /*zero_skip=*/false, scratch);

@@ -18,9 +18,10 @@
 //     replica_bytes() of duplicated rows (the serving analogue of the
 //     vertex-cut replication factor).
 //   * remote fetch (colocate=false): missing_rows(u) names the
-//     non-resident rows; the router fetches them from the owning shards
-//     (one batched request per owner — router.hpp counts them) and
-//     passes the result as a FetchedRows overlay to topk().
+//     non-resident rows; the serving layer resolves each one — from its
+//     hot-row cache (serve/row_cache.hpp) or a batched peer fetch
+//     (router.hpp counts both) — and passes them as a RowOverlay to
+//     topk().
 //
 // Bit-identity holds because the fold depends only on row *contents*,
 // never on where a row is resident: the shard replays the same
@@ -36,22 +37,22 @@
 #include "core/model.hpp"
 #include "core/scoring.hpp"
 #include "gas/partition.hpp"
+#include "serve/row_cache.hpp"
 
 namespace snaple::serve {
 
-/// Rows fetched from other shards for one query, id-sorted — the
-/// overlay ModelShard::topk consults for non-resident neighbors. The
-/// machine tags are deliberately absent: the fold reads tags only from
-/// the *queried* vertex's own sims row, which its shard always owns, so
-/// shipping tags for neighbor rows would be dead bytes on the wire.
-struct FetchedRows {
-  std::vector<VertexId> ids;  // sorted ascending
-  std::vector<EdgeIndex> sims_offsets;  // size ids.size()+1
-  std::vector<VertexId> sims_ids;
-  std::vector<float> sims_scores;
-  std::vector<EdgeIndex> hop2_offsets;  // size ids.size()+1 (all 0s for K=2)
-  std::vector<VertexId> hop2_ids;
-  std::vector<float> hop2_scores;
+/// Non-resident rows resolved for one (or a batch of) queries, id-sorted
+/// — the overlay ModelShard::topk consults for non-resident neighbors.
+/// Rows are borrowed pointers: the serving layer pins each backing
+/// HotRow (a cache hit's shared_ptr or a freshly fetched row) for the
+/// duration of the fold, so an overlay is assembled without copying row
+/// payloads. Machine tags are deliberately absent: the fold reads tags
+/// only from the *queried* vertex's own sims row, which its shard always
+/// owns, so shipping or caching tags for neighbor rows would be dead
+/// bytes.
+struct RowOverlay {
+  std::vector<VertexId> ids;         // sorted ascending
+  std::vector<const HotRow*> rows;   // parallel to ids, never null
 };
 
 class ModelShard {
@@ -95,12 +96,12 @@ class ModelShard {
   [[nodiscard]] std::vector<VertexId> missing_rows(VertexId u) const;
 
   /// Top-k for owned u — bit-identical to QueryEngine::topk on the full
-  /// model. k = 0 means the model's configured k. `fetched` supplies
+  /// model. k = 0 means the model's configured k. `overlay` supplies
   /// non-resident neighbor rows (required iff missing_rows(u) is
   /// non-empty; a missing row throws CheckError, never misscores).
   [[nodiscard]] std::vector<std::pair<VertexId, float>> topk(
       VertexId u, std::size_t k = 0,
-      const FetchedRows* fetched = nullptr) const;
+      const RowOverlay* overlay = nullptr) const;
 
   /// Number of replicated out-of-range rows (0 unless colocated).
   [[nodiscard]] std::size_t replica_count() const noexcept {

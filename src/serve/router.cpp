@@ -1,5 +1,6 @@
 #include "serve/router.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <string>
 
@@ -11,6 +12,7 @@ namespace {
 
 constexpr std::uint8_t kOpTopk = 1;
 constexpr std::uint8_t kOpFetch = 2;
+constexpr std::uint8_t kOpBatch = 3;
 constexpr std::uint8_t kStatusOk = 0;
 constexpr std::uint8_t kStatusError = 1;
 
@@ -65,16 +67,35 @@ void expect_ok(ByteChannel& ch) {
   throw CheckError(message);
 }
 
+/// One topk answer serialized in the shared ok-payload shape
+/// (u32 count | ids | raw f32 scores) — op 1's whole payload, op 3's
+/// per-query chunk.
+void put_scored(std::vector<std::uint8_t>& buf,
+                const std::vector<std::pair<VertexId, float>>& result) {
+  put<std::uint32_t>(buf, static_cast<std::uint32_t>(result.size()));
+  for (const auto& [id, score] : result) put<std::uint32_t>(buf, id);
+  for (const auto& [id, score] : result) put<float>(buf, score);
+}
+
 }  // namespace
 
 // -------------------------------------------------------------------
 // ShardServer
 // -------------------------------------------------------------------
 
-ShardServer::ShardServer(ModelShard shard,
-                         std::vector<gas::VertexRange> ranges)
-    : shard_(std::move(shard)), ranges_(std::move(ranges)) {
+ShardServer::ShardServer(
+    ModelShard shard, std::vector<gas::VertexRange> ranges,
+    std::shared_ptr<RowCache> cache,
+    std::shared_ptr<const std::vector<std::uint64_t>> row_versions)
+    : shard_(std::move(shard)),
+      ranges_(std::move(ranges)),
+      cache_(std::move(cache)),
+      row_versions_(std::move(row_versions)) {
   peers_.resize(ranges_.size());
+  if (row_versions_ != nullptr) {
+    SNAPLE_CHECK_MSG(row_versions_->size() == shard_.num_vertices(),
+                     "row-version table must have one entry per vertex");
+  }
 }
 
 ShardServer::~ShardServer() { shutdown(); }
@@ -111,10 +132,13 @@ void ShardServer::shutdown() {
 ShardStats ShardServer::stats() const {
   ShardStats s;
   s.queries = queries_.load(std::memory_order_relaxed);
+  s.batch_requests = batch_requests_.load(std::memory_order_relaxed);
   s.errors = errors_.load(std::memory_order_relaxed);
   s.remote_fetch_requests =
       remote_fetch_requests_.load(std::memory_order_relaxed);
   s.remote_rows = remote_rows_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
   for (const auto& conn : connections_) {
     if (!conn->frontend) continue;  // counted by the requesting shard
     s.frontend_bytes_in += conn->channel->bytes_received();
@@ -138,6 +162,8 @@ void ShardServer::serve_loop(ByteChannel& ch) {
         handle_topk(ch);
       } else if (op == kOpFetch) {
         handle_fetch(ch);
+      } else if (op == kOpBatch) {
+        handle_topk_batch(ch);
       } else {
         // Unknown opcode = the stream is desynced; an error response
         // then EOF is all that can be said safely.
@@ -165,19 +191,50 @@ void ShardServer::handle_topk(ByteChannel& ch) {
                          " routed to the wrong shard [" +
                          std::to_string(shard_.range().begin) + ", " +
                          std::to_string(shard_.range().end) + ")");
-    FetchedRows fetched;
-    const FetchedRows* overlay = nullptr;
-    const std::vector<VertexId> missing = shard_.missing_rows(u);
-    if (!missing.empty()) {
-      fetched = fetch_remote(missing);
-      overlay = &fetched;
-    }
+    const VertexId user = u;
+    const ResolvedRows rows = collect_rows({&user, 1});
     const auto result =
-        shard_.topk(u, static_cast<std::size_t>(k), overlay);
+        shard_.topk(u, static_cast<std::size_t>(k), &rows.overlay);
     put<std::uint8_t>(buf, kStatusOk);
-    put<std::uint32_t>(buf, static_cast<std::uint32_t>(result.size()));
-    for (const auto& [id, score] : result) put<std::uint32_t>(buf, id);
-    for (const auto& [id, score] : result) put<float>(buf, score);
+    put_scored(buf, result);
+  } catch (const TransportError&) {
+    throw;  // the frontend link itself died — no response possible
+  } catch (const std::exception& e) {
+    buf.clear();
+    put_error(buf, e.what());
+    errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  send_buffer(ch, buf);
+}
+
+void ShardServer::handle_topk_batch(ByteChannel& ch) {
+  const auto k = get<std::uint64_t>(ch);
+  const auto count = get<std::uint32_t>(ch);
+  std::vector<VertexId> users;
+  get_array(ch, users, count);
+  batch_requests_.fetch_add(1, std::memory_order_relaxed);
+  queries_.fetch_add(count, std::memory_order_relaxed);
+
+  std::vector<std::uint8_t> buf;
+  try {
+    for (const VertexId u : users) {
+      SNAPLE_CHECK_MSG(shard_.owns(u),
+                       "batched query vertex " + std::to_string(u) +
+                           " routed to the wrong shard [" +
+                           std::to_string(shard_.range().begin) + ", " +
+                           std::to_string(shard_.range().end) + ")");
+    }
+    // The union of the batch's missing rows, resolved ONCE: at most one
+    // peer fetch per owning shard for the whole batch — the server-side
+    // half of the batching win (the wire-message half is the router's).
+    const ResolvedRows rows = collect_rows(users);
+    std::vector<std::uint8_t> payload;
+    for (const VertexId u : users) {
+      put_scored(payload,
+                 shard_.topk(u, static_cast<std::size_t>(k), &rows.overlay));
+    }
+    put<std::uint8_t>(buf, kStatusOk);
+    buf.insert(buf.end(), payload.begin(), payload.end());
   } catch (const TransportError&) {
     throw;  // the frontend link itself died — no response possible
   } catch (const std::exception& e) {
@@ -221,15 +278,58 @@ void ShardServer::handle_fetch(ByteChannel& ch) {
   send_buffer(ch, buf);
 }
 
-FetchedRows ShardServer::fetch_remote(
+ShardServer::ResolvedRows ShardServer::collect_rows(
+    std::span<const VertexId> users) {
+  ResolvedRows out;
+  std::vector<VertexId>& missing = out.overlay.ids;
+  for (const VertexId u : users) {
+    const std::vector<VertexId> rows = shard_.missing_rows(u);
+    missing.insert(missing.end(), rows.begin(), rows.end());
+  }
+  std::sort(missing.begin(), missing.end());
+  missing.erase(std::unique(missing.begin(), missing.end()),
+                missing.end());
+  if (missing.empty()) return out;
+
+  out.overlay.rows.assign(missing.size(), nullptr);
+  out.pins.reserve(missing.size());
+  std::vector<VertexId> need;      // cache misses, stays sorted
+  std::vector<std::size_t> slot;   // their overlay positions
+  for (std::size_t i = 0; i < missing.size(); ++i) {
+    const VertexId v = missing[i];
+    if (cache_ != nullptr) {
+      if (auto row = cache_->get(v, row_version(v))) {
+        cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        out.overlay.rows[i] = row.get();
+        out.pins.push_back(std::move(row));
+        continue;
+      }
+      cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    }
+    need.push_back(v);
+    slot.push_back(i);
+  }
+  if (!need.empty()) {
+    const auto fetched = fetch_remote(need);
+    for (std::size_t j = 0; j < need.size(); ++j) {
+      out.overlay.rows[slot[j]] = fetched[j].get();
+      if (cache_ != nullptr) {
+        cache_->put(need[j], row_version(need[j]), fetched[j]);
+      }
+      out.pins.push_back(fetched[j]);
+    }
+  }
+  return out;
+}
+
+std::vector<std::shared_ptr<const HotRow>> ShardServer::fetch_remote(
     const std::vector<VertexId>& missing) {
-  FetchedRows fetched;
-  fetched.sims_offsets.push_back(0);
-  fetched.hop2_offsets.push_back(0);
+  std::vector<std::shared_ptr<const HotRow>> out;
+  out.reserve(missing.size());
 
   // `missing` is sorted and ranges are contiguous ascending, so each
   // owner's ids form one consecutive run — one batched request per run,
-  // appended in order, keeps fetched.ids sorted with no merge step.
+  // rows appended in order, parallel to `missing`.
   std::size_t i = 0;
   while (i < missing.size()) {
     const std::size_t owner = gas::range_owner(ranges_, missing[i]);
@@ -253,16 +353,15 @@ FetchedRows ShardServer::fetch_remote(
       send_buffer(ch, req);
 
       expect_ok(ch);
-      for (const VertexId v : run) {
-        fetched.ids.push_back(v);
+      for (std::size_t r = 0; r < run.size(); ++r) {
+        auto row = std::make_shared<HotRow>();
         const auto sims_len = get<std::uint32_t>(ch);
-        get_array(ch, fetched.sims_ids, sims_len);
-        get_array(ch, fetched.sims_scores, sims_len);
-        fetched.sims_offsets.push_back(fetched.sims_ids.size());
+        get_array(ch, row->sims_ids, sims_len);
+        get_array(ch, row->sims_scores, sims_len);
         const auto hop2_len = get<std::uint32_t>(ch);
-        get_array(ch, fetched.hop2_ids, hop2_len);
-        get_array(ch, fetched.hop2_scores, hop2_len);
-        fetched.hop2_offsets.push_back(fetched.hop2_ids.size());
+        get_array(ch, row->hop2_ids, hop2_len);
+        get_array(ch, row->hop2_scores, hop2_len);
+        out.push_back(std::move(row));
       }
     } catch (const TransportError& e) {
       // A dead peer fails this query, not the frontend link.
@@ -273,7 +372,7 @@ FetchedRows ShardServer::fetch_remote(
     remote_rows_.fetch_add(run.size(), std::memory_order_relaxed);
     i = j;
   }
-  return fetched;
+  return out;
 }
 
 // -------------------------------------------------------------------
@@ -301,46 +400,219 @@ QueryRouter::QueryRouter(
   round_robin_ =
       std::make_unique<std::atomic<std::size_t>[]>(pools_.size());
   for (std::size_t s = 0; s < pools_.size(); ++s) round_robin_[s] = 0;
+  // Drain threads last — nothing above may throw once they run.
+  for (auto& pool : pools_) {
+    for (auto& conn : pool) {
+      Connection* c = conn.get();
+      c->drain = std::thread([this, c] { drain_loop(*c); });
+    }
+  }
 }
 
 QueryRouter::~QueryRouter() { close(); }
 
 void QueryRouter::close() {
+  if (closed_.exchange(true)) return;
   for (auto& pool : pools_) {
     for (auto& conn : pool) conn->channel->close();
   }
+  for (auto& pool : pools_) {
+    for (auto& conn : pool) {
+      if (conn->drain.joinable()) conn->drain.join();
+    }
+  }
 }
 
-std::vector<std::pair<VertexId, float>> QueryRouter::topk(VertexId u,
-                                                          std::size_t k) {
-  SNAPLE_CHECK_MSG(u < num_vertices(), "query vertex out of model range");
-  const std::size_t shard = shard_of(u);
+void QueryRouter::fail(Pending& pending, const std::exception_ptr& err) {
+  if (auto* single = std::get_if<std::promise<Scored>>(&pending.result)) {
+    single->set_exception(err);
+  } else {
+    std::get<std::promise<std::vector<Scored>>>(pending.result)
+        .set_exception(err);
+  }
+}
+
+void QueryRouter::submit(std::size_t shard,
+                         const std::vector<std::uint8_t>& req,
+                         Pending pending) {
   auto& pool = pools_[shard];
   const std::size_t pick =
       round_robin_[shard].fetch_add(1, std::memory_order_relaxed) %
       pool.size();
   Connection& conn = *pool[pick];
 
-  std::lock_guard<std::mutex> lock(conn.mu);
+  // Enqueue, then write, both under the send mutex: wire order IS queue
+  // order, which is all the drain thread needs to pair responses (the
+  // server answers each connection's requests sequentially, in order).
+  std::lock_guard<std::mutex> send_lock(conn.send_mu);
+  {
+    std::lock_guard<std::mutex> queue_lock(conn.queue_mu);
+    if (conn.dead) {
+      throw TransportError("connection to shard " + std::to_string(shard) +
+                           " is closed");
+    }
+    conn.inflight.push_back(std::move(pending));
+    const auto depth =
+        static_cast<std::uint64_t>(conn.inflight.size());
+    auto seen = max_inflight_.load(std::memory_order_relaxed);
+    while (depth > seen && !max_inflight_.compare_exchange_weak(
+                               seen, depth, std::memory_order_relaxed)) {
+    }
+  }
+  try {
+    send_buffer(*conn.channel, req);
+  } catch (const TransportError& e) {
+    // The write failed (channel closed, or torn mid-message — either way
+    // this connection's stream is unusable): fail every queued future,
+    // ours included, and refuse further submissions.
+    const auto err = std::make_exception_ptr(TransportError(e.what()));
+    std::lock_guard<std::mutex> queue_lock(conn.queue_mu);
+    conn.dead = true;
+    for (auto& p : conn.inflight) fail(p, err);
+    conn.inflight.clear();
+    throw;
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void QueryRouter::drain_loop(Connection& conn) {
   ByteChannel& ch = *conn.channel;
+  for (;;) {
+    Pending pending;
+    bool popped = false;
+    try {
+      const auto status = get<std::uint8_t>(ch);
+      {
+        std::lock_guard<std::mutex> lock(conn.queue_mu);
+        if (conn.inflight.empty()) {
+          throw TransportError(
+              "response with no request in flight — stream desynced");
+        }
+        pending = std::move(conn.inflight.front());
+        conn.inflight.pop_front();
+        popped = true;
+      }
+      if (status != kStatusOk) {
+        // Error responses fail ONE request; the stream stays in sync
+        // and the connection keeps serving.
+        const auto len = get<std::uint32_t>(ch);
+        std::string message(len, '\0');
+        if (len != 0) ch.recv(message.data(), len);
+        fail(pending, std::make_exception_ptr(CheckError(message)));
+        continue;
+      }
+      std::vector<Scored> answers;
+      answers.reserve(pending.count);
+      for (std::size_t q = 0; q < pending.count; ++q) {
+        const auto count = get<std::uint32_t>(ch);
+        std::vector<VertexId> ids;
+        std::vector<float> scores;
+        get_array(ch, ids, count);
+        get_array(ch, scores, count);
+        Scored scored;
+        scored.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+          scored.emplace_back(ids[i], scores[i]);
+        }
+        answers.push_back(std::move(scored));
+      }
+      if (auto* single =
+              std::get_if<std::promise<Scored>>(&pending.result)) {
+        single->set_value(std::move(answers.front()));
+      } else {
+        std::get<std::promise<std::vector<Scored>>>(pending.result)
+            .set_value(std::move(answers));
+      }
+    } catch (const TransportError& e) {
+      // Link closed (shutdown, or the shard died): fail what's queued
+      // and exit — this IS the drain thread's clean exit path.
+      const auto err = std::make_exception_ptr(TransportError(e.what()));
+      if (popped) fail(pending, err);
+      std::lock_guard<std::mutex> lock(conn.queue_mu);
+      conn.dead = true;
+      for (auto& p : conn.inflight) fail(p, err);
+      conn.inflight.clear();
+      return;
+    }
+  }
+}
+
+QueryRouter::Scored QueryRouter::topk(VertexId u, std::size_t k) {
+  return topk_async(u, k).get();
+}
+
+std::future<QueryRouter::Scored> QueryRouter::topk_async(VertexId u,
+                                                         std::size_t k) {
+  SNAPLE_CHECK_MSG(u < num_vertices(), "query vertex out of model range");
+  Pending pending;
+  pending.count = 1;
+  auto future = std::get<std::promise<Scored>>(pending.result).get_future();
+
   std::vector<std::uint8_t> req;
   put<std::uint8_t>(req, kOpTopk);
   put<std::uint32_t>(req, u);
   put<std::uint64_t>(req, static_cast<std::uint64_t>(k));
-  send_buffer(ch, req);
+  submit(shard_of(u), req, std::move(pending));
+  return future;
+}
 
-  expect_ok(ch);
-  const auto count = get<std::uint32_t>(ch);
-  std::vector<VertexId> ids;
-  std::vector<float> scores;
-  get_array(ch, ids, count);
-  get_array(ch, scores, count);
-  std::vector<std::pair<VertexId, float>> out;
-  out.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) {
-    out.emplace_back(ids[i], scores[i]);
+std::vector<QueryRouter::Scored> QueryRouter::topk_batch(
+    std::span<const VertexId> users, std::size_t k) {
+  for (const VertexId u : users) {
+    SNAPLE_CHECK_MSG(u < num_vertices(),
+                     "query vertex out of model range");
+  }
+  std::vector<Scored> out(users.size());
+  if (users.empty()) return out;
+
+  // Group positions by owning shard, preserving submission order within
+  // each group (answers come back in request order).
+  std::vector<std::vector<std::size_t>> positions(ranges_.size());
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    positions[shard_of(users[i])].push_back(i);
+  }
+
+  // ONE wire message per owning shard, all submitted before any
+  // response is awaited — the round trips overlap across shards.
+  std::vector<std::future<std::vector<Scored>>> futures(ranges_.size());
+  for (std::size_t s = 0; s < positions.size(); ++s) {
+    if (positions[s].empty()) continue;
+    Pending pending;
+    pending.count = positions[s].size();
+    auto& promise =
+        pending.result.emplace<std::promise<std::vector<Scored>>>();
+    futures[s] = promise.get_future();
+
+    std::vector<std::uint8_t> req;
+    put<std::uint8_t>(req, kOpBatch);
+    put<std::uint64_t>(req, static_cast<std::uint64_t>(k));
+    put<std::uint32_t>(req, static_cast<std::uint32_t>(positions[s].size()));
+    for (const std::size_t i : positions[s]) {
+      put<std::uint32_t>(req, users[i]);
+    }
+    submit(s, req, std::move(pending));
+    batch_requests_.fetch_add(1, std::memory_order_relaxed);
+    batched_queries_.fetch_add(positions[s].size(),
+                               std::memory_order_relaxed);
+  }
+
+  for (std::size_t s = 0; s < positions.size(); ++s) {
+    if (positions[s].empty()) continue;
+    std::vector<Scored> answers = futures[s].get();
+    for (std::size_t j = 0; j < positions[s].size(); ++j) {
+      out[positions[s][j]] = std::move(answers[j]);
+    }
   }
   return out;
+}
+
+RouterStats QueryRouter::stats() const {
+  RouterStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.batch_requests = batch_requests_.load(std::memory_order_relaxed);
+  s.batched_queries = batched_queries_.load(std::memory_order_relaxed);
+  s.max_inflight = max_inflight_.load(std::memory_order_relaxed);
+  return s;
 }
 
 std::uint64_t QueryRouter::bytes_sent() const noexcept {
@@ -373,12 +645,35 @@ ServingCluster::ServingCluster(const PredictorModel& model,
                    "need at least one router connection per shard");
   SNAPLE_CHECK_MSG(model.num_vertices() > 0,
                    "cannot shard an empty model");
+  if (options.row_versions != nullptr) {
+    SNAPLE_CHECK_MSG(options.row_versions->size() == model.num_vertices(),
+                     "row-version table must have one entry per vertex");
+  }
   ranges_ = plan_shard_ranges(model, options.num_shards);
 
+  // Caches exist only on the fetch path: colocated shards never fetch.
+  const bool caching =
+      !options.colocate &&
+      (options.shared_cache != nullptr || options.cache_bytes > 0);
+  if (caching) {
+    if (options.shared_cache != nullptr) {
+      caches_.push_back(options.shared_cache);
+    } else {
+      for (std::size_t s = 0; s < ranges_.size(); ++s) {
+        caches_.push_back(std::make_shared<RowCache>(options.cache_bytes));
+      }
+    }
+  }
+
   servers_.reserve(ranges_.size());
-  for (const auto& range : ranges_) {
+  for (std::size_t s = 0; s < ranges_.size(); ++s) {
+    std::shared_ptr<RowCache> cache;
+    if (caching) {
+      cache = options.shared_cache != nullptr ? caches_.front() : caches_[s];
+    }
     servers_.push_back(std::make_unique<ShardServer>(
-        ModelShard::build(model, range, options.colocate), ranges_));
+        ModelShard::build(model, ranges_[s], options.colocate), ranges_,
+        std::move(cache), options.row_versions));
   }
 
   if (!options.colocate) {
@@ -417,6 +712,22 @@ std::vector<ShardStats> ServingCluster::stats() const {
   out.reserve(servers_.size());
   for (const auto& server : servers_) out.push_back(server->stats());
   return out;
+}
+
+RowCacheStats ServingCluster::cache_stats() const {
+  RowCacheStats total;
+  for (const auto& cache : caches_) {
+    const RowCacheStats s = cache->stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.stale_drops += s.stale_drops;
+    total.insertions += s.insertions;
+    total.evictions += s.evictions;
+    total.entries += s.entries;
+    total.bytes += s.bytes;
+    total.capacity_bytes += s.capacity_bytes;
+  }
+  return total;
 }
 
 }  // namespace snaple::serve

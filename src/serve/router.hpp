@@ -6,7 +6,10 @@
 // client link to every other shard, so a query's non-resident neighbor
 // rows are fetched shard→shard (one batched request per owning shard —
 // the "explicit remote fetch, counted" of the cost model), never routed
-// back through the frontend.
+// back through the frontend. A per-shard hot-row cache
+// (serve/row_cache.hpp) short-circuits repeat fetches of the same rows:
+// the fetch path consults it first and inserts what it fetched, keyed
+// by (vertex, row_version) so nothing stale ever serves.
 //
 // Wire protocol (host byte order — shard links never cross machines of
 // different architecture in this simulated tier; scores travel as raw
@@ -16,42 +19,68 @@
 //     op 1 (topk):       u32 u | u64 k
 //     op 2 (fetch_rows): u32 count | count × u32 id   (ids ascending,
 //                        every id owned by the receiving shard)
+//     op 3 (topk_batch): u64 k | u32 count | count × u32 u  (every u
+//                        owned by the receiving shard; ONE wire message
+//                        answers the whole sub-batch, and the server
+//                        resolves the union of the batch's missing rows
+//                        with at most one peer fetch per owning shard)
 //   response := u8 status (0 = ok, 1 = error)
 //     error payload: u32 len | len bytes of message — the router/fetcher
 //       rethrows it as CheckError, so a misrouted or out-of-range query
 //       surfaces to the caller exactly like QueryEngine's own check.
+//       An op-3 batch fails or succeeds as a whole (the router vets
+//       ranges before submitting, so a batch error means a misroute).
 //     topk ok:  u32 count | count × u32 id | count × f32 score
+//     batch ok: per query, in request order, the topk ok payload
 //     fetch ok: per requested id, in request order:
 //               u32 sims_len | sims_len × u32 id | sims_len × f32 score
 //             | u32 hop2_len | hop2_len × u32 id | hop2_len × f32 score
 //
+// Pipelining: the router no longer runs lockstep request/response round
+// trips. Each pooled connection pairs a submission side (requests are
+// enqueued and written under a send mutex — wire order IS queue order)
+// with a dedicated drain thread that reads responses in order and
+// completes the matching futures. Concurrent callers on one connection
+// therefore overlap their round trips instead of serializing on them,
+// and topk_async lets a single caller keep many requests in flight.
+//
 // Shutdown: closing a link's client end makes the serving thread's next
 // recv throw TransportError, which IS the clean exit (transport.hpp).
-// ServingCluster tears down router connections first, peer links after,
-// so no thread is ever mid-fetch on a dead peer during normal teardown.
+// Router-side, the same close wakes the drain threads, which fail any
+// in-flight futures with TransportError and exit. ServingCluster tears
+// down router connections first, peer links after, so no thread is ever
+// mid-fetch on a dead peer during normal teardown.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
+#include <future>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <utility>
+#include <variant>
 #include <vector>
 
 #include "gas/partition.hpp"
 #include "serve/model_shard.hpp"
+#include "serve/row_cache.hpp"
 #include "serve/transport.hpp"
 
 namespace snaple::serve {
 
 /// Per-shard serving counters, readable while the cluster serves.
 struct ShardStats {
-  std::uint64_t queries = 0;        // topk requests answered (incl. errors)
+  std::uint64_t queries = 0;        // topk answers produced (incl. errors)
+  std::uint64_t batch_requests = 0;  // op-3 messages handled
   std::uint64_t errors = 0;         // error responses sent
   std::uint64_t remote_fetch_requests = 0;  // batched peer fetches issued
   std::uint64_t remote_rows = 0;    // rows pulled over peer links
+  std::uint64_t cache_hits = 0;     // fetch-path rows served from cache
+  std::uint64_t cache_misses = 0;   // fetch-path cache lookups that missed
   std::uint64_t frontend_bytes_in = 0;   // router→shard request bytes
   std::uint64_t frontend_bytes_out = 0;  // shard→router response bytes
   std::uint64_t peer_bytes_out = 0;  // this shard's outgoing fetch bytes
@@ -62,13 +91,19 @@ struct ShardStats {
 
 /// One shard process stand-in: serves the wire protocol over any number
 /// of inbound links, each on its own thread, answering topk for owned
-/// vertices (fetching missing neighbor rows from peers first) and
-/// fetch_rows for peers. serve()/connect_peer() are setup-time only;
-/// the serving threads themselves are concurrency-safe afterwards.
+/// vertices (resolving missing neighbor rows from its cache or peers
+/// first) and fetch_rows for peers. serve()/connect_peer() are
+/// setup-time only; the serving threads themselves are concurrency-safe
+/// afterwards.
 class ShardServer {
  public:
   /// `ranges` is the full cluster layout (for owner lookup on fetches).
-  ShardServer(ModelShard shard, std::vector<gas::VertexRange> ranges);
+  /// `cache` (may be null) backs the remote-fetch fast path; lookups are
+  /// keyed with `row_versions` (null = every row at version 0).
+  ShardServer(ModelShard shard, std::vector<gas::VertexRange> ranges,
+              std::shared_ptr<RowCache> cache = nullptr,
+              std::shared_ptr<const std::vector<std::uint64_t>>
+                  row_versions = nullptr);
   ~ShardServer();
 
   ShardServer(const ShardServer&) = delete;
@@ -103,33 +138,67 @@ class ShardServer {
     std::unique_ptr<ByteChannel> channel;
     std::mutex mu;  // one fetch in flight per link at a time
   };
+  /// The non-resident rows of one (batch of) queries, overlay-shaped
+  /// for ModelShard::topk. `pins` keeps every backing HotRow alive for
+  /// the fold (cache hits stay valid even if evicted concurrently).
+  struct ResolvedRows {
+    RowOverlay overlay;
+    std::vector<std::shared_ptr<const HotRow>> pins;
+  };
 
   void serve_loop(ByteChannel& ch);
   void handle_topk(ByteChannel& ch);
+  void handle_topk_batch(ByteChannel& ch);
   void handle_fetch(ByteChannel& ch);
-  /// One batched fetch per owning shard of `missing` (sorted). Peer
-  /// transport failures surface as CheckError (the query fails, the
-  /// frontend link survives).
-  [[nodiscard]] FetchedRows fetch_remote(
+
+  /// Resolves the union of the users' missing rows: cache first (keyed
+  /// by row version), then one batched peer fetch per owning shard for
+  /// the remainder; fetched rows are inserted into the cache on the way
+  /// through.
+  [[nodiscard]] ResolvedRows collect_rows(std::span<const VertexId> users);
+  /// One batched fetch per owning shard of `missing` (sorted); returns
+  /// rows parallel to `missing`. Peer transport failures surface as
+  /// CheckError (the query fails, the frontend link survives).
+  [[nodiscard]] std::vector<std::shared_ptr<const HotRow>> fetch_remote(
       const std::vector<VertexId>& missing);
+  [[nodiscard]] std::uint64_t row_version(VertexId v) const {
+    return row_versions_ == nullptr ? 0 : (*row_versions_)[v];
+  }
 
   ModelShard shard_;
   std::vector<gas::VertexRange> ranges_;
+  std::shared_ptr<RowCache> cache_;  // null = no fetch-path cache
+  std::shared_ptr<const std::vector<std::uint64_t>> row_versions_;
   std::vector<std::unique_ptr<Connection>> connections_;
   std::vector<std::unique_ptr<PeerLink>> peers_;  // index = shard, null self
   std::atomic<std::uint64_t> queries_{0};
+  std::atomic<std::uint64_t> batch_requests_{0};
   std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> remote_fetch_requests_{0};
   std::atomic<std::uint64_t> remote_rows_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> cache_misses_{0};
   std::atomic<bool> down_{false};
 };
 
+/// Router-side submission counters.
+struct RouterStats {
+  std::uint64_t requests = 0;        // wire messages submitted
+  std::uint64_t batch_requests = 0;  // op-3 messages among them
+  std::uint64_t batched_queries = 0; // queries carried by those batches
+  std::uint64_t max_inflight = 0;    // deepest per-connection pipeline seen
+};
+
 /// The client side: owns a connection pool per shard, routes topk(u) to
-/// u's owner by range lookup and speaks the wire protocol. topk() is
-/// safe for concurrent callers — each call picks a pooled connection
-/// round-robin and serializes on that connection's mutex.
+/// u's owner by range lookup and speaks the wire protocol. All
+/// submission calls are safe for concurrent callers — each pick a
+/// pooled connection round-robin, enqueue under that connection's send
+/// mutex and are completed by its drain thread, so requests pipeline
+/// instead of serializing on lockstep round trips.
 class QueryRouter {
  public:
+  using Scored = std::vector<std::pair<VertexId, float>>;
+
   QueryRouter(std::vector<gas::VertexRange> ranges,
               std::vector<std::vector<std::unique_ptr<ByteChannel>>>
                   connections_per_shard);
@@ -152,25 +221,65 @@ class QueryRouter {
   /// QueryEngine::topk(u, k) on the unsharded model. k = 0 means the
   /// model's configured k. Shard-side failures (misroute, bad vertex)
   /// arrive as CheckError; a dead link as TransportError.
-  [[nodiscard]] std::vector<std::pair<VertexId, float>> topk(
-      VertexId u, std::size_t k = 0);
+  [[nodiscard]] Scored topk(VertexId u, std::size_t k = 0);
+
+  /// Pipelined submission: enqueues the request and returns immediately;
+  /// the connection's drain thread completes the future (value, or the
+  /// same CheckError/TransportError topk would throw). Submitting before
+  /// waiting is how one caller overlaps many round trips.
+  [[nodiscard]] std::future<Scored> topk_async(VertexId u,
+                                               std::size_t k = 0);
+
+  /// topk for a batch of users: ONE wire message per owning shard
+  /// (op 3), submitted to every shard before any response is awaited.
+  /// out[i] corresponds to users[i]; duplicates are fine. Bit-identical
+  /// to per-query topk. Validates every id up front (CheckError, nothing
+  /// submitted on a bad id).
+  [[nodiscard]] std::vector<Scored> topk_batch(
+      std::span<const VertexId> users, std::size_t k = 0);
 
   /// Closes every pooled connection (signals the shards' serving
-  /// threads to exit). Idempotent; the destructor calls it.
+  /// threads to exit), fails in-flight futures with TransportError and
+  /// joins the drain threads. Idempotent; the destructor calls it.
   void close();
 
+  [[nodiscard]] RouterStats stats() const;
   [[nodiscard]] std::uint64_t bytes_sent() const noexcept;
   [[nodiscard]] std::uint64_t bytes_received() const noexcept;
 
  private:
+  /// One submitted-but-unanswered request: how many topk payloads its
+  /// response carries, and the promise the drain thread completes.
+  struct Pending {
+    std::size_t count = 1;
+    std::variant<std::promise<Scored>, std::promise<std::vector<Scored>>>
+        result;
+  };
   struct Connection {
     std::unique_ptr<ByteChannel> channel;
-    std::mutex mu;
+    std::mutex send_mu;   // serializes enqueue+write (wire order = queue order)
+    std::mutex queue_mu;  // guards inflight + dead
+    std::deque<Pending> inflight;
+    bool dead = false;  // drain thread exited; submissions must throw
+    std::thread drain;
   };
+
+  /// Enqueues `pending` on a round-robin connection of `shard` and
+  /// writes `req`; on a write failure the connection is declared dead
+  /// and every queued future fails.
+  void submit(std::size_t shard, const std::vector<std::uint8_t>& req,
+              Pending pending);
+  void drain_loop(Connection& conn);
+  static void fail(Pending& pending, const std::exception_ptr& err);
 
   std::vector<gas::VertexRange> ranges_;
   std::vector<std::vector<std::unique_ptr<Connection>>> pools_;
   std::unique_ptr<std::atomic<std::size_t>[]> round_robin_;
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> batch_requests_{0};
+  std::atomic<std::uint64_t> batched_queries_{0};
+  std::atomic<std::uint64_t> max_inflight_{0};
+  std::atomic<bool> closed_{false};
 };
 
 /// Cluster assembly options.
@@ -183,13 +292,30 @@ struct ServeOptions {
   bool colocate = true;
   /// Router connections pooled per shard (each gets a serving thread).
   std::size_t connections_per_shard = 1;
+  /// Hot-row cache budget PER SHARD for the remote-fetch path, in bytes
+  /// (0 = no cache; irrelevant in colocate mode, which never fetches).
+  /// Each shard gets its own RowCache, dropped with the cluster — a
+  /// re-shard starts cold.
+  std::size_t cache_bytes = 0;
+  /// Install ONE existing cache on every shard instead, and keep it
+  /// across cluster generations (the warm-restart pattern: rows
+  /// untouched by an update keep hitting, republished rows miss on
+  /// their bumped version key). Takes precedence over cache_bytes.
+  std::shared_ptr<RowCache> shared_cache;
+  /// Per-vertex row versions of the served model (null = all rows at
+  /// version 0 — right for any freshly fit or loaded model). For a
+  /// model produced by DynamicModel::freeze(), pass its row_version
+  /// counters so cache keys distinguish republished rows.
+  std::shared_ptr<const std::vector<std::uint64_t>> row_versions;
 };
 
 /// Everything wired: plans byte-balanced ranges, builds the shards,
 /// starts the servers, connects peer links (fetch mode) and a router
 /// pool. The process-boundary discipline is real — after construction,
 /// every query crosses the chosen byte transport; only fork(2) is
-/// simulated away.
+/// simulated away. (The hot-row cache is per shard, matching what a
+/// shard process could hold in local memory — shards never read each
+/// other's caches.)
 class ServingCluster {
  public:
   ServingCluster(const PredictorModel& model, const ServeOptions& options);
@@ -208,10 +334,14 @@ class ServingCluster {
   }
   /// Per-shard counters, index-aligned with ranges().
   [[nodiscard]] std::vector<ShardStats> stats() const;
+  /// Aggregate hot-row cache counters (distinct caches summed once;
+  /// all-zero when the cluster runs cacheless).
+  [[nodiscard]] RowCacheStats cache_stats() const;
 
  private:
   ServeOptions options_;
   std::vector<gas::VertexRange> ranges_;
+  std::vector<std::shared_ptr<RowCache>> caches_;  // distinct caches only
   std::vector<std::unique_ptr<ShardServer>> servers_;
   std::unique_ptr<QueryRouter> router_;
 };

@@ -1,0 +1,89 @@
+#include "serve/row_cache.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace snaple::serve {
+
+RowCache::RowCache(std::size_t capacity_bytes, std::size_t segments)
+    : capacity_(capacity_bytes) {
+  SNAPLE_CHECK_MSG(capacity_bytes > 0, "row cache needs a byte budget");
+  SNAPLE_CHECK_MSG(segments > 0, "row cache needs at least one segment");
+  // No more segments than could each hold one small row: a tiny budget
+  // collapses to fewer, larger segments rather than 16 useless ones.
+  const std::size_t usable =
+      std::max<std::size_t>(1, capacity_bytes / sizeof(HotRow));
+  segments_ = std::vector<Segment>(std::min(segments, usable));
+  per_segment_ = capacity_ / segments_.size();
+}
+
+std::shared_ptr<const HotRow> RowCache::get(VertexId v,
+                                            std::uint64_t version) {
+  Segment& seg = segment_of(v);
+  std::lock_guard<std::mutex> lock(seg.mu);
+  const auto it = seg.index.find(v);
+  if (it == seg.index.end()) {
+    ++seg.misses;
+    return nullptr;
+  }
+  if (it->second->version != version) {
+    // Row versions are monotone, so a mismatch proves the entry stale —
+    // drop it now instead of letting it age out of the cold end.
+    seg.bytes -= it->second->bytes;
+    seg.lru.erase(it->second);
+    seg.index.erase(it);
+    ++seg.misses;
+    ++seg.stale_drops;
+    return nullptr;
+  }
+  seg.lru.splice(seg.lru.begin(), seg.lru, it->second);  // re-warm
+  ++seg.hits;
+  return it->second->row;
+}
+
+void RowCache::put(VertexId v, std::uint64_t version,
+                   std::shared_ptr<const HotRow> row) {
+  SNAPLE_CHECK_MSG(row != nullptr, "cannot cache a null row");
+  const std::size_t row_bytes = sizeof(Entry) + row->bytes();
+  Segment& seg = segment_of(v);
+  std::lock_guard<std::mutex> lock(seg.mu);
+  const auto it = seg.index.find(v);
+  if (it != seg.index.end()) {
+    seg.bytes -= it->second->bytes;
+    seg.lru.erase(it->second);
+    seg.index.erase(it);
+  }
+  seg.lru.push_front(
+      Entry{v, version, std::move(row), row_bytes});
+  seg.index.emplace(v, seg.lru.begin());
+  seg.bytes += row_bytes;
+  ++seg.insertions;
+  while (seg.bytes > per_segment_ && !seg.lru.empty()) {
+    // Evict the cold end — which is the just-inserted row itself when a
+    // single row exceeds the segment budget (bounded beats resident).
+    const Entry& cold = seg.lru.back();
+    seg.bytes -= cold.bytes;
+    seg.index.erase(cold.vertex);
+    seg.lru.pop_back();
+    ++seg.evictions;
+  }
+}
+
+RowCacheStats RowCache::stats() const {
+  RowCacheStats s;
+  s.capacity_bytes = capacity_;
+  for (const Segment& seg : segments_) {
+    std::lock_guard<std::mutex> lock(seg.mu);
+    s.hits += seg.hits;
+    s.misses += seg.misses;
+    s.stale_drops += seg.stale_drops;
+    s.insertions += seg.insertions;
+    s.evictions += seg.evictions;
+    s.entries += seg.lru.size();
+    s.bytes += seg.bytes;
+  }
+  return s;
+}
+
+}  // namespace snaple::serve

@@ -1,0 +1,142 @@
+// RowCache — the serving tier's versioned hot-row cache.
+//
+// Zipfian query traffic re-reads the same hub rows over and over: in
+// remote-fetch mode every one of those reads was a shard→shard round
+// trip (PR 6 measured ~2.2 fetches and ~1 KB of wire per query). The
+// cache sits on the fetch path (router.hpp, ShardServer::collect_rows):
+// before a shard asks a peer for a non-resident row it consults its
+// cache, and every fetched row is inserted on the way through — repeat
+// reads of hot rows are then served from local memory, no wire at all.
+//
+// Invalidation is free by construction, never broadcast:
+//
+//   * every entry is keyed by (vertex, row_version) — the same
+//     per-vertex counter DynamicModel::row_version exposes (0 for every
+//     row of a freshly fit model). A lookup presents the version the
+//     caller believes is current; an entry recorded under an older
+//     version simply misses (and is dropped on the spot — versions are
+//     monotone, so a version mismatch proves the entry stale).
+//   * a ServingCluster built with ServeOptions::cache_bytes creates a
+//     fresh cache per shard, so a re-shard drops every entry wholesale.
+//     ServeOptions::shared_cache instead carries ONE cache object
+//     across cluster generations (the warm-restart / sidecar pattern:
+//     rows untouched by the update keep hitting, republished rows miss
+//     on their bumped version) — which is exactly what the version key
+//     exists for.
+//
+// Bit-identity is untouched: a hit returns the identical row bytes a
+// fetch would have carried, and the fold depends only on row contents.
+//
+// Structure: a bounded, SHARDED LRU — `segments` independent LRU lists,
+// each under its own mutex, entries assigned by vertex hash. A shard
+// server runs one serving thread per inbound connection, so fetch-path
+// lookups are concurrent; segment sharding keeps them from serializing
+// on one lock. Each segment holds at most capacity/segments bytes
+// (payload + bookkeeping); inserting past the bound evicts from that
+// segment's cold end.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace snaple::serve {
+
+/// One non-resident vertex's cached serving rows — exactly the payload
+/// a fetch response carries (sims + hop2 ids/scores; machine tags are
+/// never shipped or cached: the fold reads tags only from the queried
+/// vertex's own always-local row). Shared-ptr ownership lets a query
+/// keep using a row that a concurrent insert evicts mid-fold.
+struct HotRow {
+  std::vector<VertexId> sims_ids;
+  std::vector<float> sims_scores;
+  std::vector<VertexId> hop2_ids;
+  std::vector<float> hop2_scores;
+
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return sizeof(HotRow) +
+           (sims_ids.size() + hop2_ids.size()) *
+               (sizeof(VertexId) + sizeof(float));
+  }
+};
+
+/// Aggregate counters, readable while the cache serves.
+struct RowCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;        // includes stale-version drops
+  std::uint64_t stale_drops = 0;   // misses that evicted an old version
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;     // capacity evictions (LRU cold end)
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+  std::size_t capacity_bytes = 0;
+};
+
+class RowCache {
+ public:
+  /// `capacity_bytes` bounds the whole cache (split evenly across
+  /// `segments`; at least one segment, each at least one entry's worth —
+  /// an over-sized row just evicts itself and never resides).
+  explicit RowCache(std::size_t capacity_bytes, std::size_t segments = 16);
+
+  RowCache(const RowCache&) = delete;
+  RowCache& operator=(const RowCache&) = delete;
+
+  /// The row of `v` iff cached under exactly `version`; null on a miss.
+  /// A resident entry with an older version is dropped (stale by
+  /// monotonicity) and reported as a miss.
+  [[nodiscard]] std::shared_ptr<const HotRow> get(VertexId v,
+                                                  std::uint64_t version);
+
+  /// Inserts (replacing any entry for `v`, whatever its version) and
+  /// evicts the segment's cold end past the byte bound.
+  void put(VertexId v, std::uint64_t version,
+           std::shared_ptr<const HotRow> row);
+
+  [[nodiscard]] RowCacheStats stats() const;
+
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept {
+    return capacity_;
+  }
+
+ private:
+  struct Entry {
+    VertexId vertex = 0;
+    std::uint64_t version = 0;
+    std::shared_ptr<const HotRow> row;
+    std::size_t bytes = 0;
+  };
+  /// One LRU shard: list front = hottest. Counters live under the same
+  /// mutex — they are only ever touched by a thread already holding it.
+  struct Segment {
+    mutable std::mutex mu;
+    std::list<Entry> lru;
+    std::unordered_map<VertexId, std::list<Entry>::iterator> index;
+    std::size_t bytes = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t stale_drops = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  [[nodiscard]] Segment& segment_of(VertexId v) noexcept {
+    // Fibonacci hash: consecutive vertex ids (a shard's hot range)
+    // spread across segments instead of clustering in one.
+    const std::uint64_t h =
+        static_cast<std::uint64_t>(v) * 0x9e3779b97f4a7c15ULL;
+    return segments_[(h >> 32) % segments_.size()];
+  }
+
+  std::size_t capacity_;
+  std::size_t per_segment_;
+  std::vector<Segment> segments_;
+};
+
+}  // namespace snaple::serve

@@ -53,9 +53,12 @@ enum class TransportKind {
 
 /// One end of a bidirectional, ordered, reliable byte stream.
 /// send/recv are all-or-throw: partial transfers never escape (short
-/// socket writes are retried internally). A single end is NOT safe for
-/// concurrent callers — the serving tier serializes each connection
-/// behind a mutex (router.hpp); distinct ends are independent.
+/// socket writes are retried internally). Channels are full duplex: ONE
+/// sender plus ONE receiver may use the same end concurrently (how the
+/// router pipelines — a submission side writes while the drain thread
+/// reads), but concurrent senders (or receivers) on one end must be
+/// serialized by the caller, as router.hpp's send mutex does. Distinct
+/// ends are independent.
 class ByteChannel {
  public:
   virtual ~ByteChannel() = default;

@@ -9,8 +9,13 @@
 // same machine-grouped fold, so EXPECT_EQ on (id, score) pairs holds.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
+#include <future>
+#include <numeric>
+#include <random>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -259,6 +264,120 @@ TEST(ShardedServing, KPlumbsThroughTheWire) {
               engine.topk(u, kUnlimited))
         << u;
   }
+}
+
+// ---------- pipelined + batched submission ----------
+
+TEST(ShardedServing, BatchedSubmissionBitIdenticalOneMessagePerShard) {
+  const auto model = fit_model(5, 3);
+  const QueryEngine engine(model);
+  const VertexId n = model->num_vertices();
+  std::vector<Scored> want(n);
+  for (VertexId u = 0; u < n; ++u) want[u] = engine.topk(u);
+
+  for (const std::size_t shards : {2ul, 8ul}) {
+    for (const auto transport : kTransports) {
+      for (const bool colocate : {true, false}) {
+        ServeOptions opt;
+        opt.num_shards = shards;
+        opt.transport = transport;
+        opt.colocate = colocate;
+        ServingCluster cluster(*model, opt);
+        auto& router = cluster.router();
+
+        // Shuffled order so every chunk straddles shard boundaries.
+        std::vector<VertexId> users(n);
+        std::iota(users.begin(), users.end(), VertexId{0});
+        std::mt19937 rng(7);
+        std::shuffle(users.begin(), users.end(), rng);
+
+        constexpr std::size_t kChunk = 64;
+        std::uint64_t expect_messages = 0;
+        for (std::size_t i = 0; i < users.size(); i += kChunk) {
+          const std::span<const VertexId> chunk(
+              users.data() + i, std::min(kChunk, users.size() - i));
+          std::set<std::size_t> owners;
+          for (const VertexId u : chunk) owners.insert(router.shard_of(u));
+          expect_messages += owners.size();
+          const auto got = router.topk_batch(chunk);
+          ASSERT_EQ(got.size(), chunk.size());
+          for (std::size_t j = 0; j < chunk.size(); ++j) {
+            ASSERT_EQ(got[j], want[chunk[j]])
+                << "shards=" << shards << " transport="
+                << serve::to_string(transport) << " colocate=" << colocate
+                << " u=" << chunk[j];
+          }
+        }
+        // The batching contract: ONE counted wire message per owning
+        // shard per chunk — never one per query.
+        const auto rs = router.stats();
+        EXPECT_EQ(rs.requests, expect_messages);
+        EXPECT_EQ(rs.batch_requests, expect_messages);
+        EXPECT_EQ(rs.batched_queries, n);
+      }
+    }
+  }
+}
+
+TEST(ShardedServing, AsyncSubmissionPipelinesOnOneConnection) {
+  const auto model = fit_model(3, 2);
+  const QueryEngine engine(model);
+  ServeOptions opt;
+  opt.num_shards = 2;
+  opt.colocate = false;
+  opt.connections_per_shard = 1;  // all overlap happens on single links
+  ServingCluster cluster(*model, opt);
+
+  const VertexId n = model->num_vertices();
+  std::vector<std::future<Scored>> futures;
+  futures.reserve(n);
+  for (VertexId u = 0; u < n; ++u) {
+    futures.push_back(cluster.router().topk_async(u));
+  }
+  for (VertexId u = 0; u < n; ++u) {
+    ASSERT_EQ(futures[u].get(), engine.topk(u)) << u;
+  }
+  const auto rs = cluster.router().stats();
+  EXPECT_EQ(rs.requests, n);
+  // Submitting everything before awaiting anything must actually have
+  // overlapped round trips, not degenerated to lockstep.
+  EXPECT_GT(rs.max_inflight, 1u);
+}
+
+TEST(ShardedServing, BatchValidatesUpFrontAndBatchErrorsCrossTheWire) {
+  const auto model = fit_model(3, 2);
+  const QueryEngine engine(model);
+  const VertexId n = model->num_vertices();
+  {
+    ServeOptions opt;
+    opt.num_shards = 2;
+    ServingCluster cluster(*model, opt);
+    // A bad id anywhere rejects the whole batch before submission.
+    const VertexId bad[] = {0, n};
+    EXPECT_THROW((void)cluster.router().topk_batch(bad), CheckError);
+    EXPECT_EQ(cluster.router().stats().batch_requests, 0u);
+    const std::vector<VertexId> none;
+    EXPECT_TRUE(cluster.router().topk_batch(none).empty());
+  }
+
+  // A misrouted batch (router with a wrong layout) fails as ONE error
+  // response — raised as CheckError — and the connection survives.
+  const gas::VertexRange half{0, n / 2};
+  serve::ShardServer server(ModelShard::build(*model, half, true),
+                            {gas::VertexRange{0, n}});
+  auto link = serve::make_channel_pair(TransportKind::kInProcess);
+  server.serve(std::move(link.server));
+  std::vector<std::vector<std::unique_ptr<ByteChannel>>> pool(1);
+  pool[0].push_back(std::move(link.client));
+  serve::QueryRouter router({gas::VertexRange{0, n}}, std::move(pool));
+  const VertexId misrouted[] = {0, n - 1};
+  EXPECT_THROW((void)router.topk_batch(misrouted), CheckError);
+  const VertexId fine[] = {0, 1};
+  const auto got = router.topk_batch(fine);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], engine.topk(0));
+  EXPECT_EQ(got[1], engine.topk(1));
+  EXPECT_EQ(server.stats().errors, 1u);
 }
 
 // ---------- cost-model accounting ----------

@@ -1,0 +1,356 @@
+// Versioned hot-row cache (serve/row_cache.hpp) — unit semantics and
+// the serving-tier integration (ISSUE 7).
+//
+// The load-bearing properties:
+//   * a cache hit returns the identical row bytes a peer fetch would
+//     have carried, so cached serving stays BIT-identical to the
+//     single-process QueryEngine (EXPECT_EQ, never EXPECT_NEAR);
+//   * entries are keyed by (vertex, row_version): after an update
+//     republishes a row, the old entry can never serve again — the
+//     bumped version misses and drops it, no invalidation broadcast.
+//     The lifecycle test plants a poisoned stale entry exactly where a
+//     re-sharded cluster will look, and bit-identity proves the keyed
+//     miss (a hit would misscore visibly);
+//   * the cache is bounded: hammering a tiny cache from 8 threads
+//     evicts constantly and still never disagrees (the TSan job runs
+//     this suite).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/dynamic_model.hpp"
+#include "core/predictor.hpp"
+#include "core/query_engine.hpp"
+#include "graph/builder.hpp"
+#include "graph/gen/datasets.hpp"
+#include "serve/model_shard.hpp"
+#include "serve/router.hpp"
+#include "serve/row_cache.hpp"
+
+namespace snaple {
+namespace {
+
+using serve::HotRow;
+using serve::RowCache;
+using serve::RowCacheStats;
+using serve::ServeOptions;
+using serve::ServingCluster;
+using serve::TransportKind;
+using Scored = std::vector<std::pair<VertexId, float>>;
+
+std::shared_ptr<const HotRow> make_row(VertexId tag,
+                                       std::size_t width = 8) {
+  auto row = std::make_shared<HotRow>();
+  for (std::size_t i = 0; i < width; ++i) {
+    row->sims_ids.push_back(tag + static_cast<VertexId>(i));
+    row->sims_scores.push_back(static_cast<float>(tag) + 0.5f);
+    row->hop2_ids.push_back(tag + static_cast<VertexId>(i));
+    row->hop2_scores.push_back(0.25f);
+  }
+  return row;
+}
+
+// ---------- RowCache unit semantics ----------
+
+TEST(RowCacheUnit, MissThenHitThenStats) {
+  RowCache cache(1 << 20);
+  EXPECT_EQ(cache.get(7, 0), nullptr);
+  const auto row = make_row(7);
+  cache.put(7, 0, row);
+  const auto hit = cache.get(7, 0);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit.get(), row.get());  // the very same row object
+  const RowCacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.insertions, 1u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_GT(s.bytes, 0u);
+  EXPECT_EQ(s.capacity_bytes, std::size_t{1} << 20);
+}
+
+TEST(RowCacheUnit, StaleVersionMissesAndDropsTheEntry) {
+  RowCache cache(1 << 20);
+  cache.put(3, /*version=*/0, make_row(3));
+  // The caller now believes version 2 is current: the version-0 entry
+  // must miss AND leave the cache (monotonicity proves it stale).
+  EXPECT_EQ(cache.get(3, 2), nullptr);
+  RowCacheStats s = cache.stats();
+  EXPECT_EQ(s.stale_drops, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.entries, 0u);
+  // Not even the old version can see it anymore.
+  EXPECT_EQ(cache.get(3, 0), nullptr);
+}
+
+TEST(RowCacheUnit, PutReplacesWhateverVersionWasResident) {
+  RowCache cache(1 << 20);
+  cache.put(3, 0, make_row(100));
+  const auto fresh = make_row(200);
+  cache.put(3, 5, fresh);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  const auto hit = cache.get(3, 5);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->sims_ids.front(), 200u);
+}
+
+TEST(RowCacheUnit, LruEvictsTheColdEndFirst) {
+  // Single segment so LRU order is global; capacity fits two rows
+  // (payload + bookkeeping bounded by +64 bytes each) but not three.
+  const std::size_t row_cost = make_row(0)->bytes();
+  RowCache cache(2 * (row_cost + 64), /*segments=*/1);
+  cache.put(1, 0, make_row(1));
+  cache.put(2, 0, make_row(2));
+  ASSERT_NE(cache.get(1, 0), nullptr);  // re-warm 1: now 2 is coldest
+  cache.put(3, 0, make_row(3));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_NE(cache.get(1, 0), nullptr);
+  EXPECT_EQ(cache.get(2, 0), nullptr);  // the cold end went
+  EXPECT_NE(cache.get(3, 0), nullptr);
+}
+
+TEST(RowCacheUnit, ByteBoundHoldsUnderChurnAndOversizedRowsNeverReside) {
+  const std::size_t cap = 4096;
+  RowCache cache(cap, 4);
+  for (VertexId v = 0; v < 512; ++v) {
+    cache.put(v, 0, make_row(v));
+    EXPECT_LE(cache.stats().bytes, cap);
+  }
+  EXPECT_GT(cache.stats().evictions, 0u);
+
+  // A row bigger than a whole segment evicts itself: bounded > resident.
+  RowCache tiny(64);
+  tiny.put(9, 0, make_row(9, /*width=*/64));
+  EXPECT_EQ(tiny.stats().entries, 0u);
+  EXPECT_EQ(tiny.stats().evictions, 1u);
+  EXPECT_EQ(tiny.get(9, 0), nullptr);
+}
+
+TEST(RowCacheUnit, RejectsZeroBudgetAndClampsSegments) {
+  EXPECT_THROW(RowCache(0), CheckError);
+  // 64 bytes cannot carry 16 useful segments; construction still works.
+  const RowCache small(64, 16);
+  EXPECT_EQ(small.capacity_bytes(), 64u);
+}
+
+// ---------- serving-tier integration ----------
+
+std::shared_ptr<const PredictorModel> fit_model(std::uint64_t seed,
+                                                std::size_t k_hops) {
+  const CsrGraph g = gen::make_dataset("gowalla", 0.02, seed);
+  SnapleConfig cfg;
+  cfg.k_local = 10;
+  cfg.k_hops = k_hops;
+  cfg.seed = seed;
+  const LinkPredictor predictor(cfg, gas::ClusterConfig::type_i(4));
+  return std::make_shared<const PredictorModel>(predictor.fit(g));
+}
+
+TEST(ServeCache, CachedServingBitIdenticalAndRepeatTrafficNeverFetches) {
+  const auto model = fit_model(5, 3);
+  const QueryEngine engine(model);
+  const VertexId n = model->num_vertices();
+  std::vector<Scored> want(n);
+  for (VertexId u = 0; u < n; ++u) want[u] = engine.topk(u);
+
+  for (const auto transport :
+       {TransportKind::kInProcess, TransportKind::kUnixSocket}) {
+    ServeOptions opt;
+    opt.num_shards = 4;
+    opt.transport = transport;
+    opt.colocate = false;
+    opt.cache_bytes = 32u << 20;  // ample: every fetched row stays
+    ServingCluster cluster(*model, opt);
+
+    for (VertexId u = 0; u < n; ++u) {
+      ASSERT_EQ(cluster.router().topk(u), want[u]) << "pass 1, u=" << u;
+    }
+    std::uint64_t fetches_pass1 = 0;
+    for (const auto& s : cluster.stats()) {
+      fetches_pass1 += s.remote_fetch_requests;
+    }
+    EXPECT_GT(fetches_pass1, 0u);  // cold cache had to fetch
+
+    for (VertexId u = 0; u < n; ++u) {
+      ASSERT_EQ(cluster.router().topk(u), want[u]) << "pass 2, u=" << u;
+    }
+    std::uint64_t fetches_pass2 = 0, shard_hits = 0, shard_misses = 0;
+    for (const auto& s : cluster.stats()) {
+      fetches_pass2 += s.remote_fetch_requests;
+      shard_hits += s.cache_hits;
+      shard_misses += s.cache_misses;
+    }
+    // Identical repeat traffic: every non-resident row is warm, so the
+    // second pass issues ZERO new fetches.
+    EXPECT_EQ(fetches_pass2, fetches_pass1);
+    EXPECT_GT(shard_hits, 0u);
+
+    const RowCacheStats cs = cluster.cache_stats();
+    EXPECT_EQ(cs.hits, shard_hits);      // shard counters ≡ cache counters
+    EXPECT_EQ(cs.misses, shard_misses);
+    EXPECT_EQ(cs.evictions, 0u);         // the budget was ample
+    EXPECT_GT(cs.entries, 0u);
+  }
+}
+
+/// Splits `full` into a base graph and ~`want` held-back edges to
+/// replay as live inserts (same recipe as test_dynamic_model).
+struct Split {
+  std::shared_ptr<const CsrGraph> base;
+  std::vector<Edge> inserts;
+};
+
+Split split_graph(const CsrGraph& full, std::size_t want) {
+  const auto all = full.edges();
+  const std::size_t stride = std::max<std::size_t>(2, all.size() / want);
+  Split out;
+  GraphBuilder b(full.num_vertices());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (i % stride == 1 && out.inserts.size() < want) {
+      out.inserts.push_back(all[i]);
+    } else {
+      b.add_edge(all[i].src, all[i].dst);
+    }
+  }
+  out.base = std::make_shared<const CsrGraph>(b.build());
+  return out;
+}
+
+/// Insertion-stable (kEdgeLocal) fit — the precondition DynamicModel
+/// verifies before it will update a model in place.
+std::shared_ptr<const PredictorModel> fit_edge_local(const CsrGraph& g,
+                                                     const SnapleConfig& cfg) {
+  const auto part = gas::Partitioning::create(
+      g, 4, gas::PartitionStrategy::kEdgeLocal, cfg.seed);
+  const LinkPredictor predictor(cfg, gas::ClusterConfig::type_i(4),
+                                gas::PartitionStrategy::kEdgeLocal);
+  return std::make_shared<const PredictorModel>(
+      predictor.fit_with_partitioning(g, part));
+}
+
+TEST(ServeCache, UpdateLifecycleVersionKeysRetireStaleRowsAcrossReshard) {
+  const std::uint64_t seed = 11;
+  const CsrGraph full = gen::make_dataset("gowalla", 0.02, seed);
+  const Split split = split_graph(full, 30);
+  SnapleConfig cfg;
+  cfg.k_local = 10;
+  cfg.k_hops = 3;
+  cfg.seed = seed;
+  const auto base_model = fit_edge_local(*split.base, cfg);
+  const VertexId n = base_model->num_vertices();
+
+  // ONE cache carried across both cluster generations — the
+  // warm-restart pattern the version keys exist for.
+  const auto cache = std::make_shared<RowCache>(std::size_t{32} << 20);
+
+  // Generation A serves the base model (every row at version 0) and
+  // warms the shared cache.
+  {
+    ServeOptions opt;
+    opt.num_shards = 4;
+    opt.colocate = false;
+    opt.shared_cache = cache;
+    ServingCluster cluster(*base_model, opt);
+    const QueryEngine engine(base_model);
+    for (VertexId u = 0; u < n; ++u) {
+      ASSERT_EQ(cluster.router().topk(u), engine.topk(u)) << u;
+    }
+  }
+  EXPECT_GT(cache->stats().entries, 0u);
+
+  // A live update burst, then freeze → the re-shard input. row_version
+  // records which rows the burst republished.
+  DynamicModel dyn(base_model, split.base);
+  for (const Edge& e : split.inserts) (void)dyn.add_edge(e.src, e.dst);
+  const auto updated =
+      std::make_shared<const PredictorModel>(dyn.freeze());
+  auto versions = std::make_shared<std::vector<std::uint64_t>>(n, 0);
+  std::size_t republished = 0;
+  for (VertexId u = 0; u < n; ++u) {
+    (*versions)[u] = dyn.row_version(u);
+    if ((*versions)[u] > 0) ++republished;
+  }
+  ASSERT_GT(republished, 0u);
+
+  ServeOptions opt;
+  opt.num_shards = 4;
+  opt.colocate = false;
+  opt.shared_cache = cache;
+  opt.row_versions = versions;
+  ServingCluster cluster(*updated, opt);
+
+  // Plant a poisoned row where generation B will definitely look: a
+  // republished vertex that is a non-resident neighbor of some owned
+  // vertex under B's ranges, cached under its OLD version. If version
+  // keying failed, the garbage would be folded into a served score and
+  // the bit-identity loop below would catch it.
+  const auto& ranges = cluster.ranges();
+  bool planted = false;
+  for (VertexId u = 0; u < n && !planted; ++u) {
+    const auto& owner = ranges[gas::range_owner(ranges, u)];
+    for (const VertexId v : updated->sims(u).ids) {
+      if (!owner.contains(v) && (*versions)[v] > 0) {
+        cache->put(v, 0, make_row(v));  // stale version, garbage payload
+        planted = true;
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(planted) << "30 inserts must republish some remote neighbor";
+  const std::uint64_t stale_before = cache->stats().stale_drops;
+
+  const QueryEngine engine(updated);
+  std::uint64_t warm_hits = cache->stats().hits;
+  for (VertexId u = 0; u < n; ++u) {
+    ASSERT_EQ(cluster.router().topk(u), engine.topk(u)) << u;
+  }
+  warm_hits = cache->stats().hits - warm_hits;
+  // Carried-over entries for untouched rows kept serving…
+  EXPECT_GT(warm_hits, 0u);
+  // …and the planted stale entry was retired by its version key.
+  EXPECT_GT(cache->stats().stale_drops, stale_before);
+}
+
+TEST(ServeCacheConcurrency, EightThreadsHammerATinyCacheAndAgree) {
+  const auto model = fit_model(7, 3);
+  const QueryEngine engine(model);
+  const VertexId n = model->num_vertices();
+  std::vector<Scored> want(n);
+  for (VertexId u = 0; u < n; ++u) want[u] = engine.topk(u);
+
+  ServeOptions opt;
+  opt.num_shards = 4;
+  opt.colocate = false;
+  opt.connections_per_shard = 4;
+  opt.cache_bytes = 64 * 1024;  // tiny on purpose: constant eviction
+  ServingCluster cluster(*model, opt);
+
+  constexpr std::size_t kThreads = 8;
+  std::atomic<std::size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (VertexId i = 0; i < n; ++i) {
+        const auto u = static_cast<VertexId>((i + t * 131) % n);
+        if (cluster.router().topk(u) != want[u]) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+
+  const RowCacheStats cs = cluster.cache_stats();
+  EXPECT_GT(cs.evictions, 0u);  // the bound did real work
+  EXPECT_GT(cs.hits, 0u);       // and hot rows still hit through it
+  EXPECT_LE(cs.bytes, cs.capacity_bytes);
+}
+
+}  // namespace
+}  // namespace snaple
