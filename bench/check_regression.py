@@ -12,9 +12,10 @@ Supports two artifact shapes:
     bytes_per_second (higher is better).
 
 Direction is inferred from the column name: throughput-ish columns
-("MB/s", "Medges/s", "per_second", "speedup", "recall") must not drop,
-time-ish columns ("s", "seconds", "time", "wall") must not grow; other
-numeric columns are reported but never judged.
+("MB/s", "Medges/s", "per_second", "speedup", "recall") and ratio
+columns ("compression_ratio") must not drop; time-ish columns ("s",
+"seconds", "time", "wall") and size columns ("bytes", "footprint") must
+not grow; other numeric columns are reported but never judged.
 
 Default mode only reports (exit 0 unless artifacts are malformed or rows
 disappeared); --enforce turns threshold violations into exit 1 so a later
@@ -28,16 +29,23 @@ import json
 import math
 import sys
 
+# "_ratio" (not bare "ratio") so Google Benchmark's "iterations" column
+# stays informational.
 HIGHER_BETTER = ("mb/s", "medges/s", "per_second", "speedup", "recall",
-                 "items", "bytes_per")
+                 "items", "bytes_per", "_ratio")
 LOWER_BETTER = ("load s", "time", "wall", "seconds", "real_time",
-                "cpu_time", "sim")
+                "cpu_time", "sim", "bytes", "footprint")
+
+
+def _higher_wins(c):
+    """bytes_per_second is a throughput despite containing "bytes"."""
+    return any(k in c for k in HIGHER_BETTER)
 
 
 def direction(column):
     """+1 higher-is-better, -1 lower-is-better, 0 informational."""
     c = column.lower()
-    if any(k in c for k in HIGHER_BETTER):
+    if _higher_wins(c):
         return 1
     if any(k in c for k in LOWER_BETTER):
         return -1

@@ -31,6 +31,15 @@
 //   --threads=<n>       loader thread count           [hardware]
 //   --convert=<file>    write input as binary v2 and exit
 //   --save-bin=<file>   also write loaded graph as binary v2
+//   --compress          hold the graph delta-compressed
+//                       (graph/compressed_csr.hpp): batch runs decode
+//                       rows on the fly instead of inflating the flat
+//                       CSR (bit-identical predictions and accounting),
+//                       and --convert/--save-bin write binary v3 —
+//                       compressed rows on disk that later --compress
+//                       runs load without ever inflating. Batch flow
+//                       only (--eval and the serving flows need the
+//                       flat graph).
 //
 // Serving options (any of these switches to the fit/serve flow):
 //   --fit               fit the model (steps 1–2) and stop — no batch
@@ -70,14 +79,14 @@
 //                       entry point)
 //
 // Input files may be SNAP-style text edge lists (loaded with the
-// parallel mmap loader) or snaple binary graphs (v1 or v2, autodetected
-// by magic) — convert a big text file once with --convert and every
-// later run loads the CSR arrays directly.
+// parallel mmap loader) or snaple binary graphs (v1, v2 or compressed
+// v3, autodetected by magic) — convert a big text file once with
+// --convert and every later run loads the CSR arrays directly.
 //
 // Examples:
 //   ./snaple_cli livejournal --eval --klocal=40
 //   ./snaple_cli soc-pokec.txt --score=counter --machines=8 --type2
-//   ./snaple_cli twitter_rv.net --convert=twitter.bin
+//   ./snaple_cli twitter_rv.net --convert=twitter.bin --compress
 //   ./snaple_cli twitter.bin --fit --save-model=twitter-model.bin
 //   ./snaple_cli --load-model=twitter-model.bin --query=1,7,900 --k=10
 #include <algorithm>
@@ -94,6 +103,7 @@
 #include "eval/experiment.hpp"
 #include "eval/metrics.hpp"
 #include "gas/shard.hpp"
+#include "graph/compressed_csr.hpp"
 #include "graph/gen/datasets.hpp"
 #include "graph/io.hpp"
 #include "serve/router.hpp"
@@ -316,7 +326,7 @@ int usage(const char* argv0) {
                " [--thr=N|inf] [--khops=2|3] [--hop2min=F] [--machines=N]"
                " [--partition=hash|greedy|local] [--flat] [--type2]"
                " [--eval] [--seed=N] [--out=FILE] [--threads=N]"
-               " [--convert=FILE] [--save-bin=FILE]\n"
+               " [--convert=FILE] [--save-bin=FILE] [--compress]\n"
                "   or: " << argv0
             << " <graph> --fit [--save-model=FILE] [--query=U1,U2,...]\n"
                "   or: " << argv0
@@ -341,6 +351,7 @@ int main(int argc, char** argv) {
   bool evaluate = false;
   bool flat = false;
   bool fit_only = false;
+  bool compress = false;
   auto strategy = gas::PartitionStrategy::kGreedy;
   std::size_t machines = 1;
   std::size_t threads = 0;
@@ -414,6 +425,8 @@ int main(int argc, char** argv) {
         have_partition = true;
       } else if (arg == "--flat") {
         flat = true;
+      } else if (arg == "--compress") {
+        compress = true;
       } else if (arg.rfind("--seed=", 0) == 0) {
         config.seed = std::strtoull(value_of("--seed=").c_str(), nullptr, 10);
       } else if (arg.rfind("--out=", 0) == 0) {
@@ -470,6 +483,13 @@ int main(int argc, char** argv) {
                        serve_shards > 0;
   if (serving && evaluate) {
     std::cerr << "--eval applies to the batch flow only\n";
+    return 2;
+  }
+  if (compress && (serving || evaluate)) {
+    // The fit/serve and eval flows mutate or harvest the flat graph;
+    // decompressing behind the user's back would defeat the flag.
+    std::cerr << "--compress applies to conversion and the batch flow "
+                 "only\n";
     return 2;
   }
   if (serve_cache_mb > 0 && serve_shards == 0) {
@@ -557,6 +577,8 @@ int main(int argc, char** argv) {
   }
 
   CsrGraph graph;
+  CompressedCsrGraph cgraph;  // the graph when --compress is in effect
+  bool have_cgraph = false;
   WallTimer load_timer;
   try {
     if (file_exists(input)) {
@@ -569,7 +591,14 @@ int main(int argc, char** argv) {
           return 2;
         }
         std::cerr << "loading binary graph " << input << "...\n";
-        graph = load_binary_file(input);
+        if (compress) {
+          // v3 inputs load natively compressed — the flat adjacency is
+          // never materialized; v1/v2 are compressed after loading.
+          cgraph = load_binary_compressed_file(input);
+          have_cgraph = true;
+        } else {
+          graph = load_binary_file(input);
+        }
       } else if (threads == 1) {
         // An explicit --threads=1 means truly serial: use the reference
         // stream loader rather than the chunked parallel one.
@@ -588,16 +617,41 @@ int main(int argc, char** argv) {
     std::cerr << "cannot load '" << input << "': " << e.what() << "\n";
     return 1;
   }
-  std::cerr << "graph: " << graph.num_vertices() << " vertices, "
-            << graph.num_edges() << " edges (loaded in "
-            << format_duration(load_timer.seconds()) << ")\n";
+  if (compress && !have_cgraph) {
+    cgraph = CompressedCsrGraph::from_graph(graph, pool);
+    graph = CsrGraph{};  // release the flat adjacency
+    have_cgraph = true;
+  }
+  const VertexId num_vertices =
+      have_cgraph ? cgraph.num_vertices() : graph.num_vertices();
+  const EdgeIndex num_edges =
+      have_cgraph ? cgraph.num_edges() : graph.num_edges();
+  std::cerr << "graph: " << num_vertices << " vertices, " << num_edges
+            << " edges (loaded in " << format_duration(load_timer.seconds())
+            << ")\n";
+  if (have_cgraph) {
+    const auto flat_bytes =
+        static_cast<double>(num_edges) * 2 * sizeof(VertexId);
+    const auto packed = static_cast<double>(cgraph.adjacency_bytes());
+    std::cerr << "compressed adjacency: "
+              << Table::fmt(packed / 1e6, 2) << " MB vs "
+              << Table::fmt(flat_bytes / 1e6, 2) << " MB flat ("
+              << Table::fmt(packed > 0 ? flat_bytes / packed : 1.0, 2)
+              << "x)\n";
+  }
 
   const std::string bin_out =
       !convert_path.empty() ? convert_path : save_bin_path;
   if (!bin_out.empty()) {
     try {
-      save_binary_file(graph, bin_out);
-      std::cerr << "wrote binary v2 graph to " << bin_out << "\n";
+      if (have_cgraph) {
+        save_binary_v3_file(cgraph, bin_out);
+        std::cerr << "wrote binary v3 (compressed) graph to " << bin_out
+                  << "\n";
+      } else {
+        save_binary_file(graph, bin_out);
+        std::cerr << "wrote binary v2 graph to " << bin_out << "\n";
+      }
     } catch (const IoError& e) {
       std::cerr << "cannot write '" << bin_out << "': " << e.what() << "\n";
       return 1;
@@ -626,14 +680,18 @@ int main(int argc, char** argv) {
                                             : gas::ExecutionMode::kFlat;
 
   const auto partitioning =
-      gas::Partitioning::create(graph, cluster.num_machines, strategy,
-                                config.seed);
+      have_cgraph ? gas::Partitioning::create(cgraph, cluster.num_machines,
+                                              strategy, config.seed)
+                  : gas::Partitioning::create(graph, cluster.num_machines,
+                                              strategy, config.seed);
   std::shared_ptr<const gas::ShardTopology> topo;
   if (exec == gas::ExecutionMode::kSharded) {
     // Per-shard layout report: what each simulated machine actually
-    // owns. The layout is reused by the runs below.
+    // owns. The layout is reused by the runs below. Compressed runs get
+    // compressed shard slices too (the build overload's default).
     topo = std::make_shared<const gas::ShardTopology>(
-        gas::ShardTopology::build(graph, partitioning));
+        have_cgraph ? gas::ShardTopology::build(cgraph, partitioning)
+                    : gas::ShardTopology::build(graph, partitioning));
     Table shard_table({"shard", "edges", "replicas", "masters", "mirrors",
                        "structure MB"});
     for (const auto& sh : topo->shards()) {
@@ -773,8 +831,11 @@ int main(int argc, char** argv) {
   SnapleResult result;
   WallTimer run_timer;
   try {
-    result = run_snaple(graph, config, partitioning, cluster, pool,
-                        gas::ApplyMode::kFused, exec, topo);
+    result = have_cgraph
+                 ? run_snaple(cgraph, config, partitioning, cluster, pool,
+                              gas::ApplyMode::kFused, exec, topo)
+                 : run_snaple(graph, config, partitioning, cluster, pool,
+                              gas::ApplyMode::kFused, exec, topo);
   } catch (const ResourceExhausted& e) {
     std::cerr << "simulated cluster out of memory: " << e.what() << "\n";
     return 1;
@@ -805,7 +866,7 @@ int main(int argc, char** argv) {
               << "\n";
   }
 
-  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+  for (VertexId u = 0; u < num_vertices; ++u) {
     if (result.predictions[u].empty()) continue;
     (*out) << u << ':';
     for (VertexId z : result.predictions[u]) (*out) << ' ' << z;

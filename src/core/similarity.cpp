@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.hpp"
+#include "util/simd.hpp"
 
 namespace snaple {
 
@@ -27,23 +28,10 @@ std::string similarity_name(SimilarityMetric metric) {
 
 std::size_t sorted_intersection_size(std::span<const VertexId> a,
                                      std::span<const VertexId> b) noexcept {
-  std::size_t count = 0;
-  auto ia = a.begin();
-  auto ib = b.begin();
-  // Galloping would win on very lopsided lists, but truncation (thrΓ)
-  // bounds both sides, so the linear merge is the right default.
-  while (ia != a.end() && ib != b.end()) {
-    if (*ia < *ib) {
-      ++ia;
-    } else if (*ib < *ia) {
-      ++ib;
-    } else {
-      ++count;
-      ++ia;
-      ++ib;
-    }
-  }
-  return count;
+  // Exact integer count whichever kernel dispatch picks (AVX2 block
+  // compare, galloping for lopsided lists, or the linear merge), so the
+  // downstream float metrics are bit-identical across paths.
+  return simd::intersect_count(a, b);
 }
 
 double jaccard(std::span<const VertexId> a,

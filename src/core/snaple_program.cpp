@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/snaple_rows.hpp"
+#include "graph/compressed_csr.hpp"
 #include "util/score_map.hpp"
 #include "util/top_k.hpp"
 
@@ -46,14 +47,22 @@ std::size_t snaple_vertex_data_bytes(const SnapleVertexData& d) {
 
 namespace {
 
-using SnapleEngine = gas::Engine<SnapleVertexData>;
+/// The whole program is templated over the graph representation: flat
+/// CsrGraph or CompressedCsrGraph. The step bodies only ever touch
+/// out_degree (O(1) on both — degrees live in the offset arrays, never
+/// behind a decode), and the engine's gather hands them identical edges
+/// in identical order, so the two instantiations are bit-identical in
+/// scores and accounting — the tentpole contract, pinned by a test.
+template <typename Graph>
+using SnapleEngine = gas::Engine<SnapleVertexData, Graph>;
 
 /// Everything the four step definitions need; one per run. The per-row
 /// bodies (Bernoulli sampling, klocal selection, the ⊗/⊕pre candidate
 /// folds) live in core/snaple_rows.hpp, shared with the serving-side
 /// replays — bit-identity between batch and serving depends on it.
+template <typename Graph>
 struct StepContext {
-  const CsrGraph& graph;
+  const Graph& graph;
   const SnapleConfig& config;
   const ScoreConfig score;
   const gas::ApplyMode mode;
@@ -76,13 +85,14 @@ auto make_merge_scores(const Aggregator agg) {
 }
 
 // ---- Step 1: sample Γ̂(u) under the truncation threshold thrΓ. ----
-void step_sample(SnapleEngine& engine, const StepContext& ctx) {
+template <typename Graph>
+void step_sample(SnapleEngine<Graph>& engine, const StepContext<Graph>& ctx) {
   const SnapleConfig& config = ctx.config;
-  const CsrGraph& graph = ctx.graph;
+  const Graph& graph = ctx.graph;
   gas::StepOptions opt{.name = "1:sample-neighborhood",
                        .dir = gas::EdgeDir::kOut,
                        .mode = ctx.mode};
-  engine.step<std::vector<VertexId>>(
+  engine.template step<std::vector<VertexId>>(
       opt,
       [&](VertexId u, VertexId v, const SnapleVertexData&,
           const SnapleVertexData&, std::vector<VertexId>& acc)
@@ -101,13 +111,15 @@ void step_sample(SnapleEngine& engine, const StepContext& ctx) {
 }
 
 // ---- Step 2: raw similarities, keep the klocal best (Γmax). ----
-void step_similarities(SnapleEngine& engine, const StepContext& ctx) {
+template <typename Graph>
+void step_similarities(SnapleEngine<Graph>& engine,
+                       const StepContext<Graph>& ctx) {
   const SnapleConfig& config = ctx.config;
   gas::StepOptions opt{.name = "2:similarities",
                        .dir = gas::EdgeDir::kOut,
                        .mode = ctx.mode};
   using SimAcc = std::vector<std::pair<VertexId, float>>;
-  engine.step<SimAcc>(
+  engine.template step<SimAcc>(
       opt,
       [&](VertexId, VertexId v, const SnapleVertexData& du,
           const SnapleVertexData& dv, SimAcc& acc) -> std::size_t {
@@ -132,7 +144,8 @@ void step_similarities(SnapleEngine& engine, const StepContext& ctx) {
 // klocal selection (the K=3 pruning knob; 0 keeps everything), and —
 // when provably exact (ctx.hop2_skip_zero) — lets the gather skip
 // zero-valued paths, including whole edges, before any candidate work.
-void step_hop2(SnapleEngine& engine, const StepContext& ctx) {
+template <typename Graph>
+void step_hop2(SnapleEngine<Graph>& engine, const StepContext<Graph>& ctx) {
   const SnapleConfig& config = ctx.config;
   const Combinator comb = ctx.score.combinator;
   const Aggregator agg = ctx.score.aggregator;
@@ -140,7 +153,7 @@ void step_hop2(SnapleEngine& engine, const StepContext& ctx) {
   gas::StepOptions opt{.name = "2b:hop2-scores",
                        .dir = gas::EdgeDir::kOut,
                        .mode = ctx.mode};
-  engine.step<ScoreMap>(
+  engine.template step<ScoreMap>(
       opt,
       [&](VertexId u, VertexId v, const SnapleVertexData& du,
           const SnapleVertexData& dv, ScoreMap& acc) -> std::size_t {
@@ -169,14 +182,16 @@ void step_hop2(SnapleEngine& engine, const StepContext& ctx) {
 }
 
 // ---- Step 3: combine (⊗) along paths, aggregate (⊕), rank top-k. ----
-void step_recommend(SnapleEngine& engine, const StepContext& ctx) {
+template <typename Graph>
+void step_recommend(SnapleEngine<Graph>& engine,
+                    const StepContext<Graph>& ctx) {
   const SnapleConfig& config = ctx.config;
   const Combinator comb = ctx.score.combinator;
   const Aggregator agg = ctx.score.aggregator;
   gas::StepOptions opt{.name = "3:recommend",
                        .dir = gas::EdgeDir::kOut,
                        .mode = ctx.mode};
-  engine.step<ScoreMap>(
+  engine.template step<ScoreMap>(
       opt,
       [&](VertexId u, VertexId v, const SnapleVertexData& du,
           const SnapleVertexData& dv, ScoreMap& acc) -> std::size_t {
@@ -216,32 +231,36 @@ void step_recommend(SnapleEngine& engine, const StepContext& ctx) {
 
 /// Steps 1–2 (and 2b): the model-building half shared by run_snaple and
 /// run_snaple_fit.
-void run_model_steps(SnapleEngine& engine, const StepContext& ctx) {
+template <typename Graph>
+void run_model_steps(SnapleEngine<Graph>& engine,
+                     const StepContext<Graph>& ctx) {
   step_sample(engine, ctx);
   step_similarities(engine, ctx);
   if (ctx.config.k_hops == 3) step_hop2(engine, ctx);
 }
 
-StepContext make_context(const CsrGraph& graph, const SnapleConfig& config,
-                         gas::ApplyMode mode) {
+template <typename Graph>
+StepContext<Graph> make_context(const Graph& graph,
+                                const SnapleConfig& config,
+                                gas::ApplyMode mode) {
   SNAPLE_CHECK_MSG(config.k_hops == 2 || config.k_hops == 3,
                    "SNAPLE supports K=2 (the paper) and K=3 (footnote 2)");
   ScoreConfig score = config.resolve_score();
   const bool skip = rows::hop2_zero_skip(config, score);
-  return StepContext{graph, config, std::move(score), mode, skip};
+  return StepContext<Graph>{graph, config, std::move(score), mode, skip};
 }
 
-}  // namespace
-
-SnapleResult run_snaple(const CsrGraph& graph, const SnapleConfig& config,
-                        const gas::Partitioning& partitioning,
-                        const gas::ClusterConfig& cluster, ThreadPool* pool,
-                        gas::ApplyMode mode, gas::ExecutionMode exec,
-                        std::shared_ptr<const gas::ShardTopology> topology) {
-  const StepContext ctx = make_context(graph, config, mode);
-  SnapleEngine engine(graph, partitioning, cluster,
-                      &snaple_vertex_data_bytes, pool, exec,
-                      std::move(topology));
+template <typename Graph>
+SnapleResult run_snaple_impl(
+    const Graph& graph, const SnapleConfig& config,
+    const gas::Partitioning& partitioning,
+    const gas::ClusterConfig& cluster, ThreadPool* pool,
+    gas::ApplyMode mode, gas::ExecutionMode exec,
+    std::shared_ptr<const gas::ShardTopology> topology) {
+  const StepContext<Graph> ctx = make_context(graph, config, mode);
+  SnapleEngine<Graph> engine(graph, partitioning, cluster,
+                             &snaple_vertex_data_bytes, pool, exec,
+                             std::move(topology));
   run_model_steps(engine, ctx);
   step_recommend(engine, ctx);
 
@@ -260,16 +279,37 @@ SnapleResult run_snaple(const CsrGraph& graph, const SnapleConfig& config,
   return result;
 }
 
+}  // namespace
+
+SnapleResult run_snaple(const CsrGraph& graph, const SnapleConfig& config,
+                        const gas::Partitioning& partitioning,
+                        const gas::ClusterConfig& cluster, ThreadPool* pool,
+                        gas::ApplyMode mode, gas::ExecutionMode exec,
+                        std::shared_ptr<const gas::ShardTopology> topology) {
+  return run_snaple_impl(graph, config, partitioning, cluster, pool, mode,
+                         exec, std::move(topology));
+}
+
+SnapleResult run_snaple(const CompressedCsrGraph& graph,
+                        const SnapleConfig& config,
+                        const gas::Partitioning& partitioning,
+                        const gas::ClusterConfig& cluster, ThreadPool* pool,
+                        gas::ApplyMode mode, gas::ExecutionMode exec,
+                        std::shared_ptr<const gas::ShardTopology> topology) {
+  return run_snaple_impl(graph, config, partitioning, cluster, pool, mode,
+                         exec, std::move(topology));
+}
+
 SnapleFitData run_snaple_fit(
     const CsrGraph& graph, const SnapleConfig& config,
     const gas::Partitioning& partitioning,
     const gas::ClusterConfig& cluster, ThreadPool* pool,
     gas::ApplyMode mode, gas::ExecutionMode exec,
     std::shared_ptr<const gas::ShardTopology> topology) {
-  const StepContext ctx = make_context(graph, config, mode);
-  SnapleEngine engine(graph, partitioning, cluster,
-                      &snaple_vertex_data_bytes, pool, exec,
-                      std::move(topology));
+  const StepContext<CsrGraph> ctx = make_context(graph, config, mode);
+  SnapleEngine<CsrGraph> engine(graph, partitioning, cluster,
+                                &snaple_vertex_data_bytes, pool, exec,
+                                std::move(topology));
   run_model_steps(engine, ctx);
 
   SnapleFitData out;

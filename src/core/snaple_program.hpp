@@ -32,6 +32,8 @@
 
 namespace snaple {
 
+class CompressedCsrGraph;
+
 /// Per-vertex program state Du of Algorithm 2.
 struct SnapleVertexData {
   /// Γ̂(u): truncated neighborhood sample, sorted ascending (step 1).
@@ -71,6 +73,19 @@ struct SnapleResult {
 /// partitioning (built on demand when null).
 [[nodiscard]] SnapleResult run_snaple(
     const CsrGraph& graph, const SnapleConfig& config,
+    const gas::Partitioning& partitioning,
+    const gas::ClusterConfig& cluster, ThreadPool* pool = nullptr,
+    gas::ApplyMode mode = gas::ApplyMode::kFused,
+    gas::ExecutionMode exec = gas::ExecutionMode::kFlat,
+    std::shared_ptr<const gas::ShardTopology> topology = nullptr);
+
+/// As above over a delta-compressed graph (graph/compressed_csr.hpp) —
+/// rows decode into per-thread scratch during the gathers, so the run
+/// never inflates the flat adjacency. Predictions, scores AND engine
+/// accounting are bit-identical to the flat overload (a property test
+/// pins this); only the resident graph footprint differs.
+[[nodiscard]] SnapleResult run_snaple(
+    const CompressedCsrGraph& graph, const SnapleConfig& config,
     const gas::Partitioning& partitioning,
     const gas::ClusterConfig& cluster, ThreadPool* pool = nullptr,
     gas::ApplyMode mode = gas::ApplyMode::kFused,

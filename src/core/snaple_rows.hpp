@@ -39,6 +39,7 @@
 #include "graph/types.hpp"
 #include "util/rng.hpp"
 #include "util/score_map.hpp"
+#include "util/simd.hpp"
 
 namespace snaple::rows {
 
@@ -165,10 +166,14 @@ std::size_t fold_path_list(VertexId u, std::span<const VertexId> gamma_u,
                            const Combinator& comb, bool skip_zero,
                            ScoreMap& acc, PreOp&& pre) {
   std::size_t bytes = 0;
+  // Candidate ids arrive in ascending order (SimLists keep ids sorted),
+  // so the galloping cursor amortizes the per-candidate membership test;
+  // it degrades to binary search — never a wrong answer — otherwise.
+  simd::SortedMembership member(gamma_u);
   for (std::size_t j = 0; j < list.size(); ++j) {
     const VertexId z = list.id(j);
     if (z == u) continue;
-    if (std::binary_search(gamma_u.begin(), gamma_u.end(), z)) {
+    if (member.contains(z)) {
       continue;  // already a neighbor: not a missing-edge candidate
     }
     const double path_sim = comb(suv, list.score(j));

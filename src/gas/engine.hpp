@@ -202,7 +202,14 @@ template <typename Acc>
 
 }  // namespace detail
 
-template <typename VD>
+/// `Graph` is any CSR-shaped adjacency the engine can gather over:
+/// CsrGraph (the default) or CompressedCsrGraph, whose row accessors
+/// decode into per-thread scratch. The engine only ever consumes
+/// num_vertices/num_edges, out_neighbors/out_offset, in_neighbors and
+/// edge_index(v, u) — all exact and identically ordered across the two
+/// representations, which is what makes compressed execution
+/// bit-identical to flat (scores and accounting alike).
+template <typename VD, typename Graph = CsrGraph>
 class Engine {
  public:
   /// `vd_size` reports the wire/storage size of a vertex datum; it prices
@@ -213,7 +220,7 @@ class Engine {
   /// callers running several jobs on one partitioning build it once,
   /// exactly like reusing a Partitioning across predictions. When null,
   /// the first sharded step builds it.
-  Engine(const CsrGraph& graph, const Partitioning& partitioning,
+  Engine(const Graph& graph, const Partitioning& partitioning,
          ClusterConfig cluster,
          std::function<std::size_t(const VD&)> vd_size,
          ThreadPool* pool = nullptr,
@@ -234,7 +241,7 @@ class Engine {
                      "injected topology was built for another partitioning");
   }
 
-  [[nodiscard]] const CsrGraph& graph() const noexcept { return graph_; }
+  [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
   [[nodiscard]] const Partitioning& partitioning() const noexcept {
     return part_;
   }
@@ -996,7 +1003,7 @@ class Engine {
     host_fresh_ = true;
   }
 
-  const CsrGraph& graph_;
+  const Graph& graph_;
   const Partitioning& part_;
   ClusterConfig cluster_;
   std::function<std::size_t(const VD&)> vd_size_;

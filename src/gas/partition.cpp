@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "graph/compressed_csr.hpp"
 #include "util/rng.hpp"
 
 namespace snaple::gas {
@@ -89,8 +90,10 @@ MachineId edge_local_machine(VertexId u, VertexId v, std::size_t machines,
 namespace {
 
 /// Shared epilogue: derive replica sets, loads and masters from a
-/// complete per-edge assignment.
-void finalize_from_edges(const CsrGraph& g, std::uint64_t seed,
+/// complete per-edge assignment. Graph is CsrGraph or CompressedCsrGraph
+/// (identical rows and edge indices, so the result cannot differ).
+template <typename Graph>
+void finalize_from_edges(const Graph& g, std::uint64_t seed,
                          std::vector<MachineId>& edge_machine,
                          std::vector<ReplicaSet>& replicas,
                          std::vector<std::uint64_t>& out_owner_mask,
@@ -144,8 +147,9 @@ void finalize_from_edges(const CsrGraph& g, std::uint64_t seed,
 
 }  // namespace
 
-Partitioning Partitioning::from_edge_assignment(
-    const CsrGraph& g, std::size_t machines,
+template <typename Graph>
+Partitioning Partitioning::from_edges_impl(
+    const Graph& g, std::size_t machines,
     std::vector<MachineId> edge_machine) {
   SNAPLE_CHECK_MSG(machines >= 1 && machines <= 64,
                    "vertex-cut replica sets are 64-bit masks");
@@ -175,9 +179,10 @@ Partitioning Partitioning::from_edge_assignment(
   return p;
 }
 
-Partitioning Partitioning::create(const CsrGraph& g, std::size_t machines,
-                                  PartitionStrategy strategy,
-                                  std::uint64_t seed) {
+template <typename Graph>
+Partitioning Partitioning::create_impl(const Graph& g, std::size_t machines,
+                                       PartitionStrategy strategy,
+                                       std::uint64_t seed) {
   SNAPLE_CHECK_MSG(machines >= 1 && machines <= 64,
                    "vertex-cut replica sets are 64-bit masks");
   Partitioning p;
@@ -238,6 +243,31 @@ Partitioning Partitioning::create(const CsrGraph& g, std::size_t machines,
                       p.out_owner_mask_, p.in_owner_mask_, p.edge_load_,
                       p.master_, machines);
   return p;
+}
+
+Partitioning Partitioning::from_edge_assignment(
+    const CsrGraph& g, std::size_t machines,
+    std::vector<MachineId> edge_machine) {
+  return from_edges_impl(g, machines, std::move(edge_machine));
+}
+
+Partitioning Partitioning::from_edge_assignment(
+    const CompressedCsrGraph& g, std::size_t machines,
+    std::vector<MachineId> edge_machine) {
+  return from_edges_impl(g, machines, std::move(edge_machine));
+}
+
+Partitioning Partitioning::create(const CsrGraph& g, std::size_t machines,
+                                  PartitionStrategy strategy,
+                                  std::uint64_t seed) {
+  return create_impl(g, machines, strategy, seed);
+}
+
+Partitioning Partitioning::create(const CompressedCsrGraph& g,
+                                  std::size_t machines,
+                                  PartitionStrategy strategy,
+                                  std::uint64_t seed) {
+  return create_impl(g, machines, strategy, seed);
 }
 
 double Partitioning::replication_factor() const {

@@ -21,6 +21,10 @@
 #include "graph/csr_graph.hpp"
 #include "util/check.hpp"
 
+namespace snaple {
+class CompressedCsrGraph;
+}
+
 namespace snaple::gas {
 
 using MachineId = std::uint8_t;
@@ -123,12 +127,24 @@ class Partitioning {
                                            PartitionStrategy strategy,
                                            std::uint64_t seed = 7);
 
+  /// As above over a compressed graph — rows decode per-thread, edges
+  /// keep their CSR indices, so the resulting partitioning is identical
+  /// to one built from the flat graph.
+  [[nodiscard]] static Partitioning create(const CompressedCsrGraph& g,
+                                           std::size_t machines,
+                                           PartitionStrategy strategy,
+                                           std::uint64_t seed = 7);
+
   /// Builds a partitioning from an explicit per-edge machine assignment
   /// (CSR edge order). The seam for custom/external partitioners, and for
   /// tests that need exact placements to hand-verify the engine's
   /// network/memory accounting.
   [[nodiscard]] static Partitioning from_edge_assignment(
       const CsrGraph& g, std::size_t machines,
+      std::vector<MachineId> edge_machine);
+
+  [[nodiscard]] static Partitioning from_edge_assignment(
+      const CompressedCsrGraph& g, std::size_t machines,
       std::vector<MachineId> edge_machine);
 
   [[nodiscard]] std::size_t num_machines() const noexcept {
@@ -176,6 +192,16 @@ class Partitioning {
   }
 
  private:
+  template <typename Graph>
+  [[nodiscard]] static Partitioning create_impl(const Graph& g,
+                                                std::size_t machines,
+                                                PartitionStrategy strategy,
+                                                std::uint64_t seed);
+  template <typename Graph>
+  [[nodiscard]] static Partitioning from_edges_impl(
+      const Graph& g, std::size_t machines,
+      std::vector<MachineId> edge_machine);
+
   std::size_t machines_ = 1;
   std::vector<MachineId> edge_machine_;  // size E
   std::vector<MachineId> master_;        // size V

@@ -14,8 +14,37 @@ VertexId Shard::local_id(VertexId global) const {
   return static_cast<VertexId>(it - vertices_.begin());
 }
 
-ShardTopology ShardTopology::build(const CsrGraph& g, const Partitioning& p,
-                                   ThreadPool* pool) {
+void Shard::compress_local() {
+  // Serial encode: this runs inside the per-machine build task, and a
+  // nested parallel_for on the same pool is rejected.
+  out_comp_ = CompressedAdjacency::encode_serial(out_offsets_, out_targets_);
+  in_comp_ = CompressedAdjacency::encode_serial(in_offsets_, in_sources_);
+  out_offsets_ = {};
+  out_targets_ = {};
+  in_offsets_ = {};
+  in_sources_ = {};
+  compressed_ = true;
+}
+
+std::span<const VertexId> Shard::decode_row(const CompressedAdjacency& adj,
+                                            int side, VertexId local) const {
+  // Shard rows get their own per-thread scratch (distinct from
+  // CompressedCsrGraph's) so a sharded step over a compressed graph can
+  // interleave graph-row and shard-row decodes freely. One buffer per
+  // side: the engine's kAll gather walks out- then in-rows of the same
+  // vertex and both spans must stay valid across the switch.
+  thread_local std::vector<VertexId> scratch[2];
+  std::vector<VertexId>& buf = scratch[side];
+  const std::size_t degree = adj.degree(local);
+  if (buf.size() < degree) buf.resize(std::max<std::size_t>(degree, 256));
+  adj.decode_row(local, buf.data());
+  return {buf.data(), degree};
+}
+
+template <typename Graph>
+ShardTopology ShardTopology::build_impl(const Graph& g, const Partitioning& p,
+                                        ThreadPool* pool,
+                                        bool compress_slices) {
   ThreadPool& tp = pool != nullptr ? *pool : default_pool();
   const std::size_t machines = p.num_machines();
   ShardTopology topo;
@@ -89,9 +118,24 @@ ShardTopology ShardTopology::build(const CsrGraph& g, const Partitioning& p,
         s.in_sources_[cursor[t]++] = l;
       }
     }
+
+    // Local rows are ascending (local id order mirrors global order), so
+    // they delta-compress exactly like global rows do.
+    if (compress_slices) s.compress_local();
   });
 
   return topo;
+}
+
+ShardTopology ShardTopology::build(const CsrGraph& g, const Partitioning& p,
+                                   ThreadPool* pool, bool compress_slices) {
+  return build_impl(g, p, pool, compress_slices);
+}
+
+ShardTopology ShardTopology::build(const CompressedCsrGraph& g,
+                                   const Partitioning& p, ThreadPool* pool,
+                                   bool compress_slices) {
+  return build_impl(g, p, pool, compress_slices);
 }
 
 }  // namespace snaple::gas

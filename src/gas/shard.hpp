@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "gas/partition.hpp"
+#include "graph/compressed_csr.hpp"
 #include "graph/csr_graph.hpp"
 #include "util/check.hpp"
 
@@ -51,8 +52,16 @@ class Shard {
     return vertices_.size() - masters_.size();
   }
   [[nodiscard]] EdgeIndex num_local_edges() const noexcept {
+    if (compressed_) {
+      return out_comp_.offsets.empty() ? 0 : out_comp_.offsets.back();
+    }
     return out_targets_.size();
   }
+
+  /// True when the local adjacency is held delta-compressed (the
+  /// peak-memory mode for wide sharded fits); row accessors then decode
+  /// into per-thread scratch with the same ids in the same order.
+  [[nodiscard]] bool compressed() const noexcept { return compressed_; }
 
   /// Global ids of the local replicas, ascending; local id = index.
   [[nodiscard]] const std::vector<VertexId>& vertices() const noexcept {
@@ -90,6 +99,7 @@ class Shard {
   /// CSR order; entries are local ids.
   [[nodiscard]] std::span<const VertexId> out_neighbors(VertexId local) const {
     SNAPLE_DCHECK(local < num_local());
+    if (compressed_) return decode_row(out_comp_, /*side=*/0, local);
     return {out_targets_.data() + out_offsets_[local],
             out_targets_.data() + out_offsets_[local + 1]};
   }
@@ -99,6 +109,7 @@ class Shard {
   /// machine's edges); entries are local ids.
   [[nodiscard]] std::span<const VertexId> in_neighbors(VertexId local) const {
     SNAPLE_DCHECK(local < num_local());
+    if (compressed_) return decode_row(in_comp_, /*side=*/1, local);
     return {in_sources_.data() + in_offsets_[local],
             in_sources_.data() + in_offsets_[local + 1]};
   }
@@ -106,15 +117,29 @@ class Shard {
   /// Measured resident bytes of the shard's structure arrays (the real
   /// counterpart of the flat audit's 2×sizeof(VertexId)-per-edge model).
   [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    const std::size_t adjacency =
+        compressed_
+            ? out_comp_.memory_bytes() + in_comp_.memory_bytes()
+            : (out_offsets_.size() + in_offsets_.size()) * sizeof(EdgeIndex) +
+                  (out_targets_.size() + in_sources_.size()) *
+                      sizeof(VertexId);
     return vertices_.size() * sizeof(VertexId) +
            is_master_.size() * sizeof(std::uint8_t) +
-           masters_.size() * sizeof(VertexId) +
-           (out_offsets_.size() + in_offsets_.size()) * sizeof(EdgeIndex) +
-           (out_targets_.size() + in_sources_.size()) * sizeof(VertexId);
+           masters_.size() * sizeof(VertexId) + adjacency;
   }
 
  private:
   friend class ShardTopology;
+
+  /// Post-pass: packs the flat local CSR into delta-compressed form and
+  /// releases the flat arrays. Runs inside the per-machine build task
+  /// (after the in-CSR scatter, which still reads the flat out slice).
+  void compress_local();
+
+  /// Decodes one compressed local row into per-thread scratch (one
+  /// buffer per side, so interleaved out/in walks stay valid).
+  [[nodiscard]] std::span<const VertexId> decode_row(
+      const CompressedAdjacency& adj, int side, VertexId local) const;
 
   MachineId machine_ = 0;
   std::vector<VertexId> vertices_;       // global ids, ascending
@@ -125,6 +150,9 @@ class Shard {
   std::vector<VertexId> out_targets_;    // local ids, global CSR order
   std::vector<EdgeIndex> in_offsets_;    // size n_local + 1
   std::vector<VertexId> in_sources_;     // local ids, ascending source
+  bool compressed_ = false;
+  CompressedAdjacency out_comp_;  // populated iff compressed_
+  CompressedAdjacency in_comp_;
 };
 
 /// All shards of one (graph, partitioning) pair. Building is a pure
@@ -134,10 +162,23 @@ class ShardTopology {
   /// Splits `g` into one shard per machine of `p`. Edge e lands on shard
   /// p.edge_machine(e); vertex u is replicated on every machine in
   /// p.replicas(u). Runs one build task per machine on `pool` (default
-  /// pool when null).
+  /// pool when null). With `compress_slices` each machine packs its
+  /// local CSR into delta-compressed form as a build post-pass, cutting
+  /// the topology's resident footprint; row decode is bit-identical, so
+  /// every engine result is unchanged.
   [[nodiscard]] static ShardTopology build(const CsrGraph& g,
                                            const Partitioning& p,
-                                           ThreadPool* pool = nullptr);
+                                           ThreadPool* pool = nullptr,
+                                           bool compress_slices = false);
+
+  /// As above from a compressed graph (rows decode per-thread during the
+  /// build scan). Slices default to compressed here: a caller that chose
+  /// the compressed representation is economizing memory, and inflating
+  /// it at the shard layer would undo exactly that.
+  [[nodiscard]] static ShardTopology build(const CompressedCsrGraph& g,
+                                           const Partitioning& p,
+                                           ThreadPool* pool = nullptr,
+                                           bool compress_slices = true);
 
   [[nodiscard]] std::size_t num_machines() const noexcept {
     return shards_.size();
@@ -151,6 +192,12 @@ class ShardTopology {
   }
 
  private:
+  template <typename Graph>
+  [[nodiscard]] static ShardTopology build_impl(const Graph& g,
+                                                const Partitioning& p,
+                                                ThreadPool* pool,
+                                                bool compress_slices);
+
   std::vector<Shard> shards_;
 };
 

@@ -1,0 +1,319 @@
+#include "graph/compressed_csr.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "util/thread_pool.hpp"
+
+namespace snaple {
+
+namespace {
+
+constexpr std::size_t kBlockSize = CompressedAdjacency::kBlockSize;
+constexpr std::uint32_t kRowInit = CompressedAdjacency::kRowInit;
+
+/// Packed size of one row: per block, 1 width byte + the packed fields.
+std::uint64_t encoded_row_bytes(std::span<const VertexId> row) {
+  std::uint64_t total = 0;
+  std::uint32_t prev = kRowInit;
+  std::size_t i = 0;
+  while (i < row.size()) {
+    const std::size_t cnt = std::min(kBlockSize, row.size() - i);
+    std::uint32_t all_fields = 0;  // OR has the same bit width as the max
+    for (std::size_t j = 0; j < cnt; ++j) {
+      all_fields |= row[i + j] - prev - 1;  // u32 wrap: first field = id
+      prev = row[i + j];
+    }
+    const unsigned width = static_cast<unsigned>(std::bit_width(all_fields));
+    total += 1 + (cnt * width + 7) / 8;
+    i += cnt;
+  }
+  return total;
+}
+
+/// Writes one row at `out` (exactly encoded_row_bytes(row) bytes).
+void encode_row(std::span<const VertexId> row, std::uint8_t* out) {
+  std::uint32_t prev = kRowInit;
+  std::size_t i = 0;
+  while (i < row.size()) {
+    const std::size_t cnt = std::min(kBlockSize, row.size() - i);
+    std::uint32_t all_fields = 0;
+    std::uint32_t scan = prev;
+    for (std::size_t j = 0; j < cnt; ++j) {
+      all_fields |= row[i + j] - scan - 1;
+      scan = row[i + j];
+    }
+    const auto width = static_cast<unsigned>(std::bit_width(all_fields));
+    *out++ = static_cast<std::uint8_t>(width);
+    std::uint64_t bitbuf = 0;
+    unsigned nbits = 0;
+    for (std::size_t j = 0; j < cnt; ++j) {
+      const std::uint32_t field = row[i + j] - prev - 1;
+      prev = row[i + j];
+      bitbuf |= static_cast<std::uint64_t>(field) << nbits;
+      nbits += width;
+      while (nbits >= 8) {
+        *out++ = static_cast<std::uint8_t>(bitbuf);
+        bitbuf >>= 8;
+        nbits -= 8;
+      }
+    }
+    if (nbits > 0) *out++ = static_cast<std::uint8_t>(bitbuf);
+    i += cnt;
+  }
+}
+
+[[noreturn]] void fail(const char* what, const std::string& msg) {
+  throw CheckError(std::string(what) + " " + msg);
+}
+
+/// Structural checks + the parallel decode walk of one side: offsets
+/// shaped like CsrGraph's, every block width ≤ 32, every row consuming
+/// exactly its byte span, ids strictly ascending and < n with no u32
+/// wraparound. Accumulates the side's commutative edge-hash sum for the
+/// transpose comparison (same scheme as CsrGraph::from_parts).
+void check_side(ThreadPool& tp, const CompressedAdjacency& adj, VertexId n,
+                bool values_are_sources, const char* what,
+                std::atomic<std::uint64_t>& hash_sum) {
+  if (adj.offsets.empty()) fail(what, "offsets empty");
+  if (adj.offsets.front() != 0) fail(what, "offsets must start at 0");
+  if (adj.offsets.size() != adj.byte_offsets.size()) {
+    fail(what, "offsets and byte_offsets must have the same length");
+  }
+  if (adj.byte_offsets.front() != 0) {
+    fail(what, "byte offsets must start at 0");
+  }
+  for (std::size_t u = 0; u + 1 < adj.offsets.size(); ++u) {
+    if (adj.offsets[u] > adj.offsets[u + 1]) {
+      fail(what, "offsets must be monotone");
+    }
+    if (adj.byte_offsets[u] > adj.byte_offsets[u + 1]) {
+      fail(what, "byte offsets must be monotone");
+    }
+  }
+  if (adj.bytes.size() < adj.byte_offsets.back() + simd::kDecodeSlack) {
+    fail(what, "payload shorter than the byte offsets require");
+  }
+
+  std::atomic<bool> bad{false};
+  tp.parallel_blocks(
+      0, adj.offsets.size() - 1,
+      [&](std::size_t ub, std::size_t ue, std::size_t) {
+        std::uint64_t local_hash = 0;
+        for (std::size_t u = ub; u < ue; ++u) {
+          const std::size_t degree = adj.degree(static_cast<VertexId>(u));
+          const std::uint8_t* p = adj.bytes.data() + adj.byte_offsets[u];
+          const std::uint8_t* row_end =
+              adj.bytes.data() + adj.byte_offsets[u + 1];
+          // Walk the blocks with a 64-bit accumulator: any field that
+          // would wrap u32 or reach an id ≥ n is corruption.
+          std::uint64_t acc = 0;
+          bool first = true;
+          std::size_t done = 0;
+          while (done < degree) {
+            if (p >= row_end) {
+              bad.store(true, std::memory_order_relaxed);
+              return;
+            }
+            const unsigned width = *p++;
+            const auto cnt = std::min(kBlockSize, degree - done);
+            const std::size_t block_bytes = (cnt * width + 7) / 8;
+            if (width > 32 ||
+                static_cast<std::size_t>(row_end - p) < block_bytes) {
+              bad.store(true, std::memory_order_relaxed);
+              return;
+            }
+            const std::uint64_t mask =
+                width >= 32 ? 0xffffffffULL
+                            : ((std::uint64_t{1} << width) - 1);
+            std::uint64_t bitpos = 0;
+            for (std::size_t j = 0; j < cnt; ++j, bitpos += width) {
+              std::uint64_t w;
+              std::memcpy(&w, p + (bitpos >> 3), sizeof(w));
+              const std::uint64_t field = (w >> (bitpos & 7)) & mask;
+              const std::uint64_t value = first ? field : acc + 1 + field;
+              if (value >= n) {
+                bad.store(true, std::memory_order_relaxed);
+                return;
+              }
+              acc = value;
+              first = false;
+              const auto v = static_cast<VertexId>(value);
+              const auto w32 = static_cast<VertexId>(u);
+              const Edge e =
+                  values_are_sources ? Edge{v, w32} : Edge{w32, v};
+              local_hash += EdgeHash{}(e);
+            }
+            p += block_bytes;
+            done += cnt;
+          }
+          if (p != row_end) {  // trailing bytes the degree cannot explain
+            bad.store(true, std::memory_order_relaxed);
+            return;
+          }
+        }
+        hash_sum.fetch_add(local_hash, std::memory_order_relaxed);
+      },
+      /*min_block=*/2048);
+  if (bad.load()) {
+    fail(what,
+         "rows must decode to in-range, strictly ascending ids within "
+         "their exact byte span");
+  }
+}
+
+}  // namespace
+
+CompressedAdjacency CompressedAdjacency::encode_serial(
+    std::span<const EdgeIndex> offsets, std::span<const VertexId> values) {
+  CompressedAdjacency adj;
+  if (offsets.empty()) return adj;
+  const std::size_t n = offsets.size() - 1;
+  adj.offsets.assign(offsets.begin(), offsets.end());
+  adj.byte_offsets.assign(n + 1, 0);
+  for (std::size_t u = 0; u < n; ++u) {
+    adj.byte_offsets[u + 1] =
+        adj.byte_offsets[u] +
+        encoded_row_bytes(
+            values.subspan(offsets[u], offsets[u + 1] - offsets[u]));
+  }
+  adj.bytes.assign(adj.byte_offsets.back() + simd::kDecodeSlack, 0);
+  for (std::size_t u = 0; u < n; ++u) {
+    encode_row(values.subspan(offsets[u], offsets[u + 1] - offsets[u]),
+               adj.bytes.data() + adj.byte_offsets[u]);
+  }
+  return adj;
+}
+
+CompressedAdjacency CompressedAdjacency::encode(
+    std::span<const EdgeIndex> offsets, std::span<const VertexId> values,
+    ThreadPool* pool) {
+  CompressedAdjacency adj;
+  if (offsets.empty()) return adj;
+  ThreadPool& tp = pool != nullptr ? *pool : default_pool();
+  const std::size_t n = offsets.size() - 1;
+  adj.offsets.assign(offsets.begin(), offsets.end());
+  adj.byte_offsets.assign(n + 1, 0);
+
+  // Pass 1: per-row packed sizes, written shifted by one so the prefix
+  // sum below turns them into byte offsets in place.
+  tp.parallel_blocks(
+      0, n,
+      [&](std::size_t ub, std::size_t ue, std::size_t) {
+        for (std::size_t u = ub; u < ue; ++u) {
+          adj.byte_offsets[u + 1] = encoded_row_bytes(
+              values.subspan(offsets[u], offsets[u + 1] - offsets[u]));
+        }
+      },
+      /*min_block=*/4096);
+  for (std::size_t u = 1; u <= n; ++u) {
+    adj.byte_offsets[u] += adj.byte_offsets[u - 1];
+  }
+
+  // Pass 2: pack every row into its slot (plus the SIMD over-read pad).
+  adj.bytes.assign(adj.byte_offsets.back() + simd::kDecodeSlack, 0);
+  tp.parallel_blocks(
+      0, n,
+      [&](std::size_t ub, std::size_t ue, std::size_t) {
+        for (std::size_t u = ub; u < ue; ++u) {
+          encode_row(
+              values.subspan(offsets[u], offsets[u + 1] - offsets[u]),
+              adj.bytes.data() + adj.byte_offsets[u]);
+        }
+      },
+      /*min_block=*/4096);
+  return adj;
+}
+
+void CompressedAdjacency::decode_row(VertexId u, VertexId* out) const {
+  const std::size_t degree = this->degree(u);
+  const std::uint8_t* p = bytes.data() + byte_offsets[u];
+  const simd::UnpackFn unpack = simd::unpack_kernel();
+  std::uint32_t prev = kRowInit;
+  std::size_t done = 0;
+  while (done < degree) {
+    const auto cnt =
+        static_cast<std::uint32_t>(std::min(kBlockSize, degree - done));
+    const unsigned width = *p++;
+    prev = unpack(p, width, cnt, prev, out + done);
+    p += (static_cast<std::size_t>(cnt) * width + 7) / 8;
+    done += cnt;
+  }
+}
+
+CompressedCsrGraph CompressedCsrGraph::from_graph(const CsrGraph& g,
+                                                  ThreadPool* pool) {
+  CompressedCsrGraph c;
+  c.out_ = CompressedAdjacency::encode(g.out_offsets(), g.out_targets(), pool);
+  c.in_ = CompressedAdjacency::encode(g.in_offsets(), g.in_sources(), pool);
+  return c;
+}
+
+CompressedCsrGraph CompressedCsrGraph::from_parts(CompressedAdjacency out,
+                                                  CompressedAdjacency in,
+                                                  ThreadPool* pool) {
+  ThreadPool& tp = pool != nullptr ? *pool : default_pool();
+  SNAPLE_CHECK_MSG(out.offsets.size() == in.offsets.size(),
+                   "out/in offset arrays must describe the same vertex set");
+  if (out.offsets.empty()) return {};  // default-constructed graph
+  SNAPLE_CHECK_MSG(out.offsets.back() == in.offsets.back(),
+                   "out/in adjacency must hold the same edge count");
+  const auto n = static_cast<VertexId>(out.offsets.size() - 1);
+  std::atomic<std::uint64_t> out_sum{0};
+  std::atomic<std::uint64_t> in_sum{0};
+  check_side(tp, out, n, /*values_are_sources=*/false, "out", out_sum);
+  check_side(tp, in, n, /*values_are_sources=*/true, "in", in_sum);
+  SNAPLE_CHECK_MSG(out_sum.load() == in_sum.load(),
+                   "in-adjacency is not the transpose of out-adjacency");
+  CompressedCsrGraph c;
+  c.out_ = std::move(out);
+  c.in_ = std::move(in);
+  return c;
+}
+
+CsrGraph CompressedCsrGraph::decompress(ThreadPool* pool) const {
+  if (out_.offsets.empty()) return {};
+  ThreadPool& tp = pool != nullptr ? *pool : default_pool();
+  const VertexId n = num_vertices();
+  std::vector<EdgeIndex> out_offsets(out_.offsets);
+  std::vector<EdgeIndex> in_offsets(in_.offsets);
+  std::vector<VertexId> out_targets(out_.offsets.back());
+  std::vector<VertexId> in_sources(in_.offsets.back());
+  const auto inflate = [&tp, n](const CompressedAdjacency& adj,
+                                std::vector<VertexId>& values) {
+    tp.parallel_blocks(
+        0, n,
+        [&](std::size_t ub, std::size_t ue, std::size_t) {
+          for (std::size_t u = ub; u < ue; ++u) {
+            adj.decode_row(static_cast<VertexId>(u),
+                           values.data() + adj.offsets[u]);
+          }
+        },
+        /*min_block=*/2048);
+  };
+  inflate(out_, out_targets);
+  inflate(in_, in_sources);
+  // from_parts re-validates, so even a corrupted compressed graph can
+  // never inflate into a structurally-invalid flat one.
+  return CsrGraph::from_parts(std::move(out_offsets), std::move(out_targets),
+                              std::move(in_offsets), std::move(in_sources),
+                              &tp);
+}
+
+bool CompressedCsrGraph::has_edge(VertexId u, VertexId v) const {
+  const auto nbrs = out_neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+EdgeIndex CompressedCsrGraph::edge_index(VertexId u, VertexId v) const {
+  const auto nbrs = out_neighbors(u);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) return num_edges();
+  return out_.offsets[u] + static_cast<EdgeIndex>(it - nbrs.begin());
+}
+
+}  // namespace snaple

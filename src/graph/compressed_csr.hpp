@@ -1,0 +1,245 @@
+// Delta-compressed CSR: the same graph as CsrGraph in a fraction of the
+// memory-bandwidth footprint.
+//
+// Every adjacency row is strictly ascending, so consecutive ids differ
+// by at least 1 and the row is stored as fields f_i with
+//
+//   value_i = value_{i-1} + 1 + f_i,   value_{-1} = 0xffffffff
+//
+// (u32 wraparound makes the first field the absolute first id — one
+// uniform rule, no per-row header). Fields are packed in blocks of up
+// to 128 values: a 1-byte bit width (the widest field in the block)
+// followed by ceil(count·width/8) bytes of LSB-first packed fields.
+// A width of 0 encodes a consecutive run in the header byte alone.
+//
+// Layout per side (out / in):
+//   offsets       V+1 × EdgeIndex — cumulative degrees, exactly
+//                 CsrGraph's offset array (O(1) degree and the global
+//                 edge indices the GAS engine charges traffic to);
+//   byte_offsets  V+1 × u64 — where each row's blocks start in `bytes`;
+//   bytes         the packed blocks, padded with simd::kDecodeSlack
+//                 readable zero bytes so the SIMD decoder may over-read.
+//
+// Row access decodes into a per-thread scratch buffer
+// (util/simd.hpp::delta_unpack — AVX2 or scalar, bit-identical), so
+// CompressedCsrGraph offers the same span accessors as CsrGraph and
+// slots behind the engine's Graph template parameter unchanged. The
+// span is valid until the same thread's next call on the same side —
+// the same lifetime discipline the engine already obeys for rows.
+// RowCursor streams a row block by block for callers that never want
+// the whole row materialized (IO validation, the kernel benches).
+//
+// The contract is bit-identity: decompress(from_graph(G)) == G for
+// every row (from_parts re-validates like CsrGraph::from_parts,
+// including the transpose hash), and run_snaple on the compressed
+// graph equals the flat engine exactly — scores and accounting.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+#include "util/check.hpp"
+#include "util/simd.hpp"
+
+namespace snaple {
+
+class ThreadPool;
+
+namespace detail {
+/// Per-thread decode scratch, one per adjacency side so out- and
+/// in-row decodes never clobber each other (the engine's kAll gather
+/// and edge_index interleave exactly that way). Inline so callers in
+/// hot loops resolve the thread-local address once.
+inline std::vector<VertexId>& compressed_row_scratch(int side) {
+  thread_local std::vector<VertexId> scratch[2];
+  return scratch[side];
+}
+}  // namespace detail
+
+/// One compressed adjacency side (out-targets or in-sources).
+struct CompressedAdjacency {
+  /// Values per block: fixed so a block's field count is implied by the
+  /// remaining degree and decode needs no per-block count byte.
+  static constexpr std::size_t kBlockSize = 128;
+  /// The carry a row's first field is decoded against (wraps to 0).
+  static constexpr std::uint32_t kRowInit = 0xffffffffu;
+
+  std::vector<EdgeIndex> offsets;            // V+1 (empty when default)
+  std::vector<std::uint64_t> byte_offsets;   // V+1
+  std::vector<std::uint8_t> bytes;           // payload + kDecodeSlack pad
+
+  /// Compresses one flat CSR side. `offsets` has V+1 entries, `values`
+  /// holds the concatenated strictly-ascending rows.
+  [[nodiscard]] static CompressedAdjacency encode(
+      std::span<const EdgeIndex> offsets, std::span<const VertexId> values,
+      ThreadPool* pool = nullptr);
+
+  /// Serial variant for callers already running inside a pool task
+  /// (nested parallelism on one pool is rejected) — e.g. per-shard slice
+  /// compression, which is one task per machine.
+  [[nodiscard]] static CompressedAdjacency encode_serial(
+      std::span<const EdgeIndex> offsets, std::span<const VertexId> values);
+
+  /// Packed bytes excluding the decode padding — the footprint metric
+  /// compared against the flat side's values.size() × sizeof(VertexId).
+  [[nodiscard]] std::uint64_t payload_bytes() const noexcept {
+    return byte_offsets.empty() ? 0 : byte_offsets.back();
+  }
+
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return offsets.size() * sizeof(EdgeIndex) +
+           byte_offsets.size() * sizeof(std::uint64_t) +
+           bytes.size() * sizeof(std::uint8_t);
+  }
+
+  [[nodiscard]] std::size_t degree(VertexId u) const {
+    return static_cast<std::size_t>(offsets[u + 1] - offsets[u]);
+  }
+
+  /// Decodes row u into `out` (which must hold degree(u) ids).
+  void decode_row(VertexId u, VertexId* out) const;
+};
+
+/// Streams one compressed row block by block without materializing it.
+class RowCursor {
+ public:
+  [[nodiscard]] bool done() const noexcept { return remaining_ == 0; }
+
+  /// Decodes and returns the next ≤128 ids of the row; the span is
+  /// valid until the next call (it points into the cursor's buffer).
+  [[nodiscard]] std::span<const VertexId> next_block() {
+    SNAPLE_DCHECK(remaining_ > 0);
+    const auto count = static_cast<std::uint32_t>(
+        std::min<std::size_t>(CompressedAdjacency::kBlockSize, remaining_));
+    const unsigned width = *p_++;
+    prev_ = simd::delta_unpack(p_, width, count, prev_, buf_.data());
+    p_ += (static_cast<std::size_t>(count) * width + 7) / 8;
+    remaining_ -= count;
+    return {buf_.data(), count};
+  }
+
+ private:
+  friend class CompressedCsrGraph;
+  RowCursor(const std::uint8_t* p, std::size_t degree)
+      : p_(p), remaining_(degree) {}
+
+  const std::uint8_t* p_;
+  std::size_t remaining_;
+  std::uint32_t prev_ = CompressedAdjacency::kRowInit;
+  std::array<VertexId, CompressedAdjacency::kBlockSize> buf_;
+};
+
+class CompressedCsrGraph {
+ public:
+  CompressedCsrGraph() = default;
+
+  /// Compresses a flat graph (already validated by construction).
+  [[nodiscard]] static CompressedCsrGraph from_graph(const CsrGraph& g,
+                                                     ThreadPool* pool = nullptr);
+
+  /// Assembles from deserialized parts — the binary-format-v3 seam,
+  /// mirroring CsrGraph::from_parts: offset/byte-offset shape checks,
+  /// a parallel per-row decode walk (block widths ≤ 32, rows consuming
+  /// exactly their byte span, ids strictly ascending and < V without
+  /// u32 wraparound) and the out/in transpose-hash comparison. Throws
+  /// CheckError on any violation.
+  [[nodiscard]] static CompressedCsrGraph from_parts(CompressedAdjacency out,
+                                                     CompressedAdjacency in,
+                                                     ThreadPool* pool = nullptr);
+
+  /// Inflates back to the flat representation (bit-identical: a
+  /// round-trip test pins decompress(from_graph(G)) == G).
+  [[nodiscard]] CsrGraph decompress(ThreadPool* pool = nullptr) const;
+
+  [[nodiscard]] VertexId num_vertices() const noexcept {
+    return static_cast<VertexId>(
+        out_.offsets.empty() ? 0 : out_.offsets.size() - 1);
+  }
+  [[nodiscard]] EdgeIndex num_edges() const noexcept {
+    return out_.offsets.empty() ? 0 : out_.offsets.back();
+  }
+
+  /// Out-neighbors of u, decoded into a per-thread scratch buffer. The
+  /// span is valid until this thread's next out_neighbors call (the in
+  /// side uses a separate scratch, so interleaving sides is safe — the
+  /// pattern the engine's kAll gather and edge_index rely on). Inline
+  /// so row-scan loops hoist the thread-local scratch address instead
+  /// of re-deriving it per row.
+  [[nodiscard]] std::span<const VertexId> out_neighbors(VertexId u) const {
+    SNAPLE_DCHECK(u < num_vertices());
+    std::vector<VertexId>& buf = detail::compressed_row_scratch(0);
+    const std::size_t degree = out_.degree(u);
+    if (buf.size() < degree) buf.resize(std::max<std::size_t>(degree, 256));
+    out_.decode_row(u, buf.data());
+    return {buf.data(), degree};
+  }
+  [[nodiscard]] std::span<const VertexId> in_neighbors(VertexId u) const {
+    SNAPLE_DCHECK(u < num_vertices());
+    std::vector<VertexId>& buf = detail::compressed_row_scratch(1);
+    const std::size_t degree = in_.degree(u);
+    if (buf.size() < degree) buf.resize(std::max<std::size_t>(degree, 256));
+    in_.decode_row(u, buf.data());
+    return {buf.data(), degree};
+  }
+
+  [[nodiscard]] std::size_t out_degree(VertexId u) const {
+    SNAPLE_DCHECK(u < num_vertices());
+    return out_.degree(u);
+  }
+  [[nodiscard]] std::size_t in_degree(VertexId u) const {
+    SNAPLE_DCHECK(u < num_vertices());
+    return in_.degree(u);
+  }
+  [[nodiscard]] EdgeIndex out_offset(VertexId u) const {
+    SNAPLE_DCHECK(u < num_vertices());
+    return out_.offsets[u];
+  }
+
+  [[nodiscard]] bool has_edge(VertexId u, VertexId v) const;
+  /// Position of (u,v) in CSR order, num_edges() if absent — decodes
+  /// u's row (out-side scratch).
+  [[nodiscard]] EdgeIndex edge_index(VertexId u, VertexId v) const;
+
+  /// Block-streaming access (no whole-row materialization).
+  [[nodiscard]] RowCursor out_row(VertexId u) const {
+    SNAPLE_DCHECK(u < num_vertices());
+    return {out_.bytes.data() + out_.byte_offsets[u], out_.degree(u)};
+  }
+  [[nodiscard]] RowCursor in_row(VertexId u) const {
+    SNAPLE_DCHECK(u < num_vertices());
+    return {in_.bytes.data() + in_.byte_offsets[u], in_.degree(u)};
+  }
+
+  /// Compressed adjacency payload (both sides, padding excluded) — what
+  /// replaces the flat out_targets + in_sources footprint.
+  [[nodiscard]] std::size_t adjacency_bytes() const noexcept {
+    return static_cast<std::size_t>(out_.payload_bytes() +
+                                    in_.payload_bytes());
+  }
+
+  /// Resident bytes of all structure arrays (offsets included), the
+  /// analogue of CsrGraph::memory_bytes().
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return out_.memory_bytes() + in_.memory_bytes();
+  }
+
+  /// The raw compressed sides, for bulk IO (binary format v3).
+  [[nodiscard]] const CompressedAdjacency& out_adjacency() const noexcept {
+    return out_;
+  }
+  [[nodiscard]] const CompressedAdjacency& in_adjacency() const noexcept {
+    return in_;
+  }
+
+ private:
+  CompressedAdjacency out_;
+  CompressedAdjacency in_;
+};
+
+}  // namespace snaple

@@ -21,7 +21,9 @@
 #endif
 
 #include "graph/builder.hpp"
+#include "graph/compressed_csr.hpp"
 #include "util/check.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace snaple {
@@ -32,6 +34,8 @@ constexpr std::array<char, 8> kMagicV1 = {'S', 'N', 'A', 'P',
                                           'L', 'E', 'G', '1'};
 constexpr std::array<char, 8> kMagicV2 = {'S', 'N', 'A', 'P',
                                           'L', 'E', 'G', '2'};
+constexpr std::array<char, 8> kMagicV3 = {'S', 'N', 'A', 'P',
+                                          'L', 'E', 'G', '3'};
 
 // Largest usable vertex id: the vertex COUNT (max id + 1) must itself fit
 // VertexId, so id 0xffffffff is rejected — accepting it would wrap the
@@ -363,6 +367,52 @@ void save_binary_v1_file(const CsrGraph& g, const std::string& path) {
   save_binary_v1(g, out);
 }
 
+// ---------------------------------------------------------------------------
+// Binary format v3: magic, V, E, then per side (out, then in) the three
+// compressed-adjacency arrays — offsets, byte offsets, packed payload.
+// The payload on disk is byte-for-byte the in-memory encoding (the decode
+// slack padding is reconstructed on load, not stored).
+// ---------------------------------------------------------------------------
+
+void save_binary_v3(const CompressedCsrGraph& g, std::ostream& out) {
+  out.write(kMagicV3.data(), kMagicV3.size());
+  const std::uint64_t v = g.num_vertices();
+  const std::uint64_t e = g.num_edges();
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  out.write(reinterpret_cast<const char*>(&e), sizeof(e));
+  const auto write_side = [&out](const CompressedAdjacency& adj) {
+    if (adj.offsets.empty()) {
+      // A default-constructed graph has no arrays; the format always
+      // carries V+1 entries per array, so emit the single zeros.
+      const EdgeIndex zero_off = 0;
+      const std::uint64_t zero_byte = 0;
+      out.write(reinterpret_cast<const char*>(&zero_off), sizeof(zero_off));
+      out.write(reinterpret_cast<const char*>(&zero_byte), sizeof(zero_byte));
+      return;
+    }
+    out.write(reinterpret_cast<const char*>(adj.offsets.data()),
+              static_cast<std::streamsize>(adj.offsets.size() *
+                                           sizeof(EdgeIndex)));
+    out.write(reinterpret_cast<const char*>(adj.byte_offsets.data()),
+              static_cast<std::streamsize>(adj.byte_offsets.size() *
+                                           sizeof(std::uint64_t)));
+    if (adj.payload_bytes() > 0) {
+      out.write(reinterpret_cast<const char*>(adj.bytes.data()),
+                static_cast<std::streamsize>(adj.payload_bytes()));
+    }
+  };
+  write_side(g.out_adjacency());
+  write_side(g.in_adjacency());
+  if (!out) throw IoError("write failure while saving binary graph");
+}
+
+void save_binary_v3_file(const CompressedCsrGraph& g,
+                         const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot open '" + path + "' for writing");
+  save_binary_v3(g, out);
+}
+
 std::uint64_t stream_remaining_bytes(std::istream& in) {
   const std::istream::pos_type here = in.tellg();
   if (here == std::istream::pos_type(-1)) return ~std::uint64_t{0};
@@ -449,6 +499,65 @@ CsrGraph load_binary_v2_payload(std::istream& in) {
   }
 }
 
+/// v3 payload: per side, two bulk offset reads sized by the header, then
+/// a payload read sized by the byte-offset array itself — every stage
+/// checked against the actual bytes left before allocating — and finally
+/// the from_parts parallel decode validation.
+CompressedCsrGraph load_binary_v3_payload(std::istream& in) {
+  std::uint64_t v = 0;
+  std::uint64_t e = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  in.read(reinterpret_cast<char*>(&e), sizeof(e));
+  // The offsets alone imply (v+1)·(8+8) bytes per side; checking that
+  // floor here keeps a corrupt header from demanding absurd allocations.
+  const std::uint64_t offsets_floor = (v + 1) * 2 * (sizeof(EdgeIndex) +
+                                                     sizeof(std::uint64_t));
+  if (!in || v > kMaxVertices || e > kMaxEdges ||
+      offsets_floor > stream_remaining_bytes(in)) {
+    throw IoError("bad binary graph header");
+  }
+  try {
+    const auto read_side = [&in, v, e](CompressedAdjacency& adj) {
+      adj.offsets.resize(v + 1);
+      in.read(reinterpret_cast<char*>(adj.offsets.data()),
+              static_cast<std::streamsize>(adj.offsets.size() *
+                                           sizeof(EdgeIndex)));
+      adj.byte_offsets.resize(v + 1);
+      in.read(reinterpret_cast<char*>(adj.byte_offsets.data()),
+              static_cast<std::streamsize>(adj.byte_offsets.size() *
+                                           sizeof(std::uint64_t)));
+      if (!in) throw IoError("truncated binary graph");
+      if (adj.offsets.back() != e) {
+        throw IoError("corrupt binary graph: edge count mismatch");
+      }
+      // Payload size comes from the (untrusted) byte-offset array: a row
+      // of d ids never packs above 1 + 5·d bytes (a width-32 block costs
+      // 4 bytes/field plus one header byte per 128 fields), so anything
+      // past that bound — or past the bytes left — is corruption.
+      const std::uint64_t payload = adj.byte_offsets.back();
+      if (payload > e * 5 + v + 1 || payload > stream_remaining_bytes(in)) {
+        throw IoError("bad binary graph header");
+      }
+      adj.bytes.assign(payload + simd::kDecodeSlack, 0);
+      if (payload > 0) {
+        in.read(reinterpret_cast<char*>(adj.bytes.data()),
+                static_cast<std::streamsize>(payload));
+      }
+      if (!in) throw IoError("truncated binary graph");
+    };
+    CompressedAdjacency out_adj;
+    CompressedAdjacency in_adj;
+    read_side(out_adj);
+    read_side(in_adj);
+    return CompressedCsrGraph::from_parts(std::move(out_adj),
+                                          std::move(in_adj));
+  } catch (const CheckError& err) {
+    throw IoError(std::string("corrupt binary graph: ") + err.what());
+  } catch (const std::bad_alloc&) {
+    throw IoError("bad binary graph header (sizes exceed memory)");
+  }
+}
+
 }  // namespace
 
 CsrGraph load_binary(std::istream& in) {
@@ -457,6 +566,7 @@ CsrGraph load_binary(std::istream& in) {
   if (!in) throw IoError("bad magic in binary graph");
   if (magic == kMagicV1) return load_binary_v1_payload(in);
   if (magic == kMagicV2) return load_binary_v2_payload(in);
+  if (magic == kMagicV3) return load_binary_v3_payload(in).decompress();
   throw IoError("bad magic in binary graph");
 }
 
@@ -464,6 +574,26 @@ CsrGraph load_binary_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw IoError("cannot open '" + path + "' for reading");
   return load_binary(in);
+}
+
+CompressedCsrGraph load_binary_compressed(std::istream& in) {
+  std::array<char, 8> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in) throw IoError("bad magic in binary graph");
+  if (magic == kMagicV3) return load_binary_v3_payload(in);
+  if (magic == kMagicV1) {
+    return CompressedCsrGraph::from_graph(load_binary_v1_payload(in));
+  }
+  if (magic == kMagicV2) {
+    return CompressedCsrGraph::from_graph(load_binary_v2_payload(in));
+  }
+  throw IoError("bad magic in binary graph");
+}
+
+CompressedCsrGraph load_binary_compressed_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open '" + path + "' for reading");
+  return load_binary_compressed(in);
 }
 
 }  // namespace snaple

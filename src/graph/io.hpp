@@ -10,7 +10,9 @@
 //    digit scanner — same semantics, built for the 1.4B-edge twitter-rv.
 //  * binary: v2 serializes the four CSR arrays with bulk writes and loads
 //    them back with bulk reads (no per-edge work, no re-sort); v1 (a tiny
-//    header + raw edge array) remains readable for old cache files.
+//    header + raw edge array) remains readable for old cache files; v3
+//    stores the delta-compressed rows (graph/compressed_csr.hpp) so a
+//    compressed graph loads without ever inflating the flat adjacency.
 #pragma once
 
 #include <cstddef>
@@ -21,6 +23,7 @@
 
 namespace snaple {
 
+class CompressedCsrGraph;
 class ThreadPool;
 
 /// Thrown on malformed input or unreadable files.
@@ -56,8 +59,9 @@ class IoError : public std::runtime_error {
 void save_edge_list_text(const CsrGraph& g, std::ostream& out);
 void save_edge_list_text_file(const CsrGraph& g, const std::string& path);
 
-/// Loads either binary format, dispatching on the magic ("SNAPLEG1" |
-/// "SNAPLEG2").
+/// Loads any binary format, dispatching on the magic ("SNAPLEG1" |
+/// "SNAPLEG2" | "SNAPLEG3"). v3 inputs are decompressed into a flat
+/// CsrGraph; use load_binary_compressed to keep them compressed.
 [[nodiscard]] CsrGraph load_binary(std::istream& in);
 [[nodiscard]] CsrGraph load_binary_file(const std::string& path);
 
@@ -71,6 +75,21 @@ void save_binary_file(const CsrGraph& g, const std::string& path);
 /// compatibility tooling and as the bench_ingest baseline; prefer v2.
 void save_binary_v1(const CsrGraph& g, std::ostream& out);
 void save_binary_v1_file(const CsrGraph& g, const std::string& path);
+
+/// Saves format v3: header + both sides' compressed adjacencies (offsets,
+/// byte offsets, packed payload) as bulk writes. The payload on disk is
+/// exactly the in-memory encoding, so loading is bulk reads plus the
+/// from_parts parallel validation — rows never inflate.
+void save_binary_v3(const CompressedCsrGraph& g, std::ostream& out);
+void save_binary_v3_file(const CompressedCsrGraph& g,
+                         const std::string& path);
+
+/// Loads a binary graph into compressed form. v3 inputs load natively
+/// (no inflation at any point); v1/v2 inputs are loaded flat and then
+/// compressed — a convenience for converting old cache files.
+[[nodiscard]] CompressedCsrGraph load_binary_compressed(std::istream& in);
+[[nodiscard]] CompressedCsrGraph load_binary_compressed_file(
+    const std::string& path);
 
 /// Where the stream is seekable, returns the bytes left after the current
 /// position (and restores the position); SIZE_MAX when unseekable. Binary

@@ -1,0 +1,345 @@
+#include "util/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+// The AVX2 bodies are compiled whenever the compiler supports the
+// function-level target attribute on x86-64 (gcc/clang); they are never
+// *executed* unless CPUID says the instructions exist. SNAPLE_NO_AVX2
+// (set by -DSNAPLE_DISABLE_AVX2=ON) compiles them out entirely for the
+// CI leg that proves the scalar fallback stands alone.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(SNAPLE_NO_AVX2)
+#define SNAPLE_HAVE_AVX2_KERNELS 1
+#include <immintrin.h>
+#endif
+
+namespace snaple::simd {
+
+namespace {
+
+/// -1 = no override; otherwise the pinned Level.
+std::atomic<int> g_override{-1};
+
+bool detect_avx2() {
+#ifdef SNAPLE_HAVE_AVX2_KERNELS
+  const char* force = std::getenv("SNAPLE_FORCE_SCALAR");
+  if (force != nullptr && force[0] != '\0' &&
+      !(force[0] == '0' && force[1] == '\0')) {
+    return false;
+  }
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+Level detected_level() {
+  static const Level level = detect_avx2() ? Level::kAvx2 : Level::kScalar;
+  return level;
+}
+
+constexpr std::uint64_t field_mask(unsigned width) {
+  return width >= 32 ? 0xffffffffULL : ((std::uint64_t{1} << width) - 1);
+}
+
+}  // namespace
+
+Level active_level() noexcept {
+  const int forced = g_override.load(std::memory_order_relaxed);
+  if (forced >= 0) {
+    const auto level = static_cast<Level>(forced);
+    // Never dispatch to code the build or CPU cannot run.
+    if (level == Level::kAvx2 && detected_level() != Level::kAvx2) {
+      return Level::kScalar;
+    }
+    return level;
+  }
+  return detected_level();
+}
+
+void override_level(Level level) noexcept {
+  g_override.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void clear_level_override() noexcept {
+  g_override.store(-1, std::memory_order_relaxed);
+}
+
+const char* level_name(Level level) noexcept {
+  return level == Level::kAvx2 ? "avx2" : "scalar";
+}
+
+// ---------------------------------------------------------------------
+// delta_unpack
+// ---------------------------------------------------------------------
+
+std::uint32_t delta_unpack_scalar(const std::uint8_t* in, unsigned width,
+                                  std::uint32_t count, std::uint32_t prev,
+                                  VertexId* out) noexcept {
+  if (width == 0) {
+    // A zero-width block is a consecutive run: every field is 0.
+    for (std::uint32_t i = 0; i < count; ++i) out[i] = ++prev;
+    return prev;
+  }
+  const std::uint64_t mask = field_mask(width);
+  std::uint64_t bitpos = 0;
+  for (std::uint32_t i = 0; i < count; ++i, bitpos += width) {
+    // Unaligned 64-bit window: shift ≤ 7 plus width ≤ 32 always fits.
+    std::uint64_t w;
+    std::memcpy(&w, in + (bitpos >> 3), sizeof(w));
+    const auto field = static_cast<std::uint32_t>((w >> (bitpos & 7)) & mask);
+    out[i] = prev = prev + 1 + field;
+  }
+  return prev;
+}
+
+#ifdef SNAPLE_HAVE_AVX2_KERNELS
+
+/// 8 fields per iteration. Two ways to land each field's 32-bit window
+/// in its lane:
+///
+///   * width ≤ 14: lane 7's window ends at byte (7*width)/8 + 3 ≤ 15,
+///     so all 8 windows live in the 16 bytes at `p` — one 128-bit load
+///     broadcast to both halves + a per-lane byte shuffle (pshufb
+///     indexes within each 128-bit half, and both halves hold the same
+///     16 bytes). This is the common case: width 14 covers deltas up
+///     to 16383.
+///   * 14 < width ≤ 25: a byte-offset gather pulls the windows (lane
+///     i's window starts shift ≤ 7 bits into its byte, so widths up to
+///     25 fit a 32-bit lane). Slower, but rare — near-random deltas.
+///
+/// Either way a variable shift + mask isolates the field, then +1 and
+/// a vectorized inclusive prefix sum (two in-lane shifts, one
+/// cross-lane broadcast) reconstruct the ascending ids. Wider blocks
+/// take the scalar loop. Eight fields advance the stream by exactly
+/// `width` bytes, so the per-lane offsets and shuffle masks are loop
+/// constants.
+/// Per-width loop constants, computed once: lane i's window starts at
+/// byte (i*width)>>3, shifted by (i*width)&7; the shuffle mask places
+/// those four window bytes into lane i%4 of half i/4 (pshufb indexes
+/// within each 128-bit half, and both halves hold the same 16 bytes).
+/// A lookup beats recomputing — short rows make the per-call setup part
+/// of the hot path.
+struct UnpackLut {
+  alignas(32) int byte_off[26][8];
+  alignas(32) std::uint32_t bit_off[26][8];
+  alignas(32) std::uint8_t shuf[26][32];
+};
+
+constexpr UnpackLut make_unpack_lut() {
+  UnpackLut lut{};
+  for (unsigned width = 0; width <= 25; ++width) {
+    for (unsigned lane = 0; lane < 8; ++lane) {
+      const auto first_byte = static_cast<std::uint8_t>((lane * width) >> 3);
+      lut.byte_off[width][lane] = first_byte;
+      lut.bit_off[width][lane] = (lane * width) & 7;
+      for (unsigned b = 0; b < 4; ++b) {
+        lut.shuf[width][(lane & 4) * 4 + (lane & 3) * 4 + b] =
+            static_cast<std::uint8_t>(first_byte + b);
+      }
+    }
+  }
+  return lut;
+}
+
+constexpr UnpackLut kUnpackLut = make_unpack_lut();
+
+__attribute__((target("avx2"))) std::uint32_t delta_unpack_avx2(
+    const std::uint8_t* in, unsigned width, std::uint32_t count,
+    std::uint32_t prev, VertexId* out) noexcept {
+  if (width == 0 || width > 25 || count < 8) {
+    return delta_unpack_scalar(in, width, count, prev, out);
+  }
+  const __m256i voff = _mm256_load_si256(
+      reinterpret_cast<const __m256i*>(kUnpackLut.byte_off[width]));
+  const __m256i vshuf = _mm256_load_si256(
+      reinterpret_cast<const __m256i*>(kUnpackLut.shuf[width]));
+  const __m256i vshift = _mm256_load_si256(
+      reinterpret_cast<const __m256i*>(kUnpackLut.bit_off[width]));
+  const __m256i vmask =
+      _mm256_set1_epi32(static_cast<int>(field_mask(width)));
+  const __m256i vone = _mm256_set1_epi32(1);
+  const __m256i bcast3 = _mm256_set1_epi32(3);
+  const __m256i bcast7 = _mm256_set1_epi32(7);
+  __m256i carry = _mm256_set1_epi32(static_cast<int>(prev));
+
+  // The prefix-sum + carry tail is identical for both load strategies
+  // (a lambda cannot carry the avx2 target attribute, hence a macro).
+#define SNAPLE_UNPACK_FINISH(v_)                                          \
+  do {                                                                    \
+    __m256i v = (v_);                                                     \
+    v = _mm256_srlv_epi32(v, vshift);                                     \
+    v = _mm256_and_si256(v, vmask);                                       \
+    v = _mm256_add_epi32(v, vone);                                        \
+    /* Inclusive prefix sum across the 8 lanes. */                        \
+    v = _mm256_add_epi32(v, _mm256_slli_si256(v, 4));                     \
+    v = _mm256_add_epi32(v, _mm256_slli_si256(v, 8));                     \
+    const __m256i low_total = _mm256_permutevar8x32_epi32(v, bcast3);     \
+    v = _mm256_add_epi32(                                                 \
+        v, _mm256_blend_epi32(_mm256_setzero_si256(), low_total, 0xF0));  \
+    /* Broadcasting lane 7 commutes with the broadcast carry add, so   */ \
+    /* the loop-carried chain is ONE add (not add + 3-cycle permute):  */ \
+    /* next_carry = bcast7(local) + carry == bcast7(local + carry).    */ \
+    const __m256i total = _mm256_permutevar8x32_epi32(v, bcast7);         \
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),              \
+                        _mm256_add_epi32(v, carry));                      \
+    carry = _mm256_add_epi32(total, carry);                               \
+  } while (0)
+
+  std::uint32_t i = 0;
+  const std::uint8_t* p = in;
+  if (width <= 14) {
+    for (; i + 8 <= count; i += 8, p += width) {
+      const __m256i window = _mm256_broadcastsi128_si256(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+      SNAPLE_UNPACK_FINISH(_mm256_shuffle_epi8(window, vshuf));
+    }
+  } else {
+    for (; i + 8 <= count; i += 8, p += width) {
+      SNAPLE_UNPACK_FINISH(
+          _mm256_i32gather_epi32(reinterpret_cast<const int*>(p), voff, 1));
+    }
+  }
+#undef SNAPLE_UNPACK_FINISH
+  prev = static_cast<std::uint32_t>(_mm256_cvtsi256_si32(carry));
+
+  // Scalar tail (< 8 fields), continuing at bit position i*width.
+  const std::uint64_t mask = field_mask(width);
+  std::uint64_t bitpos = static_cast<std::uint64_t>(i) * width;
+  for (; i < count; ++i, bitpos += width) {
+    std::uint64_t w;
+    std::memcpy(&w, in + (bitpos >> 3), sizeof(w));
+    const auto field = static_cast<std::uint32_t>((w >> (bitpos & 7)) & mask);
+    out[i] = prev = prev + 1 + field;
+  }
+  return prev;
+}
+
+#endif  // SNAPLE_HAVE_AVX2_KERNELS
+
+std::uint32_t delta_unpack(const std::uint8_t* in, unsigned width,
+                           std::uint32_t count, std::uint32_t prev,
+                           VertexId* out) noexcept {
+#ifdef SNAPLE_HAVE_AVX2_KERNELS
+  if (active_level() == Level::kAvx2) {
+    return delta_unpack_avx2(in, width, count, prev, out);
+  }
+#endif
+  return delta_unpack_scalar(in, width, count, prev, out);
+}
+
+UnpackFn unpack_kernel() noexcept {
+#ifdef SNAPLE_HAVE_AVX2_KERNELS
+  if (active_level() == Level::kAvx2) return &delta_unpack_avx2;
+#endif
+  return &delta_unpack_scalar;
+}
+
+// ---------------------------------------------------------------------
+// intersect_count
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// Linear merge — the reference; exact for any strictly-ascending input.
+std::size_t intersect_merge(const VertexId* a, std::size_t na,
+                            const VertexId* b, std::size_t nb) noexcept {
+  std::size_t count = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+/// Galloping for lopsided sizes: binary-search each element of the
+/// short list in the remaining suffix of the long one.
+std::size_t intersect_gallop(const VertexId* small, std::size_t ns,
+                             const VertexId* big, std::size_t nb) noexcept {
+  std::size_t count = 0;
+  SortedMembership member({big, nb});
+  for (std::size_t i = 0; i < ns; ++i) {
+    if (member.contains(small[i])) ++count;
+  }
+  return count;
+}
+
+/// One side is ≥ 32× the other: galloping beats both the merge and the
+/// block compare (thrΓ bounds most SNAPLE rows, but overlay/serving
+/// paths do intersect short lists against hub rows).
+constexpr std::size_t kGallopRatio = 32;
+
+}  // namespace
+
+std::size_t intersect_count_scalar(std::span<const VertexId> a,
+                                   std::span<const VertexId> b) noexcept {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.empty()) return 0;
+  if (b.size() / a.size() >= kGallopRatio) {
+    return intersect_gallop(a.data(), a.size(), b.data(), b.size());
+  }
+  return intersect_merge(a.data(), a.size(), b.data(), b.size());
+}
+
+#ifdef SNAPLE_HAVE_AVX2_KERNELS
+
+/// 8×8 block compare: va against all 8 rotations of vb covers every
+/// pair; ids are strictly ascending so each id matches at most once and
+/// the OR of the equality masks popcounts to the exact intersection
+/// size. Blocks advance by whichever maximum is smaller (both on ties).
+__attribute__((target("avx2"))) std::size_t intersect_avx2(
+    const VertexId* a, std::size_t na, const VertexId* b,
+    std::size_t nb) noexcept {
+  std::size_t count = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  const __m256i rot1 = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+  while (i + 8 <= na && j + 8 <= nb) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    __m256i eq = _mm256_cmpeq_epi32(va, vb);
+    for (int r = 1; r < 8; ++r) {
+      vb = _mm256_permutevar8x32_epi32(vb, rot1);
+      eq = _mm256_or_si256(eq, _mm256_cmpeq_epi32(va, vb));
+    }
+    count += static_cast<std::size_t>(__builtin_popcount(
+        static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(eq)))));
+    const VertexId amax = a[i + 7];
+    const VertexId bmax = b[j + 7];
+    if (amax <= bmax) i += 8;
+    if (bmax <= amax) j += 8;
+  }
+  return count + intersect_merge(a + i, na - i, b + j, nb - j);
+}
+
+#endif  // SNAPLE_HAVE_AVX2_KERNELS
+
+std::size_t intersect_count(std::span<const VertexId> a,
+                            std::span<const VertexId> b) noexcept {
+#ifdef SNAPLE_HAVE_AVX2_KERNELS
+  if (active_level() == Level::kAvx2) {
+    if (a.size() > b.size()) std::swap(a, b);
+    if (a.empty()) return 0;
+    if (b.size() / a.size() >= kGallopRatio) {
+      return intersect_gallop(a.data(), a.size(), b.data(), b.size());
+    }
+    return intersect_avx2(a.data(), a.size(), b.data(), b.size());
+  }
+#endif
+  return intersect_count_scalar(a, b);
+}
+
+}  // namespace snaple::simd

@@ -1,0 +1,130 @@
+// Runtime-dispatched SIMD kernels for the compressed-CSR hot paths.
+//
+// Three kernels, each with an AVX2 and a scalar implementation compiled
+// side by side (the AVX2 bodies carry __attribute__((target("avx2"))),
+// so no translation unit needs -mavx2 and the scalar build stays legal
+// on any x86-64 or non-x86 host):
+//
+//   * delta_unpack — decodes one block of the compressed adjacency
+//     format (graph/compressed_csr.hpp): `count` fields of `width` bits,
+//     LSB-first in a little-endian bit stream, reconstructed to strictly
+//     ascending ids via out[i] = prev + 1 + field_i. The AVX2 path
+//     gathers 8 fields at a time (byte-offset gather + variable shift)
+//     and finishes the reconstruction with a vectorized prefix sum.
+//   * intersect_count — |a ∩ b| of two strictly-ascending id lists: the
+//     raw-similarity kernel behind core/similarity.cpp. The AVX2 path
+//     compares 8×8 blocks via lane rotations; very lopsided inputs take
+//     a galloping path instead (same exact count either way).
+//   * SortedMembership — a galloping membership cursor for ascending
+//     probe sequences, replacing the per-probe binary search in
+//     snaple_rows.hpp's fold paths (scalar by construction; it lives
+//     here because it is part of the same decoded-block consumption
+//     story).
+//
+// Dispatch: active_level() is resolved once from CPUID
+// (__builtin_cpu_supports) and the SNAPLE_FORCE_SCALAR environment
+// variable; tests and benches can pin either path with override_level().
+// Building with -DSNAPLE_DISABLE_AVX2=ON (CMake) compiles the AVX2
+// bodies out entirely — the CI scalar leg uses both knobs so the
+// fallback is exercised end to end.
+//
+// Every kernel is exact: the integer outputs are identical across
+// paths, which is why swapping them under the float pipeline preserves
+// bit-identity (the floats are computed from exact integer counts and
+// identical decoded ids, never from SIMD float arithmetic).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "graph/types.hpp"
+
+namespace snaple::simd {
+
+enum class Level { kScalar, kAvx2 };
+
+/// The dispatch level in effect: the override if one is set, else the
+/// detected one (AVX2 iff the CPU has it, the build compiled it in, and
+/// SNAPLE_FORCE_SCALAR is unset/empty/"0").
+[[nodiscard]] Level active_level() noexcept;
+
+/// Pins the dispatch level (tests/benches measuring one path). Passing
+/// kAvx2 on a build or CPU without it is ignored. Not thread-safe
+/// against concurrent kernel calls — flip it between runs, not during.
+void override_level(Level level) noexcept;
+void clear_level_override() noexcept;
+
+[[nodiscard]] const char* level_name(Level level) noexcept;
+
+/// Decodes `count` fields of `width` bits (0 ≤ width ≤ 32) from the
+/// LSB-first bit stream at `in`, writing strictly ascending ids:
+/// out[i] = prev + 1 + field_i, carried left to right (u32 wraparound is
+/// intended: a row's initial prev of 0xffffffff makes the first field an
+/// absolute id). Returns the last value written (prev when count == 0).
+/// `in` must have at least kDecodeSlack readable bytes beyond the last
+/// field — the encoder pads its buffers accordingly.
+std::uint32_t delta_unpack(const std::uint8_t* in, unsigned width,
+                           std::uint32_t count, std::uint32_t prev,
+                           VertexId* out) noexcept;
+
+/// The scalar reference the AVX2 path must match bit for bit (exposed
+/// for the equivalence tests and the kernel benches).
+std::uint32_t delta_unpack_scalar(const std::uint8_t* in, unsigned width,
+                                  std::uint32_t count, std::uint32_t prev,
+                                  VertexId* out) noexcept;
+
+/// delta_unpack with the dispatch decision hoisted out: resolves the
+/// active level once and returns the kernel, so per-row decoders that
+/// call it block by block don't re-read the dispatch state per block.
+using UnpackFn = std::uint32_t (*)(const std::uint8_t*, unsigned,
+                                   std::uint32_t, std::uint32_t,
+                                   VertexId*) noexcept;
+[[nodiscard]] UnpackFn unpack_kernel() noexcept;
+
+/// Readable slack delta_unpack may touch past the final field's byte.
+inline constexpr std::size_t kDecodeSlack = 32;
+
+/// |a ∩ b| for strictly-ascending id lists (exact integer count).
+[[nodiscard]] std::size_t intersect_count(std::span<const VertexId> a,
+                                          std::span<const VertexId> b) noexcept;
+[[nodiscard]] std::size_t intersect_count_scalar(
+    std::span<const VertexId> a, std::span<const VertexId> b) noexcept;
+
+/// Galloping membership tester over one sorted, strictly-ascending id
+/// list. Probes that arrive in ascending order resume from the previous
+/// position (amortized O(log gap) per probe instead of O(log n)); a
+/// descending probe restarts from the front, so the answer is always
+/// exactly std::binary_search's.
+class SortedMembership {
+ public:
+  explicit SortedMembership(std::span<const VertexId> sorted) noexcept
+      : s_(sorted) {}
+
+  [[nodiscard]] bool contains(VertexId z) noexcept {
+    if (z < last_) pos_ = 0;  // non-monotone probe: restart the cursor
+    last_ = z;
+    // Gallop: widen [lo, cur] until s_[cur] >= z (everything before the
+    // cursor is < every probe seen since the last restart).
+    std::size_t lo = pos_;
+    std::size_t cur = pos_;
+    std::size_t step = 1;
+    while (cur < s_.size() && s_[cur] < z) {
+      lo = cur + 1;
+      cur += step;
+      step <<= 1;
+    }
+    const std::size_t end = std::min(cur + 1, s_.size());
+    const auto* it = std::lower_bound(s_.data() + lo, s_.data() + end, z);
+    pos_ = static_cast<std::size_t>(it - s_.data());
+    return pos_ < s_.size() && s_[pos_] == z;
+  }
+
+ private:
+  std::span<const VertexId> s_;
+  std::size_t pos_ = 0;
+  VertexId last_ = 0;
+};
+
+}  // namespace snaple::simd

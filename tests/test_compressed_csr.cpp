@@ -1,0 +1,552 @@
+// Compressed CSR: bit-identity of the representation and of everything
+// built on top of it.
+//
+//  * decompress(from_graph(G)) == G for every generator family — and for
+//    the shapes the block format must get right: hub rows (many blocks),
+//    width-0 runs, empty rows, isolated tail vertices, V ∈ {0, 1}.
+//  * RowCursor streaming equals whole-row decode.
+//  * Binary format v3 round-trips; truncation at EVERY byte offset and
+//    systematic byte corruption are rejected (or load a fully-valid
+//    graph), mirroring the SNAPLEM1 fuzz battery.
+//  * The SIMD kernels match their scalar references bit for bit across
+//    widths, counts and dispatch levels.
+//  * run_snaple on the compressed graph equals the flat engine EXACTLY —
+//    predictions, scores and accounting — flat and sharded, and sharded
+//    runs over compressed shard slices shrink the structure footprint.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include "core/snaple_program.hpp"
+#include "gas/shard.hpp"
+#include "graph/builder.hpp"
+#include "graph/compressed_csr.hpp"
+#include "graph/gen/datasets.hpp"
+#include "graph/gen/generators.hpp"
+#include "graph/io.hpp"
+#include "util/simd.hpp"
+
+namespace snaple {
+namespace {
+
+void expect_same_graph(const CsrGraph& a, const CsrGraph& b,
+                       const std::string& what) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices()) << what;
+  ASSERT_EQ(a.num_edges(), b.num_edges()) << what;
+  EXPECT_TRUE(std::ranges::equal(a.out_offsets(), b.out_offsets())) << what;
+  EXPECT_TRUE(std::ranges::equal(a.out_targets(), b.out_targets())) << what;
+  EXPECT_TRUE(std::ranges::equal(a.in_offsets(), b.in_offsets())) << what;
+  EXPECT_TRUE(std::ranges::equal(a.in_sources(), b.in_sources())) << what;
+}
+
+// ---------- representation round trip, all generator families ----------
+
+struct GeneratorCase {
+  std::string name;
+  std::function<CsrGraph(std::uint64_t seed)> make;
+};
+
+std::vector<GeneratorCase> generator_cases() {
+  return {
+      {"erdos_renyi",
+       [](std::uint64_t s) { return gen::erdos_renyi(200, 1500, s); }},
+      {"barabasi_albert",
+       [](std::uint64_t s) { return gen::barabasi_albert(300, 3, s); }},
+      {"holme_kim",
+       [](std::uint64_t s) { return gen::holme_kim(300, 3, 0.6, s); }},
+      {"watts_strogatz",
+       [](std::uint64_t s) { return gen::watts_strogatz(200, 3, 0.2, s); }},
+      {"rmat",
+       [](std::uint64_t s) {
+         gen::RmatParams p;
+         p.scale = 9;
+         p.edges = 4000;
+         return gen::rmat(p, s);
+       }},
+      {"affiliation",
+       [](std::uint64_t s) {
+         return gen::affiliation_graph(400, gen::AffiliationParams{}, s);
+       }},
+      {"dataset_replica",
+       [](std::uint64_t s) { return gen::make_dataset("pokec", 0.01, s); }},
+  };
+}
+
+class CompressedRoundTrip : public ::testing::TestWithParam<GeneratorCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGenerators, CompressedRoundTrip,
+    ::testing::ValuesIn(generator_cases()),
+    [](const auto& info) { return info.param.name; });
+
+TEST_P(CompressedRoundTrip, DecompressIsExactAcrossSeeds) {
+  for (const std::uint64_t seed : {1u, 7u, 23u}) {
+    const CsrGraph g = GetParam().make(seed);
+    const auto c = CompressedCsrGraph::from_graph(g);
+    expect_same_graph(c.decompress(), g,
+                      "seed " + std::to_string(seed));
+  }
+}
+
+TEST_P(CompressedRoundTrip, RowAccessorsMatchFlat) {
+  const CsrGraph g = GetParam().make(3);
+  const auto c = CompressedCsrGraph::from_graph(g);
+  ASSERT_EQ(c.num_vertices(), g.num_vertices());
+  ASSERT_EQ(c.num_edges(), g.num_edges());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    EXPECT_TRUE(std::ranges::equal(c.out_neighbors(u), g.out_neighbors(u)));
+    EXPECT_TRUE(std::ranges::equal(c.in_neighbors(u), g.in_neighbors(u)));
+    EXPECT_EQ(c.out_degree(u), g.out_degree(u));
+    EXPECT_EQ(c.in_degree(u), g.in_degree(u));
+    EXPECT_EQ(c.out_offset(u), g.out_offsets()[u]);
+  }
+}
+
+TEST_P(CompressedRoundTrip, EdgeIndexAndHasEdgeMatchFlat) {
+  const CsrGraph g = GetParam().make(5);
+  const auto c = CompressedCsrGraph::from_graph(g);
+  EdgeIndex e = 0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.out_neighbors(u)) {
+      EXPECT_TRUE(c.has_edge(u, v));
+      EXPECT_EQ(c.edge_index(u, v), e);
+      ++e;
+    }
+    // A vertex that is no out-neighbor of u (or the absent self loop).
+    if (!g.has_edge(u, u)) {
+      EXPECT_FALSE(c.has_edge(u, u));
+      EXPECT_EQ(c.edge_index(u, u), g.num_edges());
+    }
+  }
+}
+
+TEST_P(CompressedRoundTrip, RowCursorStreamsWholeRow) {
+  const CsrGraph g = GetParam().make(9);
+  const auto c = CompressedCsrGraph::from_graph(g);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    std::vector<VertexId> streamed;
+    for (auto cur = c.out_row(u); !cur.done();) {
+      const auto block = cur.next_block();
+      streamed.insert(streamed.end(), block.begin(), block.end());
+    }
+    EXPECT_TRUE(std::ranges::equal(streamed, g.out_neighbors(u))) << u;
+  }
+}
+
+// ---------- adversarial row shapes ----------
+
+TEST(CompressedCsr, EmptyAndTinyGraphs) {
+  const CsrGraph empty;
+  const auto c0 = CompressedCsrGraph::from_graph(empty);
+  EXPECT_EQ(c0.num_vertices(), 0u);
+  EXPECT_EQ(c0.num_edges(), 0u);
+  EXPECT_EQ(c0.adjacency_bytes(), 0u);
+  expect_same_graph(c0.decompress(), empty, "empty");
+
+  GraphBuilder b1;
+  b1.declare_vertices(1);  // one vertex, zero edges
+  const CsrGraph single = b1.build();
+  const auto c1 = CompressedCsrGraph::from_graph(single);
+  EXPECT_EQ(c1.num_vertices(), 1u);
+  EXPECT_TRUE(c1.out_neighbors(0).empty());
+  expect_same_graph(c1.decompress(), single, "single vertex");
+}
+
+TEST(CompressedCsr, HubRowSpanningManyBlocks) {
+  // A star: one source with 1000 targets — eight blocks, the last one
+  // partial — plus 1000 single-entry in-rows.
+  GraphBuilder b;
+  for (VertexId v = 1; v <= 1000; ++v) b.add_edge(0, v);
+  const CsrGraph g = b.build();
+  const auto c = CompressedCsrGraph::from_graph(g);
+  expect_same_graph(c.decompress(), g, "star");
+  EXPECT_TRUE(std::ranges::equal(c.out_neighbors(0), g.out_neighbors(0)));
+}
+
+TEST(CompressedCsr, ConsecutiveRunsUseWidthZeroBlocks) {
+  // Row 601 → {0, 1, ..., 600}: the first field is the absolute id 0
+  // and every delta field is 0, so all five blocks are width-0 — a
+  // 601-id row packed into 5 lone header bytes, decoding exactly.
+  GraphBuilder b;
+  for (VertexId v = 0; v <= 600; ++v) b.add_edge(601, v);
+  const CsrGraph g = b.build();
+  const auto c = CompressedCsrGraph::from_graph(g);
+  EXPECT_EQ(c.out_adjacency().payload_bytes(), 5u);
+  expect_same_graph(c.decompress(), g, "consecutive run");
+}
+
+TEST(CompressedCsr, WideDeltasAndIsolatedTailVertices) {
+  // Deltas spanning the vertex range (wide packed fields), empty rows in
+  // the middle and isolated vertices after the last edge. (Width-32
+  // fields are exercised at the kernel level below — a graph forcing
+  // them would need ~2^32 vertices' worth of offset arrays.)
+  constexpr VertexId kLast = (1u << 20) - 3;
+  GraphBuilder b;
+  b.declare_vertices(kLast + 2);
+  b.add_edge(5, 0);
+  b.add_edge(5, 1u << 10);
+  b.add_edge(5, kLast);
+  b.add_edge(9, kLast);
+  const CsrGraph g = b.build();
+  const auto c = CompressedCsrGraph::from_graph(g);
+  ASSERT_EQ(c.num_vertices(), g.num_vertices());
+  EXPECT_TRUE(std::ranges::equal(c.out_neighbors(5), g.out_neighbors(5)));
+  EXPECT_TRUE(std::ranges::equal(c.out_neighbors(9), g.out_neighbors(9)));
+  EXPECT_TRUE(c.out_neighbors(7).empty());
+  EXPECT_TRUE(std::ranges::equal(c.in_neighbors(kLast), g.in_neighbors(kLast)));
+  expect_same_graph(c.decompress(), g, "wide deltas");
+}
+
+TEST(CompressedCsr, CompressionTargetOnMillionEdgeReplica) {
+  // The tentpole target: ≥ 2× smaller than the flat out_targets +
+  // in_sources on a ~1M-edge dataset replica.
+  const CsrGraph g = gen::make_dataset("pokec", 1.5, 7);
+  ASSERT_GE(g.num_edges(), 1'000'000u);
+  const auto c = CompressedCsrGraph::from_graph(g);
+  const std::size_t flat =
+      static_cast<std::size_t>(g.num_edges()) * 2 * sizeof(VertexId);
+  EXPECT_LE(c.adjacency_bytes() * 2, flat)
+      << "compressed " << c.adjacency_bytes() << " B vs flat " << flat
+      << " B";
+  EXPECT_LT(c.memory_bytes(), g.memory_bytes());
+}
+
+// ---------- binary format v3 ----------
+
+TEST(BinaryV3, RoundTripsCompressedAndFlat) {
+  const CsrGraph g = gen::make_dataset("gowalla", 0.02, 3);
+  const auto c = CompressedCsrGraph::from_graph(g);
+  std::stringstream ss;
+  save_binary_v3(c, ss);
+
+  std::stringstream a(ss.str());
+  const auto native = load_binary_compressed(a);
+  expect_same_graph(native.decompress(), g, "native v3");
+  EXPECT_EQ(native.adjacency_bytes(), c.adjacency_bytes());
+
+  std::stringstream b(ss.str());
+  expect_same_graph(load_binary(b), g, "v3 via load_binary");
+}
+
+TEST(BinaryV3, LoadsLegacyFormatsCompressed) {
+  const CsrGraph g = gen::erdos_renyi(150, 900, 5);
+  for (const bool v1 : {false, true}) {
+    std::stringstream ss;
+    if (v1) {
+      save_binary_v1(g, ss);
+    } else {
+      save_binary(g, ss);
+    }
+    const auto c = load_binary_compressed(ss);
+    expect_same_graph(c.decompress(), g, v1 ? "from v1" : "from v2");
+  }
+}
+
+TEST(BinaryV3, EmptyGraphRoundTrips) {
+  const CompressedCsrGraph c;
+  std::stringstream ss;
+  save_binary_v3(c, ss);
+  const auto back = load_binary_compressed(ss);
+  EXPECT_EQ(back.num_vertices(), 0u);
+  EXPECT_EQ(back.num_edges(), 0u);
+}
+
+/// Small graph whose v3 bytes cover every section: multi-block hub row,
+/// width-0 runs, empty rows, both sides non-trivial.
+std::string tiny_v3_bytes() {
+  GraphBuilder b;
+  for (VertexId v = 1; v <= 200; ++v) b.add_edge(0, v);
+  b.add_edge(3, 1);
+  b.add_edge(3, 100);
+  b.add_edge(7, 3);
+  const std::string bytes = [&] {
+    std::stringstream ss;
+    save_binary_v3(CompressedCsrGraph::from_graph(b.build()), ss);
+    return ss.str();
+  }();
+  return bytes;
+}
+
+TEST(BinaryV3Fuzz, TruncationAtEveryByteOffsetIsRejected) {
+  const std::string bytes = tiny_v3_bytes();
+  ASSERT_GT(bytes.size(), 24u);
+  // v3 has no padding or optional tail: every strict prefix is a
+  // truncation and must throw IoError — never crash, never hand back a
+  // graph built from half the arrays.
+  for (std::size_t keep = 0; keep < bytes.size(); ++keep) {
+    std::stringstream cut(bytes.substr(0, keep));
+    EXPECT_THROW((void)load_binary_compressed(cut), IoError) << keep;
+    std::stringstream cut2(bytes.substr(0, keep));
+    EXPECT_THROW((void)load_binary(cut2), IoError) << keep;
+  }
+  std::stringstream whole(bytes);
+  EXPECT_NO_THROW((void)load_binary_compressed(whole));
+}
+
+TEST(BinaryV3Fuzz, ByteFlipsNeverCrashOrHalfLoad) {
+  const std::string bytes = tiny_v3_bytes();
+  std::stringstream ref_in(bytes);
+  const CsrGraph reference = load_binary_compressed(ref_in).decompress();
+  // Every byte of the file takes three flips (low bit, high bit, all
+  // bits). Outcomes allowed: clean IoError, or a graph that passes the
+  // full structural validation — nothing in between.
+  for (std::size_t at = 0; at < bytes.size(); ++at) {
+    for (const unsigned char mask : {0x01, 0x80, 0xff}) {
+      std::string mutated = bytes;
+      mutated[at] = static_cast<char>(mutated[at] ^ mask);
+      std::stringstream in(mutated);
+      CompressedCsrGraph c;
+      try {
+        c = load_binary_compressed(in);
+      } catch (const IoError&) {
+        continue;  // clean rejection — the expected outcome
+      }
+      // Validation accepted the mutation (e.g. a flip inside a packed
+      // field that still decodes to ascending in-range ids). Then the
+      // graph must be completely well-formed: every row decodes, stays
+      // ascending and transposes consistently — from_parts pinned that;
+      // spot-check by decompressing (CsrGraph::from_parts re-validates).
+      const CsrGraph flat = c.decompress();
+      ASSERT_EQ(flat.num_vertices(), reference.num_vertices())
+          << "at=" << at << " mask=" << int(mask);
+    }
+  }
+}
+
+// ---------- SIMD kernel equivalence ----------
+
+/// Packs `fields` LSB-first at `width` bits each, padded with decode
+/// slack — the encoder's inner loop, reproduced for kernel-level tests.
+std::vector<std::uint8_t> pack_fields(const std::vector<std::uint32_t>& fields,
+                                      unsigned width) {
+  std::vector<std::uint8_t> out((fields.size() * width + 7) / 8 +
+                                    simd::kDecodeSlack,
+                                0);
+  std::size_t bit = 0;
+  for (const std::uint32_t f : fields) {
+    for (unsigned i = 0; i < width; ++i, ++bit) {
+      if ((f >> i) & 1u) out[bit / 8] |= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+  }
+  return out;
+}
+
+TEST(SimdKernels, DeltaUnpackMatchesScalarAcrossWidthsAndCounts) {
+  std::mt19937_64 rng(42);
+  for (unsigned width = 0; width <= 32; ++width) {
+    for (const std::uint32_t count :
+         {std::uint32_t{0}, std::uint32_t{1}, std::uint32_t{7},
+          std::uint32_t{8}, std::uint32_t{9}, std::uint32_t{64},
+          std::uint32_t{127}, std::uint32_t{128}}) {
+      std::vector<std::uint32_t> fields(count);
+      const std::uint64_t cap =
+          width == 32 ? 0xffffffffULL : (1ULL << width) - 1;
+      for (auto& f : fields) {
+        f = static_cast<std::uint32_t>(rng() & cap);
+      }
+      const auto packed = pack_fields(fields, width);
+      const std::uint32_t prev = CompressedAdjacency::kRowInit;
+
+      std::vector<VertexId> scalar_out(std::max<std::size_t>(count, 1));
+      const std::uint32_t scalar_last = simd::delta_unpack_scalar(
+          packed.data(), width, count, prev, scalar_out.data());
+
+      std::vector<VertexId> active_out(std::max<std::size_t>(count, 1));
+      const std::uint32_t active_last = simd::delta_unpack(
+          packed.data(), width, count, prev, active_out.data());
+
+      EXPECT_EQ(active_last, scalar_last) << width << "/" << count;
+      EXPECT_EQ(active_out, scalar_out) << width << "/" << count;
+    }
+  }
+}
+
+TEST(SimdKernels, DeltaUnpackIdenticalUnderBothDispatchLevels) {
+  // Pin each level in turn (the kAvx2 pin is a no-op on scalar-only
+  // builds/CPUs, where both runs take the scalar path — still a valid
+  // identity) and compare full decodes of a replica graph.
+  const CsrGraph g = gen::make_dataset("gowalla", 0.02, 11);
+  const auto c = CompressedCsrGraph::from_graph(g);
+
+  const auto decode_all = [&] {
+    std::vector<VertexId> all;
+    all.reserve(g.num_edges());
+    for (VertexId u = 0; u < c.num_vertices(); ++u) {
+      const auto row = c.out_neighbors(u);
+      all.insert(all.end(), row.begin(), row.end());
+    }
+    return all;
+  };
+
+  simd::override_level(simd::Level::kScalar);
+  const auto scalar = decode_all();
+  simd::override_level(simd::Level::kAvx2);
+  const auto vector = decode_all();
+  simd::clear_level_override();
+
+  EXPECT_EQ(scalar, vector);
+  EXPECT_TRUE(std::ranges::equal(scalar, g.out_targets()));
+}
+
+TEST(SimdKernels, IntersectCountMatchesSetIntersection) {
+  std::mt19937_64 rng(7);
+  for (int round = 0; round < 200; ++round) {
+    const auto draw = [&](std::size_t max_len, std::uint32_t universe) {
+      std::vector<VertexId> v(rng() % (max_len + 1));
+      for (auto& x : v) x = static_cast<VertexId>(rng() % universe);
+      std::sort(v.begin(), v.end());
+      v.erase(std::unique(v.begin(), v.end()), v.end());
+      return v;
+    };
+    // Mix of comparable sizes (block path) and lopsided pairs ≥ the
+    // gallop ratio, over dense and sparse universes.
+    const auto a = draw(round % 3 == 0 ? 400 : 30, 500);
+    const auto b = draw(round % 3 == 1 ? 2000 : 25, 3000);
+    std::vector<VertexId> expect;
+    std::ranges::set_intersection(a, b, std::back_inserter(expect));
+
+    for (const auto level : {simd::Level::kScalar, simd::Level::kAvx2}) {
+      simd::override_level(level);
+      EXPECT_EQ(simd::intersect_count(a, b), expect.size()) << round;
+      EXPECT_EQ(simd::intersect_count(b, a), expect.size()) << round;
+    }
+    simd::clear_level_override();
+    EXPECT_EQ(simd::intersect_count_scalar(a, b), expect.size()) << round;
+  }
+}
+
+TEST(SimdKernels, SortedMembershipMatchesBinarySearch) {
+  std::mt19937_64 rng(13);
+  for (int round = 0; round < 100; ++round) {
+    std::vector<VertexId> sorted(rng() % 300);
+    for (auto& x : sorted) x = static_cast<VertexId>(rng() % 2000);
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+    simd::SortedMembership member(sorted);
+    // Mostly-ascending probe sequence with occasional restarts — the
+    // fold path's access pattern (ascending z per list, new list rewinds).
+    VertexId probe = 0;
+    for (int i = 0; i < 400; ++i) {
+      if (rng() % 16 == 0) probe = static_cast<VertexId>(rng() % 100);
+      probe += static_cast<VertexId>(rng() % 12);
+      EXPECT_EQ(member.contains(probe),
+                std::binary_search(sorted.begin(), sorted.end(), probe))
+          << round << ":" << i;
+    }
+  }
+}
+
+// ---------- end-to-end bit-identity ----------
+
+void expect_same_result(const SnapleResult& a, const SnapleResult& b,
+                        const std::string& what) {
+  ASSERT_EQ(a.predictions.size(), b.predictions.size()) << what;
+  EXPECT_EQ(a.predictions, b.predictions) << what;
+  EXPECT_EQ(a.scored, b.scored) << what;  // float-exact comparison
+  ASSERT_EQ(a.report.steps.size(), b.report.steps.size()) << what;
+  for (std::size_t i = 0; i < a.report.steps.size(); ++i) {
+    const auto& sa = a.report.steps[i];
+    const auto& sb = b.report.steps[i];
+    EXPECT_EQ(sa.net_bytes, sb.net_bytes) << what << " step " << i;
+    EXPECT_EQ(sa.messages, sb.messages) << what << " step " << i;
+    EXPECT_EQ(sa.gather_calls, sb.gather_calls) << what << " step " << i;
+    EXPECT_EQ(sa.contributions, sb.contributions) << what << " step " << i;
+  }
+}
+
+TEST(CompressedRun, BitIdenticalToFlatEngine) {
+  for (const std::uint64_t seed : {1u, 5u}) {
+    const CsrGraph g = gen::make_dataset("gowalla", 0.02, seed);
+    const auto c = CompressedCsrGraph::from_graph(g);
+    for (const std::size_t k_hops : {std::size_t{2}, std::size_t{3}}) {
+      for (const std::size_t machines :
+           {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+        SnapleConfig cfg;
+        cfg.k_hops = k_hops;
+        cfg.seed = seed;
+        const auto part = gas::Partitioning::create(
+            g, machines, gas::PartitionStrategy::kGreedy, cfg.seed);
+        const auto cpart = gas::Partitioning::create(
+            c, machines, gas::PartitionStrategy::kGreedy, cfg.seed);
+        const auto cluster = machines == 1
+                                 ? gas::ClusterConfig::single_machine(2)
+                                 : gas::ClusterConfig::type_i(machines);
+        const std::string what = "seed=" + std::to_string(seed) +
+                                 " K=" + std::to_string(k_hops) +
+                                 " m=" + std::to_string(machines);
+        const auto flat = run_snaple(g, cfg, part, cluster);
+        expect_same_result(run_snaple(c, cfg, cpart, cluster), flat, what);
+        if (machines > 1) {
+          // Sharded execution over compressed shard slices.
+          const auto sharded_flat =
+              run_snaple(g, cfg, part, cluster, nullptr,
+                         gas::ApplyMode::kFused, gas::ExecutionMode::kSharded);
+          expect_same_result(
+              run_snaple(c, cfg, cpart, cluster, nullptr,
+                         gas::ApplyMode::kFused, gas::ExecutionMode::kSharded),
+              sharded_flat, what + " sharded");
+        }
+      }
+    }
+  }
+}
+
+TEST(CompressedRun, PartitioningIdenticalAcrossRepresentations) {
+  const CsrGraph g = gen::make_dataset("gowalla", 0.02, 9);
+  const auto c = CompressedCsrGraph::from_graph(g);
+  for (const auto strategy :
+       {gas::PartitionStrategy::kHash, gas::PartitionStrategy::kGreedy,
+        gas::PartitionStrategy::kEdgeLocal}) {
+    const auto a = gas::Partitioning::create(g, 8, strategy, 11);
+    const auto b = gas::Partitioning::create(c, 8, strategy, 11);
+    ASSERT_EQ(a.num_machines(), b.num_machines());
+    EXPECT_EQ(a.edges_per_machine(), b.edges_per_machine());
+    for (EdgeIndex e = 0; e < g.num_edges(); ++e) {
+      ASSERT_EQ(a.edge_machine(e), b.edge_machine(e)) << e;
+    }
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+      ASSERT_EQ(a.master(u), b.master(u)) << u;
+      ASSERT_EQ(a.replicas(u).bits(), b.replicas(u).bits()) << u;
+    }
+  }
+}
+
+TEST(CompressedRun, ShardSlicesCompressAndMatchFlatRows) {
+  const CsrGraph g = gen::make_dataset("gowalla", 0.03, 3);
+  const auto c = CompressedCsrGraph::from_graph(g);
+  const auto part =
+      gas::Partitioning::create(g, 8, gas::PartitionStrategy::kGreedy, 3);
+  const auto flat_topo = gas::ShardTopology::build(g, part);
+  const auto comp_topo = gas::ShardTopology::build(c, part);
+  ASSERT_EQ(flat_topo.shards().size(), comp_topo.shards().size());
+  std::size_t flat_bytes = 0;
+  std::size_t comp_bytes = 0;
+  for (std::size_t m = 0; m < flat_topo.shards().size(); ++m) {
+    const auto& fs = flat_topo.shards()[m];
+    const auto& cs = comp_topo.shards()[m];
+    EXPECT_FALSE(fs.compressed());
+    EXPECT_TRUE(cs.compressed());
+    ASSERT_EQ(fs.num_local(), cs.num_local());
+    ASSERT_EQ(fs.num_local_edges(), cs.num_local_edges());
+    for (VertexId l = 0; l < fs.num_local(); ++l) {
+      ASSERT_TRUE(
+          std::ranges::equal(fs.out_neighbors(l), cs.out_neighbors(l)))
+          << m << ":" << l;
+      ASSERT_TRUE(std::ranges::equal(fs.in_neighbors(l), cs.in_neighbors(l)))
+          << m << ":" << l;
+    }
+    flat_bytes += fs.memory_bytes();
+    comp_bytes += cs.memory_bytes();
+  }
+  // The point of compressed slices: the 8-machine structure peak drops.
+  EXPECT_LT(comp_bytes, flat_bytes);
+}
+
+}  // namespace
+}  // namespace snaple
