@@ -21,11 +21,17 @@
 //                 cache must cut fetches/query by ≥2× vs the cacheless
 //                 cluster on the same Zipf workload (counter-based, so
 //                 stable in CI; p50/p99 are reported alongside).
-//   updates       the serving tier's freshness story under writes: a
-//                 DynamicModel absorbs an insert stream while queries
-//                 measure tail latency idle vs during the burst; the
-//                 post-burst freeze() is re-sharded and ENFORCED
-//                 bit-identical again (updates and sharding compose).
+//   updates       the LIVE update plane (ISSUE 9) under fire: a 4-shard
+//                 remote-fetch cluster absorbs the held-back insert
+//                 stream IN PLACE — batches fanned to every shard by
+//                 the UpdateRouter, no freeze, no re-shard — while the
+//                 same closed-loop Zipf clients keep querying. Reports
+//                 query p50/p99 idle vs during the burst plus the
+//                 staleness window (the apply() round trip: submission
+//                 until every shard has republished its owned stale
+//                 rows). ENFORCED (exit 1): after the burst and a
+//                 version barrier, served answers are bit-identical to
+//                 a from-scratch fit on the union graph.
 //
 // Baselines: bench/baselines/bench_serve_traffic.json, recorded at
 // --scale=0.1 --seed=42 (CI smoke scale). wall-s and queries_per_second
@@ -45,7 +51,6 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "core/dynamic_model.hpp"
 #include "core/predictor.hpp"
 #include "core/query_engine.hpp"
 #include "graph/builder.hpp"
@@ -442,65 +447,84 @@ int main(int argc, char** argv) {
             << reduction_str << "), p99 " << Table::fmt(fast_p99[0], 1)
             << " -> " << Table::fmt(fast_p99[1], 1) << " us\n\n";
 
-  // ---- Phase 4: query tail latency while updates stream in. ----------
-  const auto dyn =
-      std::make_shared<const DynamicModel>(model, base_graph);
-  const QueryEngine live(dyn);
+  // ---- Phase 4: query tail latency while the update PLANE absorbs. ---
+  // The live sharded tier: LiveShards behind the same QueryRouter, the
+  // UpdateRouter fanning insert batches to every shard. No freeze, no
+  // re-shard — the burst mutates the serving cluster in place while the
+  // Zipf clients stay on it.
+  serve::ServeOptions live_so;
+  live_so.num_shards = 4;
+  live_so.colocate = false;  // live serving fetches; versions keep it fresh
+  live_so.connections_per_shard = clients;
+  live_so.cache_bytes = 64ull << 20;
+  serve::ServingCluster live_cluster(model, base_graph, live_so);
+  const auto live_topk = [&](VertexId u) {
+    return live_cluster.router().topk(u);
+  };
 
-  const auto idle = drive_load(users, clients, per_client, opt.seed + 1,
-                               [&](VertexId u) { return live.topk(u); });
+  const auto idle =
+      drive_load(users, clients, per_client, opt.seed + 1, live_topk);
 
-  // Writer burst: replay the held-back edges (cycling if the query side
-  // outlasts the stream) until every client finishes its quota.
-  std::atomic<bool> done{false};
-  std::size_t applied = 0;
+  // Writer burst: the held-back edges stream through the plane in small
+  // batches. Each apply() round trip IS the staleness window — the time
+  // from submitting an insert until every shard has republished its
+  // owned stale rows (a served answer can lag a submitted insert by at
+  // most one window; queries never wait on it).
+  constexpr std::size_t kUpdateBatch = 8;
+  std::vector<double> window_us;
+  window_us.reserve(inserts.size() / kUpdateBatch + 1);
   double burst_wall = 0.0;
   std::thread writer([&] {
-    auto* w = const_cast<DynamicModel*>(dyn.get());
     WallTimer t;
-    std::size_t i = 0;
-    while (!done.load(std::memory_order_relaxed) && i < inserts.size()) {
-      (void)w->add_edge(inserts[i].src, inserts[i].dst);
-      ++i;
+    auto& plane = live_cluster.update_router();
+    for (std::size_t at = 0; at < inserts.size(); at += kUpdateBatch) {
+      const std::size_t len =
+          std::min(kUpdateBatch, inserts.size() - at);
+      WallTimer w;
+      (void)plane.apply({inserts.data() + at, len});
+      window_us.push_back(w.seconds() * 1e6);
     }
-    applied = i;
     burst_wall = t.seconds();
   });
   const auto burst = drive_load(users, clients, per_client, opt.seed + 2,
-                                [&](VertexId u) { return live.topk(u); });
-  done.store(true, std::memory_order_relaxed);
+                                live_topk);
   writer.join();
 
-  // The sharded tier serves the updated model too: freeze, re-shard,
-  // and hold it to the same bit-identity bar (ENFORCED).
-  const auto frozen =
-      std::make_shared<const PredictorModel>(dyn->freeze());
-  const QueryEngine frozen_engine(frozen);
-  std::size_t frozen_mismatches = 0;
-  {
-    serve::ServeOptions so;
-    so.num_shards = 4;
-    so.colocate = false;  // the harder mode: fetch paths over the wire
-    serve::ServingCluster cluster(*frozen, so);
-    for (const VertexId u : sample) {
-      if (cluster.router().topk(u) != frozen_engine.topk(u)) {
-        ++frozen_mismatches;
-      }
+  // The same cluster — never rebuilt — now serves the union graph's
+  // model, and is held to the bit-identity bar against a from-scratch
+  // fit on it (ENFORCED).
+  const std::uint64_t plane_version =
+      live_cluster.update_router().barrier();
+  const auto union_model = std::make_shared<const PredictorModel>(
+      predictor.fit(union_graph));
+  const QueryEngine union_engine(union_model);
+  std::size_t live_mismatches = 0;
+  for (const VertexId u : sample) {
+    if (live_cluster.router().topk(u) != union_engine.topk(u)) {
+      ++live_mismatches;
     }
   }
 
+  const auto us = live_cluster.update_router().stats();
   Table update({"phase", "queries", "wall s", "queries_per_second",
-                "p50_us", "p99_us"});
+                "p50_us", "p99_us", "stale_p50_us", "stale_p99_us"});
   update.add_row({"queries-idle", std::to_string(idle.queries),
                   Table::fmt(idle.wall_s, 4), Table::fmt(idle.qps, 0),
-                  Table::fmt(idle.p50_us, 1), Table::fmt(idle.p99_us, 1)});
+                  Table::fmt(idle.p50_us, 1), Table::fmt(idle.p99_us, 1),
+                  "-", "-"});
   update.add_row({"queries-during-burst", std::to_string(burst.queries),
                   Table::fmt(burst.wall_s, 4), Table::fmt(burst.qps, 0),
-                  Table::fmt(burst.p50_us, 1),
-                  Table::fmt(burst.p99_us, 1)});
+                  Table::fmt(burst.p50_us, 1), Table::fmt(burst.p99_us, 1),
+                  Table::fmt(percentile(window_us, 0.50), 1),
+                  Table::fmt(percentile(window_us, 0.99), 1)});
   bench::finish(update, opt, "update");
-  std::cout << "writer burst: " << applied << " inserts in "
-            << Table::fmt(burst_wall, 4) << " s\n\n";
+  std::cout << "update plane: " << us.edges << " inserts in "
+            << us.batches << " batches over " << Table::fmt(burst_wall, 4)
+            << " s; " << us.gamma_rows + us.sims_rows + us.hop2_rows
+            << " stale rows republished (" << us.gamma_rows << " gamma, "
+            << us.sims_rows << " sims, " << us.hop2_rows << " hop2), "
+            << us.bytes_sent + us.bytes_received
+            << " wire B; cluster version " << plane_version << "\n\n";
 
   // ---- Gates. --------------------------------------------------------
   if (total_mismatches > 0) {
@@ -509,9 +533,10 @@ int main(int argc, char** argv) {
                  "QueryEngine\n";
     return 1;
   }
-  if (frozen_mismatches > 0) {
-    std::cerr << "ERROR: " << frozen_mismatches
-              << " post-update sharded answers diverged after freeze()\n";
+  if (live_mismatches > 0) {
+    std::cerr << "ERROR: " << live_mismatches
+              << " live-plane answers diverged from the union-graph "
+                 "refit after the insert burst\n";
     return 1;
   }
   if (fetch_reduction < 2.0) {
@@ -524,8 +549,9 @@ int main(int argc, char** argv) {
   }
   std::cout << "correctness: " << sample.size() << " Zipf users × "
             << correctness_configs
-            << " cluster configs identical to QueryEngine; post-update "
-               "re-shard identical; warm-cache repeat fetches "
+            << " cluster configs identical to QueryEngine; live plane "
+               "identical to the union-graph refit post-burst; "
+               "warm-cache repeat fetches "
             << reduction_str << "\n";
   return 0;
 }

@@ -56,17 +56,28 @@
 //                       union graph. Already-present/self-loop/out-of-
 //                       range lines are skipped with a count. Combine
 //                       with --query (served post-update) and
-//                       --save-model (writes the updated model).
+//                       --save-model (writes the updated model). With
+//                       --serve-shards the inserts instead stream through
+//                       the sharded tier's LIVE update plane
+//                       (serve/update_router.hpp): no freeze, no
+//                       re-shard — every batch fans out to the shards,
+//                       each recomputes its share of the stale rows, and
+//                       queries stay bit-identical to a union-graph
+//                       refit (stale-row / wire-byte / version stats go
+//                       to stderr; --save-model does not combine — the
+//                       rows live on the shards).
 //   --serve-shards=<n>  answer --query through a sharded serving tier
 //                       (serve/router.hpp): the model is partitioned
 //                       into n byte-balanced vertex ranges, each served
 //                       by its own shard behind a byte transport, and
 //                       every query is routed to its owner. Answers are
 //                       bit-identical to the single-process engine.
-//                       With --update the live model is frozen first.
-//   --serve-transport=mem|uds
+//   --serve-transport=mem|uds|tcp[:port]
 //                       shard transport: in-process byte queues (mem,
-//                       default) or Unix-domain sockets (uds)
+//                       default), Unix-domain sockets (uds), or real TCP
+//                       loopback connections (tcp; one cluster listener
+//                       on 127.0.0.1, kernel-chosen ephemeral port
+//                       unless :port is given)
 //   --serve-cache-mb=N  with --serve-shards: serve in remote-fetch
 //                       locality mode (neighbor rows fetched shard→shard
 //                       instead of replicated at build time) with an
@@ -210,7 +221,8 @@ int serve_queries(Server& server, const std::string& query_list,
 /// `row_versions` when serving a freeze()d updated model).
 int serve_sharded(const snaple::PredictorModel& model, std::size_t shards,
                   snaple::serve::TransportKind transport,
-                  std::size_t cache_mb, std::size_t batch,
+                  std::uint16_t tcp_port, std::size_t cache_mb,
+                  std::size_t batch,
                   std::shared_ptr<const std::vector<std::uint64_t>>
                       row_versions,
                   const std::string& query_list, std::size_t k,
@@ -219,6 +231,7 @@ int serve_sharded(const snaple::PredictorModel& model, std::size_t shards,
   ServeOptions options;
   options.num_shards = shards;
   options.transport = transport;
+  options.tcp_port = tcp_port;
   if (cache_mb > 0) {
     options.colocate = false;  // the cache lives on the fetch path
     options.cache_bytes = cache_mb << 20;
@@ -270,6 +283,138 @@ struct UpdateReport {
   std::size_t rows_recomputed = 0;
   double wall_s = 0.0;
 };
+
+/// --update with --serve-shards: LIVE sharded serving. Stands the
+/// cluster up over (model, graph), streams the file's inserts through
+/// the update plane (serve/update_router.hpp) — every batch fans out to
+/// all shards, each recomputes its owned share of the stale rows, no
+/// freeze, no re-shard — then answers --query through the same router.
+/// cache_mb > 0 adds a versioned hot-row cache per shard; republished
+/// rows retire from it by version key automatically.
+int serve_live_sharded(
+    std::shared_ptr<const snaple::PredictorModel> model,
+    std::shared_ptr<const snaple::CsrGraph> graph, std::istream& updates,
+    std::size_t shards, snaple::serve::TransportKind transport,
+    std::uint16_t tcp_port, std::size_t cache_mb, std::size_t batch,
+    const std::string& query_list, bool have_query, std::ostream& out) {
+  using namespace snaple;
+  using namespace snaple::serve;
+  ServeOptions options;
+  options.num_shards = shards;
+  options.transport = transport;
+  options.tcp_port = tcp_port;
+  options.colocate = false;  // live rows cannot be replicated fresh
+  if (cache_mb > 0) options.cache_bytes = cache_mb << 20;
+
+  std::unique_ptr<ServingCluster> cluster;
+  try {
+    cluster = std::make_unique<ServingCluster>(model, graph, options);
+  } catch (const CheckError& e) {
+    std::cerr << "cannot serve live: " << e.what() << "\n";
+    return 1;
+  }
+  std::cerr << "live serving over " << shards << " shards ("
+            << to_string(transport) << " transport, "
+            << (cache_mb > 0 ? std::to_string(cache_mb) +
+                                   " MB hot-row cache/shard"
+                             : "no cache")
+            << ")\n";
+
+  // Stream the inserts through the update plane, same skip rules as the
+  // in-process flow (stream_updates below): the CLI pre-screens lines
+  // so every submitted batch passes the shards' deterministic
+  // validation.
+  constexpr std::size_t kBatch = 4096;
+  std::size_t applied = 0;
+  std::size_t skipped = 0;
+  WallTimer timer;
+  std::vector<Edge> pending;
+  std::unordered_set<Edge, EdgeHash> inserted;  // this session's inserts
+  const VertexId n = model->num_vertices();
+  UpdateRouter& plane = cluster->update_router();
+
+  auto flush = [&] {
+    if (pending.empty()) return;
+    plane.apply(pending);
+    applied += pending.size();
+    pending.clear();
+  };
+
+  try {
+    std::string line;
+    while (std::getline(updates, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      char* end = nullptr;
+      const unsigned long long u = std::strtoull(line.c_str(), &end, 10);
+      if (end == line.c_str()) {
+        ++skipped;
+        continue;
+      }
+      char* end2 = nullptr;
+      const unsigned long long v = std::strtoull(end, &end2, 10);
+      if (end2 == end) {
+        ++skipped;
+        continue;
+      }
+      const Edge e{static_cast<VertexId>(u), static_cast<VertexId>(v)};
+      if (u >= n || v >= n || u == v || graph->has_edge(e.src, e.dst) ||
+          inserted.contains(e)) {
+        ++skipped;
+        continue;
+      }
+      inserted.insert(e);
+      pending.push_back(e);
+      if (pending.size() >= kBatch) flush();
+    }
+    flush();
+  } catch (const std::exception& e) {
+    std::cerr << "live update failed: " << e.what() << "\n";
+    return 1;
+  }
+  // Quiescence point: every shard confirmed at the same version — from
+  // here every answer is bit-identical to a union-graph refit.
+  const std::uint64_t version = plane.barrier();
+  const double wall_s = timer.seconds();
+
+  const UpdateStats us = plane.stats();
+  std::cerr << "applied " << applied << " inserts (" << skipped
+            << " skipped: duplicate/self-loop/out-of-range/malformed) in "
+            << format_duration(wall_s);
+  if (applied > 0) {
+    std::cerr << " — "
+              << Table::fmt(wall_s * 1e6 / static_cast<double>(applied), 1)
+              << " us/insert";
+  }
+  std::cerr << "\nupdate plane: " << us.batches << " batches, "
+            << us.gamma_rows + us.sims_rows + us.hop2_rows
+            << " stale rows republished (" << us.gamma_rows << " gamma, "
+            << us.sims_rows << " sims, " << us.hop2_rows << " hop2), "
+            << us.bytes_sent << " B out, " << us.bytes_received
+            << " B in; cluster version " << version << "\n";
+
+  int rc = 0;
+  if (have_query) {
+    rc = serve_queries(cluster->router(), query_list, 0, batch, out);
+    std::uint64_t queries = 0;
+    std::uint64_t overlay_bytes = 0;
+    for (const auto& s : cluster->stats()) {
+      queries += s.queries;
+      overlay_bytes += s.overlay_bytes;
+    }
+    const auto rs = cluster->router().stats();
+    std::cerr << "shards answered " << queries << " queries ("
+              << rs.requests << " wire messages), +"
+              << static_cast<double>(overlay_bytes) / 1e6
+              << " MB live overlays\n";
+    if (cache_mb > 0) {
+      const RowCacheStats cs = cluster->cache_stats();
+      std::cerr << "hot-row cache: " << cs.hits << " hits / "
+                << cs.hits + cs.misses << " lookups, " << cs.stale_drops
+                << " stale drops\n";
+    }
+  }
+  return rc;
+}
 
 UpdateReport stream_updates(snaple::DynamicModel& dyn, std::istream& in) {
   using namespace snaple;
@@ -331,11 +476,11 @@ int usage(const char* argv0) {
             << " <graph> --fit [--save-model=FILE] [--query=U1,U2,...]\n"
                "   or: " << argv0
             << " --load-model=FILE --query=U1,U2,... [--k=N]"
-               " [--serve-shards=N] [--serve-transport=mem|uds]"
+               " [--serve-shards=N] [--serve-transport=mem|uds|tcp[:port]]"
                " [--serve-cache-mb=N] [--serve-batch=N]\n"
                "   or: " << argv0
             << " <graph> --update=EDGE-FILE [--query=U1,U2,...]"
-               " [--save-model=FILE]\n";
+               " [--save-model=FILE | --serve-shards=N]\n";
   return 2;
 }
 
@@ -364,6 +509,7 @@ int main(int argc, char** argv) {
   std::string query_list;
   std::size_t serve_shards = 0;  // 0 = in-process QueryEngine serving
   auto serve_transport = serve::TransportKind::kInProcess;
+  std::uint16_t serve_tcp_port = 0;  // 0 = kernel-chosen ephemeral
   std::size_t serve_cache_mb = 0;  // 0 = colocated rows, no cache
   std::size_t serve_batch = 1;     // 1 = per-query round trips
   bool have_query = false;
@@ -456,8 +602,19 @@ int main(int argc, char** argv) {
           serve_transport = serve::TransportKind::kInProcess;
         } else if (t == "uds") {
           serve_transport = serve::TransportKind::kUnixSocket;
+        } else if (t == "tcp" || t.rfind("tcp:", 0) == 0) {
+          serve_transport = serve::TransportKind::kTcp;
+          if (t.size() > 4) {
+            const unsigned long port =
+                std::strtoul(t.c_str() + 4, nullptr, 10);
+            SNAPLE_CHECK_MSG(port >= 1 && port <= 65535,
+                             "--serve-transport=tcp:PORT needs a port "
+                             "in [1, 65535]");
+            serve_tcp_port = static_cast<std::uint16_t>(port);
+          }
         } else {
-          std::cerr << "--serve-transport must be mem or uds\n";
+          std::cerr << "--serve-transport must be mem, uds or "
+                       "tcp[:port]\n";
           return 2;
         }
       } else if (arg.rfind("--serve-cache-mb=", 0) == 0) {
@@ -569,8 +726,8 @@ int main(int argc, char** argv) {
     const std::size_t serve_k = have_k ? config.k : 0;
     if (serve_shards > 0) {
       return serve_sharded(*model, serve_shards, serve_transport,
-                           serve_cache_mb, serve_batch, nullptr, query_list,
-                           serve_k, *out);
+                           serve_tcp_port, serve_cache_mb, serve_batch,
+                           nullptr, query_list, serve_k, *out);
     }
     const QueryEngine server(model);
     return serve_queries(server, query_list, serve_k, serve_batch, *out);
@@ -744,6 +901,21 @@ int main(int argc, char** argv) {
       }
       const auto shared_graph =
           std::make_shared<const CsrGraph>(std::move(graph));
+      if (serve_shards > 0) {
+        // The sharded tier's LIVE update plane: inserts fan out to the
+        // shards, which recompute in place — no freeze, no re-shard.
+        if (!save_model_path.empty()) {
+          std::cerr << "--save-model does not combine with --update "
+                       "--serve-shards: the updated rows live on the "
+                       "shards (drop --serve-shards to freeze a file)\n";
+          return 2;
+        }
+        return serve_live_sharded(
+            std::make_shared<const PredictorModel>(std::move(model)),
+            shared_graph, updates, serve_shards, serve_transport,
+            serve_tcp_port, serve_cache_mb, serve_batch, query_list,
+            have_query, *out);
+      }
       std::shared_ptr<DynamicModel> wrapped;
       UpdateReport report;
       try {
@@ -783,21 +955,8 @@ int main(int argc, char** argv) {
         }
       }
       if (have_query) {
-        if (serve_shards > 0) {
-          // Sharding serves immutable row arrays; freeze the live model
-          // into one first (bit-identical to a from-scratch refit). The
-          // per-row update counters key the hot-row cache, so entries
-          // carried across a future re-shard retire themselves.
-          auto versions = std::make_shared<std::vector<std::uint64_t>>(
-              dyn.num_vertices());
-          for (VertexId u = 0; u < dyn.num_vertices(); ++u) {
-            (*versions)[u] = dyn.row_version(u);
-          }
-          return serve_sharded(dyn.freeze(), serve_shards, serve_transport,
-                               serve_cache_mb, serve_batch,
-                               std::move(versions), query_list, 0, *out);
-        }
-        // Serve straight from the live model's versioned rows.
+        // Serve straight from the live model's versioned rows (the
+        // serve_shards>0 combination took the live sharded path above).
         const QueryEngine server{
             std::shared_ptr<const DynamicModel>(wrapped)};
         return serve_queries(server, query_list, 0, serve_batch, *out);
@@ -817,8 +976,8 @@ int main(int argc, char** argv) {
     if (have_query) {
       if (serve_shards > 0) {
         return serve_sharded(model, serve_shards, serve_transport,
-                             serve_cache_mb, serve_batch, nullptr,
-                             query_list, 0, *out);
+                             serve_tcp_port, serve_cache_mb, serve_batch,
+                             nullptr, query_list, 0, *out);
       }
       const QueryEngine server(
           std::make_shared<const PredictorModel>(std::move(model)));

@@ -2,23 +2,14 @@
 
 #include <algorithm>
 #include <string>
-#include <unordered_set>
 #include <utility>
 
-#include "core/similarity.hpp"
+#include "core/row_recompute.hpp"
 #include "util/thread_pool.hpp"
 
 namespace snaple {
 
 namespace {
-
-/// An out-edge of the vertex being recomputed, with its insertion-stable
-/// machine: the unit the machine-grouped collection orders by.
-struct SimEntry {
-  gas::MachineId machine;
-  VertexId target;
-  float sim;
-};
 
 std::shared_ptr<const CsrGraph> require_graph(
     std::shared_ptr<const CsrGraph> graph) {
@@ -97,27 +88,7 @@ DynamicModel::DynamicModel(std::shared_ptr<const PredictorModel> base,
 // ---------------------------------------------------------------------
 
 void DynamicModel::validate_batch(std::span<const Edge> batch) const {
-  const VertexId n = num_vertices();
-  std::unordered_set<Edge, EdgeHash> seen;
-  seen.reserve(batch.size());
-  for (const Edge& e : batch) {
-    SNAPLE_CHECK_MSG(e.src < n && e.dst < n,
-                     "inserted edge (" + std::to_string(e.src) + ", " +
-                         std::to_string(e.dst) +
-                         ") is out of range: the model has " +
-                         std::to_string(n) + " vertices");
-    SNAPLE_CHECK_MSG(e.src != e.dst,
-                     "self-loop (" + std::to_string(e.src) + ", " +
-                         std::to_string(e.dst) + ") rejected");
-    SNAPLE_CHECK_MSG(!overlay_.has_edge(e.src, e.dst),
-                     "edge (" + std::to_string(e.src) + ", " +
-                         std::to_string(e.dst) +
-                         ") already exists in the union graph");
-    SNAPLE_CHECK_MSG(seen.insert(e).second,
-                     "edge (" + std::to_string(e.src) + ", " +
-                         std::to_string(e.dst) +
-                         ") appears twice in the batch");
-  }
+  rows::validate_insert_batch(overlay_, batch);
 }
 
 DynamicModel::UpdateStats DynamicModel::add_edge(VertexId u, VertexId v) {
@@ -138,57 +109,33 @@ DynamicModel::UpdateStats DynamicModel::apply_validated(
     std::span<const Edge> batch) {
   for (const Edge& e : batch) overlay_.insert(e.src, e.dst);
 
-  auto sort_unique = [](std::vector<VertexId>& v) {
-    std::sort(v.begin(), v.end());
-    v.erase(std::unique(v.begin(), v.end()), v.end());
-  };
-
-  // Stale-row sets against the *union* graph (header comment derives
+  // Stale-row sets against the *union* graph (row_recompute.hpp derives
   // them): Γ̂ stales only at the sources; sims at the sources and their
   // in-neighborhoods; hop2 one in-hop further.
-  std::vector<VertexId> sources;
-  sources.reserve(batch.size());
-  for (const Edge& e : batch) sources.push_back(e.src);
-  sort_unique(sources);
-
-  std::vector<VertexId> sims_stale = sources;
-  for (const VertexId u : sources) {
-    overlay_.for_each_in_neighbor(
-        u, [&](VertexId x) { sims_stale.push_back(x); });
-  }
-  sort_unique(sims_stale);
-
-  std::vector<VertexId> hop2_stale;
-  if (!hop2_rows_.empty()) {
-    hop2_stale = sims_stale;
-    for (const VertexId x : sims_stale) {
-      overlay_.for_each_in_neighbor(
-          x, [&](VertexId y) { hop2_stale.push_back(y); });
-    }
-    sort_unique(hop2_stale);
-  }
+  const rows::StaleSets stale =
+      rows::compute_stale_sets(overlay_, batch, !hop2_rows_.empty());
 
   // Recompute in dependency order — each phase reads rows the previous
   // phase already published (same thread, plain program order; readers
   // see each row flip atomically).
-  for (const VertexId u : sources) {
+  for (const VertexId u : stale.gamma) {
     auto slab = std::make_unique<RowSlab>();
     slab->ids = compute_gamma_row(u);
     publish(gamma_rows_, u, std::move(slab));
   }
-  for (const VertexId x : sims_stale) {
+  for (const VertexId x : stale.sims) {
     publish(sims_rows_, x, compute_sims_row(x));
   }
   if (!hop2_rows_.empty()) {
     rows::PathFoldScratch scratch;
-    for (const VertexId x : hop2_stale) {
+    for (const VertexId x : stale.hop2) {
       publish(hop2_rows_, x, compute_hop2_row(x, scratch));
     }
   }
 
   version_.fetch_add(batch.size(), std::memory_order_release);
-  return UpdateStats{batch.size(), sources.size(), sims_stale.size(),
-                     hop2_stale.size()};
+  return UpdateStats{batch.size(), stale.gamma.size(), stale.sims.size(),
+                     stale.hop2.size()};
 }
 
 // ---------------------------------------------------------------------
@@ -197,86 +144,23 @@ DynamicModel::UpdateStats DynamicModel::apply_validated(
 // ---------------------------------------------------------------------
 
 std::vector<VertexId> DynamicModel::compute_gamma_row(VertexId u) const {
-  // Step 1 for one vertex: the per-edge Bernoulli decision over the
-  // union out-row. The merged iteration is already ascending, which is
-  // the order the engine's apply sorts into.
-  std::vector<VertexId> row;
-  const std::size_t deg = overlay_.out_degree(u);
-  overlay_.for_each_out_neighbor(u, [&](VertexId w) {
-    if (rows::keep_sampled_edge(base_->config(), u, w, deg)) {
-      row.push_back(w);
-    }
-  });
-  return row;
+  return rows::recompute_gamma_row(base_->config(), overlay_, u);
 }
 
 std::unique_ptr<DynamicModel::RowSlab> DynamicModel::compute_sims_row(
     VertexId x) const {
-  // Step 2 for one vertex: similarities over the union out-row,
-  // collected machine-grouped (ascending machine, ascending target
-  // within a machine) exactly as the engine's per-machine partials
-  // merge — the order Γrnd's shuffle keys on.
-  const std::uint32_t machines = base_->num_machines();
-  const auto gx = gamma_hat(x);
-  std::vector<SimEntry> entries;
-  entries.reserve(overlay_.out_degree(x));
-  overlay_.for_each_out_neighbor(x, [&](VertexId w) {
-    const double s = similarity(score_.metric, gx, gamma_hat(w),
-                                overlay_.out_degree(w));
-    entries.push_back({gas::edge_local_machine(x, w, machines,
-                                               partition_seed_),
-                       w, static_cast<float>(s)});
-  });
-  std::stable_sort(entries.begin(), entries.end(),
-                   [](const SimEntry& a, const SimEntry& b) {
-                     return a.machine < b.machine;
-                   });
-
-  std::vector<std::pair<VertexId, float>> collected;
-  collected.reserve(entries.size());
-  for (const SimEntry& e : entries) collected.emplace_back(e.target, e.sim);
-  rows::select_k_local(collected, base_->config(), x);
-
-  auto slab = std::make_unique<RowSlab>();
-  slab->ids.reserve(collected.size());
-  slab->scores.reserve(collected.size());
-  slab->machines.reserve(collected.size());
-  for (const auto& [w, s] : collected) {
-    slab->ids.push_back(w);
-    slab->scores.push_back(s);
-    slab->machines.push_back(
-        gas::edge_local_machine(x, w, machines, partition_seed_));
-  }
-  return slab;
+  // This model's gamma_hat() already resolves published-over-base rows,
+  // so it IS the current-row source the shared kernel needs.
+  return rows::recompute_sims_row(
+      base_->config(), score_, overlay_, base_->num_machines(),
+      partition_seed_, x, [this](VertexId v) { return gamma_hat(v); });
 }
 
 std::unique_ptr<DynamicModel::RowSlab> DynamicModel::compute_hop2_row(
     VertexId x, rows::PathFoldScratch& scratch) const {
-  // Step 2b for one vertex: the machine-grouped path fold over the
-  // (already republished) sims rows, then the threshold filter and
-  // klocal selection of the engine's apply.
-  rows::fold_vertex_paths(*this, score_, x, rows::PathFold::kHop2,
-                          hop2_skip_zero_, scratch);
-  const SnapleConfig& cfg = base_->config();
-  const Aggregator agg = score_.aggregator;
-  std::vector<std::pair<VertexId, float>> collected;
-  scratch.merged.for_each([&](VertexId z, float sigma, std::uint32_t n) {
-    const auto s = static_cast<float>(agg.post(sigma, n));
-    if (cfg.hop2_min_score > 0 && s < cfg.hop2_min_score) {
-      return;  // pruned: this 2-hop candidate scores too low
-    }
-    collected.emplace_back(z, s);
-  });
-  rows::select_k_local(collected, cfg, x);
-
-  auto slab = std::make_unique<RowSlab>();
-  slab->ids.reserve(collected.size());
-  slab->scores.reserve(collected.size());
-  for (const auto& [z, s] : collected) {
-    slab->ids.push_back(z);
-    slab->scores.push_back(s);
-  }
-  return slab;
+  // The fold reads this model's (already republished) sims rows.
+  return rows::recompute_hop2_row(*this, score_, hop2_skip_zero_, x,
+                                  scratch);
 }
 
 void DynamicModel::publish(RowTable& table, VertexId u,
@@ -332,11 +216,7 @@ std::size_t DynamicModel::overlay_bytes() const noexcept {
   std::size_t bytes =
       overlay_.memory_bytes() +
       slabs_.capacity() * sizeof(std::unique_ptr<const RowSlab>);
-  for (const auto& s : slabs_) {
-    bytes += sizeof(RowSlab) + s->ids.capacity() * sizeof(VertexId) +
-             s->scores.capacity() * sizeof(float) +
-             s->machines.capacity() * sizeof(gas::MachineId);
-  }
+  for (const auto& s : slabs_) bytes += s->memory_bytes();
   return bytes;
 }
 

@@ -63,6 +63,7 @@
 #include <vector>
 
 #include "core/model.hpp"
+#include "core/row_recompute.hpp"
 #include "core/snaple_rows.hpp"
 #include "graph/overlay_graph.hpp"
 
@@ -186,13 +187,9 @@ class DynamicModel {
   [[nodiscard]] std::size_t overlay_bytes() const noexcept;
 
  private:
-  /// One immutable published row. scores is empty for Γ̂ rows; machines
-  /// is populated for sims rows only.
-  struct RowSlab {
-    std::vector<VertexId> ids;
-    std::vector<float> scores;
-    std::vector<gas::MachineId> machines;
-  };
+  /// One immutable published row (core/row_recompute.hpp — shared with
+  /// the sharded update plane's per-shard live backend).
+  using RowSlab = rows::RowSlab;
   using RowTable = std::vector<std::atomic<const RowSlab*>>;
 
   void validate_batch(std::span<const Edge> batch) const;

@@ -1,0 +1,230 @@
+// Single-row recompute entry points over a base+delta union graph —
+// the writer-side core shared by core/dynamic_model.cpp (one process
+// absorbs every insert) and serve/live_shard.cpp (each serving shard
+// absorbs the same insert stream but republishes only its own vertex
+// range).
+//
+// Everything here is a pure function of (union graph, config, seed):
+// recomputing the same row twice — or on two different shards — yields
+// bit-identical bytes, which is what lets the sharded update plane skip
+// any cross-shard coordination beyond delivering the batch itself. The
+// float folds replay the batch engine's canonical machine-grouped order
+// via core/snaple_rows.hpp, so every recomputed row matches a
+// from-scratch fit on the union graph exactly (EXPECT_EQ, not
+// EXPECT_NEAR — the repo's standing contract).
+//
+// The stale-set derivation (see dynamic_model.hpp's header for the
+// dependency argument): inserting (u, v) stales
+//
+//   Γ̂(x)    for x = u;
+//   sims(x) for x ∈ S        = {sources} ∪ Γ⁻¹(sources);
+//   hop2(x) for x ∈ S ∪ Γ⁻¹(S)                      (K=3 only)
+//
+// — all computed against the union graph AFTER the batch landed in the
+// overlay. Because the sets depend only on the batch and the union
+// graph, every shard computes the same sets from the insert stream
+// alone (kEdgeLocal machine tags are endpoint-hash-stable, so no
+// placement history is needed either) — the property ISSUE 9 calls
+// "per-shard stale sets computable".
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/similarity.hpp"
+#include "core/snaple_rows.hpp"
+#include "graph/overlay_graph.hpp"
+
+namespace snaple::rows {
+
+/// One immutable published row. `scores` is empty for Γ̂ rows;
+/// `machines` is populated for sims rows only. Published behind an
+/// atomic pointer (RCU-style) by DynamicModel and LiveShard.
+struct RowSlab {
+  std::vector<VertexId> ids;
+  std::vector<float> scores;
+  std::vector<gas::MachineId> machines;
+
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return sizeof(RowSlab) + ids.capacity() * sizeof(VertexId) +
+           scores.capacity() * sizeof(float) +
+           machines.capacity() * sizeof(gas::MachineId);
+  }
+};
+
+/// The stale row sets of one validated insert batch, each sorted
+/// ascending and deduplicated. `hop2` stays empty unless requested
+/// (K=2 models have no hop2 table).
+struct StaleSets {
+  std::vector<VertexId> gamma;
+  std::vector<VertexId> sims;
+  std::vector<VertexId> hop2;
+};
+
+/// Validates an insert batch against the union graph: every endpoint in
+/// range, no self-loops, no edge already present, no duplicate within
+/// the batch. Throws CheckError; a throwing call implies nothing may be
+/// applied (all-or-nothing). Deterministic: every shard holding the
+/// same union graph accepts or rejects identically, which is what makes
+/// the fanned-out batch atomic across shards without a commit protocol.
+inline void validate_insert_batch(const OverlayGraph& overlay,
+                                  std::span<const Edge> batch) {
+  const VertexId n = overlay.num_vertices();
+  std::unordered_set<Edge, EdgeHash> seen;
+  seen.reserve(batch.size());
+  for (const Edge& e : batch) {
+    SNAPLE_CHECK_MSG(e.src < n && e.dst < n,
+                     "inserted edge (" + std::to_string(e.src) + ", " +
+                         std::to_string(e.dst) +
+                         ") is out of range: the model has " +
+                         std::to_string(n) + " vertices");
+    SNAPLE_CHECK_MSG(e.src != e.dst,
+                     "self-loop (" + std::to_string(e.src) + ", " +
+                         std::to_string(e.dst) + ") rejected");
+    SNAPLE_CHECK_MSG(!overlay.has_edge(e.src, e.dst),
+                     "edge (" + std::to_string(e.src) + ", " +
+                         std::to_string(e.dst) +
+                         ") already exists in the union graph");
+    SNAPLE_CHECK_MSG(seen.insert(e).second,
+                     "edge (" + std::to_string(e.src) + ", " +
+                         std::to_string(e.dst) +
+                         ") appears twice in the batch");
+  }
+}
+
+/// Stale sets of `batch` against `overlay`, which must ALREADY contain
+/// the batch (in-neighborhoods are taken in the union graph).
+[[nodiscard]] inline StaleSets compute_stale_sets(
+    const OverlayGraph& overlay, std::span<const Edge> batch,
+    bool want_hop2) {
+  auto sort_unique = [](std::vector<VertexId>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+
+  StaleSets sets;
+  sets.gamma.reserve(batch.size());
+  for (const Edge& e : batch) sets.gamma.push_back(e.src);
+  sort_unique(sets.gamma);
+
+  sets.sims = sets.gamma;
+  for (const VertexId u : sets.gamma) {
+    overlay.for_each_in_neighbor(
+        u, [&](VertexId x) { sets.sims.push_back(x); });
+  }
+  sort_unique(sets.sims);
+
+  if (want_hop2) {
+    sets.hop2 = sets.sims;
+    for (const VertexId x : sets.sims) {
+      overlay.for_each_in_neighbor(
+          x, [&](VertexId y) { sets.hop2.push_back(y); });
+    }
+    sort_unique(sets.hop2);
+  }
+  return sets;
+}
+
+/// Step 1 for one vertex: the per-edge Bernoulli decision over the
+/// union out-row. The merged iteration is already ascending, which is
+/// the order the engine's apply sorts into.
+[[nodiscard]] inline std::vector<VertexId> recompute_gamma_row(
+    const SnapleConfig& cfg, const OverlayGraph& overlay, VertexId u) {
+  std::vector<VertexId> row;
+  const std::size_t deg = overlay.out_degree(u);
+  overlay.for_each_out_neighbor(u, [&](VertexId w) {
+    if (keep_sampled_edge(cfg, u, w, deg)) row.push_back(w);
+  });
+  return row;
+}
+
+/// Step 2 for one vertex: similarities over the union out-row,
+/// collected machine-grouped (ascending machine, ascending target
+/// within a machine) exactly as the engine's per-machine partials merge
+/// — the order Γrnd's shuffle keys on. `gamma_of(v)` must return the
+/// CURRENT Γ̂ row of any vertex (span<const VertexId>) — the caller
+/// resolves published/base/on-the-fly rows.
+template <typename GammaFn>
+[[nodiscard]] std::unique_ptr<RowSlab> recompute_sims_row(
+    const SnapleConfig& cfg, const ScoreConfig& score,
+    const OverlayGraph& overlay, std::uint32_t machines,
+    std::uint64_t partition_seed, VertexId x, GammaFn&& gamma_of) {
+  /// An out-edge of x with its insertion-stable machine: the unit the
+  /// machine-grouped collection orders by.
+  struct SimEntry {
+    gas::MachineId machine;
+    VertexId target;
+    float sim;
+  };
+
+  const std::span<const VertexId> gx = gamma_of(x);
+  std::vector<SimEntry> entries;
+  entries.reserve(overlay.out_degree(x));
+  overlay.for_each_out_neighbor(x, [&](VertexId w) {
+    const double s = similarity(score.metric, gx, gamma_of(w),
+                                overlay.out_degree(w));
+    entries.push_back({gas::edge_local_machine(x, w, machines,
+                                               partition_seed),
+                       w, static_cast<float>(s)});
+  });
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const SimEntry& a, const SimEntry& b) {
+                     return a.machine < b.machine;
+                   });
+
+  std::vector<std::pair<VertexId, float>> collected;
+  collected.reserve(entries.size());
+  for (const SimEntry& e : entries) collected.emplace_back(e.target, e.sim);
+  select_k_local(collected, cfg, x);
+
+  auto slab = std::make_unique<RowSlab>();
+  slab->ids.reserve(collected.size());
+  slab->scores.reserve(collected.size());
+  slab->machines.reserve(collected.size());
+  for (const auto& [w, s] : collected) {
+    slab->ids.push_back(w);
+    slab->scores.push_back(s);
+    slab->machines.push_back(
+        gas::edge_local_machine(x, w, machines, partition_seed));
+  }
+  return slab;
+}
+
+/// Step 2b for one vertex: the machine-grouped path fold over CURRENT
+/// sims rows, then the threshold filter and klocal selection of the
+/// engine's apply. `Model` is the fold_vertex_paths row source — its
+/// sims(v) must already reflect the batch (dependency order is the
+/// caller's job); its hop2() is never read by the kHop2 fold.
+template <typename Model>
+[[nodiscard]] std::unique_ptr<RowSlab> recompute_hop2_row(
+    const Model& model, const ScoreConfig& score, bool zero_skip,
+    VertexId x, PathFoldScratch& scratch) {
+  fold_vertex_paths(model, score, x, PathFold::kHop2, zero_skip, scratch);
+  const SnapleConfig& cfg = model.config();
+  const Aggregator agg = score.aggregator;
+  std::vector<std::pair<VertexId, float>> collected;
+  scratch.merged.for_each([&](VertexId z, float sigma, std::uint32_t n) {
+    const auto s = static_cast<float>(agg.post(sigma, n));
+    if (cfg.hop2_min_score > 0 && s < cfg.hop2_min_score) {
+      return;  // pruned: this 2-hop candidate scores too low
+    }
+    collected.emplace_back(z, s);
+  });
+  select_k_local(collected, cfg, x);
+
+  auto slab = std::make_unique<RowSlab>();
+  slab->ids.reserve(collected.size());
+  slab->scores.reserve(collected.size());
+  for (const auto& [z, s] : collected) {
+    slab->ids.push_back(z);
+    slab->scores.push_back(s);
+  }
+  return slab;
+}
+
+}  // namespace snaple::rows

@@ -4,80 +4,12 @@
 #include <cstring>
 #include <string>
 
+#include "serve/wire.hpp"
 #include "util/check.hpp"
 
 namespace snaple::serve {
 
-namespace {
-
-constexpr std::uint8_t kOpTopk = 1;
-constexpr std::uint8_t kOpFetch = 2;
-constexpr std::uint8_t kOpBatch = 3;
-constexpr std::uint8_t kStatusOk = 0;
-constexpr std::uint8_t kStatusError = 1;
-
-// -------- little request/response buffer helpers --------------------
-// Requests and responses are assembled in one buffer and shipped with a
-// single send(): one syscall per message on the socket transport, and
-// the byte counters then count whole messages.
-
-template <typename T>
-void put(std::vector<std::uint8_t>& buf, const T& value) {
-  const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
-  buf.insert(buf.end(), p, p + sizeof(T));
-}
-
-template <typename T>
-void put_span(std::vector<std::uint8_t>& buf, std::span<const T> values) {
-  const auto* p = reinterpret_cast<const std::uint8_t*>(values.data());
-  buf.insert(buf.end(), p, p + values.size_bytes());
-}
-
-template <typename T>
-T get(ByteChannel& ch) {
-  T value;
-  ch.recv(&value, sizeof(T));
-  return value;
-}
-
-template <typename T>
-void get_array(ByteChannel& ch, std::vector<T>& out, std::size_t count) {
-  const std::size_t old = out.size();
-  out.resize(old + count);
-  if (count != 0) ch.recv(out.data() + old, count * sizeof(T));
-}
-
-void send_buffer(ByteChannel& ch, const std::vector<std::uint8_t>& buf) {
-  ch.send(buf.data(), buf.size());
-}
-
-void put_error(std::vector<std::uint8_t>& buf, const std::string& message) {
-  put<std::uint8_t>(buf, kStatusError);
-  put<std::uint32_t>(buf, static_cast<std::uint32_t>(message.size()));
-  buf.insert(buf.end(), message.begin(), message.end());
-}
-
-/// Reads a status byte; on error, reads the message and rethrows it as
-/// CheckError on this side of the wire.
-void expect_ok(ByteChannel& ch) {
-  if (get<std::uint8_t>(ch) == kStatusOk) return;
-  const auto len = get<std::uint32_t>(ch);
-  std::string message(len, '\0');
-  if (len != 0) ch.recv(message.data(), len);
-  throw CheckError(message);
-}
-
-/// One topk answer serialized in the shared ok-payload shape
-/// (u32 count | ids | raw f32 scores) — op 1's whole payload, op 3's
-/// per-query chunk.
-void put_scored(std::vector<std::uint8_t>& buf,
-                const std::vector<std::pair<VertexId, float>>& result) {
-  put<std::uint32_t>(buf, static_cast<std::uint32_t>(result.size()));
-  for (const auto& [id, score] : result) put<std::uint32_t>(buf, id);
-  for (const auto& [id, score] : result) put<float>(buf, score);
-}
-
-}  // namespace
+using namespace wire;  // NOLINT — internal framing helpers
 
 // -------------------------------------------------------------------
 // ShardServer
@@ -93,9 +25,51 @@ ShardServer::ShardServer(
       row_versions_(std::move(row_versions)) {
   peers_.resize(ranges_.size());
   if (row_versions_ != nullptr) {
-    SNAPLE_CHECK_MSG(row_versions_->size() == shard_.num_vertices(),
+    SNAPLE_CHECK_MSG(row_versions_->size() == shard_->num_vertices(),
                      "row-version table must have one entry per vertex");
   }
+}
+
+ShardServer::ShardServer(std::shared_ptr<LiveShard> live,
+                         std::vector<gas::VertexRange> ranges,
+                         std::shared_ptr<RowCache> cache)
+    : live_(std::move(live)),
+      ranges_(std::move(ranges)),
+      cache_(std::move(cache)) {
+  SNAPLE_CHECK_MSG(live_ != nullptr,
+                   "live ShardServer needs a LiveShard backend");
+  peers_.resize(ranges_.size());
+}
+
+const ModelShard& ShardServer::shard() const {
+  SNAPLE_CHECK_MSG(shard_.has_value(),
+                   "this server runs a live backend — use live()");
+  return *shard_;
+}
+
+bool ShardServer::owns(VertexId u) const {
+  return live_ != nullptr ? live_->owns(u) : shard_->owns(u);
+}
+
+const gas::VertexRange& ShardServer::range() const {
+  return live_ != nullptr ? live_->range() : shard_->range();
+}
+
+VertexId ShardServer::num_vertices() const {
+  return live_ != nullptr ? live_->num_vertices() : shard_->num_vertices();
+}
+
+std::vector<VertexId> ShardServer::missing_rows(
+    VertexId u, PredictorModel::SimsView* root) const {
+  return live_ != nullptr ? live_->missing_rows(u, root)
+                          : shard_->missing_rows(u);
+}
+
+std::vector<std::pair<VertexId, float>> ShardServer::topk(
+    VertexId u, std::size_t k, const RowOverlay* overlay,
+    const PredictorModel::SimsView* root) const {
+  return live_ != nullptr ? live_->topk(u, k, overlay, root)
+                          : shard_->topk(u, k, overlay);
 }
 
 ShardServer::~ShardServer() { shutdown(); }
@@ -149,8 +123,16 @@ ShardStats ShardServer::stats() const {
     s.peer_bytes_out += peer->channel->bytes_sent();
     s.peer_bytes_in += peer->channel->bytes_received();
   }
-  s.replica_count = shard_.replica_count();
-  s.replica_bytes = shard_.replica_bytes();
+  if (shard_.has_value()) {
+    s.replica_count = shard_->replica_count();
+    s.replica_bytes = shard_->replica_bytes();
+  }
+  s.update_batches = update_batches_.load(std::memory_order_relaxed);
+  s.update_edges = update_edges_.load(std::memory_order_relaxed);
+  s.gamma_republished = gamma_republished_.load(std::memory_order_relaxed);
+  s.sims_republished = sims_republished_.load(std::memory_order_relaxed);
+  s.hop2_republished = hop2_republished_.load(std::memory_order_relaxed);
+  if (live_ != nullptr) s.overlay_bytes = live_->overlay_bytes();
   return s;
 }
 
@@ -164,6 +146,10 @@ void ShardServer::serve_loop(ByteChannel& ch) {
         handle_fetch(ch);
       } else if (op == kOpBatch) {
         handle_topk_batch(ch);
+      } else if (op == kOpUpdate) {
+        handle_update(ch);
+      } else if (op == kOpBarrier) {
+        handle_barrier(ch);
       } else {
         // Unknown opcode = the stream is desynced; an error response
         // then EOF is all that can be said safely.
@@ -186,15 +172,15 @@ void ShardServer::handle_topk(ByteChannel& ch) {
 
   std::vector<std::uint8_t> buf;
   try {
-    SNAPLE_CHECK_MSG(shard_.owns(u),
-                     "query vertex " + std::to_string(u) +
-                         " routed to the wrong shard [" +
-                         std::to_string(shard_.range().begin) + ", " +
-                         std::to_string(shard_.range().end) + ")");
+    SNAPLE_CHECK_MSG(owns(u), "query vertex " + std::to_string(u) +
+                                  " routed to the wrong shard [" +
+                                  std::to_string(range().begin) + ", " +
+                                  std::to_string(range().end) + ")");
     const VertexId user = u;
     const ResolvedRows rows = collect_rows({&user, 1});
     const auto result =
-        shard_.topk(u, static_cast<std::size_t>(k), &rows.overlay);
+        topk(u, static_cast<std::size_t>(k), &rows.overlay,
+             rows.roots.empty() ? nullptr : rows.roots.data());
     put<std::uint8_t>(buf, kStatusOk);
     put_scored(buf, result);
   } catch (const TransportError&) {
@@ -218,20 +204,21 @@ void ShardServer::handle_topk_batch(ByteChannel& ch) {
   std::vector<std::uint8_t> buf;
   try {
     for (const VertexId u : users) {
-      SNAPLE_CHECK_MSG(shard_.owns(u),
-                       "batched query vertex " + std::to_string(u) +
-                           " routed to the wrong shard [" +
-                           std::to_string(shard_.range().begin) + ", " +
-                           std::to_string(shard_.range().end) + ")");
+      SNAPLE_CHECK_MSG(owns(u), "batched query vertex " +
+                                    std::to_string(u) +
+                                    " routed to the wrong shard [" +
+                                    std::to_string(range().begin) + ", " +
+                                    std::to_string(range().end) + ")");
     }
     // The union of the batch's missing rows, resolved ONCE: at most one
     // peer fetch per owning shard for the whole batch — the server-side
     // half of the batching win (the wire-message half is the router's).
     const ResolvedRows rows = collect_rows(users);
     std::vector<std::uint8_t> payload;
-    for (const VertexId u : users) {
+    for (std::size_t i = 0; i < users.size(); ++i) {
       put_scored(payload,
-                 shard_.topk(u, static_cast<std::size_t>(k), &rows.overlay));
+                 topk(users[i], static_cast<std::size_t>(k), &rows.overlay,
+                      rows.roots.empty() ? nullptr : &rows.roots[i]));
     }
     put<std::uint8_t>(buf, kStatusOk);
     buf.insert(buf.end(), payload.begin(), payload.end());
@@ -254,15 +241,32 @@ void ShardServer::handle_fetch(ByteChannel& ch) {
   try {
     std::vector<std::uint8_t> payload;
     for (const VertexId v : ids) {
-      SNAPLE_CHECK_MSG(shard_.owns(v),
-                       "fetch for vertex " + std::to_string(v) +
-                           " sent to a non-owning shard");
-      const auto sv = shard_.sims(v);
+      SNAPLE_CHECK_MSG(owns(v), "fetch for vertex " + std::to_string(v) +
+                                    " sent to a non-owning shard");
+      if (live_ != nullptr) {
+        // Version-consistent snapshot: content and version read under
+        // the live shard's retry loop, so the bytes shipped are never
+        // older than the version they ship under.
+        const LiveShard::VersionedRow snap = live_->snapshot_row(v);
+        put<std::uint64_t>(payload, snap.version);
+        const HotRow& row = *snap.row;
+        put<std::uint32_t>(payload,
+                           static_cast<std::uint32_t>(row.sims_ids.size()));
+        put_span<VertexId>(payload, row.sims_ids);
+        put_span<float>(payload, row.sims_scores);
+        put<std::uint32_t>(payload,
+                           static_cast<std::uint32_t>(row.hop2_ids.size()));
+        put_span<VertexId>(payload, row.hop2_ids);
+        put_span<float>(payload, row.hop2_scores);
+        continue;
+      }
+      put<std::uint64_t>(payload, row_version(v));
+      const auto sv = shard_->sims(v);
       put<std::uint32_t>(payload,
                          static_cast<std::uint32_t>(sv.ids.size()));
       put_span(payload, sv.ids);
       put_span(payload, sv.scores);
-      const auto hv = shard_.hop2(v);
+      const auto hv = shard_->hop2(v);
       put<std::uint32_t>(payload,
                          static_cast<std::uint32_t>(hv.ids.size()));
       put_span(payload, hv.ids);
@@ -278,12 +282,85 @@ void ShardServer::handle_fetch(ByteChannel& ch) {
   send_buffer(ch, buf);
 }
 
+void ShardServer::handle_update(ByteChannel& ch) {
+  const auto count = get<std::uint32_t>(ch);
+  std::vector<Edge> batch(count);
+  if (count != 0) {
+    // Edge is {u32 src, u32 dst} — the wire layout, read in place.
+    static_assert(sizeof(Edge) == 2 * sizeof(VertexId));
+    ch.recv(batch.data(), count * sizeof(Edge));
+  }
+
+  std::vector<std::uint8_t> buf;
+  try {
+    SNAPLE_CHECK_MSG(live_ != nullptr,
+                     "update sent to a static shard — build the cluster "
+                     "in live mode to apply inserts");
+    LiveShard::ApplyStats applied;
+    {
+      // One link carries the plane's writes in normal operation; the
+      // lock makes multi-link configurations safe rather than racy.
+      std::lock_guard<std::mutex> lock(update_mu_);
+      applied = live_->apply(batch);
+    }
+    update_batches_.fetch_add(1, std::memory_order_relaxed);
+    update_edges_.fetch_add(applied.edges, std::memory_order_relaxed);
+    gamma_republished_.fetch_add(applied.gamma_rows,
+                                 std::memory_order_relaxed);
+    sims_republished_.fetch_add(applied.sims_rows,
+                                std::memory_order_relaxed);
+    hop2_republished_.fetch_add(applied.hop2_rows,
+                                std::memory_order_relaxed);
+    put<std::uint8_t>(buf, kStatusOk);
+    put<std::uint64_t>(buf, applied.version);
+    put<std::uint64_t>(buf, applied.gamma_rows);
+    put<std::uint64_t>(buf, applied.sims_rows);
+    put<std::uint64_t>(buf, applied.hop2_rows);
+  } catch (const TransportError&) {
+    throw;  // the update link itself died — no response possible
+  } catch (const std::exception& e) {
+    buf.clear();
+    put_error(buf, e.what());
+    errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  send_buffer(ch, buf);
+}
+
+void ShardServer::handle_barrier(ByteChannel& ch) {
+  std::vector<std::uint8_t> buf;
+  try {
+    SNAPLE_CHECK_MSG(live_ != nullptr,
+                     "barrier sent to a static shard");
+    // Serialize behind any in-flight apply: the version returned is a
+    // quiescent point, not a mid-batch read.
+    std::uint64_t version = 0;
+    {
+      std::lock_guard<std::mutex> lock(update_mu_);
+      version = live_->version();
+    }
+    put<std::uint8_t>(buf, kStatusOk);
+    put<std::uint64_t>(buf, version);
+  } catch (const TransportError&) {
+    throw;
+  } catch (const std::exception& e) {
+    buf.clear();
+    put_error(buf, e.what());
+    errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  send_buffer(ch, buf);
+}
+
 ShardServer::ResolvedRows ShardServer::collect_rows(
     std::span<const VertexId> users) {
   ResolvedRows out;
   std::vector<VertexId>& missing = out.overlay.ids;
-  for (const VertexId u : users) {
-    const std::vector<VertexId> rows = shard_.missing_rows(u);
+  // Live backend: pin each user's sims row as its missing set is
+  // derived, so the fold later iterates exactly the neighbor set the
+  // overlay covers even if a writer republishes the row in between.
+  if (live_ != nullptr) out.roots.resize(users.size());
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    const std::vector<VertexId> rows = missing_rows(
+        users[i], live_ != nullptr ? &out.roots[i] : nullptr);
     missing.insert(missing.end(), rows.begin(), rows.end());
   }
   std::sort(missing.begin(), missing.end());
@@ -312,19 +389,22 @@ ShardServer::ResolvedRows ShardServer::collect_rows(
   if (!need.empty()) {
     const auto fetched = fetch_remote(need);
     for (std::size_t j = 0; j < need.size(); ++j) {
-      out.overlay.rows[slot[j]] = fetched[j].get();
+      out.overlay.rows[slot[j]] = fetched[j].row.get();
       if (cache_ != nullptr) {
-        cache_->put(need[j], row_version(need[j]), fetched[j]);
+        // Cache under the version the OWNER reported, not this shard's
+        // own view: on a live cluster the views may be skewed mid-burst
+        // and the owner's is the one future version checks converge to.
+        cache_->put(need[j], fetched[j].version, fetched[j].row);
       }
-      out.pins.push_back(fetched[j]);
+      out.pins.push_back(fetched[j].row);
     }
   }
   return out;
 }
 
-std::vector<std::shared_ptr<const HotRow>> ShardServer::fetch_remote(
+std::vector<ShardServer::FetchedRow> ShardServer::fetch_remote(
     const std::vector<VertexId>& missing) {
-  std::vector<std::shared_ptr<const HotRow>> out;
+  std::vector<FetchedRow> out;
   out.reserve(missing.size());
 
   // `missing` is sorted and ranges are contiguous ascending, so each
@@ -354,6 +434,8 @@ std::vector<std::shared_ptr<const HotRow>> ShardServer::fetch_remote(
 
       expect_ok(ch);
       for (std::size_t r = 0; r < run.size(); ++r) {
+        FetchedRow fetched;
+        fetched.version = get<std::uint64_t>(ch);
         auto row = std::make_shared<HotRow>();
         const auto sims_len = get<std::uint32_t>(ch);
         get_array(ch, row->sims_ids, sims_len);
@@ -361,7 +443,8 @@ std::vector<std::shared_ptr<const HotRow>> ShardServer::fetch_remote(
         const auto hop2_len = get<std::uint32_t>(ch);
         get_array(ch, row->hop2_ids, hop2_len);
         get_array(ch, row->hop2_scores, hop2_len);
-        out.push_back(std::move(row));
+        fetched.row = std::move(row);
+        out.push_back(std::move(fetched));
       }
     } catch (const TransportError& e) {
       // A dead peer fails this query, not the frontend link.
@@ -382,7 +465,8 @@ std::vector<std::shared_ptr<const HotRow>> ShardServer::fetch_remote(
 QueryRouter::QueryRouter(
     std::vector<gas::VertexRange> ranges,
     std::vector<std::vector<std::unique_ptr<ByteChannel>>>
-        connections_per_shard)
+        connections_per_shard,
+    std::chrono::milliseconds recv_timeout)
     : ranges_(std::move(ranges)) {
   SNAPLE_CHECK_MSG(!ranges_.empty(), "router needs at least one range");
   SNAPLE_CHECK_MSG(connections_per_shard.size() == ranges_.size(),
@@ -394,6 +478,11 @@ QueryRouter::QueryRouter(
     for (auto& channel : connections_per_shard[s]) {
       auto conn = std::make_unique<Connection>();
       conn->channel = std::move(channel);
+      if (recv_timeout.count() > 0) {
+        // Armed on the drain (receiving) side only: a shard silent past
+        // the deadline WITH requests in flight is dead, not slow.
+        conn->channel->set_recv_timeout(recv_timeout);
+      }
       pools_[s].push_back(std::move(conn));
     }
   }
@@ -480,6 +569,14 @@ void QueryRouter::drain_loop(Connection& conn) {
   for (;;) {
     Pending pending;
     bool popped = false;
+    // Whether this wait STARTED with a request outstanding: only then
+    // does a full elapsed deadline indict the shard. A request that
+    // arrived mid-wait gets a fresh window on the retry.
+    bool waiting = false;
+    {
+      std::lock_guard<std::mutex> lock(conn.queue_mu);
+      waiting = !conn.inflight.empty();
+    }
     try {
       const auto status = get<std::uint8_t>(ch);
       {
@@ -523,6 +620,24 @@ void QueryRouter::drain_loop(Connection& conn) {
         std::get<std::promise<std::vector<Scored>>>(pending.result)
             .set_value(std::move(answers));
       }
+    } catch (const TransportTimeout& e) {
+      // The recv deadline elapsed. Silence while idle is the normal
+      // state — keep waiting. Silence with requests in flight (or mid-
+      // response, after the status byte was consumed) means the shard
+      // is alive-but-dead to us: declare the connection dead so callers
+      // get TransportError instead of waiting forever.
+      if (!popped && !waiting) continue;
+      const auto err = std::make_exception_ptr(TransportError(
+          std::string("shard unresponsive: ") + e.what()));
+      if (popped) fail(pending, err);
+      {
+        std::lock_guard<std::mutex> lock(conn.queue_mu);
+        conn.dead = true;
+        for (auto& p : conn.inflight) fail(p, err);
+        conn.inflight.clear();
+      }
+      conn.channel->close();
+      return;
     } catch (const TransportError& e) {
       // Link closed (shutdown, or the shard died): fail what's queued
       // and exit — this IS the drain thread's clean exit path.
@@ -637,51 +752,114 @@ std::uint64_t QueryRouter::bytes_received() const noexcept {
 // ServingCluster
 // -------------------------------------------------------------------
 
-ServingCluster::ServingCluster(const PredictorModel& model,
-                               const ServeOptions& options)
-    : options_(options) {
+namespace {
+
+void check_cluster_options(const ServeOptions& options, VertexId n) {
   SNAPLE_CHECK_MSG(options.num_shards >= 1, "need at least one shard");
   SNAPLE_CHECK_MSG(options.connections_per_shard >= 1,
                    "need at least one router connection per shard");
-  SNAPLE_CHECK_MSG(model.num_vertices() > 0,
-                   "cannot shard an empty model");
+  SNAPLE_CHECK_MSG(n > 0, "cannot shard an empty model");
+}
+
+}  // namespace
+
+ServingCluster::ServingCluster(const PredictorModel& model,
+                               const ServeOptions& options)
+    : options_(options) {
+  check_cluster_options(options, model.num_vertices());
   if (options.row_versions != nullptr) {
     SNAPLE_CHECK_MSG(options.row_versions->size() == model.num_vertices(),
                      "row-version table must have one entry per vertex");
   }
   ranges_ = plan_shard_ranges(model, options.num_shards);
-
-  // Caches exist only on the fetch path: colocated shards never fetch.
-  const bool caching =
-      !options.colocate &&
-      (options.shared_cache != nullptr || options.cache_bytes > 0);
-  if (caching) {
-    if (options.shared_cache != nullptr) {
-      caches_.push_back(options.shared_cache);
-    } else {
-      for (std::size_t s = 0; s < ranges_.size(); ++s) {
-        caches_.push_back(std::make_shared<RowCache>(options.cache_bytes));
-      }
-    }
-  }
+  build_caches();
 
   servers_.reserve(ranges_.size());
   for (std::size_t s = 0; s < ranges_.size(); ++s) {
     std::shared_ptr<RowCache> cache;
-    if (caching) {
+    if (!caches_.empty()) {
       cache = options.shared_cache != nullptr ? caches_.front() : caches_[s];
     }
     servers_.push_back(std::make_unique<ShardServer>(
         ModelShard::build(model, ranges_[s], options.colocate), ranges_,
         std::move(cache), options.row_versions));
   }
+  assemble();
+}
 
-  if (!options.colocate) {
+ServingCluster::ServingCluster(std::shared_ptr<const PredictorModel> model,
+                               std::shared_ptr<const CsrGraph> graph,
+                               const ServeOptions& options)
+    : options_(options) {
+  SNAPLE_CHECK_MSG(model != nullptr, "live cluster needs a model");
+  check_cluster_options(options, model->num_vertices());
+  SNAPLE_CHECK_MSG(
+      !options.colocate,
+      "live serving requires remote-fetch mode (colocate=false): "
+      "replicated rows cannot be kept fresh across inserts, but "
+      "version-keyed fetched rows can");
+  SNAPLE_CHECK_MSG(options.row_versions == nullptr,
+                   "live clusters maintain their own row versions");
+  ranges_ = plan_shard_ranges(*model, options.num_shards);
+  build_caches();
+
+  // Every shard holds the full base model + union graph (shared, as a
+  // process would mmap them) and OWNS one range of live rows; LiveShard
+  // verifies the kEdgeLocal tags of its share.
+  servers_.reserve(ranges_.size());
+  for (std::size_t s = 0; s < ranges_.size(); ++s) {
+    std::shared_ptr<RowCache> cache;
+    if (!caches_.empty()) {
+      cache = options.shared_cache != nullptr ? caches_.front() : caches_[s];
+    }
+    servers_.push_back(std::make_unique<ShardServer>(
+        std::make_shared<LiveShard>(model, graph, ranges_[s]), ranges_,
+        std::move(cache)));
+  }
+  assemble();
+}
+
+void ServingCluster::build_caches() {
+  // Caches exist only on the fetch path: colocated shards never fetch.
+  const bool caching =
+      !options_.colocate &&
+      (options_.shared_cache != nullptr || options_.cache_bytes > 0);
+  if (!caching) return;
+  if (options_.shared_cache != nullptr) {
+    caches_.push_back(options_.shared_cache);
+  } else {
+    for (std::size_t s = 0; s < ranges_.size(); ++s) {
+      caches_.push_back(std::make_shared<RowCache>(options_.cache_bytes));
+    }
+  }
+}
+
+ChannelPair ServingCluster::make_link() {
+  if (options_.transport != TransportKind::kTcp) {
+    return make_channel_pair(options_.transport);
+  }
+  // Connect-then-accept on one thread is safe: the kernel completes the
+  // handshake in the listener's backlog, and pairing links one at a
+  // time keeps each accepted fd matched to its connect.
+  auto client = tcp_connect("127.0.0.1", listener_->port());
+  auto server = listener_->accept();
+  return {std::move(server), std::move(client)};
+}
+
+void ServingCluster::assemble() {
+  if (options_.transport == TransportKind::kTcp) {
+    // ONE listener for the whole cluster — router pool, peer mesh and
+    // update links all accept through it, like a real deployment's
+    // accept loop (per-shard ports would work identically).
+    listener_ = std::make_unique<TcpListener>(options_.tcp_port);
+  }
+
+  if (!options_.colocate) {
     // Full mesh of shard↔shard fetch links (client at i, served at j).
     for (std::size_t i = 0; i < servers_.size(); ++i) {
       for (std::size_t j = 0; j < servers_.size(); ++j) {
         if (i == j) continue;
-        ChannelPair link = make_channel_pair(options.transport);
+        ChannelPair link = make_link();
         servers_[j]->serve(std::move(link.server), /*frontend=*/false);
         servers_[i]->connect_peer(j, std::move(link.client));
       }
@@ -691,20 +869,45 @@ ServingCluster::ServingCluster(const PredictorModel& model,
   std::vector<std::vector<std::unique_ptr<ByteChannel>>> pools(
       servers_.size());
   for (std::size_t s = 0; s < servers_.size(); ++s) {
-    for (std::size_t c = 0; c < options.connections_per_shard; ++c) {
-      ChannelPair link = make_channel_pair(options.transport);
+    for (std::size_t c = 0; c < options_.connections_per_shard; ++c) {
+      ChannelPair link = make_link();
       servers_[s]->serve(std::move(link.server));
       pools[s].push_back(std::move(link.client));
     }
   }
-  router_ = std::make_unique<QueryRouter>(ranges_, std::move(pools));
+  router_ = std::make_unique<QueryRouter>(
+      ranges_, std::move(pools),
+      std::chrono::milliseconds(options_.recv_timeout_ms));
+
+  if (!servers_.empty() && servers_.front()->live() != nullptr) {
+    // The write plane: one dedicated link per shard. frontend=false —
+    // the UpdateRouter counts these bytes on its side.
+    std::vector<std::unique_ptr<ByteChannel>> links;
+    links.reserve(servers_.size());
+    for (auto& server : servers_) {
+      ChannelPair link = make_link();
+      server->serve(std::move(link.server), /*frontend=*/false);
+      links.push_back(std::move(link.client));
+    }
+    update_router_ = std::make_unique<UpdateRouter>(std::move(links));
+  }
+}
+
+UpdateRouter& ServingCluster::update_router() {
+  SNAPLE_CHECK_MSG(update_router_ != nullptr,
+                   "this cluster is static — construct it with "
+                   "(model, graph) to get an update plane");
+  return *update_router_;
 }
 
 ServingCluster::~ServingCluster() {
-  // Router first: frontend serving threads drain and exit before the
-  // peer links those threads may fetch over are closed.
+  // Write plane first (no new inserts), then the router: frontend
+  // serving threads drain and exit before the peer links those threads
+  // may fetch over are closed.
+  if (update_router_ != nullptr) update_router_->close();
   router_->close();
   for (auto& server : servers_) server->shutdown();
+  if (listener_ != nullptr) listener_->close();
 }
 
 std::vector<ShardStats> ServingCluster::stats() const {

@@ -24,17 +24,27 @@
 //                        answers the whole sub-batch, and the server
 //                        resolves the union of the batch's missing rows
 //                        with at most one peer fetch per owning shard)
+//     op 4 (update):     u32 count | count × (u32 src | u32 dst) —
+//                        update-plane only (serve/update_router.hpp);
+//                        static shards answer with an error
+//     op 5 (barrier):    no payload — update-plane only
 //   response := u8 status (0 = ok, 1 = error)
 //     error payload: u32 len | len bytes of message — the router/fetcher
 //       rethrows it as CheckError, so a misrouted or out-of-range query
 //       surfaces to the caller exactly like QueryEngine's own check.
 //       An op-3 batch fails or succeeds as a whole (the router vets
 //       ranges before submitting, so a batch error means a misroute).
-//     topk ok:  u32 count | count × u32 id | count × f32 score
-//     batch ok: per query, in request order, the topk ok payload
-//     fetch ok: per requested id, in request order:
-//               u32 sims_len | sims_len × u32 id | sims_len × f32 score
+//     topk ok:   u32 count | count × u32 id | count × f32 score
+//     batch ok:  per query, in request order, the topk ok payload
+//     fetch ok:  per requested id, in request order:
+//               u64 version (the OWNER's current version of the row —
+//                 the fetching shard caches under this key, so skewed
+//                 local version views can never pin a stale row)
+//             | u32 sims_len | sims_len × u32 id | sims_len × f32 score
 //             | u32 hop2_len | hop2_len × u32 id | hop2_len × f32 score
+//     update ok: u64 version | u64 gamma_rows | u64 sims_rows
+//              | u64 hop2_rows   (this shard's owned republish counts)
+//     barrier ok: u64 version
 //
 // Pipelining: the router no longer runs lockstep request/response round
 // trips. Each pooled connection pairs a submission side (requests are
@@ -53,12 +63,14 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <thread>
 #include <utility>
@@ -66,9 +78,11 @@
 #include <vector>
 
 #include "gas/partition.hpp"
+#include "serve/live_shard.hpp"
 #include "serve/model_shard.hpp"
 #include "serve/row_cache.hpp"
 #include "serve/transport.hpp"
+#include "serve/update_router.hpp"
 
 namespace snaple::serve {
 
@@ -87,6 +101,13 @@ struct ShardStats {
   std::uint64_t peer_bytes_in = 0;   // fetched row bytes received
   std::uint64_t replica_count = 0;   // co-located rows (0 in fetch mode)
   std::uint64_t replica_bytes = 0;
+  // Update plane (all zero on a static shard):
+  std::uint64_t update_batches = 0;  // op-4 messages applied
+  std::uint64_t update_edges = 0;    // edges inserted by them
+  std::uint64_t gamma_republished = 0;  // owned rows recomputed
+  std::uint64_t sims_republished = 0;
+  std::uint64_t hop2_republished = 0;
+  std::uint64_t overlay_bytes = 0;   // live-shard bytes beyond the base
 };
 
 /// One shard process stand-in: serves the wire protocol over any number
@@ -95,15 +116,27 @@ struct ShardStats {
 /// first) and fetch_rows for peers. serve()/connect_peer() are
 /// setup-time only; the serving threads themselves are concurrency-safe
 /// afterwards.
+///
+/// Backends: a STATIC shard (ModelShard — immutable rows, ops 1/2/3) or
+/// a LIVE shard (LiveShard — versioned RCU rows, additionally ops 4/5,
+/// the update plane). The wire protocol and every query-path invariant
+/// are identical either way; live fetch responses simply carry real
+/// (bumping) versions where static ones carry the frozen table's.
 class ShardServer {
  public:
-  /// `ranges` is the full cluster layout (for owner lookup on fetches).
-  /// `cache` (may be null) backs the remote-fetch fast path; lookups are
-  /// keyed with `row_versions` (null = every row at version 0).
+  /// Static backend. `ranges` is the full cluster layout (for owner
+  /// lookup on fetches). `cache` (may be null) backs the remote-fetch
+  /// fast path; lookups are keyed with `row_versions` (null = every row
+  /// at version 0).
   ShardServer(ModelShard shard, std::vector<gas::VertexRange> ranges,
               std::shared_ptr<RowCache> cache = nullptr,
               std::shared_ptr<const std::vector<std::uint64_t>>
                   row_versions = nullptr);
+  /// Live backend: rows and versions come from `live`, which op-4
+  /// batches mutate in place — no freeze, no re-shard.
+  ShardServer(std::shared_ptr<LiveShard> live,
+              std::vector<gas::VertexRange> ranges,
+              std::shared_ptr<RowCache> cache = nullptr);
   ~ShardServer();
 
   ShardServer(const ShardServer&) = delete;
@@ -120,7 +153,12 @@ class ShardServer {
   void connect_peer(std::size_t shard_index,
                     std::unique_ptr<ByteChannel> channel);
 
-  [[nodiscard]] const ModelShard& shard() const noexcept { return shard_; }
+  /// The static backend (CheckError on a live server) / the live
+  /// backend (null on a static server).
+  [[nodiscard]] const ModelShard& shard() const;
+  [[nodiscard]] const std::shared_ptr<LiveShard>& live() const noexcept {
+    return live_;
+  }
 
   /// Closes every link and joins the serving threads. Idempotent; the
   /// destructor calls it.
@@ -144,33 +182,63 @@ class ShardServer {
   struct ResolvedRows {
     RowOverlay overlay;
     std::vector<std::shared_ptr<const HotRow>> pins;
+    /// Live backend only: the users' sims rows as read when their
+    /// missing sets were computed, index-aligned with the users span
+    /// passed to collect_rows — the fold must run over exactly these
+    /// (a writer may republish a root row mid-query). Empty on static
+    /// shards, whose rows cannot move.
+    std::vector<PredictorModel::SimsView> roots;
+  };
+
+  /// One fetched row with the version its OWNER reported — the cache
+  /// key that keeps skewed local views from pinning stale rows.
+  struct FetchedRow {
+    std::uint64_t version = 0;
+    std::shared_ptr<const HotRow> row;
   };
 
   void serve_loop(ByteChannel& ch);
   void handle_topk(ByteChannel& ch);
   void handle_topk_batch(ByteChannel& ch);
   void handle_fetch(ByteChannel& ch);
+  void handle_update(ByteChannel& ch);
+  void handle_barrier(ByteChannel& ch);
+
+  // Backend dispatch (static ModelShard vs live LiveShard).
+  [[nodiscard]] bool owns(VertexId u) const;
+  [[nodiscard]] const gas::VertexRange& range() const;
+  [[nodiscard]] VertexId num_vertices() const;
+  [[nodiscard]] std::vector<VertexId> missing_rows(
+      VertexId u, PredictorModel::SimsView* root = nullptr) const;
+  [[nodiscard]] std::vector<std::pair<VertexId, float>> topk(
+      VertexId u, std::size_t k, const RowOverlay* overlay,
+      const PredictorModel::SimsView* root = nullptr) const;
 
   /// Resolves the union of the users' missing rows: cache first (keyed
   /// by row version), then one batched peer fetch per owning shard for
   /// the remainder; fetched rows are inserted into the cache on the way
-  /// through.
+  /// through, under the version the owner reported.
   [[nodiscard]] ResolvedRows collect_rows(std::span<const VertexId> users);
   /// One batched fetch per owning shard of `missing` (sorted); returns
   /// rows parallel to `missing`. Peer transport failures surface as
   /// CheckError (the query fails, the frontend link survives).
-  [[nodiscard]] std::vector<std::shared_ptr<const HotRow>> fetch_remote(
+  [[nodiscard]] std::vector<FetchedRow> fetch_remote(
       const std::vector<VertexId>& missing);
+  /// This shard's current view of v's version: the live table (bumping)
+  /// or the static table (frozen; null = all zero).
   [[nodiscard]] std::uint64_t row_version(VertexId v) const {
+    if (live_ != nullptr) return live_->row_version(v);
     return row_versions_ == nullptr ? 0 : (*row_versions_)[v];
   }
 
-  ModelShard shard_;
+  std::optional<ModelShard> shard_;   // exactly one backend is set
+  std::shared_ptr<LiveShard> live_;
   std::vector<gas::VertexRange> ranges_;
   std::shared_ptr<RowCache> cache_;  // null = no fetch-path cache
   std::shared_ptr<const std::vector<std::uint64_t>> row_versions_;
   std::vector<std::unique_ptr<Connection>> connections_;
   std::vector<std::unique_ptr<PeerLink>> peers_;  // index = shard, null self
+  std::mutex update_mu_;  // serializes op-4/op-5 application
   std::atomic<std::uint64_t> queries_{0};
   std::atomic<std::uint64_t> batch_requests_{0};
   std::atomic<std::uint64_t> errors_{0};
@@ -178,6 +246,11 @@ class ShardServer {
   std::atomic<std::uint64_t> remote_rows_{0};
   std::atomic<std::uint64_t> cache_hits_{0};
   std::atomic<std::uint64_t> cache_misses_{0};
+  std::atomic<std::uint64_t> update_batches_{0};
+  std::atomic<std::uint64_t> update_edges_{0};
+  std::atomic<std::uint64_t> gamma_republished_{0};
+  std::atomic<std::uint64_t> sims_republished_{0};
+  std::atomic<std::uint64_t> hop2_republished_{0};
   std::atomic<bool> down_{false};
 };
 
@@ -199,9 +272,16 @@ class QueryRouter {
  public:
   using Scored = std::vector<std::pair<VertexId, float>>;
 
+  /// `recv_timeout` > 0 arms a response deadline on every connection: a
+  /// shard that stays silent that long WITH requests in flight is
+  /// declared dead (its futures fail with TransportError) instead of
+  /// wedging the drain thread forever. Idle timeouts are just retried —
+  /// silence with nothing in flight is the normal state.
   QueryRouter(std::vector<gas::VertexRange> ranges,
               std::vector<std::vector<std::unique_ptr<ByteChannel>>>
-                  connections_per_shard);
+                  connections_per_shard,
+              std::chrono::milliseconds recv_timeout =
+                  std::chrono::milliseconds{0});
   ~QueryRouter();
 
   QueryRouter(const QueryRouter&) = delete;
@@ -307,6 +387,13 @@ struct ServeOptions {
   /// model produced by DynamicModel::freeze(), pass its row_version
   /// counters so cache keys distinguish republished rows.
   std::shared_ptr<const std::vector<std::uint64_t>> row_versions;
+  /// TCP transport only: the port the cluster's one listener binds on
+  /// 127.0.0.1 (0 = kernel-chosen ephemeral). Every cluster link —
+  /// router pool, peer mesh, update links — is accepted through it,
+  /// exactly the accept loop a real shard deployment would run.
+  std::uint16_t tcp_port = 0;
+  /// Router-side response deadline in ms (0 = none): see QueryRouter.
+  std::uint32_t recv_timeout_ms = 0;
 };
 
 /// Everything wired: plans byte-balanced ranges, builds the shards,
@@ -318,13 +405,30 @@ struct ServeOptions {
 /// other's caches.)
 class ServingCluster {
  public:
+  /// Static cluster: immutable rows, query plane only.
   ServingCluster(const PredictorModel& model, const ServeOptions& options);
+  /// LIVE cluster: each shard backs its range with a LiveShard over
+  /// (model, graph) — the graph the model was fit on, with
+  /// PartitionStrategy::kEdgeLocal — and an UpdateRouter fans insert
+  /// batches to every shard over dedicated links. Requires
+  /// colocate=false (replicated rows cannot be kept fresh; fetched rows
+  /// can, via versions). Queries keep flowing during updates; after
+  /// update_router().barrier(), every answer is bit-identical to a
+  /// refit on the union graph.
+  ServingCluster(std::shared_ptr<const PredictorModel> model,
+                 std::shared_ptr<const CsrGraph> graph,
+                 const ServeOptions& options);
   ~ServingCluster();
 
   ServingCluster(const ServingCluster&) = delete;
   ServingCluster& operator=(const ServingCluster&) = delete;
 
   [[nodiscard]] QueryRouter& router() noexcept { return *router_; }
+  /// The write plane (CheckError on a static cluster).
+  [[nodiscard]] UpdateRouter& update_router();
+  [[nodiscard]] bool live() const noexcept {
+    return update_router_ != nullptr;
+  }
   [[nodiscard]] const std::vector<gas::VertexRange>& ranges()
       const noexcept {
     return ranges_;
@@ -339,11 +443,21 @@ class ServingCluster {
   [[nodiscard]] RowCacheStats cache_stats() const;
 
  private:
+  /// Shared tail of both ctors: peer mesh (fetch mode), router pool,
+  /// update links (live mode). Servers must already be constructed.
+  void assemble();
+  /// One connected link of options_.transport — through the cluster's
+  /// single TCP listener when the transport is kTcp.
+  [[nodiscard]] ChannelPair make_link();
+  void build_caches();
+
   ServeOptions options_;
   std::vector<gas::VertexRange> ranges_;
+  std::unique_ptr<TcpListener> listener_;  // kTcp only
   std::vector<std::shared_ptr<RowCache>> caches_;  // distinct caches only
   std::vector<std::unique_ptr<ShardServer>> servers_;
   std::unique_ptr<QueryRouter> router_;
+  std::unique_ptr<UpdateRouter> update_router_;  // live clusters only
 };
 
 }  // namespace snaple::serve

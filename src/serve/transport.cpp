@@ -1,6 +1,10 @@
 #include "serve/transport.hpp"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -14,6 +18,8 @@ const char* to_string(TransportKind kind) noexcept {
       return "mem";
     case TransportKind::kUnixSocket:
       return "uds";
+    case TransportKind::kTcp:
+      return "tcp";
   }
   return "?";
 }
@@ -74,9 +80,23 @@ class InProcessChannel final : public ByteChannel {
         bytes_received_.fetch_add(got, std::memory_order_relaxed);
         throw TransportError("in-process channel closed mid-message");
       }
-      link_->cv.wait(lock);
+      if (timeout_.count() == 0) {
+        link_->cv.wait(lock);
+      } else if (link_->cv.wait_for(lock, timeout_) ==
+                     std::cv_status::timeout &&
+                 queue.empty() && !my_closed() && !peer_closed()) {
+        // The deadline clock restarts whenever bytes arrive: only a
+        // wait that expired with nothing new to read is a timeout.
+        bytes_received_.fetch_add(got, std::memory_order_relaxed);
+        throw TransportTimeout("in-process recv timed out");
+      }
     }
     bytes_received_.fetch_add(got, std::memory_order_relaxed);
+  }
+
+  void set_recv_timeout(std::chrono::milliseconds timeout) override {
+    std::lock_guard<std::mutex> lock(link_->mu);
+    timeout_ = timeout;
   }
 
   void close() override {
@@ -97,17 +117,20 @@ class InProcessChannel final : public ByteChannel {
 
   std::shared_ptr<InProcessLink> link_;
   bool is_server_;
+  std::chrono::milliseconds timeout_{0};  // guarded by link_->mu
 };
 
 // ---------------------------------------------------------------------
-// Unix-domain socket transport.
+// Socket transport — one implementation for unix-domain socketpairs and
+// TCP connections: both are SOCK_STREAM fds, differing only in how the
+// fd was produced (socketpair vs listen/accept/connect).
 // ---------------------------------------------------------------------
 
-class UnixSocketChannel final : public ByteChannel {
+class SocketChannel final : public ByteChannel {
  public:
-  explicit UnixSocketChannel(int fd) : fd_(fd) {}
+  explicit SocketChannel(int fd) : fd_(fd) {}
 
-  ~UnixSocketChannel() override {
+  ~SocketChannel() override {
     close();
     // The fd itself is released only here, after any thread blocked in
     // recv() has been woken by the shutdown(2) in close() — closing the
@@ -141,6 +164,11 @@ class UnixSocketChannel final : public ByteChannel {
       const ssize_t n = ::recv(fd_, bytes + got, len - got, 0);
       if (n < 0) {
         if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          // SO_RCVTIMEO elapsed with no data (set_recv_timeout).
+          bytes_received_.fetch_add(got, std::memory_order_relaxed);
+          throw TransportTimeout("socket recv timed out");
+        }
         bytes_received_.fetch_add(got, std::memory_order_relaxed);
         throw TransportError(std::string("socket recv failed: ") +
                              std::strerror(errno));
@@ -154,6 +182,16 @@ class UnixSocketChannel final : public ByteChannel {
     bytes_received_.fetch_add(got, std::memory_order_relaxed);
   }
 
+  void set_recv_timeout(std::chrono::milliseconds timeout) override {
+    struct timeval tv;
+    tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+    if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+      throw TransportError(std::string("setsockopt(SO_RCVTIMEO) failed: ") +
+                           std::strerror(errno));
+    }
+  }
+
   void close() override {
     // shutdown, not close: wakes a peer OR a local thread blocked in
     // recv on this very fd, while keeping the fd number reserved until
@@ -165,7 +203,106 @@ class UnixSocketChannel final : public ByteChannel {
   int fd_;
 };
 
+/// TCP_NODELAY on a connected TCP socket: the serving tier exchanges
+/// small framed request/response messages, so Nagle coalescing would
+/// only serialize round trips.
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------------
+// TCP listener + connector.
+// ---------------------------------------------------------------------
+
+TcpListener::TcpListener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw TransportError(std::string("tcp socket failed: ") +
+                         std::strerror(errno));
+  }
+  // SO_REUSEADDR: a restarted shard server must rebind its port without
+  // waiting out TIME_WAIT from the previous incarnation's links.
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw TransportError("tcp bind to port " + std::to_string(port) +
+                         " failed: " + err);
+  }
+  if (::listen(fd_, SOMAXCONN) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw TransportError("tcp listen failed: " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw TransportError("tcp getsockname failed: " + err);
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+TcpListener::~TcpListener() {
+  close();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<ByteChannel> TcpListener::accept() {
+  for (;;) {
+    const int conn = ::accept(fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      throw TransportError(std::string("tcp accept failed: ") +
+                           std::strerror(errno));
+    }
+    set_nodelay(conn);
+    return std::make_unique<SocketChannel>(conn);
+  }
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+std::unique_ptr<ByteChannel> tcp_connect(const std::string& host,
+                                         std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw TransportError("tcp connect: '" + host +
+                         "' is not a valid IPv4 address");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw TransportError(std::string("tcp socket failed: ") +
+                         std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw TransportError("tcp connect to " + host + ":" +
+                         std::to_string(port) + " failed: " + err);
+  }
+  set_nodelay(fd);
+  return std::make_unique<SocketChannel>(fd);
+}
 
 ChannelPair make_channel_pair(TransportKind kind) {
   if (kind == TransportKind::kInProcess) {
@@ -173,13 +310,21 @@ ChannelPair make_channel_pair(TransportKind kind) {
     return {std::make_unique<InProcessChannel>(link, /*is_server=*/true),
             std::make_unique<InProcessChannel>(link, /*is_server=*/false)};
   }
+  if (kind == TransportKind::kTcp) {
+    // A throwaway ephemeral listener per pair: connect() completes via
+    // the kernel backlog, so connect-then-accept on one thread is safe.
+    TcpListener listener(0);
+    auto client = tcp_connect("127.0.0.1", listener.port());
+    auto server = listener.accept();
+    return {std::move(server), std::move(client)};
+  }
   int fds[2];
   if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
     throw TransportError(std::string("socketpair failed: ") +
                          std::strerror(errno));
   }
-  return {std::make_unique<UnixSocketChannel>(fds[0]),
-          std::make_unique<UnixSocketChannel>(fds[1])};
+  return {std::make_unique<SocketChannel>(fds[0]),
+          std::make_unique<SocketChannel>(fds[1])};
 }
 
 }  // namespace snaple::serve

@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <future>
 #include <numeric>
@@ -37,10 +38,12 @@ using serve::ServeOptions;
 using serve::ServingCluster;
 using serve::TransportError;
 using serve::TransportKind;
+using serve::TransportTimeout;
 using Scored = std::vector<std::pair<VertexId, float>>;
 
 constexpr TransportKind kTransports[] = {TransportKind::kInProcess,
-                                         TransportKind::kUnixSocket};
+                                         TransportKind::kUnixSocket,
+                                         TransportKind::kTcp};
 
 std::shared_ptr<const PredictorModel> fit_model(std::uint64_t seed,
                                                 std::size_t k_hops) {
@@ -177,6 +180,71 @@ TEST(Transport, QueuedBytesReadableAfterPeerCloses) {
   EXPECT_EQ(got, value);
   char extra;
   EXPECT_THROW(pair.server->recv(&extra, 1), TransportError);
+}
+
+TEST(Transport, TcpListenerHandsOutEphemeralPortsAndConnects) {
+  serve::TcpListener listener(0);
+  EXPECT_GT(listener.port(), 0u);  // kernel-assigned, reported back
+  auto client = serve::tcp_connect("127.0.0.1", listener.port());
+  auto server = listener.accept();
+  const std::uint64_t value = 0x123456789abcdef0ull;
+  client->send(&value, sizeof(value));
+  std::uint64_t got = 0;
+  server->recv(&got, sizeof(got));
+  EXPECT_EQ(got, value);
+  // A closed listener stops accepting; live channels are unaffected.
+  listener.close();
+  server->send(&value, sizeof(value));
+  got = 0;
+  client->recv(&got, sizeof(got));
+  EXPECT_EQ(got, value);
+}
+
+TEST(Transport, RecvDeadlineSurfacesSilentPeerAsTimeout) {
+  using namespace std::chrono_literals;
+  for (const auto kind : kTransports) {
+    auto pair = serve::make_channel_pair(kind);
+    pair.client->set_recv_timeout(50ms);
+    char byte = 0;
+    // Nothing queued and nobody sending: the deadline must fire rather
+    // than block forever — as the TransportError subclass, so generic
+    // error paths still catch it.
+    EXPECT_THROW(pair.client->recv(&byte, 1), TransportTimeout)
+        << serve::to_string(kind);
+    EXPECT_THROW(pair.client->recv(&byte, 1), TransportError)
+        << serve::to_string(kind);
+    // The channel survives a timeout: once the peer does respond, the
+    // same recv path delivers the bytes.
+    const char ping = 'x';
+    pair.server->send(&ping, 1);
+    pair.client->recv(&byte, 1);
+    EXPECT_EQ(byte, 'x') << serve::to_string(kind);
+    // Disarming (0) restores blocking recv: data already queued works.
+    pair.client->set_recv_timeout(0ms);
+    pair.server->send(&ping, 1);
+    byte = 0;
+    pair.client->recv(&byte, 1);
+    EXPECT_EQ(byte, 'x') << serve::to_string(kind);
+  }
+}
+
+TEST(Transport, DeadlineDistinguishesSilenceFromEof) {
+  using namespace std::chrono_literals;
+  for (const auto kind : kTransports) {
+    auto pair = serve::make_channel_pair(kind);
+    pair.server->set_recv_timeout(50ms);
+    pair.client->close();
+    char byte = 0;
+    // Peer is GONE, not slow: plain TransportError (EOF), not timeout.
+    try {
+      pair.server->recv(&byte, 1);
+      FAIL() << serve::to_string(kind);
+    } catch (const TransportTimeout&) {
+      FAIL() << serve::to_string(kind) << ": EOF misreported as timeout";
+    } catch (const TransportError&) {
+      // expected
+    }
+  }
 }
 
 // ---------- shard-local slicing ----------
@@ -472,6 +540,50 @@ TEST(ShardedServing, ErrorsCrossTheWireAsCheckErrors) {
   const QueryEngine engine(model);
   EXPECT_EQ(router.topk(0), engine.topk(0));  // connection survived
   EXPECT_EQ(server.stats().errors, 1u);
+}
+
+TEST(ShardedServing, UnresponsiveShardFailsInflightAndGoesDead) {
+  using namespace std::chrono_literals;
+  const auto model = fit_model(3, 2);
+  const VertexId n = model->num_vertices();
+
+  // A link whose server end is held open but NEVER serviced: the shard
+  // is reachable yet silent. Without a deadline the drain thread would
+  // block forever; with one, every pending future fails fast.
+  auto link = serve::make_channel_pair(TransportKind::kInProcess);
+  std::vector<std::vector<std::unique_ptr<ByteChannel>>> pool(1);
+  pool[0].push_back(std::move(link.client));
+  serve::QueryRouter router({gas::VertexRange{0, n}}, std::move(pool),
+                            100ms);
+
+  auto f1 = router.topk_async(0);
+  auto f2 = router.topk_async(1);
+  EXPECT_THROW((void)f1.get(), TransportError);
+  EXPECT_THROW((void)f2.get(), TransportError);
+  // The connection is condemned, not retried: later queries fail
+  // immediately instead of burning another deadline each.
+  EXPECT_THROW((void)router.topk(2), TransportError);
+  (void)link.server;  // kept alive the whole time: silence, not EOF
+}
+
+TEST(ShardedServing, IdleDeadlineDoesNotKillHealthyConnections) {
+  using namespace std::chrono_literals;
+  // A router whose deadline is far shorter than the gaps between
+  // queries: timeouts with nothing inflight must be ignored, and slow
+  //-but-alive service must still complete.
+  const auto model = fit_model(3, 2);
+  const QueryEngine engine(model);
+  ServeOptions opt;
+  opt.num_shards = 2;
+  opt.recv_timeout_ms = 50;
+  ServingCluster cluster(*model, opt);
+  for (int round = 0; round < 3; ++round) {
+    std::this_thread::sleep_for(120ms);  // > 2 idle deadline windows
+    for (const VertexId u : {VertexId{0}, VertexId{7}}) {
+      EXPECT_EQ(cluster.router().topk(u), engine.topk(u))
+          << "round " << round << " u=" << u;
+    }
+  }
 }
 
 TEST(ShardedServing, ConcurrentCallersOverPooledConnectionsAgree) {
