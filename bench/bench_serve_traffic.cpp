@@ -32,6 +32,15 @@
 //                 rows). ENFORCED (exit 1): after the burst and a
 //                 version barrier, served answers are bit-identical to
 //                 a from-scratch fit on the union graph.
+//   window        sliding-window replay (ISSUE 10): a fresh live
+//                 cluster absorbs the same stream in timestamp order
+//                 with a window of half its length — every insert batch
+//                 past capacity fans an op-6 REMOVE batch expiring the
+//                 oldest edges, Zipf clients querying throughout.
+//                 Reports churn ops/sec and the op round-trip staleness
+//                 p50/p99. ENFORCED (exit 1): at end of replay, served
+//                 answers are bit-identical to a from-scratch fit on
+//                 the window graph (base + surviving inserts).
 //
 // Baselines: bench/baselines/bench_serve_traffic.json, recorded at
 // --scale=0.1 --seed=42 (CI smoke scale). wall-s and queries_per_second
@@ -526,6 +535,88 @@ int main(int argc, char** argv) {
             << us.bytes_sent + us.bytes_received
             << " wire B; cluster version " << plane_version << "\n\n";
 
+  // ---- Phase 5: sliding-window replay through the plane. -------------
+  // A fresh live cluster replays the same stream in timestamp order
+  // with a window of half its length: each insert batch past capacity
+  // is followed by an op-6 remove batch expiring the edges that slid
+  // out, while the Zipf clients stay on the cluster. Every op round
+  // trip (insert or remove) is a staleness window sample.
+  serve::ServingCluster window_cluster(model, base_graph, live_so);
+  const auto window_topk = [&](VertexId u) {
+    return window_cluster.router().topk(u);
+  };
+  const std::size_t window =
+      std::max<std::size_t>(kUpdateBatch, inserts.size() / 2);
+  std::vector<double> window_op_us;
+  window_op_us.reserve(2 * (inserts.size() / kUpdateBatch + 1));
+  double window_wall = 0.0;
+  std::size_t expired = 0;
+  std::thread window_writer([&] {
+    WallTimer t;
+    auto& plane = window_cluster.update_router();
+    for (std::size_t at = 0; at < inserts.size(); at += kUpdateBatch) {
+      const std::size_t len = std::min(kUpdateBatch, inserts.size() - at);
+      WallTimer w;
+      (void)plane.apply({inserts.data() + at, len});
+      window_op_us.push_back(w.seconds() * 1e6);
+      // Expire everything that slid out: the live inserts are always
+      // the most recent `window` of the stream.
+      const std::size_t done = at + len;
+      const std::size_t target = done > window ? done - window : 0;
+      if (target > expired) {
+        WallTimer w2;
+        (void)plane.remove(
+            {inserts.data() + expired, target - expired});
+        window_op_us.push_back(w2.seconds() * 1e6);
+        expired = target;
+      }
+    }
+    window_wall = t.seconds();
+  });
+  const auto wreplay = drive_load(users, clients, per_client, opt.seed + 4,
+                                  window_topk);
+  window_writer.join();
+
+  // End-of-replay gate: the cluster serves the window graph's model.
+  const std::uint64_t window_version =
+      window_cluster.update_router().barrier();
+  GraphBuilder window_builder(union_graph.num_vertices());
+  for (const Edge& e : base_graph->edges()) {
+    window_builder.add_edge(e.src, e.dst);
+  }
+  for (std::size_t i = expired; i < inserts.size(); ++i) {
+    window_builder.add_edge(inserts[i].src, inserts[i].dst);
+  }
+  const auto window_model = std::make_shared<const PredictorModel>(
+      predictor.fit(window_builder.build()));
+  const QueryEngine window_engine(window_model);
+  std::size_t window_mismatches = 0;
+  for (const VertexId u : sample) {
+    if (window_cluster.router().topk(u) != window_engine.topk(u)) {
+      ++window_mismatches;
+    }
+  }
+
+  const auto ws = window_cluster.update_router().stats();
+  const double window_churn =
+      static_cast<double>(ws.edges + ws.removals) /
+      std::max(window_wall, 1e-12);
+  Table win({"phase", "queries", "wall s", "queries_per_second", "p50_us",
+             "p99_us", "stale_p50_us", "stale_p99_us"});
+  win.add_row({"queries-during-window-replay",
+               std::to_string(wreplay.queries),
+               Table::fmt(wreplay.wall_s, 4), Table::fmt(wreplay.qps, 0),
+               Table::fmt(wreplay.p50_us, 1), Table::fmt(wreplay.p99_us, 1),
+               Table::fmt(percentile(window_op_us, 0.50), 1),
+               Table::fmt(percentile(window_op_us, 0.99), 1)});
+  bench::finish(win, opt, "window");
+  std::cout << "window replay (W=" << window << "): " << ws.edges
+            << " inserts + " << ws.removals << " removals ("
+            << ws.remove_batches << " remove batches) over "
+            << Table::fmt(window_wall, 4) << " s = "
+            << Table::fmt(window_churn, 0)
+            << " churn ops/s; cluster version " << window_version << "\n\n";
+
   // ---- Gates. --------------------------------------------------------
   if (total_mismatches > 0) {
     std::cerr << "ERROR: " << total_mismatches
@@ -539,6 +630,12 @@ int main(int argc, char** argv) {
                  "refit after the insert burst\n";
     return 1;
   }
+  if (window_mismatches > 0) {
+    std::cerr << "ERROR: " << window_mismatches
+              << " answers diverged from the window-graph refit after "
+                 "the sliding-window replay\n";
+    return 1;
+  }
   if (fetch_reduction < 2.0) {
     std::cerr << "ERROR: hot-row cache cut fetches/query only "
               << Table::fmt(fetch_reduction, 2)
@@ -550,7 +647,8 @@ int main(int argc, char** argv) {
   std::cout << "correctness: " << sample.size() << " Zipf users × "
             << correctness_configs
             << " cluster configs identical to QueryEngine; live plane "
-               "identical to the union-graph refit post-burst; "
+               "identical to the union-graph refit post-burst; windowed "
+               "replay identical to the window-graph refit; "
                "warm-cache repeat fetches "
             << reduction_str << "\n";
   return 0;

@@ -50,22 +50,31 @@
 //   --query=u1,u2,...   answer top-k for the listed vertices, printed as
 //                       "u: z1(score) z2(score) ..."
 //   --update=<file>     incremental updates: fit the graph, then stream
-//                       the file's "u v" edge inserts into the served
-//                       model (core/dynamic_model.hpp) — recomputing only
-//                       the stale rows, bit-identical to refitting on the
-//                       union graph. Already-present/self-loop/out-of-
-//                       range lines are skipped with a count. Combine
-//                       with --query (served post-update) and
-//                       --save-model (writes the updated model). With
-//                       --serve-shards the inserts instead stream through
-//                       the sharded tier's LIVE update plane
-//                       (serve/update_router.hpp): no freeze, no
-//                       re-shard — every batch fans out to the shards,
-//                       each recomputes its share of the stale rows, and
-//                       queries stay bit-identical to a union-graph
-//                       refit (stale-row / wire-byte / version stats go
-//                       to stderr; --save-model does not combine — the
-//                       rows live on the shards).
+//                       the file's edge operations into the served model
+//                       (core/dynamic_model.hpp) — "u v" lines insert,
+//                       "-u v" lines remove — recomputing only the stale
+//                       rows, bit-identical to refitting on the live
+//                       (union-minus-tombstones) graph. Already-present
+//                       inserts, removals of absent edges, self-loops,
+//                       out-of-range ids and malformed lines are skipped
+//                       with counts. Combine with --query (served
+//                       post-update) and --save-model (writes the
+//                       updated model). With --serve-shards the stream
+//                       instead flows through the sharded tier's LIVE
+//                       update plane (serve/update_router.hpp): no
+//                       freeze, no re-shard — every batch fans out to
+//                       the shards, each recomputes its share of the
+//                       stale rows, and queries stay bit-identical to a
+//                       live-graph refit (stale-row / wire-byte /
+//                       version stats go to stderr; --save-model does
+//                       not combine — the rows live on the shards).
+//   --window=<n>        sliding window over the --update stream: only
+//                       the last n streamed inserts stay live — each
+//                       applied insert that pushes the window past n
+//                       expires the oldest in-window edge as a removal
+//                       (explicit "-u v" removals also drop an edge out
+//                       of the window). The stream order IS the
+//                       timestamp order, as in a replayed social log.
 //   --serve-shards=<n>  answer --query through a sharded serving tier
 //                       (serve/router.hpp): the model is partitioned
 //                       into n byte-balanced vertex ranges, each served
@@ -101,8 +110,10 @@
 //   ./snaple_cli twitter.bin --fit --save-model=twitter-model.bin
 //   ./snaple_cli --load-model=twitter-model.bin --query=1,7,900 --k=10
 #include <algorithm>
+#include <deque>
 #include <fstream>
 #include <span>
+#include <unordered_map>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -273,16 +284,149 @@ int serve_sharded(const snaple::PredictorModel& model, std::size_t shards,
   return rc;
 }
 
-/// Streams "u v" edge inserts from a SNAP-style text file into a live
-/// model in batches. Lines that cannot be applied — already-present
-/// edges (live streams repeat), self-loops, out-of-range ids, malformed
-/// text — are counted and skipped rather than aborting the stream.
+/// Streams edge operations from a SNAP-style text file into a live
+/// model in batches: "u v" lines insert, "-u v" lines remove. Lines
+/// that cannot be applied — already-present inserts (live streams
+/// repeat), removals of absent edges, self-loops, out-of-range ids,
+/// malformed text — are counted and skipped rather than aborting the
+/// stream.
 struct UpdateReport {
-  std::size_t applied = 0;
-  std::size_t skipped = 0;
+  std::size_t applied = 0;   // inserts applied
+  std::size_t removed = 0;   // explicit "-u v" removals applied
+  std::size_t expired = 0;   // window expirations (applied as removals)
+  std::size_t skipped = 0;   // self-loop/out-of-range/malformed/duplicate
+  std::size_t unknown_removes = 0;  // removals of edges not in the graph
   std::size_t rows_recomputed = 0;
   double wall_s = 0.0;
 };
+
+/// The shared stream driver behind both --update flows (in-process
+/// DynamicModel and the sharded live plane). Pre-screens every line
+/// against the session's eager edge bookkeeping — `added` holds live
+/// session inserts, `tombed` removed base edges, so presence is decided
+/// without waiting for a batch to flush — and submits homogeneous
+/// batches (a kind flip insert↔remove flushes the pending batch, so
+/// stream order is preserved). With window > 0, each applied insert
+/// enters a FIFO of the last `window` live stream inserts; pushing past
+/// the cap expires the oldest as a removal. `apply(batch, remove)`
+/// applies one validated batch and returns the stale rows it
+/// republished (0 where the callee reports its own stats).
+template <typename ApplyFn>
+UpdateReport stream_edge_ops(std::istream& in, const snaple::CsrGraph& base,
+                             std::size_t window, ApplyFn&& apply) {
+  using namespace snaple;
+  constexpr std::size_t kBatch = 4096;
+  UpdateReport report;
+  WallTimer timer;
+  const VertexId n = base.num_vertices();
+
+  std::vector<Edge> pending;
+  bool pending_remove = false;
+  auto flush = [&] {
+    if (pending.empty()) return;
+    report.rows_recomputed +=
+        apply(std::span<const Edge>(pending), pending_remove);
+    pending.clear();
+  };
+  auto push_op = [&](const Edge& e, bool remove) {
+    if (!pending.empty() && pending_remove != remove) flush();
+    pending_remove = remove;
+    pending.push_back(e);
+    if (pending.size() >= kBatch) flush();
+  };
+
+  // Session presence relative to the immutable base CSR — mirrors the
+  // overlay's own invariants (re-adding a tombstoned base edge clears
+  // the tombstone; removing a session insert erases it).
+  std::unordered_set<Edge, EdgeHash> added;
+  std::unordered_set<Edge, EdgeHash> tombed;
+  auto present = [&](const Edge& e) {
+    return added.contains(e) ||
+           (base.has_edge(e.src, e.dst) && !tombed.contains(e));
+  };
+  auto mark_insert = [&](const Edge& e) {
+    if (tombed.erase(e) == 0) added.insert(e);
+  };
+  auto mark_remove = [&](const Edge& e) {
+    if (added.erase(e) == 0) tombed.insert(e);
+  };
+
+  // Sliding window over the applied stream inserts. A re-streamed edge
+  // keeps only its newest timestamp: the stamp map invalidates the
+  // older FIFO entry, which is skipped when it surfaces.
+  std::unordered_set<Edge, EdgeHash> live;  // in-window edges
+  std::unordered_map<Edge, std::uint64_t, EdgeHash> stamp;
+  std::deque<std::pair<Edge, std::uint64_t>> order;
+  std::uint64_t seq = 0;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const char* p = line.c_str();
+    while (*p == ' ' || *p == '\t') ++p;
+    bool remove = false;
+    if (*p == '-') {
+      remove = true;
+      ++p;
+    }
+    char* end = nullptr;
+    const unsigned long long u = std::strtoull(p, &end, 10);
+    if (end == p || *p == '-') {  // no digits, or "--": malformed
+      ++report.skipped;
+      continue;
+    }
+    char* end2 = nullptr;
+    const unsigned long long v = std::strtoull(end, &end2, 10);
+    if (end2 == end || *end == '-') {
+      ++report.skipped;
+      continue;
+    }
+    if (u >= n || v >= n || u == v) {
+      ++report.skipped;
+      continue;
+    }
+    const Edge e{static_cast<VertexId>(u), static_cast<VertexId>(v)};
+    if (remove) {
+      if (!present(e)) {
+        ++report.unknown_removes;
+        continue;
+      }
+      mark_remove(e);
+      live.erase(e);
+      push_op(e, true);
+      ++report.removed;
+      continue;
+    }
+    if (present(e)) {
+      ++report.skipped;
+      continue;
+    }
+    mark_insert(e);
+    push_op(e, false);
+    ++report.applied;
+    if (window == 0) continue;
+    live.insert(e);
+    stamp[e] = ++seq;
+    order.emplace_back(e, seq);
+    while (live.size() > window) {
+      const auto [old, s] = order.front();
+      order.pop_front();
+      const auto it = stamp.find(old);
+      // A stale FIFO entry: the edge was re-streamed (newer stamp) or
+      // explicitly removed already.
+      if (it == stamp.end() || it->second != s || !live.contains(old)) {
+        continue;
+      }
+      live.erase(old);
+      mark_remove(old);
+      push_op(old, true);
+      ++report.expired;
+    }
+  }
+  flush();
+  report.wall_s = timer.seconds();
+  return report;
+}
 
 /// --update with --serve-shards: LIVE sharded serving. Stands the
 /// cluster up over (model, graph), streams the file's inserts through
@@ -296,7 +440,8 @@ int serve_live_sharded(
     std::shared_ptr<const snaple::CsrGraph> graph, std::istream& updates,
     std::size_t shards, snaple::serve::TransportKind transport,
     std::uint16_t tcp_port, std::size_t cache_mb, std::size_t batch,
-    const std::string& query_list, bool have_query, std::ostream& out) {
+    std::size_t window, const std::string& query_list, bool have_query,
+    std::ostream& out) {
   using namespace snaple;
   using namespace snaple::serve;
   ServeOptions options;
@@ -320,72 +465,50 @@ int serve_live_sharded(
                              : "no cache")
             << ")\n";
 
-  // Stream the inserts through the update plane, same skip rules as the
-  // in-process flow (stream_updates below): the CLI pre-screens lines
-  // so every submitted batch passes the shards' deterministic
+  // Stream the operations through the update plane, same skip rules as
+  // the in-process flow (stream_edge_ops above): the CLI pre-screens
+  // lines so every submitted batch passes the shards' deterministic
   // validation.
-  constexpr std::size_t kBatch = 4096;
-  std::size_t applied = 0;
-  std::size_t skipped = 0;
-  WallTimer timer;
-  std::vector<Edge> pending;
-  std::unordered_set<Edge, EdgeHash> inserted;  // this session's inserts
-  const VertexId n = model->num_vertices();
   UpdateRouter& plane = cluster->update_router();
-
-  auto flush = [&] {
-    if (pending.empty()) return;
-    plane.apply(pending);
-    applied += pending.size();
-    pending.clear();
-  };
-
+  UpdateReport report;
   try {
-    std::string line;
-    while (std::getline(updates, line)) {
-      if (line.empty() || line[0] == '#') continue;
-      char* end = nullptr;
-      const unsigned long long u = std::strtoull(line.c_str(), &end, 10);
-      if (end == line.c_str()) {
-        ++skipped;
-        continue;
-      }
-      char* end2 = nullptr;
-      const unsigned long long v = std::strtoull(end, &end2, 10);
-      if (end2 == end) {
-        ++skipped;
-        continue;
-      }
-      const Edge e{static_cast<VertexId>(u), static_cast<VertexId>(v)};
-      if (u >= n || v >= n || u == v || graph->has_edge(e.src, e.dst) ||
-          inserted.contains(e)) {
-        ++skipped;
-        continue;
-      }
-      inserted.insert(e);
-      pending.push_back(e);
-      if (pending.size() >= kBatch) flush();
-    }
-    flush();
+    report = stream_edge_ops(
+        updates, *graph, window,
+        [&](std::span<const Edge> b, bool remove) -> std::size_t {
+          if (remove) {
+            plane.remove(b);
+          } else {
+            plane.apply(b);
+          }
+          return 0;  // the plane's own counters report the row work
+        });
   } catch (const std::exception& e) {
     std::cerr << "live update failed: " << e.what() << "\n";
     return 1;
   }
   // Quiescence point: every shard confirmed at the same version — from
-  // here every answer is bit-identical to a union-graph refit.
+  // here every answer is bit-identical to a live-graph refit.
   const std::uint64_t version = plane.barrier();
-  const double wall_s = timer.seconds();
 
   const UpdateStats us = plane.stats();
-  std::cerr << "applied " << applied << " inserts (" << skipped
-            << " skipped: duplicate/self-loop/out-of-range/malformed) in "
-            << format_duration(wall_s);
-  if (applied > 0) {
-    std::cerr << " — "
-              << Table::fmt(wall_s * 1e6 / static_cast<double>(applied), 1)
-              << " us/insert";
+  const std::size_t ops = report.applied + report.removed + report.expired;
+  std::cerr << "applied " << report.applied << " inserts, "
+            << report.removed << " removals";
+  if (window > 0) {
+    std::cerr << " + " << report.expired << " window expirations";
   }
-  std::cerr << "\nupdate plane: " << us.batches << " batches, "
+  std::cerr << " (" << report.skipped
+            << " skipped: duplicate/self-loop/out-of-range/malformed, "
+            << report.unknown_removes << " removals of absent edges) in "
+            << format_duration(report.wall_s);
+  if (ops > 0) {
+    std::cerr << " — "
+              << Table::fmt(report.wall_s * 1e6 / static_cast<double>(ops),
+                            1)
+              << " us/op";
+  }
+  std::cerr << "\nupdate plane: " << us.batches + us.remove_batches
+            << " batches, "
             << us.gamma_rows + us.sims_rows + us.hop2_rows
             << " stale rows republished (" << us.gamma_rows << " gamma, "
             << us.sims_rows << " sims, " << us.hop2_rows << " hop2), "
@@ -416,52 +539,15 @@ int serve_live_sharded(
   return rc;
 }
 
-UpdateReport stream_updates(snaple::DynamicModel& dyn, std::istream& in) {
+UpdateReport stream_updates(snaple::DynamicModel& dyn, std::istream& in,
+                            std::size_t window) {
   using namespace snaple;
-  constexpr std::size_t kBatch = 4096;
-  UpdateReport report;
-  WallTimer timer;
-  std::vector<Edge> batch;
-  std::unordered_set<Edge, EdgeHash> pending;  // intra-batch duplicates
-  const VertexId n = dyn.num_vertices();
-
-  auto flush = [&] {
-    if (batch.empty()) return;
-    const auto stats = dyn.add_edges(batch);
-    report.applied += stats.edges;
-    report.rows_recomputed +=
-        stats.gamma_rows + stats.sims_rows + stats.hop2_rows;
-    batch.clear();
-    pending.clear();
-  };
-
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#') continue;
-    char* end = nullptr;
-    const unsigned long long u = std::strtoull(line.c_str(), &end, 10);
-    if (end == line.c_str()) {
-      ++report.skipped;
-      continue;
-    }
-    char* end2 = nullptr;
-    const unsigned long long v = std::strtoull(end, &end2, 10);
-    if (end2 == end) {
-      ++report.skipped;
-      continue;
-    }
-    const Edge e{static_cast<VertexId>(u), static_cast<VertexId>(v)};
-    if (u >= n || v >= n || u == v || dyn.graph().has_edge(e.src, e.dst) ||
-        !pending.insert(e).second) {
-      ++report.skipped;
-      continue;
-    }
-    batch.push_back(e);
-    if (batch.size() >= kBatch) flush();
-  }
-  flush();
-  report.wall_s = timer.seconds();
-  return report;
+  return stream_edge_ops(
+      in, dyn.graph().base(), window,
+      [&](std::span<const Edge> b, bool remove) -> std::size_t {
+        const auto stats = remove ? dyn.remove_edges(b) : dyn.add_edges(b);
+        return stats.gamma_rows + stats.sims_rows + stats.hop2_rows;
+      });
 }
 
 int usage(const char* argv0) {
@@ -479,8 +565,10 @@ int usage(const char* argv0) {
                " [--serve-shards=N] [--serve-transport=mem|uds|tcp[:port]]"
                " [--serve-cache-mb=N] [--serve-batch=N]\n"
                "   or: " << argv0
-            << " <graph> --update=EDGE-FILE [--query=U1,U2,...]"
-               " [--save-model=FILE | --serve-shards=N]\n";
+            << " <graph> --update=EDGE-FILE [--window=N]"
+               " [--query=U1,U2,...]"
+               " [--save-model=FILE | --serve-shards=N]\n"
+               "       (update lines: \"u v\" inserts, \"-u v\" removes)\n";
   return 2;
 }
 
@@ -506,6 +594,7 @@ int main(int argc, char** argv) {
   std::string save_model_path;
   std::string load_model_path;
   std::string update_path;
+  std::size_t update_window = 0;  // 0 = no sliding window
   std::string query_list;
   std::size_t serve_shards = 0;  // 0 = in-process QueryEngine serving
   auto serve_transport = serve::TransportKind::kInProcess;
@@ -589,6 +678,10 @@ int main(int argc, char** argv) {
         load_model_path = value_of("--load-model=");
       } else if (arg.rfind("--update=", 0) == 0) {
         update_path = value_of("--update=");
+      } else if (arg.rfind("--window=", 0) == 0) {
+        update_window = parse_limit(value_of("--window="));
+        SNAPLE_CHECK_MSG(update_window >= 1 && update_window != kUnlimited,
+                         "--window must be a positive insert count");
       } else if (arg.rfind("--query=", 0) == 0) {
         query_list = value_of("--query=");
         have_query = true;
@@ -652,6 +745,11 @@ int main(int argc, char** argv) {
   if (serve_cache_mb > 0 && serve_shards == 0) {
     std::cerr << "--serve-cache-mb caches the sharded tier's remote "
                  "fetches; pass --serve-shards=N too\n";
+    return 2;
+  }
+  if (update_window > 0 && update_path.empty()) {
+    std::cerr << "--window slides over the --update stream; pass "
+                 "--update=FILE too\n";
     return 2;
   }
   if (!update_path.empty()) {
@@ -913,8 +1011,8 @@ int main(int argc, char** argv) {
         return serve_live_sharded(
             std::make_shared<const PredictorModel>(std::move(model)),
             shared_graph, updates, serve_shards, serve_transport,
-            serve_tcp_port, serve_cache_mb, serve_batch, query_list,
-            have_query, *out);
+            serve_tcp_port, serve_cache_mb, serve_batch, update_window,
+            query_list, have_query, *out);
       }
       std::shared_ptr<DynamicModel> wrapped;
       UpdateReport report;
@@ -924,21 +1022,29 @@ int main(int argc, char** argv) {
         wrapped = std::make_shared<DynamicModel>(
             std::make_shared<const PredictorModel>(std::move(model)),
             shared_graph, std::nullopt, pool);
-        report = stream_updates(*wrapped, updates);
+        report = stream_updates(*wrapped, updates, update_window);
       } catch (const CheckError& e) {
         std::cerr << "update failed: " << e.what() << "\n";
         return 1;
       }
       DynamicModel& dyn = *wrapped;
-      std::cerr << "applied " << report.applied << " inserts ("
-                << report.skipped << " skipped: duplicate/self-loop/"
-                << "out-of-range/malformed) in "
+      const std::size_t ops =
+          report.applied + report.removed + report.expired;
+      std::cerr << "applied " << report.applied << " inserts, "
+                << report.removed << " removals";
+      if (update_window > 0) {
+        std::cerr << " + " << report.expired << " window expirations";
+      }
+      std::cerr << " (" << report.skipped << " skipped: duplicate/"
+                << "self-loop/out-of-range/malformed, "
+                << report.unknown_removes
+                << " removals of absent edges) in "
                 << format_duration(report.wall_s);
-      if (report.applied > 0) {
+      if (ops > 0) {
         std::cerr << " — "
                   << Table::fmt(report.wall_s * 1e6 /
-                                    static_cast<double>(report.applied), 1)
-                  << " us/insert, " << report.rows_recomputed
+                                    static_cast<double>(ops), 1)
+                  << " us/op, " << report.rows_recomputed
                   << " rows recomputed";
       }
       std::cerr << "; model version " << dyn.version() << ", +"

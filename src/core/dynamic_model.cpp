@@ -105,12 +105,36 @@ DynamicModel::UpdateStats DynamicModel::add_edges(
   return apply_validated(batch);
 }
 
+DynamicModel::UpdateStats DynamicModel::remove_edge(VertexId u,
+                                                    VertexId v) {
+  const Edge e{u, v};
+  return remove_edges({&e, 1});
+}
+
+DynamicModel::UpdateStats DynamicModel::remove_edges(
+    std::span<const Edge> batch) {
+  rows::validate_remove_batch(overlay_, batch);
+  if (batch.empty()) return {};
+  return apply_removes_validated(batch);
+}
+
 DynamicModel::UpdateStats DynamicModel::apply_validated(
     std::span<const Edge> batch) {
   for (const Edge& e : batch) overlay_.insert(e.src, e.dst);
+  return republish_stale(batch);
+}
 
-  // Stale-row sets against the *union* graph (row_recompute.hpp derives
-  // them): Γ̂ stales only at the sources; sims at the sources and their
+DynamicModel::UpdateStats DynamicModel::apply_removes_validated(
+    std::span<const Edge> batch) {
+  for (const Edge& e : batch) overlay_.remove(e.src, e.dst);
+  return republish_stale(batch);
+}
+
+DynamicModel::UpdateStats DynamicModel::republish_stale(
+    std::span<const Edge> batch) {
+  // Stale-row sets against the post-batch live graph (row_recompute.hpp
+  // derives them, and proves the same sets cover removals): Γ̂ stales
+  // only at the sources; sims at the sources and their
   // in-neighborhoods; hop2 one in-hop further.
   const rows::StaleSets stale =
       rows::compute_stale_sets(overlay_, batch, !hop2_rows_.empty());
@@ -140,7 +164,7 @@ DynamicModel::UpdateStats DynamicModel::apply_validated(
 
 // ---------------------------------------------------------------------
 // Row recomputes — bit-identical to what a from-scratch fit on the
-// union graph computes for the same row (snaple_rows.hpp kernels).
+// live graph computes for the same row (snaple_rows.hpp kernels).
 // ---------------------------------------------------------------------
 
 std::vector<VertexId> DynamicModel::compute_gamma_row(VertexId u) const {

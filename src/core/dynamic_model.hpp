@@ -1,11 +1,11 @@
 // DynamicModel — incremental model updates: mutate the served model on
-// edge inserts instead of refitting.
+// edge inserts and removals instead of refitting.
 //
 // A PredictorModel is a frozen snapshot; a follower graph is not. At
 // 1B edges a refit of steps 1–2(b) costs seconds to minutes, so a
 // serving tier that refits per edge can never stay fresh. The row-level
 // dependency structure of Algorithm 2 makes surgical updates possible —
-// inserting the edge (u, v) stales exactly:
+// inserting OR removing the edge (u, v) stales exactly:
 //
 //   Γ̂(x)    for x = u                    (only u's out-row and degree
 //                                         changed; the Bernoulli draw is
@@ -17,15 +17,18 @@
 //
 // — all neighborhood-sized sets, recomputed in microseconds with the
 // same row kernels the batch engine runs (core/snaple_rows.hpp) against
-// a graph overlay (graph/overlay_graph.hpp). bench_update measures the
-// gap against the full refit wall.
+// a graph overlay (graph/overlay_graph.hpp). Removals hit the identical
+// sets because touching (u, v) only ever changes Γ(u)/|Γ(u)| and
+// Γ⁻¹(v) — row_recompute.hpp's header carries the symmetry argument —
+// so inserts and removes share one republish tail. bench_update
+// measures the gap against the full refit wall.
 //
 // THE contract (the property test in tests/test_dynamic_model.cpp):
-// after any sequence of add_edge/add_edges, every row and every served
-// query — predictions AND float scores — is bit-identical to
-// LinkPredictor::fit run from scratch on the union graph under the same
-// config and the same edge placement. Two things make that exact
-// instead of approximate:
+// after any interleaving of add_edge(s) and remove_edge(s), every row
+// and every served query — predictions AND float scores — is
+// bit-identical to LinkPredictor::fit run from scratch on the live
+// (union-minus-tombstones) graph under the same config and the same
+// edge placement. Two things make that exact instead of approximate:
 //
 //   * every recompute replays the engine's canonical machine-grouped
 //     fold (CSR order within a machine, machines merged ascending, same
@@ -73,7 +76,7 @@ class DynamicModel {
  public:
   /// What one update touched (sizes of the recomputed row sets).
   struct UpdateStats {
-    std::size_t edges = 0;       // inserts applied
+    std::size_t edges = 0;       // operations applied (inserts or removals)
     std::size_t gamma_rows = 0;  // Γ̂ rows republished
     std::size_t sims_rows = 0;   // sims rows republished
     std::size_t hop2_rows = 0;   // hop2 rows republished (K=3 only)
@@ -112,8 +115,19 @@ class DynamicModel {
   /// front; a throwing call changes nothing.
   UpdateStats add_edges(std::span<const Edge> batch);
 
+  /// Applies one edge removal and recomputes the stale rows — the same
+  /// row families as an insert of the same edge. Throws CheckError on
+  /// an out-of-range endpoint, a self-loop, or an edge not present in
+  /// the live graph; a throwing call changes nothing.
+  UpdateStats remove_edge(VertexId u, VertexId v);
+
+  /// Removes a batch in one pass: all tombstones land in the overlay
+  /// first, then each stale row is recomputed once. The whole batch is
+  /// validated up front; a throwing call changes nothing.
+  UpdateStats remove_edges(std::span<const Edge> batch);
+
   /// Rebuilds a compact, standalone PredictorModel from the current
-  /// rows — bit-identical to a from-scratch fit on the union graph, and
+  /// rows — bit-identical to a from-scratch fit on the live graph, and
   /// the save/serve artifact for the updated state. Does NOT reclaim
   /// this model's retired slabs (readers may still hold them); see the
   /// header comment for the swap-and-discard compaction pattern. Safe
@@ -161,8 +175,8 @@ class DynamicModel {
     return partition_seed_;
   }
 
-  /// Total applied inserts (monotone; release-published after the last
-  /// row of an update is visible).
+  /// Total applied operations — inserts plus removals (monotone;
+  /// release-published after the last row of an update is visible).
   [[nodiscard]] std::uint64_t version() const noexcept {
     return version_.load(std::memory_order_acquire);
   }
@@ -176,8 +190,8 @@ class DynamicModel {
   [[nodiscard]] const PredictorModel& base() const noexcept {
     return *base_;
   }
-  /// The union graph (base CSR + inserted-edge overlay). Writer-side
-  /// state: do not read concurrently with add_edge(s).
+  /// The live graph (base CSR + delta rows − tombstones). Writer-side
+  /// state: do not read concurrently with add_edge(s)/remove_edge(s).
   [[nodiscard]] const OverlayGraph& graph() const noexcept {
     return overlay_;
   }
@@ -194,6 +208,10 @@ class DynamicModel {
 
   void validate_batch(std::span<const Edge> batch) const;
   UpdateStats apply_validated(std::span<const Edge> batch);
+  UpdateStats apply_removes_validated(std::span<const Edge> batch);
+  /// Shared tail of both writer paths: stale sets against the already
+  /// mutated overlay, dependency-ordered republish, version bump.
+  UpdateStats republish_stale(std::span<const Edge> batch);
 
   [[nodiscard]] std::vector<VertexId> compute_gamma_row(VertexId u) const;
   [[nodiscard]] std::unique_ptr<RowSlab> compute_sims_row(VertexId u) const;

@@ -14,15 +14,22 @@
 // EXPECT_NEAR — the repo's standing contract).
 //
 // The stale-set derivation (see dynamic_model.hpp's header for the
-// dependency argument): inserting (u, v) stales
+// dependency argument): inserting OR removing (u, v) stales
 //
 //   Γ̂(x)    for x = u;
 //   sims(x) for x ∈ S        = {sources} ∪ Γ⁻¹(sources);
 //   hop2(x) for x ∈ S ∪ Γ⁻¹(S)                      (K=3 only)
 //
-// — all computed against the union graph AFTER the batch landed in the
-// overlay. Because the sets depend only on the batch and the union
-// graph, every shard computes the same sets from the insert stream
+// — all computed against the live graph AFTER the batch landed in the
+// overlay. The same sets cover removals because touching (u, v) only
+// ever changes Γ(u)/|Γ(u)| and Γ⁻¹(v): Γ̂ rows depend on the owner's
+// out-row alone, and sims(x) reads Γ̂ of x's out-neighbors — x loses
+// that dependence on u the instant (x, u) leaves the graph, and any
+// pre-batch in-neighbor of a source whose edge the batch severed is a
+// source of another batch edge itself, so the post-batch Γ⁻¹ walk
+// still reaches every stale row (the symmetry argument spelled out in
+// docs/SERVING.md). Because the sets depend only on the batch and the
+// live graph, every shard computes the same sets from the op stream
 // alone (kEdgeLocal machine tags are endpoint-hash-stable, so no
 // placement history is needed either) — the property ISSUE 9 calls
 // "per-shard stale sets computable".
@@ -97,8 +104,40 @@ inline void validate_insert_batch(const OverlayGraph& overlay,
   }
 }
 
+/// Validates a remove batch against the live graph: every endpoint in
+/// range, no self-loops, every edge actually present, no duplicate
+/// within the batch. Same deterministic all-or-nothing contract as
+/// validate_insert_batch — every shard holding the same live graph
+/// accepts or rejects identically.
+inline void validate_remove_batch(const OverlayGraph& overlay,
+                                  std::span<const Edge> batch) {
+  const VertexId n = overlay.num_vertices();
+  std::unordered_set<Edge, EdgeHash> seen;
+  seen.reserve(batch.size());
+  for (const Edge& e : batch) {
+    SNAPLE_CHECK_MSG(e.src < n && e.dst < n,
+                     "removed edge (" + std::to_string(e.src) + ", " +
+                         std::to_string(e.dst) +
+                         ") is out of range: the model has " +
+                         std::to_string(n) + " vertices");
+    SNAPLE_CHECK_MSG(e.src != e.dst,
+                     "self-loop (" + std::to_string(e.src) + ", " +
+                         std::to_string(e.dst) + ") rejected");
+    SNAPLE_CHECK_MSG(overlay.has_edge(e.src, e.dst),
+                     "edge (" + std::to_string(e.src) + ", " +
+                         std::to_string(e.dst) +
+                         ") is not an edge of the live graph");
+    SNAPLE_CHECK_MSG(seen.insert(e).second,
+                     "edge (" + std::to_string(e.src) + ", " +
+                         std::to_string(e.dst) +
+                         ") appears twice in the batch");
+  }
+}
+
 /// Stale sets of `batch` against `overlay`, which must ALREADY contain
-/// the batch (in-neighborhoods are taken in the union graph).
+/// the batch's effect — inserts landed or removals tombstoned —
+/// (in-neighborhoods are taken in the post-batch live graph; see the
+/// header comment for why the post-batch walk also covers removals).
 [[nodiscard]] inline StaleSets compute_stale_sets(
     const OverlayGraph& overlay, std::span<const Edge> batch,
     bool want_hop2) {

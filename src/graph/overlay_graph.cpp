@@ -1,6 +1,7 @@
 #include "graph/overlay_graph.hpp"
 
 #include <algorithm>
+#include <string>
 
 namespace snaple {
 
@@ -10,10 +11,26 @@ bool OverlayGraph::contains(const DeltaMap& map, VertexId u, VertexId v) {
   return std::binary_search(it->second.begin(), it->second.end(), v);
 }
 
-bool OverlayGraph::insert(VertexId u, VertexId v) {
+void OverlayGraph::sorted_insert(DeltaMap& map, VertexId u, VertexId v) {
+  auto& row = map[u];
+  row.insert(std::upper_bound(row.begin(), row.end(), v), v);
+}
+
+void OverlayGraph::sorted_erase(DeltaMap& map, VertexId u, VertexId v) {
+  const auto it = map.find(u);
+  SNAPLE_CHECK(it != map.end());
+  auto& row = it->second;
+  const auto pos = std::lower_bound(row.begin(), row.end(), v);
+  SNAPLE_CHECK(pos != row.end() && *pos == v);
+  row.erase(pos);
+  if (row.empty()) map.erase(it);
+}
+
+void OverlayGraph::check_endpoints(VertexId u, VertexId v,
+                                   const char* verb) const {
   const VertexId n = base_->num_vertices();
   SNAPLE_CHECK_MSG(u < n && v < n,
-                   "inserted edge (" + std::to_string(u) + ", " +
+                   std::string(verb) + " edge (" + std::to_string(u) + ", " +
                        std::to_string(v) +
                        ") is out of range: the graph has " +
                        std::to_string(n) +
@@ -23,29 +40,55 @@ bool OverlayGraph::insert(VertexId u, VertexId v) {
                                std::to_string(u) +
                                ") rejected: a vertex is never its own "
                                "link-prediction candidate");
+}
+
+bool OverlayGraph::insert(VertexId u, VertexId v) {
+  check_endpoints(u, v, "inserted");
   if (has_edge(u, v)) return false;
 
-  auto sorted_insert = [](std::vector<VertexId>& row, VertexId id) {
-    row.insert(std::upper_bound(row.begin(), row.end(), id), id);
-  };
-  sorted_insert(out_delta_[u], v);
-  sorted_insert(in_delta_[v], u);
+  if (contains(out_tomb_, u, v)) {
+    // Re-adding a tombstoned base edge: clear the tombstone so the
+    // base row shows through again (keeps delta ∩ base = ∅).
+    sorted_erase(out_tomb_, u, v);
+    sorted_erase(in_tomb_, v, u);
+    --removed_;
+    return true;
+  }
+  sorted_insert(out_delta_, u, v);
+  sorted_insert(in_delta_, v, u);
   ++inserted_;
   return true;
 }
 
+bool OverlayGraph::remove(VertexId u, VertexId v) {
+  check_endpoints(u, v, "removed");
+  if (!has_edge(u, v)) return false;
+
+  if (contains(out_delta_, u, v)) {
+    // A live-inserted edge just disappears from the delta.
+    sorted_erase(out_delta_, u, v);
+    sorted_erase(in_delta_, v, u);
+    --inserted_;
+    return true;
+  }
+  // A base edge is masked by a tombstone (tombstones ⊆ base).
+  sorted_insert(out_tomb_, u, v);
+  sorted_insert(in_tomb_, v, u);
+  ++removed_;
+  return true;
+}
+
 std::size_t OverlayGraph::memory_bytes() const noexcept {
-  // Rough: delta ids + one bucket record per touched vertex.
+  // Rough: delta/tombstone ids + one bucket record per touched vertex.
   constexpr std::size_t kPerRow =
       sizeof(VertexId) + sizeof(void*) + sizeof(std::vector<VertexId>);
-  std::size_t bytes = (out_delta_.size() + in_delta_.size()) * kPerRow;
-  for (const auto& [u, row] : out_delta_) {
-    (void)u;
-    bytes += row.capacity() * sizeof(VertexId);
-  }
-  for (const auto& [u, row] : in_delta_) {
-    (void)u;
-    bytes += row.capacity() * sizeof(VertexId);
+  std::size_t bytes = 0;
+  for (const DeltaMap* map : {&out_delta_, &in_delta_, &out_tomb_, &in_tomb_}) {
+    bytes += map->size() * kPerRow;
+    for (const auto& [u, row] : *map) {
+      (void)u;
+      bytes += row.capacity() * sizeof(VertexId);
+    }
   }
   return bytes;
 }

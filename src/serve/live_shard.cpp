@@ -224,14 +224,29 @@ PredictorModel::SimsView LiveShard::current_sims(
 
 LiveShard::ApplyStats LiveShard::apply(std::span<const Edge> batch) {
   // All-or-nothing, and deterministic across shards: every shard holds
-  // the same union graph, so this throw happens everywhere or nowhere.
+  // the same live graph, so this throw happens everywhere or nowhere.
   rows::validate_insert_batch(overlay_, batch);
   if (batch.empty()) {
     return ApplyStats{0, 0, 0, 0,
                       version_.load(std::memory_order_relaxed)};
   }
   for (const Edge& e : batch) overlay_.insert(e.src, e.dst);
+  return republish_stale(batch);
+}
 
+LiveShard::ApplyStats LiveShard::apply_removes(
+    std::span<const Edge> batch) {
+  rows::validate_remove_batch(overlay_, batch);
+  if (batch.empty()) {
+    return ApplyStats{0, 0, 0, 0,
+                      version_.load(std::memory_order_relaxed)};
+  }
+  for (const Edge& e : batch) overlay_.remove(e.src, e.dst);
+  return republish_stale(batch);
+}
+
+LiveShard::ApplyStats LiveShard::republish_stale(
+    std::span<const Edge> batch) {
   const rows::StaleSets stale =
       rows::compute_stale_sets(overlay_, batch, !hop2_rows_.empty());
 

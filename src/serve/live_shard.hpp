@@ -5,16 +5,18 @@
 // Where ModelShard serves an immutable RowsSlice, a LiveShard owns its
 // range's rows as versioned, RCU-published slabs over the base model,
 // exactly the DynamicModel machinery (core/row_recompute.hpp) scoped to
-// one vertex range. The update plane fans EVERY insert batch to EVERY
-// shard (UpdateRouter); each shard then:
+// one vertex range. The update plane fans EVERY insert or remove batch
+// to EVERY shard (UpdateRouter); each shard then:
 //
-//   1. validates the batch against its own union graph — the checks are
-//      deterministic and every shard holds the same union graph, so all
+//   1. validates the batch against its own live graph — the checks are
+//      deterministic and every shard holds the same live graph, so all
 //      shards accept or all reject: batch atomicity without a commit
 //      protocol;
-//   2. inserts the batch into its own base+delta overlay;
+//   2. applies the batch to its own base+delta+tombstone overlay;
 //   3. derives the stale row sets (rows::compute_stale_sets — a pure
-//      function of batch + union graph, identical on every shard);
+//      function of batch + live graph, identical on every shard, and
+//      the same for removes as for inserts by the symmetry argument in
+//      row_recompute.hpp);
 //   4. recomputes and republishes ONLY the stale rows it owns — the
 //      1/S-th of the update work that is this shard's share;
 //   5. bumps row_version for EVERY stale vertex, owned or not. The
@@ -40,7 +42,7 @@
 // discipline). During a writer burst a query may observe some rows pre-
 // and some post-batch (row-level isolation); once apply() returns on
 // every shard — UpdateRouter::barrier() — every served answer is
-// bit-identical to LinkPredictor::fit on the union graph.
+// bit-identical to LinkPredictor::fit on the live graph.
 #pragma once
 
 #include <atomic>
@@ -64,7 +66,7 @@ class LiveShard {
   /// What one apply() touched. The row counts are THIS shard's owned
   /// republishes (summing them across a cluster's shards yields the
   /// global stale-row counts, since ranges partition the vertex space);
-  /// the version is this shard's total applied inserts afterwards.
+  /// the version is this shard's total applied operations afterwards.
   struct ApplyStats {
     std::uint64_t edges = 0;
     std::uint64_t gamma_rows = 0;
@@ -101,6 +103,11 @@ class LiveShard {
   /// version. Throws CheckError on a bad batch; a throwing call changes
   /// nothing.
   ApplyStats apply(std::span<const Edge> batch);
+
+  /// Applies one remove batch — same contract, same stale row families
+  /// (removing (u, v) touches exactly what inserting it would), same
+  /// deterministic all-accept-or-all-reject atomicity across shards.
+  ApplyStats apply_removes(std::span<const Edge> batch);
 
   // ---- reader API (lock-free) ----
 
@@ -157,7 +164,8 @@ class LiveShard {
     return row_version_[v].load(std::memory_order_acquire);
   }
 
-  /// Total applied inserts (monotone; the barrier quantity).
+  /// Total applied operations — inserts plus removals (monotone; the
+  /// barrier quantity).
   [[nodiscard]] std::uint64_t version() const noexcept {
     return version_.load(std::memory_order_acquire);
   }
@@ -183,6 +191,11 @@ class LiveShard {
       VertexId v, ApplyScratch& scratch) const;
   [[nodiscard]] PredictorModel::SimsView current_sims(
       VertexId v, ApplyScratch& scratch) const;
+
+  /// Shared tail of apply()/apply_removes(): stale sets against the
+  /// already mutated overlay, dirty flags, owned republishes in
+  /// dependency order, version bumps.
+  ApplyStats republish_stale(std::span<const Edge> batch);
 
   void publish(RowTable& table, VertexId u, std::unique_ptr<RowSlab> slab);
 

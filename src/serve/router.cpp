@@ -129,6 +129,8 @@ ShardStats ShardServer::stats() const {
   }
   s.update_batches = update_batches_.load(std::memory_order_relaxed);
   s.update_edges = update_edges_.load(std::memory_order_relaxed);
+  s.remove_batches = remove_batches_.load(std::memory_order_relaxed);
+  s.remove_edges = remove_edges_.load(std::memory_order_relaxed);
   s.gamma_republished = gamma_republished_.load(std::memory_order_relaxed);
   s.sims_republished = sims_republished_.load(std::memory_order_relaxed);
   s.hop2_republished = hop2_republished_.load(std::memory_order_relaxed);
@@ -148,6 +150,8 @@ void ShardServer::serve_loop(ByteChannel& ch) {
         handle_topk_batch(ch);
       } else if (op == kOpUpdate) {
         handle_update(ch);
+      } else if (op == kOpRemove) {
+        handle_remove(ch);
       } else if (op == kOpBarrier) {
         handle_barrier(ch);
       } else {
@@ -283,6 +287,14 @@ void ShardServer::handle_fetch(ByteChannel& ch) {
 }
 
 void ShardServer::handle_update(ByteChannel& ch) {
+  handle_edge_batch(ch, /*remove=*/false);
+}
+
+void ShardServer::handle_remove(ByteChannel& ch) {
+  handle_edge_batch(ch, /*remove=*/true);
+}
+
+void ShardServer::handle_edge_batch(ByteChannel& ch, bool remove) {
   const auto count = get<std::uint32_t>(ch);
   std::vector<Edge> batch(count);
   if (count != 0) {
@@ -294,17 +306,21 @@ void ShardServer::handle_update(ByteChannel& ch) {
   std::vector<std::uint8_t> buf;
   try {
     SNAPLE_CHECK_MSG(live_ != nullptr,
-                     "update sent to a static shard — build the cluster "
-                     "in live mode to apply inserts");
+                     remove ? "remove sent to a static shard — build the "
+                              "cluster in live mode to apply removals"
+                            : "update sent to a static shard — build the "
+                              "cluster in live mode to apply inserts");
     LiveShard::ApplyStats applied;
     {
       // One link carries the plane's writes in normal operation; the
       // lock makes multi-link configurations safe rather than racy.
       std::lock_guard<std::mutex> lock(update_mu_);
-      applied = live_->apply(batch);
+      applied = remove ? live_->apply_removes(batch) : live_->apply(batch);
     }
-    update_batches_.fetch_add(1, std::memory_order_relaxed);
-    update_edges_.fetch_add(applied.edges, std::memory_order_relaxed);
+    auto& batches = remove ? remove_batches_ : update_batches_;
+    auto& edges = remove ? remove_edges_ : update_edges_;
+    batches.fetch_add(1, std::memory_order_relaxed);
+    edges.fetch_add(applied.edges, std::memory_order_relaxed);
     gamma_republished_.fetch_add(applied.gamma_rows,
                                  std::memory_order_relaxed);
     sims_republished_.fetch_add(applied.sims_rows,

@@ -28,6 +28,9 @@
 //                        update-plane only (serve/update_router.hpp);
 //                        static shards answer with an error
 //     op 5 (barrier):    no payload — update-plane only
+//     op 6 (remove):     u32 count | count × (u32 src | u32 dst) —
+//                        update-plane only; tombstones the batch
+//                        instead of inserting it
 //   response := u8 status (0 = ok, 1 = error)
 //     error payload: u32 len | len bytes of message — the router/fetcher
 //       rethrows it as CheckError, so a misrouted or out-of-range query
@@ -104,6 +107,8 @@ struct ShardStats {
   // Update plane (all zero on a static shard):
   std::uint64_t update_batches = 0;  // op-4 messages applied
   std::uint64_t update_edges = 0;    // edges inserted by them
+  std::uint64_t remove_batches = 0;  // op-6 messages applied
+  std::uint64_t remove_edges = 0;    // edges tombstoned by them
   std::uint64_t gamma_republished = 0;  // owned rows recomputed
   std::uint64_t sims_republished = 0;
   std::uint64_t hop2_republished = 0;
@@ -202,7 +207,12 @@ class ShardServer {
   void handle_topk_batch(ByteChannel& ch);
   void handle_fetch(ByteChannel& ch);
   void handle_update(ByteChannel& ch);
+  void handle_remove(ByteChannel& ch);
   void handle_barrier(ByteChannel& ch);
+  /// Shared body of handle_update/handle_remove: read the edge list,
+  /// apply it to the live backend under update_mu_, reply with the
+  /// version + owned republish counts.
+  void handle_edge_batch(ByteChannel& ch, bool remove);
 
   // Backend dispatch (static ModelShard vs live LiveShard).
   [[nodiscard]] bool owns(VertexId u) const;
@@ -248,6 +258,8 @@ class ShardServer {
   std::atomic<std::uint64_t> cache_misses_{0};
   std::atomic<std::uint64_t> update_batches_{0};
   std::atomic<std::uint64_t> update_edges_{0};
+  std::atomic<std::uint64_t> remove_batches_{0};
+  std::atomic<std::uint64_t> remove_edges_{0};
   std::atomic<std::uint64_t> gamma_republished_{0};
   std::atomic<std::uint64_t> sims_republished_{0};
   std::atomic<std::uint64_t> hop2_republished_{0};

@@ -69,13 +69,11 @@ std::string UpdateRouter::exchange(const std::vector<std::uint8_t>& req,
   }
 }
 
-UpdateRouter::ApplyResult UpdateRouter::apply(
-    std::span<const Edge> batch) {
-  std::lock_guard<std::mutex> lock(mu_);
-
+UpdateRouter::ApplyResult UpdateRouter::exchange_edges(
+    std::uint8_t op, std::span<const Edge> batch) {
   std::vector<std::uint8_t> req;
   req.reserve(5 + batch.size() * 8);
-  put<std::uint8_t>(req, kOpUpdate);
+  put<std::uint8_t>(req, op);
   put<std::uint32_t>(req, static_cast<std::uint32_t>(batch.size()));
   for (const Edge& e : batch) {
     put<std::uint32_t>(req, e.src);
@@ -99,12 +97,28 @@ UpdateRouter::ApplyResult UpdateRouter::apply(
     out.hop2_rows += payload[s * 4 + 3];
   }
 
-  ++batches_;
-  edges_ += batch.size();
   gamma_rows_ += out.gamma_rows;
   sims_rows_ += out.sims_rows;
   hop2_rows_ += out.hop2_rows;
   version_ = out.version;
+  return out;
+}
+
+UpdateRouter::ApplyResult UpdateRouter::apply(
+    std::span<const Edge> batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ApplyResult out = exchange_edges(kOpUpdate, batch);
+  ++batches_;
+  edges_ += batch.size();
+  return out;
+}
+
+UpdateRouter::ApplyResult UpdateRouter::remove(
+    std::span<const Edge> batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ApplyResult out = exchange_edges(kOpRemove, batch);
+  ++remove_batches_;
+  removals_ += batch.size();
   return out;
 }
 
@@ -135,6 +149,8 @@ UpdateStats UpdateRouter::stats() const {
     std::lock_guard<std::mutex> lock(mu_);
     s.batches = batches_;
     s.edges = edges_;
+    s.remove_batches = remove_batches_;
+    s.removals = removals_;
     s.gamma_rows = gamma_rows_;
     s.sims_rows = sims_rows_;
     s.hop2_rows = hop2_rows_;

@@ -1,25 +1,28 @@
 // Update routing over shard servers — the serving tier's write plane.
 //
 // Where QueryRouter fans queries out to the owning shard, UpdateRouter
-// fans every edge-insert batch out to EVERY shard: each ShardServer in
-// live mode holds its own union-graph overlay (serve/live_shard.hpp)
-// and must observe every insert to keep its copy — and its share of the
-// recompute work — current. One dedicated link per shard, all requests
-// written before any response is read, so the S shards validate,
-// insert and recompute their stale owned rows concurrently; the slowest
-// shard bounds the batch latency, not the sum.
+// fans every edge insert or remove batch out to EVERY shard: each
+// ShardServer in live mode holds its own live-graph overlay
+// (serve/live_shard.hpp) and must observe every operation to keep its
+// copy — and its share of the recompute work — current. One dedicated
+// link per shard, all requests written before any response is read, so
+// the S shards validate, mutate and recompute their stale owned rows
+// concurrently; the slowest shard bounds the batch latency, not the
+// sum.
 //
 // Wire ops (serve/wire.hpp; framing as in router.hpp):
 //
 //   op 4 (update):  u32 count | count × (u32 src | u32 dst)
 //     ok payload:   u64 version | u64 gamma_rows | u64 sims_rows
 //                 | u64 hop2_rows   (the shard's OWNED republish counts)
+//   op 6 (remove):  identical payload and reply — the batch is
+//                   tombstoned instead of inserted
 //   op 5 (barrier): no payload
 //     ok payload:   u64 version
 //
 // Consistency: validation and stale-set derivation are deterministic
-// functions of (batch, union graph), and every shard holds the same
-// union graph — so a batch is accepted by all shards or rejected by all
+// functions of (batch, live graph), and every shard holds the same
+// live graph — so a batch is accepted by all shards or rejected by all
 // (the router CHECKs this cross-shard agreement, and that every shard
 // reports the same version: a divergence is a bug, not a runtime
 // condition). A rejected batch surfaces as CheckError with the shard's
@@ -52,8 +55,10 @@ namespace snaple::serve {
 /// shards' owned republishes, i.e. GLOBAL stale-row counts, since shard
 /// ranges partition the vertex space).
 struct UpdateStats {
-  std::uint64_t batches = 0;
-  std::uint64_t edges = 0;
+  std::uint64_t batches = 0;  // insert batches
+  std::uint64_t edges = 0;    // inserts applied
+  std::uint64_t remove_batches = 0;
+  std::uint64_t removals = 0;
   std::uint64_t gamma_rows = 0;
   std::uint64_t sims_rows = 0;
   std::uint64_t hop2_rows = 0;
@@ -64,9 +69,9 @@ struct UpdateStats {
 
 class UpdateRouter {
  public:
-  /// What one apply() staled/advanced, cluster-wide.
+  /// What one apply()/remove() staled/advanced, cluster-wide.
   struct ApplyResult {
-    std::uint64_t version = 0;  // total applied inserts, every shard
+    std::uint64_t version = 0;  // total applied operations, every shard
     std::uint64_t gamma_rows = 0;
     std::uint64_t sims_rows = 0;
     std::uint64_t hop2_rows = 0;
@@ -86,6 +91,10 @@ class UpdateRouter {
   /// Callers may submit from multiple threads; batches serialize here
   /// (the shards' overlays need one writer and ONE cross-shard order).
   ApplyResult apply(std::span<const Edge> batch);
+
+  /// Removes one batch on every shard — same all-or-nothing contract,
+  /// same fail-stop on link failure (wire op 6).
+  ApplyResult remove(std::span<const Edge> batch);
 
   /// Confirms every shard reached the same version and returns it.
   [[nodiscard]] std::uint64_t barrier();
@@ -111,8 +120,15 @@ class UpdateRouter {
   std::vector<std::unique_ptr<ByteChannel>> links_;
   mutable std::mutex mu_;  // serializes apply/barrier — one batch in flight
   bool dead_ = false;      // a link failed; the plane is down (under mu_)
+  /// Shared tail of apply()/remove(): build the op + edge-list request,
+  /// exchange, check cross-shard agreement, sum the row counts. Caller
+  /// holds mu_.
+  ApplyResult exchange_edges(std::uint8_t op, std::span<const Edge> batch);
+
   std::uint64_t batches_ = 0;  // remaining counters also under mu_
   std::uint64_t edges_ = 0;
+  std::uint64_t remove_batches_ = 0;
+  std::uint64_t removals_ = 0;
   std::uint64_t gamma_rows_ = 0;
   std::uint64_t sims_rows_ = 0;
   std::uint64_t hop2_rows_ = 0;

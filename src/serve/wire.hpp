@@ -25,6 +25,7 @@ inline constexpr std::uint8_t kOpFetch = 2;
 inline constexpr std::uint8_t kOpBatch = 3;
 inline constexpr std::uint8_t kOpUpdate = 4;
 inline constexpr std::uint8_t kOpBarrier = 5;
+inline constexpr std::uint8_t kOpRemove = 6;
 inline constexpr std::uint8_t kStatusOk = 0;
 inline constexpr std::uint8_t kStatusError = 1;
 

@@ -1,20 +1,22 @@
-// DynamicModel — incremental model updates (ISSUE 5).
+// DynamicModel — incremental model updates (ISSUE 5 + ISSUE 10).
 //
-// The load-bearing property: after ANY sequence of add_edge/add_edges,
-// the DynamicModel is BIT-identical — every row, every machine tag,
-// every served prediction and float score — to LinkPredictor::fit run
-// from scratch on the union graph under the same config and the
-// insertion-stable (kEdgeLocal) edge placement. Floats make this
-// strict, so the assertions are EXPECT_EQ / operator==, never
-// EXPECT_NEAR. The suite also pins the version-counter semantics,
-// invalid-insert rejection (atomic, model untouched), and lock-free
-// concurrent reads during a writer burst.
+// The load-bearing property: after ANY interleaving of add_edge(s) and
+// remove_edge(s), the DynamicModel is BIT-identical — every row, every
+// machine tag, every served prediction and float score — to
+// LinkPredictor::fit run from scratch on the live graph (base ∪ inserts
+// − removals) under the same config and the insertion-stable
+// (kEdgeLocal) edge placement. Floats make this strict, so the
+// assertions are EXPECT_EQ / operator==, never EXPECT_NEAR. The suite
+// also pins the version-counter semantics, invalid-insert and
+// invalid-remove rejection (atomic, model untouched), and lock-free
+// concurrent reads during mixed insert+remove writer bursts.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <memory>
+#include <random>
 #include <thread>
 #include <vector>
 
@@ -23,6 +25,7 @@
 #include "core/query_engine.hpp"
 #include "graph/builder.hpp"
 #include "graph/gen/datasets.hpp"
+#include "graph/overlay_graph.hpp"
 
 namespace snaple {
 namespace {
@@ -73,6 +76,17 @@ std::shared_ptr<const PredictorModel> fit_edge_local(
                                 gas::PartitionStrategy::kEdgeLocal, exec);
   return std::make_shared<const PredictorModel>(
       predictor.fit_with_partitioning(g, part));
+}
+
+/// Materializes the overlay's live graph (base ∪ delta − tombstones) as
+/// a CSR, so a from-scratch reference fit can run on it.
+CsrGraph materialize(const OverlayGraph& o) {
+  GraphBuilder b(o.num_vertices());
+  b.reserve_edges(o.num_edges());
+  for (VertexId u = 0; u < o.num_vertices(); ++u) {
+    o.for_each_out_neighbor(u, [&](VertexId v) { b.add_edge(u, v); });
+  }
+  return b.build();
 }
 
 void expect_identical_serving(const DynamicModel& dyn,
@@ -183,6 +197,133 @@ TEST(DynamicModelEquivalence, RandomPolicyKTwoIsExactToo) {
   EXPECT_TRUE(dyn.freeze() == *refit);
 }
 
+// ---------- removals: interleaving ≡ refit on the live graph ----------
+
+TEST(DynamicModelEquivalence, InsertRemoveInterleavingsMatchLiveGraphRefit) {
+  // Random interleavings of inserts, removals of base edges, removals
+  // of just-inserted edges, and re-adds of removed edges. After the
+  // churn the model must equal a fit on the materialized live graph —
+  // the tombstone overlay and the stale-set symmetry are both load-
+  // bearing here.
+  struct Combo {
+    std::size_t k_hops;
+    gas::ExecutionMode exec;
+  };
+  const Combo combos[] = {
+      {2, gas::ExecutionMode::kFlat},
+      {3, gas::ExecutionMode::kSharded},
+  };
+  for (const std::uint64_t seed : {3ull, 11ull}) {
+    const CsrGraph full = gen::make_dataset("gowalla", 0.02, seed);
+    const Split split = split_graph(full, 24);
+    for (const Combo& c : combos) {
+      SnapleConfig cfg;
+      cfg.k_local = 10;
+      cfg.k_hops = c.k_hops;
+      cfg.seed = seed;
+      const std::string what =
+          "seed=" + std::to_string(seed) + " K=" + std::to_string(c.k_hops);
+
+      DynamicModel dyn(fit_edge_local(*split.base, cfg, 4, c.exec),
+                       split.base);
+      std::mt19937 rng(static_cast<unsigned>(seed));
+      const auto base_edges = split.base->edges();
+      std::vector<Edge> removed;  // re-add candidates
+      std::size_t next_insert = 0;
+      std::size_t removals = 0;
+      std::size_t readds = 0;
+      for (std::size_t op = 0; op < 60; ++op) {
+        switch (rng() % 4) {
+          case 0:
+          case 1: {  // insert the next pending live edge
+            if (next_insert < split.inserts.size()) {
+              const Edge e = split.inserts[next_insert++];
+              (void)dyn.add_edge(e.src, e.dst);
+            }
+            break;
+          }
+          case 2: {  // remove a random currently-live edge
+            const Edge e = base_edges[rng() % base_edges.size()];
+            if (dyn.graph().has_edge(e.src, e.dst)) {
+              (void)dyn.remove_edge(e.src, e.dst);
+              removed.push_back(e);
+              ++removals;
+            }
+            break;
+          }
+          case 3: {  // re-add a previously removed edge
+            if (!removed.empty()) {
+              const Edge e = removed[rng() % removed.size()];
+              if (!dyn.graph().has_edge(e.src, e.dst)) {
+                (void)dyn.add_edge(e.src, e.dst);
+                ++readds;
+              }
+            }
+            break;
+          }
+        }
+      }
+      // A batch removal of freshly-inserted edges exercises the
+      // delta-erase path end to end.
+      std::vector<Edge> drop;
+      for (std::size_t i = 0; i + 1 < next_insert && drop.size() < 4; ++i) {
+        const Edge e = split.inserts[i];
+        if (dyn.graph().has_edge(e.src, e.dst)) drop.push_back(e);
+      }
+      if (!drop.empty()) (void)dyn.remove_edges(drop);
+      ASSERT_GT(removals, 5u) << what;
+      ASSERT_GT(readds, 0u) << what;
+
+      const CsrGraph live = materialize(dyn.graph());
+      const auto refit = fit_edge_local(live, cfg, 4, c.exec);
+      EXPECT_TRUE(dyn.freeze() == *refit) << what;
+      expect_identical_serving(dyn, *refit, what);
+    }
+  }
+}
+
+TEST(DynamicModelEquivalence, RemoveThenReaddRestoresTheOriginalFit) {
+  // Removing edges and re-adding the same set must land back at the
+  // exact state of a fit on the untouched graph — tombstones leave no
+  // residue in any row.
+  const CsrGraph full = gen::make_dataset("gowalla", 0.02, 5);
+  const auto g = std::make_shared<const CsrGraph>(full);
+  SnapleConfig cfg;
+  cfg.k_local = 10;
+  cfg.k_hops = 3;
+  const auto model = fit_edge_local(full, cfg, 4, gas::ExecutionMode::kFlat);
+
+  DynamicModel dyn(model, g);
+  const auto all = full.edges();
+  std::vector<Edge> victims;
+  const std::size_t stride = std::max<std::size_t>(2, all.size() / 12);
+  for (std::size_t i = 0; i < all.size() && victims.size() < 12;
+       i += stride) {
+    victims.push_back(all[i]);
+  }
+
+  const auto stats = dyn.remove_edges(victims);
+  EXPECT_EQ(stats.edges, victims.size());
+  EXPECT_GE(stats.gamma_rows, 1u);
+  EXPECT_GE(stats.sims_rows, 1u);
+  EXPECT_EQ(dyn.version(), victims.size());
+  EXPECT_EQ(dyn.graph().num_removed(), victims.size());
+
+  // The intermediate state equals a fit on the shrunken graph.
+  const CsrGraph shrunk = materialize(dyn.graph());
+  EXPECT_EQ(shrunk.num_edges(), full.num_edges() - victims.size());
+  const auto refit_shrunk =
+      fit_edge_local(shrunk, cfg, 4, gas::ExecutionMode::kFlat);
+  EXPECT_TRUE(dyn.freeze() == *refit_shrunk);
+
+  (void)dyn.add_edges(victims);
+  EXPECT_EQ(dyn.version(), 2 * victims.size());
+  EXPECT_EQ(dyn.graph().num_removed(), 0u);
+  EXPECT_EQ(dyn.graph().num_inserted(), 0u);
+  EXPECT_TRUE(dyn.freeze() == *model);
+  expect_identical_serving(dyn, *model, "remove-then-readd");
+}
+
 // ---------- version counters ----------
 
 TEST(DynamicModelVersions, PerRowAndGlobalCountersTrackUpdates) {
@@ -259,6 +400,46 @@ TEST(DynamicModelRejection, BadInsertsThrowAndChangeNothing) {
   EXPECT_EQ(dyn.version(), version);
   EXPECT_FALSE(dyn.graph().has_edge(split.inserts[1].src,
                                     split.inserts[1].dst));
+  EXPECT_EQ(server.topk(0), want0);
+}
+
+TEST(DynamicModelRejection, BadRemovesThrowAndChangeNothing) {
+  const CsrGraph full = gen::make_dataset("gowalla", 0.02, 13);
+  const Split split = split_graph(full, 8);
+  SnapleConfig cfg;
+  const auto base_model =
+      fit_edge_local(*split.base, cfg, 1, gas::ExecutionMode::kFlat);
+  DynamicModel dyn(base_model, split.base);
+  const QueryEngine server(unowned(dyn));
+
+  // One good removal first, then a snapshot: everything rejected below
+  // must leave the serving state untouched.
+  const auto base_edges = split.base->edges();
+  const Edge gone = base_edges.front();
+  (void)dyn.remove_edge(gone.src, gone.dst);
+  const Scored want0 = server.topk(0);
+  const std::uint64_t version = dyn.version();
+  ASSERT_EQ(version, 1u);
+
+  const VertexId n = dyn.num_vertices();
+  EXPECT_THROW((void)dyn.remove_edge(3, 3), CheckError);      // self-loop
+  EXPECT_THROW((void)dyn.remove_edge(n, 0), CheckError);      // src range
+  EXPECT_THROW((void)dyn.remove_edge(0, n + 7), CheckError);  // dst range
+  EXPECT_THROW((void)dyn.remove_edge(gone.src, gone.dst),
+               CheckError);  // already removed ⇒ not a live edge
+  EXPECT_THROW((void)dyn.remove_edge(split.inserts[0].src,
+                                     split.inserts[0].dst),
+               CheckError);  // never was a live edge
+
+  // A batch with one bad removal is rejected atomically: the good
+  // edges stay live, no row republishes, no version bump.
+  const std::vector<Edge> bad = {base_edges[1], base_edges[2], gone};
+  EXPECT_THROW((void)dyn.remove_edges(bad), CheckError);
+  const std::vector<Edge> twice = {base_edges[3], base_edges[3]};
+  EXPECT_THROW((void)dyn.remove_edges(twice), CheckError);
+  EXPECT_EQ(dyn.version(), version);
+  EXPECT_TRUE(dyn.graph().has_edge(base_edges[1].src, base_edges[1].dst));
+  EXPECT_TRUE(dyn.graph().has_edge(base_edges[3].src, base_edges[3].dst));
   EXPECT_EQ(server.topk(0), want0);
 }
 
@@ -358,6 +539,75 @@ TEST(DynamicModelConcurrency, ReadersNeverTearDuringWriterBurst) {
   const auto refit = fit_edge_local(full, cfg, 4, gas::ExecutionMode::kFlat);
   EXPECT_TRUE(dyn->freeze() == *refit);
   expect_identical_serving(*dyn, *refit, "post-burst");
+}
+
+TEST(DynamicModelConcurrency, ReadersNeverTearDuringMixedChurn) {
+  // Same reader invariants as above, but the writer interleaves inserts
+  // and removals — tombstone publication goes through the same RCU slab
+  // path, so readers must stay untorn through both.
+  const CsrGraph full = gen::make_dataset("gowalla", 0.03, 17);
+  const Split split = split_graph(full, 48);
+  SnapleConfig cfg;
+  cfg.k_hops = 3;
+  cfg.k_local = 10;
+  const auto base_model =
+      fit_edge_local(*split.base, cfg, 4, gas::ExecutionMode::kFlat);
+  auto dyn = std::make_shared<DynamicModel>(base_model, split.base);
+  const QueryEngine server{std::shared_ptr<const DynamicModel>(dyn)};
+
+  constexpr std::size_t kThreads = 8;
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> bad{0};
+  std::atomic<std::size_t> queries{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kThreads);
+  const VertexId n = dyn->num_vertices();
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&, t] {
+      VertexId u = static_cast<VertexId>((t * 131) % n);
+      while (!done.load(std::memory_order_relaxed)) {
+        const Scored got = server.topk(u);
+        bool ok = got.size() <= cfg.k;
+        for (std::size_t i = 0; i < got.size() && ok; ++i) {
+          ok = got[i].first < n && std::isfinite(got[i].second) &&
+               (i == 0 || got[i - 1].second >= got[i].second);
+          for (std::size_t j = 0; j < i && ok; ++j) {
+            ok = got[j].first != got[i].first;
+          }
+        }
+        if (!ok) bad.fetch_add(1, std::memory_order_relaxed);
+        queries.fetch_add(1, std::memory_order_relaxed);
+        u = (u + 17) % n;
+      }
+    });
+  }
+  // Writer: insert each pending edge, and every third op also remove
+  // the edge inserted two steps ago (so removals hit both base and
+  // delta rows while readers are in flight).
+  std::vector<Edge> live;
+  for (std::size_t i = 0; i < split.inserts.size(); ++i) {
+    const Edge e = split.inserts[i];
+    (void)dyn->add_edge(e.src, e.dst);
+    live.push_back(e);
+    if (i % 3 == 2 && live.size() > 2) {
+      const Edge victim = live[live.size() - 3];
+      (void)dyn->remove_edge(victim.src, victim.dst);
+      live.erase(live.end() - 3);
+    }
+  }
+  done.store(true);
+  for (auto& th : readers) th.join();
+
+  EXPECT_EQ(bad.load(), 0u);
+  EXPECT_GT(queries.load(), 0u);
+
+  // Once the writer is quiescent, serving equals a refit on the live
+  // graph (base ∪ surviving inserts).
+  const CsrGraph final_graph = materialize(dyn->graph());
+  const auto refit =
+      fit_edge_local(final_graph, cfg, 4, gas::ExecutionMode::kFlat);
+  EXPECT_TRUE(dyn->freeze() == *refit);
+  expect_identical_serving(*dyn, *refit, "post-churn");
 }
 
 // ---------- QueryEngine dual backend ----------

@@ -1,0 +1,242 @@
+// Tombstone overlay removals (ISSUE 10).
+//
+// The OverlayGraph invariant under test: after ANY interleaving of
+// insert()/remove(), every accessor — has_edge, out/in degrees, the
+// merged neighbor iteration, num_edges — is identical to a CSR rebuilt
+// from scratch on the surviving edge set. That equivalence is what lets
+// every row recompute fold over the overlay as if it were the live
+// graph. The suite also pins the tombstone bookkeeping invariants
+// (delta ∩ base = ∅, tombstones ⊆ base, re-add clears the tombstone,
+// remove of a delta edge erases it) and the remove-batch validation
+// edge cases with the same deterministic atomic-rejection semantics as
+// inserts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <random>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/row_recompute.hpp"
+#include "graph/builder.hpp"
+#include "graph/gen/datasets.hpp"
+#include "graph/overlay_graph.hpp"
+
+namespace snaple {
+namespace {
+
+using EdgeSet = std::set<std::pair<VertexId, VertexId>>;
+
+std::shared_ptr<const CsrGraph> make_base(double scale,
+                                          std::uint64_t seed) {
+  return std::make_shared<const CsrGraph>(
+      gen::make_dataset("gowalla", scale, seed));
+}
+
+std::vector<VertexId> merged_out(const OverlayGraph& o, VertexId u) {
+  std::vector<VertexId> row;
+  o.for_each_out_neighbor(u, [&](VertexId v) { row.push_back(v); });
+  return row;
+}
+
+std::vector<VertexId> merged_in(const OverlayGraph& o, VertexId u) {
+  std::vector<VertexId> row;
+  o.for_each_in_neighbor(u, [&](VertexId v) { row.push_back(v); });
+  return row;
+}
+
+/// Every accessor of `o` must agree with a CSR rebuilt from `live`.
+void expect_matches_rebuilt(const OverlayGraph& o, const EdgeSet& live,
+                            const std::string& what) {
+  const VertexId n = o.num_vertices();
+  GraphBuilder b(n);
+  for (const auto& [u, v] : live) b.add_edge(u, v);
+  const CsrGraph rebuilt = b.build();
+
+  ASSERT_EQ(o.num_edges(), rebuilt.num_edges()) << what;
+  for (VertexId u = 0; u < n; ++u) {
+    ASSERT_EQ(o.out_degree(u), rebuilt.out_degree(u)) << what << " u=" << u;
+    ASSERT_EQ(o.in_degree(u), rebuilt.in_degree(u)) << what << " u=" << u;
+    const auto out = rebuilt.out_neighbors(u);
+    const auto in = rebuilt.in_neighbors(u);
+    ASSERT_EQ(merged_out(o, u),
+              std::vector<VertexId>(out.begin(), out.end()))
+        << what << " u=" << u;
+    ASSERT_EQ(merged_in(o, u),
+              std::vector<VertexId>(in.begin(), in.end()))
+        << what << " u=" << u;
+    for (const VertexId v : out) {
+      ASSERT_TRUE(o.has_edge(u, v)) << what << " (" << u << "," << v << ")";
+    }
+  }
+}
+
+// ---------- the property: overlay ≡ rebuilt CSR under churn ----------
+
+TEST(OverlayRemoval, RandomInsertRemoveInterleavingsMatchRebuiltCsr) {
+  for (const double scale : {0.02, 0.03}) {
+    for (const std::uint64_t seed : {3ull, 11ull}) {
+      const auto base = make_base(scale, seed);
+      const VertexId n = base->num_vertices();
+      OverlayGraph overlay(base);
+
+      EdgeSet live;
+      std::vector<std::pair<VertexId, VertexId>> pool;  // removal sample
+      for (const Edge& e : base->edges()) {
+        live.emplace(e.src, e.dst);
+        pool.emplace_back(e.src, e.dst);
+      }
+
+      std::mt19937 rng(static_cast<unsigned>(seed * 1000 + scale * 100));
+      std::uniform_int_distribution<VertexId> pick(0, n - 1);
+      std::size_t inserted = 0;
+      std::size_t removed = 0;
+      for (std::size_t op = 0; op < 400; ++op) {
+        if (rng() % 2 == 0 && !pool.empty()) {
+          // Remove a random live edge (pool may hold already-removed
+          // entries — skip those, mirroring a replayed stream).
+          const auto e = pool[rng() % pool.size()];
+          if (live.erase(e) == 0) continue;
+          ASSERT_TRUE(overlay.remove(e.first, e.second));
+          ++removed;
+        } else {
+          const VertexId u = pick(rng);
+          const VertexId v = pick(rng);
+          if (u == v) continue;
+          if (!live.emplace(u, v).second) continue;
+          ASSERT_TRUE(overlay.insert(u, v));
+          pool.emplace_back(u, v);
+          ++inserted;
+        }
+      }
+      ASSERT_GT(inserted, 50u);
+      ASSERT_GT(removed, 50u);
+      expect_matches_rebuilt(overlay, live,
+                             "scale=" + std::to_string(scale) +
+                                 " seed=" + std::to_string(seed));
+    }
+  }
+}
+
+// ---------- tombstone bookkeeping invariants ----------
+
+TEST(OverlayRemoval, RemoveThenReaddClearsTheTombstone) {
+  const auto base = make_base(0.02, 7);
+  OverlayGraph overlay(base);
+  const Edge e = base->edges().front();
+  const EdgeIndex edges = overlay.num_edges();
+
+  ASSERT_TRUE(overlay.remove(e.src, e.dst));
+  EXPECT_FALSE(overlay.has_edge(e.src, e.dst));
+  EXPECT_EQ(overlay.num_removed(), 1u);
+  EXPECT_EQ(overlay.num_edges(), edges - 1);
+  ASSERT_EQ(overlay.removed_out(e.src).size(), 1u);
+  EXPECT_EQ(overlay.removed_out(e.src)[0], e.dst);
+  ASSERT_EQ(overlay.removed_in(e.dst).size(), 1u);
+  EXPECT_EQ(overlay.removed_in(e.dst)[0], e.src);
+
+  // Re-adding a tombstoned BASE edge clears the tombstone — it must not
+  // land in the delta (delta ∩ base stays empty).
+  ASSERT_TRUE(overlay.insert(e.src, e.dst));
+  EXPECT_TRUE(overlay.has_edge(e.src, e.dst));
+  EXPECT_EQ(overlay.num_removed(), 0u);
+  EXPECT_EQ(overlay.num_inserted(), 0u);
+  EXPECT_EQ(overlay.num_edges(), edges);
+  EXPECT_TRUE(overlay.extra_out(e.src).empty());
+  EXPECT_TRUE(overlay.removed_out(e.src).empty());
+}
+
+TEST(OverlayRemoval, RemoveOfADeltaEdgeErasesItInstead) {
+  const auto base = make_base(0.02, 7);
+  OverlayGraph overlay(base);
+  const VertexId n = overlay.num_vertices();
+  // Find an absent edge to insert live.
+  Edge fresh{0, 1};
+  for (VertexId v = 1; v < n; ++v) {
+    if (!base->has_edge(0, v)) {
+      fresh = {0, v};
+      break;
+    }
+  }
+  ASSERT_FALSE(base->has_edge(fresh.src, fresh.dst));
+
+  ASSERT_TRUE(overlay.insert(fresh.src, fresh.dst));
+  EXPECT_EQ(overlay.num_inserted(), 1u);
+  ASSERT_TRUE(overlay.remove(fresh.src, fresh.dst));
+  // Back to pristine: the delta edge is gone, NOT tombstoned
+  // (tombstones ⊆ base).
+  EXPECT_EQ(overlay.num_inserted(), 0u);
+  EXPECT_EQ(overlay.num_removed(), 0u);
+  EXPECT_FALSE(overlay.has_edge(fresh.src, fresh.dst));
+  EXPECT_TRUE(overlay.extra_out(fresh.src).empty());
+  EXPECT_TRUE(overlay.removed_out(fresh.src).empty());
+  EXPECT_EQ(overlay.num_edges(), base->num_edges());
+  EXPECT_EQ(overlay.memory_bytes(), 0u);  // all buckets dropped
+}
+
+TEST(OverlayRemoval, InvalidRemovesThrowOrReturnFalse) {
+  const auto base = make_base(0.02, 7);
+  OverlayGraph overlay(base);
+  const VertexId n = overlay.num_vertices();
+  const Edge e = base->edges().front();
+
+  EXPECT_THROW((void)overlay.remove(3, 3), CheckError);      // self-loop
+  EXPECT_THROW((void)overlay.remove(n, 0), CheckError);      // src range
+  EXPECT_THROW((void)overlay.remove(0, n + 7), CheckError);  // dst range
+
+  // Removing an absent edge is a no-op `false`, like inserting a
+  // present one.
+  VertexId v = 1;
+  while (base->has_edge(0, v)) ++v;
+  EXPECT_FALSE(overlay.remove(0, v));
+  // Removing the same edge twice: the second is absent by then.
+  ASSERT_TRUE(overlay.remove(e.src, e.dst));
+  EXPECT_FALSE(overlay.remove(e.src, e.dst));
+  EXPECT_EQ(overlay.num_removed(), 1u);
+}
+
+// ---------- remove-batch validation: deterministic, all-or-nothing ----------
+
+TEST(OverlayRemoval, ValidateRemoveBatchRejectsTheWholeBatch) {
+  const auto base = make_base(0.02, 13);
+  OverlayGraph overlay(base);
+  const VertexId n = overlay.num_vertices();
+  const auto edges = base->edges();
+  ASSERT_GE(edges.size(), 3u);
+  const Edge a = edges[0];
+  const Edge b = edges[1];
+
+  // A clean batch passes.
+  const std::vector<Edge> good = {a, b};
+  EXPECT_NO_THROW(rows::validate_remove_batch(overlay, good));
+
+  VertexId w = 1;
+  while (base->has_edge(0, w)) ++w;
+  const auto expect_reject = [&](std::vector<Edge> batch) {
+    EXPECT_THROW(rows::validate_remove_batch(overlay, batch), CheckError);
+  };
+  expect_reject({a, {3, 3}});                          // self-loop
+  expect_reject({a, {n, 0}});                          // src out of range
+  expect_reject({a, {0, static_cast<VertexId>(n + 7)}});  // dst range
+  expect_reject({a, {0, w}});                          // nonexistent edge
+  expect_reject({a, b, a});                            // duplicate in batch
+
+  // Validation never mutates: the full graph is intact and the clean
+  // batch still validates afterwards.
+  EXPECT_EQ(overlay.num_edges(), base->num_edges());
+  EXPECT_NO_THROW(rows::validate_remove_batch(overlay, good));
+
+  // A removed edge invalidates later batches naming it — the check runs
+  // against the LIVE graph, so shards replaying the same op stream
+  // agree at every step.
+  ASSERT_TRUE(overlay.remove(a.src, a.dst));
+  expect_reject({a});
+  // ...and a tombstoned edge is insertable again, which the insert
+  // validator must agree with.
+  EXPECT_NO_THROW(rows::validate_insert_batch(overlay, {&a, 1}));
+}
+
+}  // namespace
+}  // namespace snaple

@@ -1,14 +1,15 @@
-// Live update plane for the sharded serving tier (ISSUE 9).
+// Live update plane for the sharded serving tier (ISSUE 9 + ISSUE 10).
 //
 // The load-bearing property lifts DynamicModel's contract across the
-// machine line: after ANY insert sequence fanned through the
+// machine line: after ANY insert/remove interleaving fanned through the
 // UpdateRouter — every batch crossing a byte transport to every shard,
 // every shard recomputing only its OWNED stale rows — a ServingCluster
 // answers every query BIT-identical (ids AND float scores, EXPECT_EQ
-// never EXPECT_NEAR) to LinkPredictor::fit on the union graph, across
-// seeds × shard counts × all three transports × cached/uncached ×
-// insert orders. Queries keep flowing during writer bursts: shards
-// publish row-by-row (RCU), no stop-the-world anywhere.
+// never EXPECT_NEAR) to LinkPredictor::fit on the live graph
+// (base ∪ inserts − removals), across seeds × shard counts × all three
+// transports × cached/uncached × op orders. Queries keep flowing during
+// writer bursts: shards publish row-by-row (RCU), no stop-the-world
+// anywhere, for removals exactly as for inserts.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -16,7 +17,9 @@
 #include <cmath>
 #include <memory>
 #include <random>
+#include <set>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/predictor.hpp"
@@ -90,6 +93,91 @@ ServeOptions live_options(std::size_t shards, TransportKind transport,
   opt.colocate = false;  // live serving fetches; replicas cannot refresh
   opt.cache_bytes = cache_bytes;
   return opt;
+}
+
+/// One update-plane operation: a batch of inserts or of removals.
+struct EdgeOp {
+  bool remove;
+  std::vector<Edge> edges;
+};
+
+/// Builds a deterministic insert/remove interleaving over `split`:
+/// insert batches of the pending live edges, removals of base edges,
+/// removals of just-inserted edges, and re-adds of removed edges. Also
+/// returns the final live graph for the reference fit.
+struct Churn {
+  std::vector<EdgeOp> ops;
+  CsrGraph live;
+  std::size_t total_edges = 0;  // sum of batch sizes == final version
+};
+
+Churn make_churn(const Split& split, std::uint64_t seed) {
+  std::set<std::pair<VertexId, VertexId>> live;
+  for (const Edge& e : split.base->edges()) live.emplace(e.src, e.dst);
+  const auto base_edges = split.base->edges();
+
+  Churn out;
+  std::mt19937 rng(static_cast<unsigned>(seed));
+  std::vector<Edge> removed;
+  std::size_t next_insert = 0;
+  EdgeOp pending{false, {}};
+  const auto flush = [&] {
+    if (pending.edges.empty()) return;
+    out.total_edges += pending.edges.size();
+    out.ops.push_back(std::move(pending));
+    pending = EdgeOp{false, {}};
+  };
+  const auto push = [&](bool remove, Edge e) {
+    if (pending.remove != remove || pending.edges.size() >= 5) flush();
+    pending.remove = remove;
+    pending.edges.push_back(e);
+    if (remove) {
+      live.erase({e.src, e.dst});
+      removed.push_back(e);
+    } else {
+      live.emplace(e.src, e.dst);
+    }
+  };
+  const auto is_live = [&](const Edge& e) {
+    return live.contains({e.src, e.dst});
+  };
+  const auto in_pending = [&](const Edge& e) {
+    return std::find_if(pending.edges.begin(), pending.edges.end(),
+                        [&](const Edge& p) {
+                          return p.src == e.src && p.dst == e.dst;
+                        }) != pending.edges.end();
+  };
+  for (std::size_t op = 0; op < 70; ++op) {
+    switch (rng() % 4) {
+      case 0:
+      case 1: {  // insert the next pending live edge
+        if (next_insert < split.inserts.size()) {
+          push(false, split.inserts[next_insert++]);
+        }
+        break;
+      }
+      case 2: {  // remove a random currently-live edge (base or delta)
+        const Edge e = next_insert > 0 && rng() % 4 == 0
+                           ? split.inserts[rng() % next_insert]
+                           : base_edges[rng() % base_edges.size()];
+        if (is_live(e) && !in_pending(e)) push(true, e);
+        break;
+      }
+      case 3: {  // re-add a previously removed edge
+        if (!removed.empty()) {
+          const Edge e = removed[rng() % removed.size()];
+          if (!is_live(e) && !in_pending(e)) push(false, e);
+        }
+        break;
+      }
+    }
+  }
+  flush();
+
+  GraphBuilder b(split.base->num_vertices());
+  for (const auto& [u, v] : live) b.add_edge(u, v);
+  out.live = b.build();
+  return out;
 }
 
 // ---------- the tentpole: live sharded ≡ union refit, bit for bit ----------
@@ -189,6 +277,64 @@ TEST(UpdatePlaneEquivalence, InsertOrdersAndBatchShapesConverge) {
   }
 }
 
+TEST(UpdatePlaneEquivalence, InsertRemoveInterleavingsMatchLiveRefit) {
+  // The removal mirror of the matrix test above: a deterministic churn
+  // of insert batches, removals (of base AND just-inserted edges), and
+  // re-adds, fanned through the plane as op-4/op-6 batches. At
+  // quiescence every served answer equals a fit on the final live
+  // graph — flat reference vs sharded live, across shard counts ×
+  // transports × cache settings.
+  for (const std::uint64_t seed : {3ull, 11ull}) {
+    for (const std::size_t k_hops : {2ul, 3ul}) {
+      const CsrGraph full = gen::make_dataset("gowalla", 0.02, seed);
+      const Split split = split_graph(full, 24);
+      const Churn churn = make_churn(split, seed * 10 + k_hops);
+      ASSERT_GT(churn.ops.size(), 8u);
+      ASSERT_LT(churn.live.num_edges(), full.num_edges());
+
+      SnapleConfig cfg;
+      cfg.k_local = 10;
+      cfg.k_hops = k_hops;
+      cfg.seed = seed;
+      const auto base_model = fit_edge_local(*split.base, cfg, 4);
+      const auto refit = fit_edge_local(churn.live, cfg, 4);
+      const QueryEngine engine(refit);
+      const VertexId n = refit->num_vertices();
+      std::vector<Scored> want(n);
+      for (VertexId u = 0; u < n; ++u) want[u] = engine.topk(u);
+
+      for (const std::size_t shards : {1ul, 2ul, 8ul}) {
+        for (const auto transport : kTransports) {
+          for (const std::size_t cache : {0ul, 1ul << 20}) {
+            ServingCluster cluster(
+                base_model, split.base,
+                live_options(shards, transport, cache));
+            std::size_t at = 0;
+            for (const EdgeOp& op : churn.ops) {
+              if (op.remove) {
+                (void)cluster.update_router().remove(op.edges);
+              } else {
+                (void)cluster.update_router().apply(op.edges);
+              }
+              // Interleaved queries: the plane serves while it churns.
+              (void)cluster.router().topk(static_cast<VertexId>(at++ % n));
+            }
+            EXPECT_EQ(cluster.update_router().barrier(),
+                      churn.total_edges);
+            for (VertexId u = 0; u < n; ++u) {
+              ASSERT_EQ(cluster.router().topk(u), want[u])
+                  << "seed=" << seed << " K=" << k_hops
+                  << " shards=" << shards
+                  << " transport=" << serve::to_string(transport)
+                  << " cache=" << cache << " u=" << u;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
 // ---------- cache coherence across updates ----------
 
 TEST(UpdatePlaneCache, WarmCacheStaysCoherentThroughInserts) {
@@ -222,6 +368,55 @@ TEST(UpdatePlaneCache, WarmCacheStaysCoherentThroughInserts) {
   }
   const auto after = cluster.cache_stats();
   EXPECT_GT(after.hits, 0u);  // untouched rows keep hitting
+  EXPECT_GT(after.misses, warm.misses);  // republished rows re-fetch
+}
+
+TEST(UpdatePlaneCache, WarmCacheStaysCoherentThroughRemovals) {
+  // A cached row staled by a REMOVAL must miss-and-drop exactly like one
+  // staled by an insert: the shard bumps row_version for every stale
+  // vertex, so the warm entry's version key can never match again.
+  const CsrGraph full = gen::make_dataset("gowalla", 0.02, 5);
+  const auto g = std::make_shared<const CsrGraph>(full);
+  SnapleConfig cfg;
+  cfg.k_local = 10;
+  cfg.k_hops = 3;
+  cfg.seed = 5;
+  const auto base_model = fit_edge_local(full, cfg, 4);
+
+  ServingCluster cluster(
+      base_model, g, live_options(4, TransportKind::kInProcess, 8ul << 20));
+  const VertexId n = base_model->num_vertices();
+  // Warm every shard's fetch cache on the PRE-removal rows...
+  for (VertexId u = 0; u < n; ++u) (void)cluster.router().topk(u);
+  const auto warm = cluster.cache_stats();
+  EXPECT_GT(warm.insertions, 0u);
+
+  // ...then remove a spread of base edges and check every answer
+  // against a fit on the shrunken graph.
+  const auto all = full.edges();
+  std::vector<Edge> victims;
+  const std::size_t stride = std::max<std::size_t>(2, all.size() / 16);
+  for (std::size_t i = 0; i < all.size() && victims.size() < 16;
+       i += stride) {
+    victims.push_back(all[i]);
+  }
+  (void)cluster.update_router().remove(victims);
+  EXPECT_EQ(cluster.update_router().barrier(), victims.size());
+
+  GraphBuilder b(full.num_vertices());
+  std::set<std::pair<VertexId, VertexId>> dropped;
+  for (const Edge& e : victims) dropped.emplace(e.src, e.dst);
+  for (const Edge& e : all) {
+    if (!dropped.contains({e.src, e.dst})) b.add_edge(e.src, e.dst);
+  }
+  const CsrGraph shrunk = b.build();
+  const auto refit = fit_edge_local(shrunk, cfg, 4);
+  const QueryEngine engine(refit);
+  for (VertexId u = 0; u < n; ++u) {
+    ASSERT_EQ(cluster.router().topk(u), engine.topk(u)) << "u=" << u;
+  }
+  const auto after = cluster.cache_stats();
+  EXPECT_GT(after.hits, 0u);             // untouched rows keep hitting
   EXPECT_GT(after.misses, warm.misses);  // republished rows re-fetch
 }
 
@@ -293,6 +488,72 @@ TEST(UpdatePlaneConcurrency, ReadersNeverBlockOrTearDuringBursts) {
   }
 }
 
+TEST(UpdatePlaneConcurrency, ReadersNeverBlockOrTearDuringMixedChurn) {
+  // The mixed insert+remove mirror of the burst test: tombstone
+  // republication rides the same RCU slab path, so readers must stay
+  // untorn through interleaved op-4/op-6 batches too (TSan-covered).
+  const CsrGraph full = gen::make_dataset("gowalla", 0.03, 17);
+  const Split split = split_graph(full, 48);
+  SnapleConfig cfg;
+  cfg.k_hops = 3;
+  cfg.k_local = 10;
+  cfg.seed = 17;
+  const auto base_model = fit_edge_local(*split.base, cfg, 4);
+  const Churn churn = make_churn(split, 17);
+
+  ServeOptions opt = live_options(4, TransportKind::kInProcess, 4ul << 20);
+  opt.connections_per_shard = 2;
+  ServingCluster cluster(base_model, split.base, opt);
+  const VertexId n = base_model->num_vertices();
+
+  constexpr std::size_t kThreads = 6;
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> bad{0};
+  std::atomic<std::size_t> queries{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&, t] {
+      VertexId u = static_cast<VertexId>((t * 131) % n);
+      while (!done.load(std::memory_order_relaxed)) {
+        const Scored got = cluster.router().topk(u);
+        bool ok = got.size() <= cfg.k;
+        for (std::size_t i = 0; i < got.size() && ok; ++i) {
+          ok = got[i].first < n && std::isfinite(got[i].second) &&
+               (i == 0 || got[i - 1].second >= got[i].second);
+          for (std::size_t j = 0; j < i && ok; ++j) {
+            ok = got[j].first != got[i].first;
+          }
+        }
+        if (!ok) bad.fetch_add(1, std::memory_order_relaxed);
+        queries.fetch_add(1, std::memory_order_relaxed);
+        u = (u + 17) % n;
+      }
+    });
+  }
+
+  for (const EdgeOp& op : churn.ops) {
+    if (op.remove) {
+      (void)cluster.update_router().remove(op.edges);
+    } else {
+      (void)cluster.update_router().apply(op.edges);
+    }
+  }
+  done.store(true);
+  for (auto& th : readers) th.join();
+
+  EXPECT_EQ(bad.load(), 0u);
+  EXPECT_GT(queries.load(), 0u);
+
+  // Quiescent: every answer equals the live-graph refit.
+  EXPECT_EQ(cluster.update_router().barrier(), churn.total_edges);
+  const auto refit = fit_edge_local(churn.live, cfg, 4);
+  const QueryEngine engine(refit);
+  for (VertexId u = 0; u < n; ++u) {
+    ASSERT_EQ(cluster.router().topk(u), engine.topk(u)) << "u=" << u;
+  }
+}
+
 // ---------- rejection: atomic, cross-wire, plane survives ----------
 
 TEST(UpdatePlaneRejection, BadBatchesThrowChangeNothingAndPlaneLives) {
@@ -338,6 +599,52 @@ TEST(UpdatePlaneRejection, BadBatchesThrowChangeNothingAndPlaneLives) {
   }
 }
 
+TEST(UpdatePlaneRejection, BadRemoveBatchesThrowChangeNothingAndPlaneLives) {
+  const CsrGraph full = gen::make_dataset("gowalla", 0.02, 13);
+  const Split split = split_graph(full, 8);
+  SnapleConfig cfg;
+  cfg.seed = 13;
+  const auto base_model = fit_edge_local(*split.base, cfg, 4);
+  const auto base_edges = split.base->edges();
+
+  for (const auto transport : kTransports) {
+    ServingCluster cluster(base_model, split.base,
+                           live_options(2, transport));
+    UpdateRouter& plane = cluster.update_router();
+    const VertexId n = base_model->num_vertices();
+
+    // One good removal first; snapshot a served answer the rejects
+    // below must leave untouched.
+    const Edge gone = base_edges.front();
+    (void)plane.remove({&gone, 1});
+    const Scored want0 = cluster.router().topk(0);
+    const std::uint64_t version = plane.barrier();
+    ASSERT_EQ(version, 1u);
+
+    const auto expect_reject = [&](std::vector<Edge> batch) {
+      EXPECT_THROW((void)plane.remove(batch), CheckError);
+    };
+    expect_reject({{3, 3}});                             // self-loop
+    expect_reject({{n, 0}});                             // src out of range
+    expect_reject({{0, static_cast<VertexId>(n + 7)}});  // dst range
+    expect_reject({gone});                               // already removed
+    expect_reject({split.inserts[0]});                   // never was live
+    // One bad removal rejects the whole batch on EVERY shard: atomic.
+    expect_reject({base_edges[1], base_edges[2], gone});
+    expect_reject({base_edges[3], base_edges[3]});  // intra-batch dup
+
+    EXPECT_EQ(plane.barrier(), version);
+    EXPECT_EQ(cluster.router().topk(0), want0);
+
+    // The plane survives rejection: a clean removal still applies, and
+    // the tombstoned edge is re-insertable (insert validator agrees).
+    (void)plane.remove({base_edges.data() + 1, 2});
+    (void)plane.apply({&gone, 1});
+    EXPECT_EQ(plane.barrier(), version + 3)
+        << serve::to_string(transport);
+  }
+}
+
 TEST(UpdatePlaneRejection, StaticShardsAndClustersRefuseUpdates) {
   const CsrGraph full = gen::make_dataset("gowalla", 0.02, 3);
   SnapleConfig cfg;
@@ -365,8 +672,9 @@ TEST(UpdatePlaneRejection, StaticShardsAndClustersRefuseUpdates) {
   UpdateRouter plane(std::move(links));
   const Edge e{0, 1};
   EXPECT_THROW((void)plane.apply({&e, 1}), CheckError);
+  EXPECT_THROW((void)plane.remove({&e, 1}), CheckError);  // op 6 too
   EXPECT_THROW((void)plane.barrier(), CheckError);
-  EXPECT_EQ(server.stats().errors, 2u);
+  EXPECT_EQ(server.stats().errors, 3u);
 }
 
 TEST(UpdatePlaneRejection, LiveClusterRequiresFetchModeAndStableTags) {
@@ -419,13 +727,22 @@ TEST(UpdatePlaneStats, CountersTrackBatchesRowsAndBytes) {
   const auto r2 = plane.apply({split.inserts.data() + 4, 3});
   EXPECT_EQ(r2.version, 7u);
 
+  // A removal is one more operation on the shared version counter and
+  // lands in its own batch/edge counters.
+  const Edge victim = split.base->edges().front();
+  const auto r3 = plane.remove({&victim, 1});
+  EXPECT_EQ(r3.version, 8u);
+  EXPECT_GE(r3.gamma_rows, 1u);  // the severed source republishes
+
   const auto us = plane.stats();
   EXPECT_EQ(us.batches, 2u);
   EXPECT_EQ(us.edges, 7u);
-  EXPECT_EQ(us.version, 7u);
-  EXPECT_EQ(us.gamma_rows, r1.gamma_rows + r2.gamma_rows);
-  EXPECT_EQ(us.sims_rows, r1.sims_rows + r2.sims_rows);
-  EXPECT_EQ(us.hop2_rows, r1.hop2_rows + r2.hop2_rows);
+  EXPECT_EQ(us.remove_batches, 1u);
+  EXPECT_EQ(us.removals, 1u);
+  EXPECT_EQ(us.version, 8u);
+  EXPECT_EQ(us.gamma_rows, r1.gamma_rows + r2.gamma_rows + r3.gamma_rows);
+  EXPECT_EQ(us.sims_rows, r1.sims_rows + r2.sims_rows + r3.sims_rows);
+  EXPECT_EQ(us.hop2_rows, r1.hop2_rows + r2.hop2_rows + r3.hop2_rows);
   EXPECT_GT(us.bytes_sent, 0u);
   EXPECT_GT(us.bytes_received, 0u);
 
@@ -435,6 +752,8 @@ TEST(UpdatePlaneStats, CountersTrackBatchesRowsAndBytes) {
                 overlay = 0;
   for (const auto& s : cluster.stats()) {
     EXPECT_EQ(s.update_batches, 2u);
+    EXPECT_EQ(s.remove_batches, 1u);
+    EXPECT_EQ(s.remove_edges, 1u);
     batches += s.update_batches;
     edges += s.update_edges;
     gamma += s.gamma_republished;
@@ -449,8 +768,8 @@ TEST(UpdatePlaneStats, CountersTrackBatchesRowsAndBytes) {
   EXPECT_EQ(hop2, us.hop2_rows);
   EXPECT_GT(overlay, 0u);
 
-  EXPECT_EQ(plane.barrier(), 7u);
-  EXPECT_EQ(plane.stats().version, 7u);
+  EXPECT_EQ(plane.barrier(), 8u);
+  EXPECT_EQ(plane.stats().version, 8u);
 }
 
 // ---------- fail-stop: a dead link kills the whole plane ----------
